@@ -1,0 +1,50 @@
+# SmartCrawl reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/crawler/ ./internal/deepweb/... ./internal/lazyheap/
+
+# One pass over every per-figure bench, tables visible in the log.
+bench:
+	$(GO) test -bench . -benchtime 1x -v .
+
+# Micro-benchmarks of the substrates.
+microbench:
+	$(GO) test -bench . -benchmem ./internal/...
+
+# Regenerate every paper table/figure at 10% scale into results_scale01.txt.
+experiments:
+	$(GO) run ./cmd/experiments -scale 0.1 all | tee results_scale01.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dblp_enrichment
+	$(GO) run ./examples/yelp_enrichment
+	$(GO) run ./examples/http_crawl
+	$(GO) run ./examples/quota_resume
+	$(GO) run ./examples/form_crawl
+
+fuzz:
+	$(GO) test -fuzz FuzzTokens -fuzztime 30s ./internal/tokenize/
+	$(GO) test -fuzz FuzzPorterStem -fuzztime 30s ./internal/tokenize/
+	$(GO) test -fuzz FuzzLoadResult -fuzztime 30s ./internal/crawler/
+
+clean:
+	$(GO) clean ./...

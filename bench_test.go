@@ -1,0 +1,284 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7), one target per artifact, as indexed in DESIGN.md. Each bench runs
+// the corresponding experiment at a reduced scale (|H| = 10k, |D| = 1k by
+// default — the paper's proportions, 10% of its size) and reports the
+// headline coverage numbers as custom metrics; the rendered tables are
+// emitted through b.Log (visible with `go test -bench . -v`) and, at any
+// scale, through `go run ./cmd/experiments`.
+package smartcrawl_test
+
+import (
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/experiment"
+)
+
+// benchParams is the scale used by the bench targets: 10% of Table 3.
+func benchParams() experiment.Params {
+	p := experiment.Scaled(0.1)
+	p.Seed = 42
+	return p
+}
+
+func logTables(b *testing.B, tables []*experiment.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, t := range tables {
+		if err := t.Fprint(&sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkTable2RunningExample regenerates Table 2: true vs estimated
+// benefits on the running example.
+func BenchmarkTable2RunningExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Table2RunningExample()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, nil)
+		}
+	}
+}
+
+// BenchmarkFigure4SamplingRatio regenerates Figure 4: coverage curves at
+// θ = 0.2% and 1%, plus the θ sweep.
+func BenchmarkFigure4SamplingRatio(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.Figure4(p)
+		if i == 0 {
+			logTables(b, tables, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5LocalSize regenerates Figure 5: the |D| panels and sweep.
+func BenchmarkFigure5LocalSize(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.Figure5(p)
+		if i == 0 {
+			logTables(b, tables, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6TopK regenerates Figure 6: the k panels and sweep.
+func BenchmarkFigure6TopK(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.Figure6(p)
+		if i == 0 {
+			logTables(b, tables, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7DeltaD regenerates Figure 7: bias growth with |ΔD|.
+func BenchmarkFigure7DeltaD(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.Figure7(p)
+		if i == 0 {
+			logTables(b, tables, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8Fuzzy regenerates Figure 8: error% robustness.
+func BenchmarkFigure8Fuzzy(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.Figure8(p)
+		if i == 0 {
+			logTables(b, tables, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9Yelp regenerates Figure 9: recall on the Yelp-style
+// hidden database (non-conjunctive interface, drifted names,
+// interface-built sample).
+func BenchmarkFigure9Yelp(b *testing.B) {
+	p := experiment.Params{
+		HiddenSize: 3650, LocalSize: 300, K: 50,
+		Budget: 300, Theta: 0.01, ErrorRate: 0.1,
+		JaccardThreshold: 0.5, Seed: 42,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Figure9(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLemma2Bound regenerates the §4.1 analysis: QSel-Bound's
+// guarantee versus IdealCrawl and QSel-Simple.
+func BenchmarkLemma2Bound(b *testing.B) {
+	p := benchParams()
+	p.DeltaD = p.LocalSize / 20
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.BoundGuarantee(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatorAccuracy regenerates the Table 1 estimator-accuracy
+// ablation across sampling ratios.
+func BenchmarkEstimatorAccuracy(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.EstimatorAccuracy(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmallSampleFallback regenerates the §6.2 α-fallback ablation.
+func BenchmarkSmallSampleFallback(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.AblateAlpha(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaDRemoval regenerates the §4.2 ΔD-removal ablation.
+func BenchmarkDeltaDRemoval(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.AblateDeltaDRemoval(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectionLazyVsNaive regenerates the §6.3 lazy-queue ablation
+// (Appendix B's orders-of-magnitude claim).
+func BenchmarkSelectionLazyVsNaive(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.AblateHeap(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchSelection regenerates the batch-greedy extension ablation.
+func BenchmarkBatchSelection(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.AblateBatch(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStemming regenerates the Porter-stemming extension ablation.
+func BenchmarkStemming(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.AblateStemming(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineCalibration regenerates the pay-as-you-go extension
+// comparison (§9 future work).
+func BenchmarkOnlineCalibration(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.AblateOnline(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFormInterface regenerates the form-vs-keyword interface
+// extension comparison (§9 future work).
+func BenchmarkFormInterface(b *testing.B) {
+	p := experiment.Params{
+		HiddenSize: 3650, LocalSize: 300, K: 50, Budget: 300, Seed: 42,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.FormInterface(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankSensitivity regenerates the ranking-function sensitivity
+// analysis (the Lemma 4/5 ranking-agnosticism claim).
+func BenchmarkRankSensitivity(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.RankSensitivity(p)
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, err)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOmegaSensitivity regenerates the §5.3 ω-assumption analysis.
+func BenchmarkOmegaSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.OmegaSensitivity()
+		if i == 0 {
+			logTables(b, []*experiment.Table{t}, nil)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package smartcrawl_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"smartcrawl"
+)
+
+func TestPublicAPICheckpointResume(t *testing.T) {
+	local, _, env, smp := buildUniverse(t)
+	_ = local
+	c1, err := smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Sample: smp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := c1.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := smartcrawl.SaveCheckpoint(&buf, res1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := smartcrawl.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{
+		Sample: smp, Resume: loaded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CoveredCount < res1.CoveredCount {
+		t.Fatalf("resume lost coverage: %d < %d", res2.CoveredCount, res1.CoveredCount)
+	}
+	if res2.CoveredCount != 4 {
+		t.Fatalf("resumed crawl covered %d of 4", res2.CoveredCount)
+	}
+}
+
+func TestPublicAPIBatchAndRetry(t *testing.T) {
+	_, _, env, smp := buildUniverse(t)
+	env.Searcher = smartcrawl.NewRetryingSearcher(env.Searcher, 2,
+		time.Millisecond, 10*time.Millisecond)
+	c, err := smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{
+		Sample: smp, BatchSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredCount != 4 {
+		t.Fatalf("batched retrying crawl covered %d of 4", res.CoveredCount)
+	}
+}
+
+func TestPublicAPIOmegaEstimator(t *testing.T) {
+	_, _, env, smp := buildUniverse(t)
+	c, err := smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{
+		Sample: smp, Omega: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	// Unbiased and Omega are mutually exclusive.
+	if _, err := smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{
+		Sample: smp, Omega: 2, Unbiased: true,
+	}); err == nil {
+		t.Fatal("Omega + Unbiased should be rejected")
+	}
+}
+
+func TestPublicAPIPorterStem(t *testing.T) {
+	if smartcrawl.PorterStem("crawling") != "crawl" {
+		t.Fatal("PorterStem")
+	}
+	tk := smartcrawl.NewTokenizer()
+	tk.Stemmer = smartcrawl.PorterStem
+	toks := tk.Tokens("Crawling Databases")
+	if len(toks) != 2 || toks[0] != "crawl" || toks[1] != "databas" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestPublicAPIOnlineCalibration(t *testing.T) {
+	_, _, env, _ := buildUniverse(t)
+	c, err := smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Online: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredCount == 0 {
+		t.Fatal("online crawl covered nothing")
+	}
+}

@@ -1,0 +1,243 @@
+package smartcrawl_test
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTool compiles a cmd binary into dir and returns its path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// TestCLIPipeline runs the full command-line workflow: generate a dataset,
+// crawl it with the simulated interface, and check the enriched CSV.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	gendata := buildTool(t, dir, "gendata")
+	crawlBin := buildTool(t, dir, "smartcrawl")
+
+	// 1. Generate a small DBLP-like dataset.
+	out, err := exec.Command(gendata,
+		"-kind", "dblp", "-hidden", "2000", "-local", "300",
+		"-corpus", "8000", "-seed", "7", "-out", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gendata: %v\n%s", err, out)
+	}
+	for _, f := range []string{"dblp_local.csv", "dblp_hidden.csv", "dblp_truth.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+
+	// 2. Crawl and enrich with citations.
+	enriched := filepath.Join(dir, "enriched.csv")
+	out, err = exec.Command(crawlBin,
+		"-local", filepath.Join(dir, "dblp_local.csv"),
+		"-hidden", filepath.Join(dir, "dblp_hidden.csv"),
+		"-budget", "100", "-k", "100", "-rank-column", "3",
+		"-theta", "0.02", "-enrich", "citations",
+		"-out", enriched).CombinedOutput()
+	if err != nil {
+		t.Fatalf("smartcrawl: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "records enriched") {
+		t.Fatalf("unexpected crawl report:\n%s", out)
+	}
+
+	// 3. The enriched CSV must have the new column with real values.
+	data, err := os.ReadFile(enriched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 301 { // header + 300 rows
+		t.Fatalf("enriched CSV has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "h_citations") {
+		t.Fatalf("header missing h_citations: %q", lines[0])
+	}
+	filled := 0
+	for _, l := range lines[1:] {
+		cols := strings.Split(l, ",")
+		if v := cols[len(cols)-1]; v != "" {
+			filled++
+		}
+	}
+	if filled < 150 {
+		t.Fatalf("only %d/300 rows enriched", filled)
+	}
+	t.Logf("CLI pipeline enriched %d/300 rows", filled)
+}
+
+// TestCLIExperimentsTable2 smoke-tests the experiments tool on its fastest
+// subcommand.
+func TestCLIExperimentsTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "experiments")
+	out, err := exec.Command(bin, "-csv", dir, "table2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments table2: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "true benefit") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table2_0.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
+
+// TestCLICheckpointResume exercises the quota-window workflow through the
+// command line: two budget-limited invocations sharing a -checkpoint file
+// must make monotone progress.
+func TestCLICheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	gendata := buildTool(t, dir, "gendata")
+	crawlBin := buildTool(t, dir, "smartcrawl")
+
+	out, err := exec.Command(gendata,
+		"-kind", "dblp", "-hidden", "2000", "-local", "300",
+		"-corpus", "8000", "-seed", "11", "-out", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gendata: %v\n%s", err, out)
+	}
+	ckpt := filepath.Join(dir, "crawl.ckpt")
+	runOnce := func() string {
+		out, err := exec.Command(crawlBin,
+			"-local", filepath.Join(dir, "dblp_local.csv"),
+			"-hidden", filepath.Join(dir, "dblp_hidden.csv"),
+			"-budget", "6", "-k", "10", "-rank-column", "3",
+			"-theta", "0.02", "-enrich", "citations",
+			"-checkpoint", ckpt,
+			"-out", filepath.Join(dir, "enriched.csv")).CombinedOutput()
+		if err != nil {
+			t.Fatalf("smartcrawl: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	first := runOnce()
+	if !strings.Contains(first, "checkpoint written") {
+		t.Fatalf("no checkpoint written:\n%s", first)
+	}
+	second := runOnce()
+	if !strings.Contains(second, "resuming:") {
+		t.Fatalf("second run did not resume:\n%s", second)
+	}
+	e1 := enrichedCount(t, first)
+	e2 := enrichedCount(t, second)
+	if e2 <= e1 {
+		t.Fatalf("no progress across sessions: %d then %d", e1, e2)
+	}
+	t.Logf("session 1 enriched %d, session 2 enriched %d", e1, e2)
+}
+
+func enrichedCount(t *testing.T, out string) int {
+	t.Helper()
+	// "crawl: N queries issued, X/300 records enriched (..%)"
+	i := strings.Index(out, "queries issued, ")
+	if i < 0 {
+		t.Fatalf("no enrichment line in:\n%s", out)
+	}
+	rest := out[i+len("queries issued, "):]
+	var x, y int
+	if _, err := fmt.Sscanf(rest, "%d/%d", &x, &y); err != nil {
+		t.Fatalf("parsing %q: %v", rest, err)
+	}
+	return x
+}
+
+// TestCLIRemoteCrawl runs the full remote workflow: hiddenserver serving a
+// generated CSV over HTTP, and the smartcrawl CLI crawling it through
+// -url with interface-built sampling.
+func TestCLIRemoteCrawl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	gendata := buildTool(t, dir, "gendata")
+	serverBin := buildTool(t, dir, "hiddenserver")
+	crawlBin := buildTool(t, dir, "smartcrawl")
+
+	out, err := exec.Command(gendata,
+		"-kind", "yelp", "-hidden", "2000", "-local", "200",
+		"-seed", "13", "-out", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gendata: %v\n%s", err, out)
+	}
+
+	// Pick a free port, then hand it to the server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	server := exec.Command(serverBin,
+		"-table", filepath.Join(dir, "yelp_hidden.csv"),
+		"-k", "50", "-rank-column", "3", "-addr", addr)
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = server.Process.Signal(os.Interrupt)
+		_, _ = server.Process.Wait()
+	}()
+
+	// Wait for readiness.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hiddenserver did not become ready")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	out, err = exec.Command(crawlBin,
+		"-local", filepath.Join(dir, "yelp_local.csv"),
+		"-url", "http://"+addr,
+		"-budget", "60", "-sample-target", "40",
+		"-enrich", "col2,col3", "-fuzzy", "0.6",
+		"-out", filepath.Join(dir, "enriched_remote.csv")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("smartcrawl -url: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "records enriched") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	n := enrichedCount(t, string(out))
+	if n == 0 {
+		t.Fatalf("remote crawl enriched nothing:\n%s", out)
+	}
+	t.Logf("remote crawl enriched %d/200 records", n)
+}

@@ -1,0 +1,116 @@
+// Command gendata generates the synthetic datasets used throughout the
+// reproduction: a DBLP-like publication corpus or a Yelp-like business
+// table, written as CSV files (local table, hidden table, and the
+// ground-truth mapping between them).
+//
+// Usage:
+//
+//	gendata -kind dblp -hidden 100000 -local 10000 -deltad 0 -errors 0 \
+//	        -seed 42 -out ./data
+//	gendata -kind yelp -hidden 36500 -local 3000 -drift 0.1 -out ./data
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"smartcrawl/internal/dataset"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "dblp", "dataset kind: dblp or yelp")
+		hiddenN = flag.Int("hidden", 100000, "hidden database size |H|")
+		localN  = flag.Int("local", 10000, "local database size |D|")
+		deltaD  = flag.Int("deltad", 0, "records in D with no hidden counterpart")
+		errRate = flag.Float64("errors", 0, "error%% as a fraction (DBLP)")
+		drift   = flag.Float64("drift", 0, "drift rate as a fraction (Yelp)")
+		corpus  = flag.Int("corpus", 0, "corpus size (DBLP; default 4x hidden)")
+		seed    = flag.Uint64("seed", 42, "generation seed")
+		out     = flag.String("out", ".", "output directory")
+		format  = flag.String("format", "csv", "table format: csv or jsonl")
+	)
+	flag.Parse()
+
+	var (
+		in  *dataset.Instance
+		err error
+	)
+	switch *kind {
+	case "dblp":
+		c := *corpus
+		if c == 0 {
+			c = 4 * *hiddenN
+		}
+		in, err = dataset.GenerateDBLP(dataset.DBLPConfig{
+			CorpusSize: c,
+			HiddenSize: *hiddenN,
+			LocalSize:  *localN,
+			DeltaD:     *deltaD,
+			ErrorRate:  *errRate,
+			Seed:       *seed,
+		})
+	case "yelp":
+		in, err = dataset.GenerateYelp(dataset.YelpConfig{
+			HiddenSize: *hiddenN,
+			LocalSize:  *localN,
+			DriftRate:  *drift,
+			DeltaD:     *deltaD,
+			Seed:       *seed,
+		})
+	default:
+		err = fmt.Errorf("unknown kind %q (want dblp or yelp)", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", path, err))
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	switch *format {
+	case "csv":
+		write(*kind+"_local.csv", func(f *os.File) error { return in.Local.WriteCSV(f) })
+		write(*kind+"_hidden.csv", func(f *os.File) error { return in.Hidden.WriteCSV(f) })
+	case "jsonl":
+		write(*kind+"_local.jsonl", func(f *os.File) error { return in.Local.WriteJSONL(f) })
+		write(*kind+"_hidden.jsonl", func(f *os.File) error { return in.Hidden.WriteJSONL(f) })
+	default:
+		fatal(fmt.Errorf("unknown format %q (want csv or jsonl)", *format))
+	}
+	write(*kind+"_truth.csv", func(f *os.File) error {
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"local_id", "hidden_id"}); err != nil {
+			return err
+		}
+		for d, h := range in.Truth {
+			if err := w.Write([]string{strconv.Itoa(d), strconv.Itoa(h)}); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		return w.Error()
+	})
+	fmt.Printf("|D|=%d |H|=%d |ΔD|=%d\n", in.Local.Len(), in.Hidden.Len(), in.DeltaD)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gendata:", err)
+	os.Exit(1)
+}

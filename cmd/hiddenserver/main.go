@@ -1,0 +1,101 @@
+// Command hiddenserver serves a CSV table as a hidden database: a top-k
+// keyword-search HTTP API with optional request-rate limiting, so crawls
+// can be exercised against a network interface exactly like a real deep
+// website.
+//
+// Usage:
+//
+//	hiddenserver -table hidden.csv -k 50 -rank-column 3 -addr :8080 \
+//	             -rate 10 -burst 100
+//
+// Endpoints:
+//
+//	GET /search?q=thai+noodle    top-k results as JSON
+//	GET /healthz                 liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smartcrawl/internal/deepweb/httpapi"
+	"smartcrawl/internal/hidden"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+func main() {
+	var (
+		tablePath = flag.String("table", "", "CSV file with the hidden table (header row first)")
+		k         = flag.Int("k", 50, "top-k result limit")
+		rankCol   = flag.Int("rank-column", -1, "numeric column to rank by (desc); -1 = hash ranking")
+		ranked    = flag.Bool("non-conjunctive", false, "Yelp-style any-keyword matching")
+		addr      = flag.String("addr", ":8080", "listen address")
+		rate      = flag.Float64("rate", 0, "requests per second refill (0 = unlimited)")
+		burst     = flag.Int("burst", 100, "rate-limiter burst capacity")
+	)
+	flag.Parse()
+	if *tablePath == "" {
+		fatal(fmt.Errorf("-table is required"))
+	}
+
+	f, err := os.Open(*tablePath)
+	if err != nil {
+		fatal(err)
+	}
+	table, err := relational.ReadCSV("hidden", f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	tk := tokenize.New()
+	rank := hidden.RankByHash(1)
+	if *rankCol >= 0 {
+		rank = hidden.RankByNumericColumn(*rankCol)
+	}
+	mode := hidden.ModeConjunctive
+	if *ranked {
+		mode = hidden.ModeRanked
+	}
+	db := hidden.New(table, tk, *k, rank, mode)
+
+	var limiter *httpapi.TokenBucket
+	if *rate > 0 {
+		limiter = httpapi.NewTokenBucket(*burst, *rate)
+	}
+	srv := httpapi.NewServer(db, tk, limiter)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
+	// in-flight searches, then exit.
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "shutting down…")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(done)
+	}()
+
+	fmt.Printf("serving %d records (k=%d) on %s\n", table.Len(), *k, *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hiddenserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,244 @@
+// Command smartcrawl runs a budgeted data-enrichment crawl from the
+// command line: local CSV in, enriched CSV out. The hidden database is
+// either a local CSV served through the in-process simulator or a remote
+// hiddenserver endpoint.
+//
+// Usage:
+//
+//	smartcrawl -local mine.csv -hidden yelp.csv -budget 500 -k 50 \
+//	           -theta 0.005 -enrich rating -out enriched.csv
+//	smartcrawl -local mine.csv -url http://localhost:8080 -budget 500 \
+//	           -sample-target 200 -enrich rating -out enriched.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smartcrawl"
+	"smartcrawl/internal/deepweb/httpapi"
+	"smartcrawl/internal/relational"
+)
+
+func main() {
+	var (
+		localPath  = flag.String("local", "", "local table CSV (required)")
+		hiddenPath = flag.String("hidden", "", "hidden table CSV (simulated interface)")
+		url        = flag.String("url", "", "hiddenserver base URL (remote interface)")
+		budget     = flag.Int("budget", 100, "query budget b")
+		k          = flag.Int("k", 50, "top-k limit (simulated interface)")
+		rankCol    = flag.Int("rank-column", -1, "ranking column (simulated interface)")
+		theta      = flag.Float64("theta", 0.005, "sampling ratio (simulated interface)")
+		sampleTgt  = flag.Int("sample-target", 200, "sample size target (remote interface)")
+		strategy   = flag.String("strategy", "smart", "smart | simple | online | naive | full")
+		fuzzy      = flag.Float64("fuzzy", 0, "Jaccard threshold for fuzzy matching (0 = exact)")
+		enrichCols = flag.String("enrich", "", "comma-separated hidden columns to append (names)")
+		outPath    = flag.String("out", "", "output CSV (default: stdout)")
+		checkpoint = flag.String("checkpoint", "", "crawl checkpoint file: resumed if present, written after the run (smart/simple strategies)")
+		seed       = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+	if *localPath == "" {
+		fatal(fmt.Errorf("-local is required"))
+	}
+	if (*hiddenPath == "") == (*url == "") {
+		fatal(fmt.Errorf("exactly one of -hidden or -url is required"))
+	}
+
+	tk := smartcrawl.NewTokenizer()
+	local := readTable(*localPath, "local")
+
+	// Assemble the search interface, the sample, and the hidden schema.
+	var (
+		searcher     smartcrawl.Searcher
+		smp          *smartcrawl.Sample
+		hiddenSchema []string
+		hiddenTable  *relational.Table
+	)
+	if *hiddenPath != "" {
+		hiddenTable = readTable(*hiddenPath, "hidden")
+		hiddenSchema = hiddenTable.Schema
+		searcher = smartcrawl.NewHiddenDatabase(hiddenTable, tk, smartcrawl.HiddenOptions{
+			K: *k, RankColumn: *rankCol,
+		})
+		smp = smartcrawl.BernoulliSample(hiddenTable, *theta, *seed)
+	} else {
+		client := &httpapi.Client{BaseURL: *url, Retries: 5}
+		pool := smartcrawl.SingleKeywordPool(local, tk)
+		if len(pool) == 0 {
+			fatal(fmt.Errorf("local table has no indexable keywords"))
+		}
+		if err := client.Probe(pool[0]); err != nil {
+			fatal(fmt.Errorf("probing %s: %w", *url, err))
+		}
+		var err error
+		smp, err = smartcrawl.KeywordSample(client, pool, tk, smartcrawl.KeywordSampleConfig{
+			Target: *sampleTgt, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: sampling incomplete: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "sample: %d records, θ̂=%.4f%%, %d queries spent\n",
+			smp.Len(), 100*smp.Theta, smp.QueriesSpent)
+		searcher = client
+		if smp.Len() > 0 {
+			hiddenSchema = make([]string, len(smp.Records[0].Values))
+			for i := range hiddenSchema {
+				hiddenSchema[i] = fmt.Sprintf("col%d", i)
+			}
+		}
+	}
+
+	// Entity matching compares the schema-aligned columns: hidden rows
+	// carry enrichment attributes the local side lacks, so full-document
+	// comparison would never match.
+	var localCols, hiddenCols []int
+	if hiddenTable != nil {
+		m := smartcrawl.MatchSchemas(local, hiddenTable, tk)
+		for i, j := range m.LocalToHidden {
+			if j >= 0 {
+				localCols = append(localCols, i)
+				hiddenCols = append(hiddenCols, j)
+			}
+		}
+		if len(localCols) == 0 {
+			fatal(fmt.Errorf("no columns could be aligned between %v and %v",
+				local.Schema, hiddenTable.Schema))
+		}
+	}
+	var matcher smartcrawl.Matcher
+	if *fuzzy > 0 {
+		matcher = smartcrawl.NewJaccardMatcherOn(tk, *fuzzy, localCols, hiddenCols)
+	} else {
+		matcher = smartcrawl.NewExactMatcherOn(tk, localCols, hiddenCols)
+	}
+	env := &smartcrawl.Env{Local: local, Searcher: searcher, Tokenizer: tk, Matcher: matcher}
+
+	// Resume from a previous quota window when a checkpoint exists.
+	var resume *smartcrawl.Result
+	if *checkpoint != "" {
+		if f, err := os.Open(*checkpoint); err == nil {
+			resume, err = smartcrawl.LoadCheckpoint(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("loading checkpoint %s: %w", *checkpoint, err))
+			}
+			fmt.Fprintf(os.Stderr, "resuming: %d records covered, %d queries spent previously\n",
+				resume.CoveredCount, resume.QueriesIssued)
+		}
+	}
+
+	var (
+		c   smartcrawl.Crawler
+		err error
+	)
+	switch *strategy {
+	case "smart":
+		c, err = smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Sample: smp, Resume: resume})
+	case "simple":
+		c, err = smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Resume: resume})
+	case "online":
+		c, err = smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Online: true, Resume: resume})
+	case "naive":
+		c, err = smartcrawl.NewNaiveCrawler(env, nil, *seed)
+	case "full":
+		c, err = smartcrawl.NewFullCrawler(env, smp)
+	default:
+		err = fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *checkpoint != "" && (*strategy == "naive" || *strategy == "full") {
+		fatal(fmt.Errorf("-checkpoint supports the smart/simple/online strategies"))
+	}
+
+	// Pick enrichment columns.
+	var cols []int
+	if *enrichCols != "" {
+		for _, name := range strings.Split(*enrichCols, ",") {
+			idx := -1
+			for j, s := range hiddenSchema {
+				if strings.EqualFold(strings.TrimSpace(name), s) {
+					idx = j
+					break
+				}
+			}
+			if idx == -1 {
+				fatal(fmt.Errorf("hidden schema %v has no column %q", hiddenSchema, name))
+			}
+			cols = append(cols, idx)
+		}
+	}
+
+	opts := smartcrawl.EnrichOptions{Columns: cols}
+	if len(cols) == 0 {
+		if hiddenTable == nil {
+			fatal(fmt.Errorf("-enrich is required with -url (no hidden schema to auto-map)"))
+		}
+		mapping := smartcrawl.MatchSchemas(local, hiddenTable, tk)
+		opts.Mapping = &mapping
+	}
+	report, res, err := smartcrawl.Enrich(local, hiddenSchema, c, *budget, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "crawl: %d queries issued, %d/%d records enriched (%.1f%%)\n",
+		report.QueriesIssued, report.Enriched, local.Len(), 100*report.Coverage)
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		if err := smartcrawl.SaveCheckpoint(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", *checkpoint)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *outPath != "" && strings.HasSuffix(*outPath, ".jsonl") {
+		err = local.WriteJSONL(out)
+	} else {
+		err = local.WriteCSV(out)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// readTable loads CSV or, for .jsonl paths, JSON Lines.
+func readTable(path, name string) *relational.Table {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var t *relational.Table
+	if strings.HasSuffix(path, ".jsonl") {
+		t, err = relational.ReadJSONL(name, f)
+	} else {
+		t, err = relational.ReadCSV(name, f)
+	}
+	if err != nil {
+		fatal(fmt.Errorf("reading %s: %w", path, err))
+	}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartcrawl:", err)
+	os.Exit(1)
+}

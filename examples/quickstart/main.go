@@ -1,0 +1,76 @@
+// Quickstart: enrich a small restaurant table with ratings from a
+// simulated hidden database, using the public smartcrawl API end to end —
+// build the tables, wrap the hidden one in a top-k search interface,
+// sample it, crawl with SMARTCRAWL, and print the enriched table.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"smartcrawl"
+)
+
+func main() {
+	tk := smartcrawl.NewTokenizer()
+
+	// The hidden database: a Yelp-like table we can only query through
+	// a top-3 keyword-search interface ranked by rating.
+	hidden := smartcrawl.NewTable("yelp", []string{"name", "city", "rating"})
+	hidden.Append("Thai Noodle House", "Phoenix", "4.0")
+	hidden.Append("Saigon Ramen", "Tempe", "3.9")
+	hidden.Append("Thai House", "Phoenix", "4.1")
+	hidden.Append("Golden Noodle House", "Mesa", "4.2")
+	hidden.Append("Steak House", "Phoenix", "4.3")
+	hidden.Append("Curry Garden", "Tempe", "3.5")
+	hidden.Append("Desert Taqueria", "Phoenix", "4.4")
+	db := smartcrawl.NewHiddenDatabase(hidden, tk, smartcrawl.HiddenOptions{
+		K:          3,
+		RankColumn: 2,
+	})
+
+	// The local database: the table we want to extend with ratings.
+	local := smartcrawl.NewTable("mine", []string{"name", "city"})
+	local.Append("Thai Noodle House", "Phoenix")
+	local.Append("Saigon Ramen", "Tempe")
+	local.Append("Thai House", "Phoenix")
+	local.Append("Golden Noodle House", "Mesa")
+
+	// A hidden-database sample powers the benefit estimators. In
+	// simulation we can Bernoulli-sample directly; against a real
+	// interface use KeywordSample.
+	smp := smartcrawl.BernoulliSample(hidden, 0.5, 42)
+
+	env := &smartcrawl.Env{
+		Local:     local,
+		Searcher:  db,
+		Tokenizer: tk,
+		Matcher:   smartcrawl.NewExactMatcherOn(tk, nil, []int{0, 1}),
+	}
+	crawler, err := smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Sample: smp})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Align schemas automatically and enrich within a 4-query budget.
+	mapping := smartcrawl.MatchSchemas(local, hidden, tk)
+	report, result, err := smartcrawl.Enrich(local, hidden.Schema, crawler, 4,
+		smartcrawl.EnrichOptions{Mapping: &mapping, Missing: "?"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("issued %d queries, enriched %d/%d records (%.0f%% coverage)\n",
+		report.QueriesIssued, report.Enriched, local.Len(), 100*report.Coverage)
+	for i, step := range result.Steps {
+		fmt.Printf("  query %d: %q covered %d new record(s)\n",
+			i+1, step.Query.String(), step.NewlyCovered)
+	}
+	fmt.Println()
+	if err := local.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

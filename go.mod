@@ -1,0 +1,3 @@
+module smartcrawl
+
+go 1.22

@@ -1,0 +1,109 @@
+package crawler_test
+
+import (
+	"testing"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/dataset"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/sample"
+	"smartcrawl/internal/stats"
+)
+
+func batchSetup(t *testing.T) (*crawler.Env, *dataset.Instance, *sample.Sample) {
+	t.Helper()
+	env, in, _ := dblpEnv(t, dataset.DBLPConfig{
+		CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: 31,
+	}, 50, nil)
+	smp := sample.Bernoulli(in.Hidden, 0.03, stats.NewRNG(12))
+	return env, in, smp
+}
+
+func TestBatchRespectsBudget(t *testing.T) {
+	env, _, smp := batchSetup(t)
+	for _, batch := range []int{2, 7, 16} {
+		c, err := crawler.NewSmart(env, crawler.SmartConfig{
+			Sample: smp, Estimator: estimator.Biased{}, BatchSize: batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Budget not divisible by batch: the final round must shrink.
+		res, err := c.Run(45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.QueriesIssued > 45 {
+			t.Fatalf("batch %d issued %d > budget 45", batch, res.QueriesIssued)
+		}
+	}
+}
+
+func TestBatchDeterministic(t *testing.T) {
+	run := func() *crawler.Result {
+		env, _, smp := batchSetup(t)
+		c, _ := crawler.NewSmart(env, crawler.SmartConfig{
+			Sample: smp, Estimator: estimator.Biased{}, BatchSize: 8,
+		})
+		res, err := c.Run(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.CoveredCount != b.CoveredCount {
+		t.Fatalf("batch runs differ: %d vs %d", a.CoveredCount, b.CoveredCount)
+	}
+	for i := range a.Steps {
+		if a.Steps[i].Query.Key() != b.Steps[i].Query.Key() {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}
+
+func TestBatchCoverageNearSequential(t *testing.T) {
+	env, _, smp := batchSetup(t)
+	cov := func(batch int) int {
+		c, err := crawler.NewSmart(env, crawler.SmartConfig{
+			Sample: smp, Estimator: estimator.Biased{}, BatchSize: batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CoveredCount
+	}
+	seq := cov(1)
+	batched := cov(10)
+	t.Logf("sequential=%d batched(10)=%d", seq, batched)
+	if batched == 0 {
+		t.Fatal("batched crawl covered nothing")
+	}
+	// Batch-greedy may lose a little to stale benefit estimates within a
+	// round, but not collapse.
+	if float64(batched) < 0.8*float64(seq) {
+		t.Fatalf("batched coverage %d collapsed vs sequential %d", batched, seq)
+	}
+}
+
+func TestBatchNoDuplicateQueries(t *testing.T) {
+	env, _, smp := batchSetup(t)
+	c, _ := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample: smp, Estimator: estimator.Biased{}, BatchSize: 5,
+	})
+	res, err := c.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range res.Steps {
+		if seen[s.Query.Key()] {
+			t.Fatalf("query %v issued twice", s.Query)
+		}
+		seen[s.Query.Key()] = true
+	}
+}

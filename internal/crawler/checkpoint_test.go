@@ -1,0 +1,172 @@
+package crawler_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/dataset"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/sample"
+	"smartcrawl/internal/stats"
+)
+
+func checkpointSetup(t *testing.T) (*crawler.Env, *sample.Sample) {
+	t.Helper()
+	env, in, _ := dblpEnv(t, dataset.DBLPConfig{
+		CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, DeltaD: 40, Seed: 51,
+	}, 50, nil)
+	return env, sample.Bernoulli(in.Hidden, 0.03, stats.NewRNG(13))
+}
+
+// TestResumeEqualsUninterrupted is the core checkpoint guarantee: a crawl
+// of b1 queries, saved, reloaded, and resumed for b2 more must match an
+// uninterrupted b1+b2 crawl step for step.
+func TestResumeEqualsUninterrupted(t *testing.T) {
+	const b1, b2 = 30, 50
+	env, smp := checkpointSetup(t)
+
+	// Uninterrupted reference.
+	ref, err := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample: smp, Estimator: estimator.Biased{}, AlphaFallback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run(b1 + b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 1.
+	c1, _ := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample: smp, Estimator: estimator.Biased{}, AlphaFallback: true,
+	})
+	res1, err := c1.Run(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Save + load round trip.
+	var buf bytes.Buffer
+	if err := crawler.SaveResult(&buf, res1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := crawler.LoadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2, resumed.
+	c2, _ := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample: smp, Estimator: estimator.Biased{}, AlphaFallback: true,
+		Resume: loaded,
+	})
+	res2, err := c2.Run(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res2.CoveredCount != refRes.CoveredCount {
+		t.Fatalf("resumed coverage %d != uninterrupted %d",
+			res2.CoveredCount, refRes.CoveredCount)
+	}
+	if res2.QueriesIssued != refRes.QueriesIssued {
+		t.Fatalf("resumed issued %d != uninterrupted %d",
+			res2.QueriesIssued, refRes.QueriesIssued)
+	}
+	if len(res2.Steps) != len(refRes.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(res2.Steps), len(refRes.Steps))
+	}
+	for i := range refRes.Steps {
+		if res2.Steps[i].Query.Key() != refRes.Steps[i].Query.Key() {
+			t.Fatalf("step %d differs: %v vs %v",
+				i, res2.Steps[i].Query, refRes.Steps[i].Query)
+		}
+	}
+	for d, covered := range refRes.Covered {
+		if res2.Covered[d] != covered {
+			t.Fatalf("covered[%d] differs", d)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	env, smp := checkpointSetup(t)
+	c, _ := crawler.NewSmart(env, crawler.SmartConfig{Sample: smp, Estimator: estimator.Biased{}})
+	res, err := c.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := crawler.SaveResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := crawler.LoadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CoveredCount != res.CoveredCount || got.QueriesIssued != res.QueriesIssued {
+		t.Fatalf("round trip lost counters: %+v vs %+v", got, res)
+	}
+	if len(got.Crawled) != len(res.Crawled) {
+		t.Fatalf("crawled count %d vs %d", len(got.Crawled), len(res.Crawled))
+	}
+	for d, h := range res.Matches {
+		g, ok := got.Matches[d]
+		if !ok || g.ID != h.ID || g.Value(0) != h.Value(0) {
+			t.Fatalf("match for %d lost in round trip", d)
+		}
+	}
+	for i := range res.Steps {
+		if got.Steps[i].Query.Key() != res.Steps[i].Query.Key() ||
+			got.Steps[i].ResultSize != res.Steps[i].ResultSize {
+			t.Fatalf("step %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadResultRejectsBadInput(t *testing.T) {
+	if _, err := crawler.LoadResult(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := crawler.LoadResult(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("unknown version should fail")
+	}
+	// Match referencing an uncrawled record.
+	bad := `{"version":1,"covered":[false],"matches":[{"local":0,"hidden":7}]}`
+	if _, err := crawler.LoadResult(strings.NewReader(bad)); err == nil {
+		t.Fatal("dangling match should fail")
+	}
+}
+
+func TestResumeRejectsWrongLocalSize(t *testing.T) {
+	env, smp := checkpointSetup(t)
+	c, _ := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample: smp, Estimator: estimator.Biased{},
+		Resume: &crawler.Result{Covered: make([]bool, 3)},
+	})
+	if _, err := c.Run(5); err == nil {
+		t.Fatal("mismatched checkpoint should fail")
+	}
+}
+
+func TestSaveResultDeterministicBytes(t *testing.T) {
+	env, smp := checkpointSetup(t)
+	c, _ := crawler.NewSmart(env, crawler.SmartConfig{Sample: smp, Estimator: estimator.Biased{}})
+	res, err := c.Run(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := crawler.SaveResult(&a, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := crawler.SaveResult(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("checkpoint bytes must be deterministic")
+	}
+}

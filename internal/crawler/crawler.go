@@ -1,0 +1,161 @@
+// Package crawler implements the paper's crawl frameworks over a shared
+// environment: SMARTCRAWL (§3, with the QSel-Simple, QSel-Est-Biased and
+// QSel-Est-Unbiased selection strategies of §3.2/§5 and the ΔD-removal
+// optimization of §4.2), the QSel-Bound variant with its worst-case
+// guarantee (§4.1, Algorithm 3), the IDEALCRAWL oracle (QSel-Ideal,
+// Algorithm 1), and the two straightforward baselines NAIVECRAWL and
+// FULLCRAWL (§1).
+//
+// All practical crawlers access the hidden database exclusively through a
+// deepweb.Searcher; IdealCrawl additionally holds an oracle handle, which
+// is the point — it is the unattainable upper bound the estimators chase.
+package crawler
+
+import (
+	"errors"
+	"fmt"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/match"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+// Env is the shared crawl environment: the local database, the restricted
+// search interface, and the entity-resolution black box.
+type Env struct {
+	Local     *relational.Table
+	Searcher  deepweb.Searcher
+	Tokenizer *tokenize.Tokenizer
+	Matcher   match.Matcher
+	// OnStep, when set, is invoked after every issued query with the
+	// recorded step — progress reporting for long crawls. It runs on the
+	// crawl goroutine; keep it fast.
+	OnStep func(Step)
+}
+
+func (e *Env) validate() error {
+	switch {
+	case e == nil:
+		return errors.New("crawler: nil environment")
+	case e.Local == nil || e.Local.Len() == 0:
+		return errors.New("crawler: empty local database")
+	case e.Searcher == nil:
+		return errors.New("crawler: no searcher")
+	case e.Tokenizer == nil:
+		return errors.New("crawler: no tokenizer")
+	case e.Matcher == nil:
+		return errors.New("crawler: no matcher")
+	}
+	return nil
+}
+
+// Step records one issued query for tracing and for coverage-vs-budget
+// curves.
+type Step struct {
+	Query             deepweb.Query
+	EstimatedBenefit  float64
+	NewlyCovered      int
+	CumulativeCovered int
+	ResultSize        int
+	// NewHidden lists the hidden record IDs first crawled by this query
+	// (≤ k entries), letting the harness rebuild coverage-vs-budget
+	// curves from a single run.
+	NewHidden []int
+}
+
+// Result is the outcome of a crawl run.
+type Result struct {
+	// Covered[d] reports whether local record d was covered by some
+	// issued query's result.
+	Covered []bool
+	// CoveredCount is the number of true entries in Covered.
+	CoveredCount int
+	// QueriesIssued counts queries actually sent (≤ budget).
+	QueriesIssued int
+	// Steps traces every issued query in order.
+	Steps []Step
+	// Matches maps each covered local record ID to the hidden record
+	// that covered it (first match wins) — the input to enrichment.
+	Matches map[int]*relational.Record
+	// Crawled holds every distinct hidden record retrieved, keyed by
+	// hidden record ID.
+	Crawled map[int]*relational.Record
+}
+
+// Crawler runs a crawl under a query budget.
+type Crawler interface {
+	// Name identifies the framework in experiment output.
+	Name() string
+	// Run issues at most budget queries and returns the crawl result.
+	Run(budget int) (*Result, error)
+}
+
+// tracker accumulates coverage state shared by all frameworks.
+type tracker struct {
+	env    *Env
+	joiner *match.Joiner
+	res    *Result
+}
+
+func newTracker(env *Env) *tracker {
+	n := env.Local.Len()
+	return &tracker{
+		env:    env,
+		joiner: match.NewJoiner(env.Local.Records, env.Tokenizer, env.Matcher),
+		res: &Result{
+			Covered: make([]bool, n),
+			Matches: make(map[int]*relational.Record),
+			Crawled: make(map[int]*relational.Record),
+		},
+	}
+}
+
+// absorb records a query result: returns the local record IDs newly
+// covered by it and logs the step.
+func (t *tracker) absorb(q deepweb.Query, benefit float64, recs []*relational.Record) []int {
+	var newly []int
+	var newHidden []int
+	for _, h := range recs {
+		if _, ok := t.res.Crawled[h.ID]; !ok {
+			t.res.Crawled[h.ID] = h
+			newHidden = append(newHidden, h.ID)
+		}
+		for _, d := range t.joiner.Matches(h) {
+			if t.res.Covered[d] {
+				continue
+			}
+			t.res.Covered[d] = true
+			t.res.CoveredCount++
+			t.res.Matches[d] = h
+			newly = append(newly, d)
+		}
+	}
+	t.res.QueriesIssued++
+	step := Step{
+		Query:             q,
+		EstimatedBenefit:  benefit,
+		NewlyCovered:      len(newly),
+		CumulativeCovered: t.res.CoveredCount,
+		ResultSize:        len(recs),
+		NewHidden:         newHidden,
+	}
+	t.res.Steps = append(t.res.Steps, step)
+	if t.env.OnStep != nil {
+		t.env.OnStep(step)
+	}
+	return newly
+}
+
+// issue sends q through the environment searcher, translating budget
+// exhaustion into a clean stop signal.
+func (t *tracker) issue(q deepweb.Query) ([]*relational.Record, bool, error) {
+	recs, err := t.env.Searcher.Search(q)
+	if err != nil {
+		if errors.Is(err, deepweb.ErrBudgetExhausted) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("crawler: issuing %q: %w", q, err)
+	}
+	return recs, true, nil
+}

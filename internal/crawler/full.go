@@ -1,0 +1,77 @@
+package crawler
+
+import (
+	"errors"
+	"sort"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/sample"
+)
+
+// Full is FULLCRAWL: a classic deep-web crawler that tries to retrieve as
+// much of the hidden database as possible, oblivious to the local
+// database. Following the paper's implementation (Appendix C), it builds a
+// query pool from a hidden-database sample — all single keywords seen in
+// the sample — and issues them in decreasing order of their sample
+// frequency, the standard high-coverage heuristic from the crawling
+// literature. Whatever it happens to retrieve is then matched against D.
+type Full struct {
+	env *Env
+	smp *sample.Sample
+}
+
+// NewFull constructs a FULLCRAWL crawler driven by the given hidden-
+// database sample.
+func NewFull(env *Env, smp *sample.Sample) (*Full, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if smp == nil || smp.Len() == 0 {
+		return nil, errors.New("crawler: fullcrawl needs a non-empty sample")
+	}
+	return &Full{env: env, smp: smp}, nil
+}
+
+// Name implements Crawler.
+func (c *Full) Name() string { return "fullcrawl" }
+
+// Run implements Crawler.
+func (c *Full) Run(budget int) (*Result, error) {
+	env := c.env
+	t := newTracker(env)
+	counting := deepweb.NewCounting(env.Searcher, budget)
+
+	// Keyword frequencies in the sample ≈ frequencies in H (scaled by θ).
+	freq := make(map[string]int)
+	for _, r := range c.smp.Records {
+		for _, w := range r.Tokens(env.Tokenizer) {
+			freq[w]++
+		}
+	}
+	words := make([]string, 0, len(freq))
+	for w := range freq {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(a, b int) bool {
+		if freq[words[a]] != freq[words[b]] {
+			return freq[words[a]] > freq[words[b]]
+		}
+		return words[a] < words[b]
+	})
+
+	for _, w := range words {
+		if counting.Exhausted() {
+			break
+		}
+		q := deepweb.Query{w}
+		recs, err := counting.Search(q)
+		if errors.Is(err, deepweb.ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.absorb(q, float64(freq[w]), recs)
+	}
+	return t.res, nil
+}

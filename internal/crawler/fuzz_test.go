@@ -1,0 +1,37 @@
+package crawler_test
+
+import (
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/crawler"
+)
+
+// FuzzLoadResult ensures arbitrary (and adversarial) checkpoint bytes
+// never panic the loader — they either parse into a consistent Result or
+// fail with an error.
+func FuzzLoadResult(f *testing.F) {
+	f.Add(`{"version":1}`)
+	f.Add(`{"version":1,"covered":[true,false],"steps":[{"query":["a"],"result_size":3}]}`)
+	f.Add(`{"version":1,"crawled":[{"id":5,"values":["x"]}],"matches":[{"local":0,"hidden":5}]}`)
+	f.Add(`{"version":99}`)
+	f.Add(`not json at all`)
+	f.Add(`[]`)
+	f.Add(`{"version":1,"matches":[{"local":0,"hidden":7}]}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		res, err := crawler.LoadResult(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// A successfully loaded checkpoint must be internally
+		// consistent: every match points at a crawled record.
+		for d, h := range res.Matches {
+			if h == nil {
+				t.Fatalf("match %d is nil", d)
+			}
+			if _, ok := res.Crawled[h.ID]; !ok {
+				t.Fatalf("match %d references uncrawled %d", d, h.ID)
+			}
+		}
+	})
+}

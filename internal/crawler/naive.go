@@ -1,0 +1,69 @@
+package crawler
+
+import (
+	"errors"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/querypool"
+	"smartcrawl/internal/stats"
+)
+
+// Naive is NAIVECRAWL: one very specific query per local record (the full
+// candidate key), issued in random order until the budget runs out — the
+// strategy OpenRefine's reconciliation API uses. It shares no queries
+// across records and is maximally sensitive to data errors, the two
+// weaknesses SMARTCRAWL is built to fix.
+type Naive struct {
+	env *Env
+	// KeyColumns are concatenated into each record's query (nil = all).
+	KeyColumns []int
+	// Seed drives the record-order shuffle.
+	Seed uint64
+}
+
+// NewNaive constructs a NAIVECRAWL crawler.
+func NewNaive(env *Env, keyColumns []int, seed uint64) (*Naive, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	return &Naive{env: env, KeyColumns: keyColumns, Seed: seed}, nil
+}
+
+// Name implements Crawler.
+func (c *Naive) Name() string { return "naivecrawl" }
+
+// Run implements Crawler.
+func (c *Naive) Run(budget int) (*Result, error) {
+	env := c.env
+	t := newTracker(env)
+	counting := deepweb.NewCounting(env.Searcher, budget)
+	rng := stats.NewRNG(c.Seed)
+	cfg := querypool.Config{KeyColumns: c.KeyColumns}
+
+	order := rng.Perm(env.Local.Len())
+	for _, i := range order {
+		if counting.Exhausted() {
+			break
+		}
+		d := env.Local.Records[i]
+		if t.res.Covered[d.ID] {
+			// Already covered by an earlier record's result (e.g.
+			// two local records matching the same hidden entity's
+			// result set); don't waste a query.
+			continue
+		}
+		q := querypool.NaiveQuery(d, env.Tokenizer, cfg)
+		if q == nil {
+			continue // no indexable tokens; cannot query for it
+		}
+		recs, err := counting.Search(q)
+		if errors.Is(err, deepweb.ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.absorb(q, 1, recs)
+	}
+	return t.res, nil
+}

@@ -1,0 +1,474 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/index"
+	"smartcrawl/internal/lazyheap"
+	"smartcrawl/internal/querypool"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/sample"
+)
+
+// SmartConfig configures a SMARTCRAWL run.
+type SmartConfig struct {
+	// PoolConfig controls query-pool generation (§3.1).
+	PoolConfig querypool.Config
+	// Sample is the hidden-database sample Hs with its ratio θ; nil runs
+	// without sample information (QSel-Simple must then be used).
+	Sample *sample.Sample
+	// Estimator selects the query-selection strategy:
+	// estimator.Frequency{} = QSel-Simple, estimator.Biased{} =
+	// QSel-Est-B (the paper's SmartCrawl-B), estimator.Unbiased{} =
+	// QSel-Est-U.
+	Estimator estimator.Estimator
+	// AlphaFallback enables the §6.2 inadequate-sample-size fallback
+	// (treat D as a second sample with ratio α = θ|D|/|Hs|).
+	AlphaFallback bool
+	// DisableDeltaDRemoval turns off the §4.2 optimization that removes
+	// predicted-ΔD records (q(D) − q(D)_cover of a solid query) from
+	// consideration. Algorithm 4 has it on; the ablation bench turns it
+	// off.
+	DisableDeltaDRemoval bool
+	// Resume continues a previous crawl from its saved Result (see
+	// SaveResult/LoadResult): covered records stay covered, previously
+	// issued queries are never re-issued, and solid-query ΔD removals
+	// are replayed from the step trace. A resumed run with budget b2
+	// after a run with budget b1 selects exactly the queries an
+	// uninterrupted run with budget b1+b2 would.
+	Resume *Result
+	// OnlineCalibration enables pay-as-you-go benefit estimation — the
+	// paper's first future-work item (§9): instead of an upfront hidden-
+	// database sample, the crawler calibrates from the queries it issues
+	// anyway. Queries are bucketed by ⌈log₂|q(D₀)|⌉ and each bucket
+	// tracks the mean REALIZED benefit (records newly covered per issued
+	// query); an unissued query's benefit is its bucket's mean, scaled by
+	// the fraction of its records still uncovered. Until a bucket has
+	// enough observations it falls back to min(|q(D)|, k) (QSel-Simple
+	// capped at the only hard bound available without a sample). Requires
+	// Sample == nil and no explicit Estimator.
+	OnlineCalibration bool
+	// EagerSelection replaces the §6.3 lazy priority queue with a full
+	// argmax rescan of the pool at every iteration — the naive
+	// implementation Appendix B compares against. Selection results are
+	// identical (same argmax, same tie-breaking); only cost differs.
+	// Exposed for the E10 ablation.
+	EagerSelection bool
+	// BatchSize > 1 enables batch-greedy selection: the top-n queries
+	// are popped together and issued concurrently (the searcher must be
+	// safe for concurrent use, as HTTP clients are). Later queries in a
+	// batch are selected without seeing earlier results, so coverage can
+	// dip slightly below sequential greedy — the classic latency/quality
+	// trade against slow network interfaces. Results are absorbed in
+	// selection order, keeping runs deterministic. 0 or 1 is the
+	// sequential Algorithm 4.
+	BatchSize int
+}
+
+// Smart is the SMARTCRAWL framework (Algorithm 4).
+type Smart struct {
+	env *Env
+	cfg SmartConfig
+
+	// HeapRepushes is populated after Run with the lazy-queue repush
+	// count (the `t` factor of the Appendix B analysis).
+	HeapRepushes int
+	// PoolSize is populated after Run with the generated pool size.
+	PoolSize int
+}
+
+// NewSmart constructs a SMARTCRAWL crawler. The estimator defaults to
+// Biased when a sample is supplied and Frequency (QSel-Simple) otherwise.
+func NewSmart(env *Env, cfg SmartConfig) (*Smart, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Estimator == nil {
+		if cfg.Sample != nil {
+			cfg.Estimator = estimator.Biased{}
+		} else {
+			cfg.Estimator = estimator.Frequency{}
+		}
+	}
+	if cfg.Sample == nil {
+		if _, ok := cfg.Estimator.(estimator.Frequency); !ok {
+			return nil, errors.New("crawler: sample-based estimators require a sample")
+		}
+	} else if cfg.Sample.Theta <= 0 {
+		return nil, fmt.Errorf("crawler: sample has non-positive theta %v", cfg.Sample.Theta)
+	}
+	if cfg.OnlineCalibration && cfg.Sample != nil {
+		return nil, errors.New("crawler: OnlineCalibration replaces the sample; supply one or the other")
+	}
+	return &Smart{env: env, cfg: cfg}, nil
+}
+
+// Name implements Crawler.
+func (s *Smart) Name() string {
+	if s.cfg.OnlineCalibration {
+		return "smartcrawl-online"
+	}
+	if _, ok := s.cfg.Estimator.(estimator.Frequency); ok {
+		return "smartcrawl-simple"
+	}
+	return "smartcrawl-" + s.cfg.Estimator.Name()
+}
+
+// qstate is the live selection state of one pool query.
+type qstate struct {
+	q     *querypool.Query
+	qD    []int // local record IDs satisfying q at generation time
+	freqD int   // |q(D)| over still-considered records
+	// matchS is |q(D) ∩̃ q(Hs)| over still-considered records.
+	matchS int
+	freqS  int // |q(Hs)|, static
+	issued bool
+}
+
+// Run implements Crawler, executing Algorithm 4: generate the pool, build
+// the inverted/forward indexes and the lazy priority queue, then
+// iteratively pop the best query, issue it, cover and remove records, and
+// invalidate affected queries until the budget or the pool is exhausted.
+func (s *Smart) Run(budget int) (*Result, error) {
+	env := s.env
+	t := newTracker(env)
+	counting := deepweb.NewCounting(env.Searcher, budget)
+	k := env.Searcher.K()
+
+	pool := querypool.Generate(env.Local, env.Tokenizer, s.cfg.PoolConfig)
+	s.PoolSize = pool.Len()
+	invD := index.BuildInverted(env.Local.Records, env.Tokenizer)
+
+	// Sample-side statics.
+	var (
+		theta float64
+		alpha float64
+		invS  *index.Inverted
+		// sampleMatches[d] lists sample positions matching local d.
+		sampleMatches map[int][]int
+		sampleTokens  []map[string]struct{}
+	)
+	if s.cfg.Sample != nil && s.cfg.Sample.Len() > 0 {
+		theta = s.cfg.Sample.Theta
+		if s.cfg.AlphaFallback {
+			alpha = theta * float64(env.Local.Len()) / float64(s.cfg.Sample.Len())
+		}
+		invS = buildSampleIndex(s.cfg.Sample, env)
+		sampleTokens = make([]map[string]struct{}, s.cfg.Sample.Len())
+		for i, r := range s.cfg.Sample.Records {
+			sampleTokens[i] = env.Tokenizer.Set(r.Document())
+		}
+		sampleMatches = make(map[int][]int)
+		for pos, r := range s.cfg.Sample.Records {
+			for _, d := range t.joiner.Matches(r) {
+				sampleMatches[d] = append(sampleMatches[d], pos)
+			}
+		}
+	}
+
+	// Per-query state, forward index, and initial priorities.
+	states := make([]*qstate, pool.Len())
+	fwd := index.NewForward()
+	heap := lazyheap.New()
+	// Online calibration state (§9 future work; see SmartConfig):
+	// per-bucket running means of realized benefit, keyed by
+	// bit-length of |q(D₀)|.
+	const calibMinObs = 3
+	type bucketStat struct {
+		sum   float64
+		count int
+	}
+	var calib [64]bucketStat
+	bucketOf := func(n int) int {
+		b := 0
+		for n > 0 {
+			n >>= 1
+			b++
+		}
+		return b
+	}
+	benefitOf := func(st *qstate) float64 {
+		if s.cfg.OnlineCalibration {
+			b := calib[bucketOf(len(st.qD))]
+			if b.count >= calibMinObs {
+				// Bucket mean, scaled by the still-uncovered
+				// fraction of this query's records.
+				return (b.sum / float64(b.count)) *
+					float64(st.freqD) / float64(len(st.qD))
+			}
+			if f := float64(st.freqD); f < float64(k) {
+				return f
+			}
+			return float64(k) // uncalibrated: QSel-Simple capped at k
+		}
+		return s.cfg.Estimator.Benefit(estimator.Stats{
+			FreqD:       st.freqD,
+			FreqSample:  st.freqS,
+			MatchSample: st.matchS,
+			Theta:       theta,
+			K:           k,
+			Alpha:       alpha,
+		})
+	}
+	for _, q := range pool.Queries {
+		st := &qstate{q: q, qD: invD.Lookup(q.Keywords)}
+		st.freqD = len(st.qD)
+		if st.freqD == 0 {
+			continue // cannot cover anything; never issue
+		}
+		if invS != nil {
+			st.freqS = invS.Count(q.Keywords)
+			for _, d := range st.qD {
+				st.matchS += countSatisfying(sampleMatches[d], sampleTokens, q.Keywords)
+			}
+		}
+		states[q.ID] = st
+		for _, d := range st.qD {
+			fwd.Add(d, q.ID)
+		}
+		heap.Push(q.ID, benefitOf(st))
+	}
+
+	// considered[d] is false once d has been covered or predicted ∈ ΔD.
+	considered := make([]bool, env.Local.Len())
+	for i := range considered {
+		considered[i] = true
+	}
+	remaining := env.Local.Len()
+
+	// remove drops d from consideration and invalidates affected queries.
+	remove := func(d int) {
+		if !considered[d] {
+			return
+		}
+		considered[d] = false
+		remaining--
+		for _, qid := range fwd.Remove(d) {
+			st := states[qid]
+			if st == nil || st.issued {
+				continue
+			}
+			st.freqD--
+			st.matchS -= countSatisfying(sampleMatches[d], sampleTokens, st.q.Keywords)
+			heap.Invalidate(qid)
+		}
+	}
+
+	rescore := func(qid int) (float64, bool) {
+		st := states[qid]
+		if st == nil || st.issued || st.freqD <= 0 {
+			return 0, false
+		}
+		return benefitOf(st), true
+	}
+
+	// Resume: replay a previous session's effects before selecting.
+	if prev := s.cfg.Resume; prev != nil {
+		if len(prev.Covered) != env.Local.Len() {
+			return nil, fmt.Errorf("crawler: resume checkpoint covers %d records, local database has %d",
+				len(prev.Covered), env.Local.Len())
+		}
+		// Restore the tracker's cumulative state.
+		copy(t.res.Covered, prev.Covered)
+		t.res.CoveredCount = prev.CoveredCount
+		t.res.QueriesIssued = prev.QueriesIssued
+		t.res.Steps = append(t.res.Steps, prev.Steps...)
+		for id, r := range prev.Crawled {
+			t.res.Crawled[id] = r
+		}
+		for d, h := range prev.Matches {
+			t.res.Matches[d] = h
+		}
+		// Retire issued queries and replay record removals.
+		for d, covered := range prev.Covered {
+			if covered {
+				remove(d)
+			}
+		}
+		for _, step := range prev.Steps {
+			q := pool.Find(step.Query)
+			if q == nil || states[q.ID] == nil {
+				continue // pool drift; the query can no longer be selected anyway
+			}
+			st := states[q.ID]
+			st.issued = true
+			if step.ResultSize < k && !s.cfg.DisableDeltaDRemoval {
+				for _, d := range st.qD {
+					remove(d)
+				}
+			}
+			// Replay the calibration observations so a resumed online
+			// crawl selects exactly as an uninterrupted one.
+			if s.cfg.OnlineCalibration && len(st.qD) > 0 {
+				bkt := bucketOf(len(st.qD))
+				calib[bkt].sum += float64(step.NewlyCovered)
+				calib[bkt].count++
+			}
+		}
+		if s.cfg.OnlineCalibration {
+			heap.Reprioritize(rescore)
+		}
+	}
+
+	batch := s.cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	type issue struct {
+		st      *qstate
+		benefit float64
+		recs    []*relational.Record
+		err     error
+	}
+	for !counting.Exhausted() && remaining > 0 {
+		// Pop up to `batch` queries (bounded by the remaining budget so
+		// concurrent issues never overshoot b).
+		n := batch
+		if r := counting.Remaining(); r >= 0 && r < n {
+			n = r
+		}
+		var round []*issue
+		for len(round) < n {
+			var (
+				qid     int
+				benefit float64
+				ok      bool
+			)
+			if s.cfg.EagerSelection {
+				qid, benefit, ok = eagerArgmax(states, benefitOf)
+			} else {
+				qid, benefit, ok = heap.Pop(rescore)
+			}
+			if !ok {
+				break // pool exhausted
+			}
+			st := states[qid]
+			st.issued = true
+			round = append(round, &issue{st: st, benefit: benefit})
+		}
+		if len(round) == 0 {
+			break
+		}
+
+		// Issue the round — concurrently when batching.
+		if len(round) == 1 {
+			round[0].recs, round[0].err = counting.Search(round[0].st.q.Keywords)
+		} else {
+			var wg sync.WaitGroup
+			for _, is := range round {
+				wg.Add(1)
+				go func(is *issue) {
+					defer wg.Done()
+					is.recs, is.err = counting.Search(is.st.q.Keywords)
+				}(is)
+			}
+			wg.Wait()
+		}
+
+		// Absorb in selection order so runs stay deterministic.
+		for _, is := range round {
+			if errors.Is(is.err, deepweb.ErrBudgetExhausted) {
+				continue
+			}
+			if is.err != nil {
+				return nil, fmt.Errorf("crawler: issuing %q: %w", is.st.q.Keywords, is.err)
+			}
+			newly := t.absorb(is.st.q.Keywords, is.benefit, is.recs)
+			if s.cfg.OnlineCalibration && len(is.st.qD) > 0 {
+				bkt := bucketOf(len(is.st.qD))
+				old := calib[bkt]
+				calib[bkt].sum += float64(len(newly))
+				calib[bkt].count++
+				// Rebuild priorities when a bucket first becomes
+				// usable or its mean moves materially; rare once
+				// calibrated.
+				cur := calib[bkt]
+				curMean := cur.sum / float64(cur.count)
+				switch {
+				case cur.count == calibMinObs:
+					heap.Reprioritize(rescore)
+				case old.count >= calibMinObs:
+					oldMean := old.sum / float64(old.count)
+					if curMean > 1.3*oldMean || curMean < 0.7*oldMean {
+						heap.Reprioritize(rescore)
+					}
+				}
+			}
+			for _, d := range newly {
+				remove(d)
+			}
+			// §4.2 ΔD prediction: a solid query (result smaller than
+			// k) returns everything matching it, so any record of
+			// q(D) it did not cover cannot be in H — drop it from
+			// consideration.
+			solid := len(is.recs) < k
+			if solid && !s.cfg.DisableDeltaDRemoval {
+				for _, d := range is.st.qD {
+					remove(d)
+				}
+			}
+		}
+	}
+
+	s.HeapRepushes = heap.Repushes
+	return t.res, nil
+}
+
+// countSatisfying counts the sample positions (matching some local record)
+// whose token sets contain every query keyword.
+func countSatisfying(positions []int, sampleTokens []map[string]struct{}, q deepweb.Query) int {
+	if len(positions) == 0 {
+		return 0
+	}
+	n := 0
+	for _, pos := range positions {
+		set := sampleTokens[pos]
+		ok := true
+		for _, w := range q {
+			if _, in := set[w]; !in {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// buildSampleIndex builds an inverted index over the sample records,
+// re-identified to dense positions (sample records keep their hidden-table
+// IDs, which may be sparse relative to the sample).
+func buildSampleIndex(smp *sample.Sample, env *Env) *index.Inverted {
+	reIDed := make([]*relational.Record, len(smp.Records))
+	for i, r := range smp.Records {
+		reIDed[i] = &relational.Record{ID: i, Values: r.Values}
+	}
+	return index.BuildInverted(reIDed, env.Tokenizer)
+}
+
+// eagerArgmax scans every live query state and returns the one with the
+// largest benefit (ties by smaller query ID), mirroring the lazy queue's
+// selection semantics at O(|Q|) per call.
+func eagerArgmax(states []*qstate, benefitOf func(*qstate) float64) (int, float64, bool) {
+	best := -1
+	bestBenefit := 0.0
+	for qid, st := range states {
+		if st == nil || st.issued || st.freqD <= 0 {
+			continue
+		}
+		b := benefitOf(st)
+		if best == -1 || b > bestBenefit {
+			best, bestBenefit = qid, b
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, bestBenefit, true
+}

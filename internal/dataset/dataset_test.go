@@ -1,0 +1,293 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/match"
+	"smartcrawl/internal/tokenize"
+)
+
+func TestGenerateDBLPShape(t *testing.T) {
+	in, err := GenerateDBLP(DBLPConfig{
+		CorpusSize: 20000,
+		HiddenSize: 5000,
+		LocalSize:  1000,
+		DeltaD:     100,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Local.Len() != 1000 {
+		t.Fatalf("|D| = %d", in.Local.Len())
+	}
+	if in.Hidden.Len() != 5000 {
+		t.Fatalf("|H| = %d", in.Hidden.Len())
+	}
+	if in.DeltaD != 100 {
+		t.Fatalf("|ΔD| = %d", in.DeltaD)
+	}
+	if len(in.Truth) != 1000 {
+		t.Fatalf("truth length %d", len(in.Truth))
+	}
+	nDelta := 0
+	for d, h := range in.Truth {
+		if h == -1 {
+			nDelta++
+			continue
+		}
+		if h < 0 || h >= in.Hidden.Len() {
+			t.Fatalf("truth[%d] = %d out of range", d, h)
+		}
+	}
+	if nDelta != 100 {
+		t.Fatalf("%d ΔD entries, want 100", nDelta)
+	}
+}
+
+func TestGenerateDBLPTruthIsExactMatch(t *testing.T) {
+	in, err := GenerateDBLP(DBLPConfig{
+		CorpusSize: 10000,
+		HiddenSize: 3000,
+		LocalSize:  500,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := tokenize.New()
+	m := match.NewExactOn(tk, in.LocalKey, in.HiddenKey)
+	for d, h := range in.Truth {
+		if h == -1 {
+			continue
+		}
+		if !m.Match(in.Local.Records[d], in.Hidden.Records[h]) {
+			t.Fatalf("truth pair (%d, %d) does not exact-match without errors:\n%v\n%v",
+				d, h, in.Local.Records[d], in.Hidden.Records[h])
+		}
+	}
+}
+
+func TestGenerateDBLPNoDuplicateHidden(t *testing.T) {
+	in, err := GenerateDBLP(DBLPConfig{
+		CorpusSize: 10000, HiddenSize: 4000, LocalSize: 500, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := tokenize.New()
+	seen := make(map[string]bool, in.Hidden.Len())
+	for _, r := range in.Hidden.Records {
+		key := match.KeyOn(r, tk, in.HiddenKey)
+		if seen[key] {
+			t.Fatalf("duplicate hidden entity %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGenerateDBLPDeltaDRecordsAbsentFromHidden(t *testing.T) {
+	in, err := GenerateDBLP(DBLPConfig{
+		CorpusSize: 10000, HiddenSize: 2000, LocalSize: 400, DeltaD: 80, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := tokenize.New()
+	hiddenKeys := make(map[string]bool, in.Hidden.Len())
+	for _, r := range in.Hidden.Records {
+		hiddenKeys[match.KeyOn(r, tk, in.HiddenKey)] = true
+	}
+	for d, h := range in.Truth {
+		if h != -1 {
+			continue
+		}
+		if hiddenKeys[match.KeyOn(in.Local.Records[d], tk, in.LocalKey)] {
+			t.Fatalf("ΔD record %d found in hidden database", d)
+		}
+	}
+}
+
+func TestGenerateDBLPErrorInjection(t *testing.T) {
+	mk := func(rate float64) *Instance {
+		in, err := GenerateDBLP(DBLPConfig{
+			CorpusSize: 10000, HiddenSize: 3000, LocalSize: 600,
+			ErrorRate: rate, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	clean := mk(0)
+	dirty := mk(0.5)
+	// Same seed → same underlying corpus; count locals whose exact match
+	// with their truth record broke.
+	tk := tokenize.New()
+	m := match.NewExactOn(tk, clean.LocalKey, clean.HiddenKey)
+	broken := 0
+	for d, h := range dirty.Truth {
+		if h == -1 {
+			continue
+		}
+		if !m.Match(dirty.Local.Records[d], dirty.Hidden.Records[h]) {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Fatal("error injection changed nothing")
+	}
+	// Roughly half the records should be touched. Some edits may keep
+	// the token set identical (replace with the same word), so allow a
+	// wide band.
+	frac := float64(broken) / float64(dirty.Local.Len())
+	if frac < 0.3 || frac > 0.6 {
+		t.Fatalf("broken fraction %v, want ≈0.5", frac)
+	}
+	_ = clean
+}
+
+func TestGenerateDBLPDeterministic(t *testing.T) {
+	cfg := DBLPConfig{CorpusSize: 5000, HiddenSize: 1000, LocalSize: 200, DeltaD: 20, Seed: 7}
+	a, err := GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Local.Records {
+		if a.Local.Records[i].Document() != b.Local.Records[i].Document() {
+			t.Fatal("generation must be deterministic")
+		}
+	}
+}
+
+func TestGenerateDBLPValidation(t *testing.T) {
+	bad := []DBLPConfig{
+		{},
+		{CorpusSize: 100, HiddenSize: 200, LocalSize: 50},   // corpus too small
+		{CorpusSize: 1000, HiddenSize: 100, LocalSize: 500}, // |D∩H| > |H|
+		{CorpusSize: 1000, HiddenSize: 100, LocalSize: 50, DeltaD: 60},
+		{CorpusSize: 1000, HiddenSize: 100, LocalSize: 50, ErrorRate: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := GenerateDBLP(cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestGenerateYelpShape(t *testing.T) {
+	in, err := GenerateYelp(YelpConfig{
+		HiddenSize: 5000, LocalSize: 500, DriftRate: 0.2, DeltaD: 50, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Local.Len() != 500 || in.Hidden.Len() != 5000 {
+		t.Fatalf("sizes: |D|=%d |H|=%d", in.Local.Len(), in.Hidden.Len())
+	}
+	nDelta := 0
+	for _, h := range in.Truth {
+		if h == -1 {
+			nDelta++
+		}
+	}
+	if nDelta != 50 {
+		t.Fatalf("ΔD = %d", nDelta)
+	}
+	// Local IDs must be dense after the shuffle.
+	for i, r := range in.Local.Records {
+		if r.ID != i {
+			t.Fatal("local IDs not dense")
+		}
+	}
+}
+
+func TestGenerateYelpDriftBreaksSomeMatches(t *testing.T) {
+	in, err := GenerateYelp(YelpConfig{
+		HiddenSize: 4000, LocalSize: 800, DriftRate: 0.3, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := tokenize.New()
+	exact := match.NewExactOn(tk, in.LocalKey, in.HiddenKey)
+	broken := 0
+	for d, h := range in.Truth {
+		if h == -1 {
+			continue
+		}
+		if !exact.Match(in.Local.Records[d], in.Hidden.Records[h]) {
+			broken++
+		}
+	}
+	frac := float64(broken) / float64(in.Local.Len())
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("drifted fraction %v, want ≈0.3", frac)
+	}
+}
+
+func TestGenerateYelpSharedTokens(t *testing.T) {
+	// Query sharing requires head tokens spanning many businesses.
+	in, err := GenerateYelp(YelpConfig{HiddenSize: 3000, LocalSize: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := tokenize.New()
+	freq := map[string]int{}
+	for _, r := range in.Local.Records {
+		for _, w := range tk.Distinct(r.Value(0)) {
+			freq[w]++
+		}
+	}
+	maxFreq := 0
+	for _, c := range freq {
+		if c > maxFreq {
+			maxFreq = c
+		}
+	}
+	if maxFreq < 10 {
+		t.Fatalf("max token frequency %d — names do not share tokens", maxFreq)
+	}
+}
+
+func TestGenerateYelpValidation(t *testing.T) {
+	bad := []YelpConfig{
+		{},
+		{HiddenSize: 100, LocalSize: 200},
+		{HiddenSize: 100, LocalSize: 50, DeltaD: 60},
+		{HiddenSize: 100, LocalSize: 50, DriftRate: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := GenerateYelp(cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := vocabulary(10000)
+	if len(v) != 10000 {
+		t.Fatalf("len = %d", len(v))
+	}
+	seen := map[string]bool{}
+	for _, w := range v {
+		if w == "" {
+			t.Fatal("empty word")
+		}
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if w != strings.ToLower(w) {
+			t.Fatalf("word %q not lowercase", w)
+		}
+	}
+	if v[0] != "data" {
+		t.Fatal("head of vocabulary should be CS words")
+	}
+}

@@ -1,0 +1,259 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/stats"
+)
+
+// DBLPConfig parameterizes the simulated-DBLP instance builder, mirroring
+// Table 3 of the paper.
+type DBLPConfig struct {
+	// CorpusSize is the size of the full synthetic DBLP (the paper used
+	// the 5M-record dump; scale to taste). Must be at least HiddenSize +
+	// DeltaD.
+	CorpusSize int
+	// HiddenSize is |H|.
+	HiddenSize int
+	// LocalSize is |D| including the DeltaD records.
+	LocalSize int
+	// DeltaD is |ΔD| = |D − H|: local records with no hidden counterpart.
+	DeltaD int
+	// ErrorRate is the paper's error%: the fraction of local records
+	// mutated by one word-level edit (remove/add/replace, p=1/3 each).
+	ErrorRate float64
+	// Seed drives all generation.
+	Seed uint64
+}
+
+// Instance is a generated local/hidden database pair with ground truth.
+type Instance struct {
+	// Local is the user's table (DBLP: title/venue/authors; Yelp:
+	// name/city).
+	Local *relational.Table
+	// Hidden is the hidden database, carrying the enrichment attributes
+	// the local side lacks (DBLP: year/citations; Yelp:
+	// category/rating/reviews).
+	Hidden *relational.Table
+	// Truth maps each local record ID to its matching hidden record ID,
+	// or -1 for ΔD records. Evaluation-only ground truth.
+	Truth []int
+	// DeltaD is the number of -1 entries in Truth.
+	DeltaD int
+	// LocalKey / HiddenKey are the aligned key columns used for entity
+	// matching.
+	LocalKey, HiddenKey []int
+	// RankColumn is the hidden column the simulated search engine ranks
+	// results by (DBLP: year, per §7.1.1; Yelp: rating).
+	RankColumn int
+}
+
+// paper is one synthetic corpus entry.
+type paper struct {
+	title   string
+	venue   string
+	authors string
+	year    int
+}
+
+// GenerateDBLP builds a simulated-DBLP instance following §7.1.1:
+//
+//   - a corpus of CorpusSize papers with Zipfian title vocabulary;
+//   - D − ΔD drawn from the papers of "database community" venues;
+//   - H = (H − D) ∪ (H ∩ D), with H − D drawn from the whole corpus and
+//     H ∩ D being exactly the non-ΔD local records;
+//   - ΔD extra records drawn from the corpus and added to D but not H;
+//   - error% word edits applied to local titles.
+func GenerateDBLP(cfg DBLPConfig) (*Instance, error) {
+	inD := cfg.LocalSize - cfg.DeltaD
+	switch {
+	case cfg.LocalSize <= 0 || cfg.HiddenSize <= 0 || cfg.CorpusSize <= 0:
+		return nil, fmt.Errorf("dataset: sizes must be positive: %+v", cfg)
+	case cfg.DeltaD < 0 || cfg.DeltaD > cfg.LocalSize:
+		return nil, fmt.Errorf("dataset: DeltaD %d out of range", cfg.DeltaD)
+	case inD > cfg.HiddenSize:
+		return nil, fmt.Errorf("dataset: |D∩H| = %d exceeds |H| = %d", inD, cfg.HiddenSize)
+	case cfg.CorpusSize < cfg.HiddenSize+cfg.DeltaD:
+		return nil, fmt.Errorf("dataset: corpus %d too small for |H|+|ΔD| = %d",
+			cfg.CorpusSize, cfg.HiddenSize+cfg.DeltaD)
+	case cfg.ErrorRate < 0 || cfg.ErrorRate > 1:
+		return nil, fmt.Errorf("dataset: error rate %v out of [0,1]", cfg.ErrorRate)
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	vocabSize := cfg.CorpusSize/2 + len(csWords)
+	if vocabSize > 50000 {
+		vocabSize = 50000
+	}
+	vocab := vocabulary(vocabSize)
+	zipf := stats.NewZipf(rng, 1.05, len(vocab))
+
+	// Corpus. Titles must be distinct so hidden records are distinct
+	// entities (footnote 3: H has no duplicates); a numeric suffix
+	// disambiguates collisions.
+	corpus := make([]paper, cfg.CorpusSize)
+	seenTitles := make(map[string]int)
+	dbCommunity := make([]int, 0, cfg.CorpusSize/3)
+	for i := range corpus {
+		nWords := 4 + rng.Intn(5)
+		words := make([]string, nWords)
+		for j := range words {
+			words[j] = vocab[zipf.Draw()]
+		}
+		title := strings.Join(words, " ")
+		if n := seenTitles[title]; n > 0 {
+			title = fmt.Sprintf("%s v%d", title, n+1)
+		}
+		seenTitles[title]++
+
+		var venue string
+		if rng.Bool(0.35) {
+			venue = dbVenues[rng.Intn(len(dbVenues))]
+		} else {
+			venue = otherVenues[rng.Intn(len(otherVenues))]
+		}
+		nAuthors := 1 + rng.Intn(3)
+		authors := make([]string, nAuthors)
+		for j := range authors {
+			authors[j] = authorName(rng)
+		}
+		corpus[i] = paper{
+			title:   title,
+			venue:   venue,
+			authors: strings.Join(authors, ", "),
+			year:    1995 + rng.Intn(25),
+		}
+		if isDBVenue(venue) {
+			dbCommunity = append(dbCommunity, i)
+		}
+	}
+	if len(dbCommunity) < inD {
+		return nil, fmt.Errorf("dataset: only %d DB-community papers for |D∩H| = %d (grow CorpusSize)",
+			len(dbCommunity), inD)
+	}
+
+	// D ∩ H: drawn from the DB community.
+	perm := rng.SampleWithoutReplacement(len(dbCommunity), inD)
+	inBoth := make([]int, inD)
+	usedCorpus := make(map[int]bool, cfg.HiddenSize+cfg.DeltaD)
+	for i, j := range perm {
+		inBoth[i] = dbCommunity[j]
+		usedCorpus[dbCommunity[j]] = true
+	}
+
+	// H − D: drawn from the rest of the corpus.
+	hMinusD := make([]int, 0, cfg.HiddenSize-inD)
+	for idx := 0; len(hMinusD) < cfg.HiddenSize-inD; idx++ {
+		c := rng.Intn(cfg.CorpusSize)
+		if !usedCorpus[c] {
+			usedCorpus[c] = true
+			hMinusD = append(hMinusD, c)
+		}
+		if idx > 50*cfg.CorpusSize {
+			return nil, fmt.Errorf("dataset: could not fill H − D")
+		}
+	}
+
+	// ΔD: in D, not in H.
+	deltaD := make([]int, 0, cfg.DeltaD)
+	for idx := 0; len(deltaD) < cfg.DeltaD; idx++ {
+		c := rng.Intn(cfg.CorpusSize)
+		if !usedCorpus[c] {
+			usedCorpus[c] = true
+			deltaD = append(deltaD, c)
+		}
+		if idx > 50*cfg.CorpusSize {
+			return nil, fmt.Errorf("dataset: could not fill ΔD")
+		}
+	}
+
+	// Materialize hidden table: H∩D first, then H−D, shuffled.
+	hiddenCorpus := append(append([]int(nil), inBoth...), hMinusD...)
+	rng.Shuffle(len(hiddenCorpus), func(i, j int) {
+		hiddenCorpus[i], hiddenCorpus[j] = hiddenCorpus[j], hiddenCorpus[i]
+	})
+	hidden := relational.NewTable("dblp-hidden",
+		[]string{"title", "venue", "authors", "year", "citations"})
+	hiddenIDByCorpus := make(map[int]int, len(hiddenCorpus))
+	for _, c := range hiddenCorpus {
+		p := corpus[c]
+		r := hidden.Append(p.title, p.venue, p.authors,
+			fmt.Sprintf("%d", p.year), fmt.Sprintf("%d", rng.Intn(5000)))
+		hiddenIDByCorpus[c] = r.ID
+	}
+
+	// Materialize local table: (D ∩ H) ∪ ΔD, shuffled.
+	localCorpus := append(append([]int(nil), inBoth...), deltaD...)
+	rng.Shuffle(len(localCorpus), func(i, j int) {
+		localCorpus[i], localCorpus[j] = localCorpus[j], localCorpus[i]
+	})
+	local := relational.NewTable("dblp-local", []string{"title", "venue", "authors"})
+	truth := make([]int, 0, len(localCorpus))
+	nDelta := 0
+	for _, c := range localCorpus {
+		p := corpus[c]
+		local.Append(p.title, p.venue, p.authors)
+		if h, ok := hiddenIDByCorpus[c]; ok {
+			truth = append(truth, h)
+		} else {
+			truth = append(truth, -1)
+			nDelta++
+		}
+	}
+
+	// error% injection on local titles.
+	if cfg.ErrorRate > 0 {
+		injectErrors(local, 0, cfg.ErrorRate, vocab, rng)
+	}
+
+	return &Instance{
+		Local:      local,
+		Hidden:     hidden,
+		Truth:      truth,
+		DeltaD:     nDelta,
+		LocalKey:   []int{0, 1, 2},
+		HiddenKey:  []int{0, 1, 2},
+		RankColumn: 3,
+	}, nil
+}
+
+func isDBVenue(v string) bool {
+	for _, d := range dbVenues {
+		if v == d {
+			return true
+		}
+	}
+	return false
+}
+
+// injectErrors applies the paper's error model to column col of a fraction
+// errRate of the table's records: with probability 1/3 each, remove a
+// word, add a word, or replace a word.
+func injectErrors(t *relational.Table, col int, errRate float64, vocab []string, rng *stats.RNG) {
+	n := int(errRate * float64(t.Len()))
+	for _, i := range rng.SampleWithoutReplacement(t.Len(), n) {
+		r := t.Records[i]
+		words := strings.Fields(r.Value(col))
+		if len(words) == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // remove a word (keep at least one)
+			if len(words) > 1 {
+				j := rng.Intn(len(words))
+				words = append(words[:j], words[j+1:]...)
+			} else {
+				words[0] = vocab[rng.Intn(len(vocab))]
+			}
+		case 1: // add a word
+			j := rng.Intn(len(words) + 1)
+			words = append(words[:j], append([]string{vocab[rng.Intn(len(vocab))]}, words[j:]...)...)
+		default: // replace a word
+			words[rng.Intn(len(words))] = vocab[rng.Intn(len(vocab))]
+		}
+		r.Values[col] = strings.Join(words, " ")
+		r.InvalidateTokens()
+	}
+}

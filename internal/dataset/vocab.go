@@ -1,0 +1,96 @@
+// Package dataset generates the synthetic workloads that stand in for the
+// paper's evaluation data (§7.1): a DBLP-like publication corpus with
+// Zipfian title vocabulary (simulated hidden database experiments) and a
+// Yelp-like business table over Arizona cities (real-hidden-database
+// experiment). Both generators record ground-truth entity identity between
+// the local and hidden tables, used exclusively for evaluation, and both
+// support the paper's error%% injection: a chosen fraction of local records
+// has one word removed, added, or replaced (probability 1/3 each).
+package dataset
+
+import (
+	"fmt"
+
+	"smartcrawl/internal/stats"
+)
+
+// csWords are the head of the synthetic title vocabulary — common
+// data-management terms so generated titles share tokens heavily, the
+// property query sharing exploits.
+var csWords = []string{
+	"data", "query", "learning", "database", "system", "efficient",
+	"scalable", "distributed", "processing", "analysis", "mining",
+	"deep", "neural", "graph", "stream", "index", "join", "optimization",
+	"approximate", "parallel", "adaptive", "dynamic", "online", "storage",
+	"memory", "cloud", "web", "search", "ranking", "classification",
+	"clustering", "sampling", "estimation", "integration", "cleaning",
+	"extraction", "knowledge", "entity", "schema", "crawling", "model",
+	"framework", "algorithm", "evaluation", "benchmark", "transaction",
+	"concurrency", "recovery", "partitioning", "compression", "encoding",
+	"privacy", "security", "provenance", "versioning", "workload",
+	"cardinality", "selectivity", "materialized", "incremental",
+}
+
+// firstNames and lastNames build the synthetic author pool.
+var firstNames = []string{
+	"wei", "jun", "pei", "ryan", "eugene", "lei", "yi", "hao", "mina",
+	"sara", "ivan", "nina", "omar", "lara", "ken", "mei", "tariq",
+	"ana", "boris", "chen", "dana", "emil", "fang", "gita", "hugo",
+}
+
+var lastNames = []string{
+	"wang", "shea", "wu", "zhang", "li", "chen", "kumar", "garcia",
+	"smith", "mueller", "tanaka", "silva", "ivanov", "rossi", "khan",
+	"lee", "park", "nguyen", "patel", "cohen", "novak", "berg",
+	"costa", "haas", "lin",
+}
+
+// dbVenues are the "database and data mining" venues of §7.1.1 whose
+// authors' publications form the population the local database is drawn
+// from.
+var dbVenues = []string{
+	"sigmod", "vldb", "icde", "cikm", "cidr", "kdd", "www", "aaai",
+	"nips", "ijcai",
+}
+
+// otherVenues pad the rest of the corpus.
+var otherVenues = []string{
+	"sosp", "osdi", "nsdi", "isca", "micro", "pldi", "popl", "chi",
+	"siggraph", "infocom", "icml", "acl", "emnlp", "focs", "stoc",
+}
+
+// syllables compose filler words so the tail of the vocabulary is
+// unbounded, like real text.
+var syllables = []string{
+	"ka", "ri", "mo", "ta", "lu", "ne", "so", "vi", "ze", "pa",
+	"du", "fe", "gi", "ho", "ju", "ky", "lo", "ma", "ni", "or",
+}
+
+// vocabulary materializes n words: the CS head followed by generated
+// fillers, to be drawn through a Zipf sampler so head words dominate.
+func vocabulary(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if i < len(csWords) {
+			out[i] = csWords[i]
+			continue
+		}
+		// Deterministic 3-syllable filler with a numeric tiebreaker
+		// beyond the combinatorial range.
+		j := i - len(csWords)
+		w := syllables[j%len(syllables)] +
+			syllables[(j/len(syllables))%len(syllables)] +
+			syllables[(j/(len(syllables)*len(syllables)))%len(syllables)]
+		if j >= len(syllables)*len(syllables)*len(syllables) {
+			w = fmt.Sprintf("%s%d", w, j)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// authorName draws a synthetic author.
+func authorName(rng *stats.RNG) string {
+	return firstNames[rng.Intn(len(firstNames))] + " " +
+		lastNames[rng.Intn(len(lastNames))]
+}

@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/stats"
+)
+
+// Name-part vocabularies for synthetic businesses. Type words ("house",
+// "grill", …) are deliberately heavy-tail — they recur across thousands of
+// businesses, which is what makes short shared queries productive on Yelp.
+var (
+	bizAdjectives = []string{
+		"golden", "royal", "happy", "little", "big", "old", "new",
+		"sunny", "lucky", "grand", "silver", "blue", "red", "green",
+		"desert", "canyon", "copper", "mesa", "valley", "sun",
+	}
+	bizCuisines = []string{
+		"thai", "chinese", "mexican", "italian", "indian", "greek",
+		"french", "korean", "japanese", "vietnamese", "american",
+		"cuban", "turkish", "persian", "hawaiian", "southern",
+		"tex", "sonoran", "mediterranean", "spanish",
+	}
+	bizTypes = []string{
+		"house", "bar", "grill", "cafe", "kitchen", "express",
+		"palace", "garden", "diner", "bistro", "cantina", "taqueria",
+		"pizzeria", "bakery", "steakhouse", "buffet", "deli",
+		"roadhouse", "lounge", "eatery",
+	}
+	bizCategories = []string{
+		"Restaurants", "Bars", "Coffee & Tea", "Fast Food", "Pizza",
+		"Mexican", "Breakfast & Brunch", "Sandwiches", "Nightlife",
+		"Bakeries",
+	}
+	azCities = []string{
+		"Phoenix", "Scottsdale", "Tempe", "Mesa", "Chandler",
+		"Glendale", "Gilbert", "Peoria", "Surprise", "Tucson",
+		"Flagstaff", "Yuma", "Avondale", "Goodyear", "Buckeye",
+	}
+)
+
+// YelpConfig parameterizes the Yelp-like instance of §7.1.2 / §7.3.
+type YelpConfig struct {
+	// HiddenSize is the number of businesses in the hidden database
+	// (the paper's Arizona slice has 36,500).
+	HiddenSize int
+	// LocalSize is |D| (the paper samples 3,000).
+	LocalSize int
+	// DriftRate is the fraction of local records whose name drifted
+	// from the hidden version (the dataset aging the paper observes) —
+	// realized as one word-level edit, like error%.
+	DriftRate float64
+	// DeltaD is the number of local records with no hidden counterpart
+	// (businesses that closed).
+	DeltaD int
+	// Seed drives all generation.
+	Seed uint64
+}
+
+// GenerateYelp builds a Yelp-like instance. The hidden table has schema
+// (name, city, category, rating, reviews); the local table (name, city).
+// Ground truth is recorded at construction, standing in for the paper's
+// manual labelling.
+func GenerateYelp(cfg YelpConfig) (*Instance, error) {
+	switch {
+	case cfg.HiddenSize <= 0 || cfg.LocalSize <= 0:
+		return nil, fmt.Errorf("dataset: sizes must be positive: %+v", cfg)
+	case cfg.DeltaD < 0 || cfg.DeltaD > cfg.LocalSize:
+		return nil, fmt.Errorf("dataset: DeltaD %d out of range", cfg.DeltaD)
+	case cfg.LocalSize-cfg.DeltaD > cfg.HiddenSize:
+		return nil, fmt.Errorf("dataset: |D∩H| exceeds |H|")
+	case cfg.DriftRate < 0 || cfg.DriftRate > 1:
+		return nil, fmt.Errorf("dataset: drift rate %v out of [0,1]", cfg.DriftRate)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	// Proper-name pool: the rare tokens real business names carry
+	// ("Rosita's", "Casa Ramirez"). They give the keyword vocabulary the
+	// long tail that pool-based sampling (and NaiveCrawl) depend on —
+	// without them every keyword would overflow a k=50 interface.
+	properNames := make([]string, maxInt(cfg.HiddenSize/8, 50))
+	for i := range properNames {
+		properNames[i] = properName(i)
+	}
+
+	hidden := relational.NewTable("yelp-hidden",
+		[]string{"name", "city", "category", "rating", "reviews"})
+	seen := make(map[string]int)
+	for i := 0; i < cfg.HiddenSize; i++ {
+		name := businessName(rng)
+		if rng.Bool(0.6) {
+			name = properNames[rng.Intn(len(properNames))] + " " + name
+		}
+		city := azCities[rng.Intn(len(azCities))]
+		key := name + "|" + city
+		if n := seen[key]; n > 0 {
+			name = fmt.Sprintf("%s %d", name, n+1)
+		}
+		seen[key]++
+		hidden.Append(
+			name,
+			city,
+			bizCategories[rng.Intn(len(bizCategories))],
+			fmt.Sprintf("%.1f", 1.0+rng.Float64()*4.0),
+			fmt.Sprintf("%d", rng.Intn(2000)),
+		)
+	}
+
+	inD := cfg.LocalSize - cfg.DeltaD
+	pick := rng.SampleWithoutReplacement(cfg.HiddenSize, inD)
+	local := relational.NewTable("yelp-local", []string{"name", "city"})
+	truth := make([]int, 0, cfg.LocalSize)
+	for _, h := range pick {
+		r := hidden.Records[h]
+		local.Append(r.Value(0), r.Value(1))
+		truth = append(truth, h)
+	}
+	// ΔD: plausible businesses absent from H.
+	for i := 0; i < cfg.DeltaD; i++ {
+		local.Append(businessName(rng), azCities[rng.Intn(len(azCities))])
+		truth = append(truth, -1)
+	}
+	// Shuffle local rows (and truth in lockstep), then re-ID densely.
+	rng.Shuffle(local.Len(), func(i, j int) {
+		local.Records[i], local.Records[j] = local.Records[j], local.Records[i]
+		truth[i], truth[j] = truth[j], truth[i]
+	})
+	for i, r := range local.Records {
+		r.ID = i
+	}
+
+	// Drift: word-level edits on local names, simulating stale data.
+	if cfg.DriftRate > 0 {
+		driftVocab := append(append([]string{}, bizAdjectives...), bizTypes...)
+		injectErrors(local, 0, cfg.DriftRate, driftVocab, rng)
+	}
+
+	return &Instance{
+		Local:      local,
+		Hidden:     hidden,
+		Truth:      truth,
+		DeltaD:     cfg.DeltaD,
+		LocalKey:   []int{0, 1},
+		HiddenKey:  []int{0, 1},
+		RankColumn: 3,
+	}, nil
+}
+
+// properName deterministically composes a capitalized rare name token.
+func properName(i int) string {
+	s := syllables[i%len(syllables)] +
+		syllables[(i/len(syllables))%len(syllables)] +
+		syllables[(i/(len(syllables)*len(syllables)))%len(syllables)]
+	if i >= len(syllables)*len(syllables)*len(syllables) {
+		s = fmt.Sprintf("%s%d", s, i)
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// businessName composes a 1–4 word business name with heavy-tail shared
+// tokens.
+func businessName(rng *stats.RNG) string {
+	var parts []string
+	if rng.Bool(0.55) {
+		parts = append(parts, bizAdjectives[rng.Intn(len(bizAdjectives))])
+	}
+	parts = append(parts, bizCuisines[rng.Intn(len(bizCuisines))])
+	parts = append(parts, bizTypes[rng.Intn(len(bizTypes))])
+	if rng.Bool(0.2) {
+		parts = append(parts, bizTypes[rng.Intn(len(bizTypes))])
+	}
+	// Title-case for realism; tokenization lowercases anyway.
+	for i, p := range parts {
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,176 @@
+// Package deepweb defines the restricted access interface through which all
+// crawlers see a hidden database (§2, Definition 2): a keyword query goes
+// in, at most k records come out, and nothing else about H is observable.
+// It also provides the budget-accounting wrapper that charges every issued
+// query, mirroring the per-day API quotas (Yelp: 25,000 requests/day,
+// Google Maps: 2,500/day) that motivate the paper's budget b.
+package deepweb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"smartcrawl/internal/relational"
+)
+
+// Query is a conjunctive keyword query: a set of normalized (lowercase,
+// deduplicated) keywords. Order is not semantically meaningful, but
+// canonical (sorted) order is used for map keys.
+type Query []string
+
+// Key returns a canonical string form usable as a map key. Callers must
+// pass normalized queries (see tokenize.NormalizeQuery).
+func (q Query) Key() string { return strings.Join(q, " ") }
+
+// String renders the query as the user would type it.
+func (q Query) String() string { return strings.Join(q, " ") }
+
+// Searcher is the only capability a crawler has against a hidden database.
+// Search returns the top-k records matching q under the database's unknown
+// ranking function; it must be deterministic (§2: repeated execution returns
+// the same result). Implementations must NOT reveal |q(H)| or whether the
+// query overflowed — crawlers infer solidity from len(result) < K()
+// exactly as a client of a real web API would.
+type Searcher interface {
+	Search(q Query) ([]*relational.Record, error)
+	// K returns the interface's top-k result limit.
+	K() int
+}
+
+// ErrBudgetExhausted is returned by Counting.Search once the configured
+// query budget has been spent.
+var ErrBudgetExhausted = errors.New("deepweb: query budget exhausted")
+
+// Counting wraps a Searcher with budget accounting. Every Search call —
+// successful or not — consumes one unit, matching how web APIs meter
+// requests. A Budget of zero or negative means unlimited. Counting is safe
+// for concurrent use (batch crawling issues queries from multiple
+// goroutines); the wrapped Searcher must be too.
+type Counting struct {
+	S      Searcher
+	Budget int
+
+	mu     sync.Mutex
+	issued int
+}
+
+// NewCounting wraps s with a budget of b queries (b <= 0 = unlimited).
+func NewCounting(s Searcher, b int) *Counting {
+	return &Counting{S: s, Budget: b}
+}
+
+// Search issues q through the wrapped searcher, charging one query.
+func (c *Counting) Search(q Query) ([]*relational.Record, error) {
+	c.mu.Lock()
+	if c.Budget > 0 && c.issued >= c.Budget {
+		c.mu.Unlock()
+		return nil, ErrBudgetExhausted
+	}
+	c.issued++
+	c.mu.Unlock()
+	return c.S.Search(q)
+}
+
+// K returns the wrapped interface's result limit.
+func (c *Counting) K() int { return c.S.K() }
+
+// Issued returns the number of queries charged so far.
+func (c *Counting) Issued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.issued
+}
+
+// Remaining returns how many queries are left, or -1 if unlimited.
+func (c *Counting) Remaining() int {
+	if c.Budget <= 0 {
+		return -1
+	}
+	r := c.Budget - c.Issued()
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Exhausted reports whether the budget has been fully spent.
+func (c *Counting) Exhausted() bool {
+	return c.Budget > 0 && c.Issued() >= c.Budget
+}
+
+// Cache memoizes Search results by query key. Query processing is
+// deterministic (§2), so re-issuing a query wastes budget for no new
+// information. Strategies that may legitimately re-select a query
+// (QSel-Bound keeps selected queries in the pool) pay budget per the
+// algorithm; wrap their searcher in Cache to study the same selection with
+// re-issues de-duplicated. Safe for concurrent use (batch crawling); a
+// cache miss may issue the same query more than once under races, which
+// only costs budget, never correctness (results are deterministic).
+type Cache struct {
+	S Searcher
+
+	mu      sync.Mutex
+	results map[string][]*relational.Record
+	hits    int
+	misses  int
+}
+
+// NewCache wraps s with memoization.
+func NewCache(s Searcher) *Cache {
+	return &Cache{S: s, results: make(map[string][]*relational.Record)}
+}
+
+// Search returns the cached result if q was issued before, otherwise
+// forwards to the wrapped searcher.
+func (c *Cache) Search(q Query) ([]*relational.Record, error) {
+	key := q.Key()
+	c.mu.Lock()
+	if r, ok := c.results[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.mu.Unlock()
+	r, err := c.S.Search(q)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.misses++
+	c.results[key] = r
+	c.mu.Unlock()
+	return r, nil
+}
+
+// Stats returns cache hits and misses so far.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// K returns the wrapped interface's result limit.
+func (c *Cache) K() int { return c.S.K() }
+
+// Validate checks that q is well-formed for issuing: non-empty, normalized
+// (sorted, unique, lowercase). The hidden-database simulator rejects
+// malformed queries loudly instead of silently returning empty results.
+func Validate(q Query) error {
+	if len(q) == 0 {
+		return errors.New("deepweb: empty query")
+	}
+	for i, w := range q {
+		if w == "" {
+			return errors.New("deepweb: empty keyword")
+		}
+		if w != strings.ToLower(w) {
+			return fmt.Errorf("deepweb: keyword %q not lowercase", w)
+		}
+		if i > 0 && q[i-1] >= w {
+			return fmt.Errorf("deepweb: query not sorted/unique at %q", w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package deepweb_test
+
+import (
+	"errors"
+	"testing"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/fixture"
+)
+
+func TestQueryKeyAndString(t *testing.T) {
+	q := deepweb.Query{"house", "noodle"}
+	if q.Key() != "house noodle" || q.String() != "house noodle" {
+		t.Fatalf("Key=%q String=%q", q.Key(), q.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []deepweb.Query{{"a"}, {"a", "b"}, {"house", "noodle"}}
+	for _, q := range valid {
+		if err := deepweb.Validate(q); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", q, err)
+		}
+	}
+	invalid := []deepweb.Query{nil, {}, {""}, {"B"}, {"b", "a"}, {"a", "a"}}
+	for _, q := range invalid {
+		if err := deepweb.Validate(q); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", q)
+		}
+	}
+}
+
+func TestCountingBudget(t *testing.T) {
+	u := fixture.New()
+	c := deepweb.NewCounting(u.DB, 2)
+	if c.K() != u.DB.K() {
+		t.Fatal("K must pass through")
+	}
+	if c.Remaining() != 2 {
+		t.Fatalf("Remaining = %d", c.Remaining())
+	}
+	if _, err := c.Search(deepweb.Query{"thai"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(deepweb.Query{"house"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Exhausted() || c.Remaining() != 0 {
+		t.Fatal("budget should be exhausted after 2 queries")
+	}
+	if _, err := c.Search(deepweb.Query{"ramen"}); !errors.Is(err, deepweb.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if c.Issued() != 2 {
+		t.Fatalf("Issued = %d (rejected calls must not be charged)", c.Issued())
+	}
+}
+
+func TestCountingChargesInvalidQueries(t *testing.T) {
+	// An HTTP 400 still costs a request against real API quotas.
+	u := fixture.New()
+	c := deepweb.NewCounting(u.DB, 5)
+	if _, err := c.Search(deepweb.Query{"NOT-NORMALIZED"}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if c.Issued() != 1 {
+		t.Fatalf("Issued = %d, want 1", c.Issued())
+	}
+}
+
+func TestCountingUnlimited(t *testing.T) {
+	u := fixture.New()
+	c := deepweb.NewCounting(u.DB, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := c.Search(deepweb.Query{"thai"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Remaining() != -1 || c.Exhausted() {
+		t.Fatal("zero budget means unlimited")
+	}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	u := fixture.New()
+	counting := deepweb.NewCounting(u.DB, 0)
+	cache := deepweb.NewCache(counting)
+
+	a, err := cache.Search(deepweb.Query{"thai"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.Search(deepweb.Query{"thai"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counting.Issued() != 1 {
+		t.Fatalf("Issued = %d, want 1 (second call cached)", counting.Issued())
+	}
+	if h, m := cache.Stats(); h != 1 || m != 1 {
+		t.Fatalf("Hits=%d Misses=%d", h, m)
+	}
+	if len(a) != len(b) {
+		t.Fatal("cached result differs")
+	}
+	if cache.K() != u.DB.K() {
+		t.Fatal("K must pass through")
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	u := fixture.New()
+	cache := deepweb.NewCache(u.DB)
+	if _, err := cache.Search(deepweb.Query{"BAD"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, m := cache.Stats(); m != 0 {
+		t.Fatal("errors must not count as misses or be cached")
+	}
+}

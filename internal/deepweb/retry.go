@@ -1,0 +1,89 @@
+package deepweb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"smartcrawl/internal/relational"
+)
+
+// Retrying wraps a Searcher and re-issues queries that fail transiently —
+// network blips, HTTP 5xx, rate-limit waits. Real crawls run for hours
+// against flaky web APIs; a single dropped request must not abort a
+// budgeted crawl. Budget accounting composes naturally: wrap the Counting
+// layer *outside* Retrying to charge once per logical query, or inside it
+// to charge per attempt (what quota meters actually do).
+type Retrying struct {
+	S Searcher
+	// Retries is the number of re-attempts after the first failure.
+	Retries int
+	// IsTransient classifies errors worth retrying; nil retries
+	// everything except ErrBudgetExhausted.
+	IsTransient func(error) bool
+	// Backoff returns the wait before re-attempt i (1-based); nil means
+	// no wait.
+	Backoff func(attempt int) time.Duration
+	// Sleep is the clock used between attempts; nil means time.Sleep
+	// (tests inject a fake).
+	Sleep func(time.Duration)
+
+	// RetriedCalls counts Search calls that needed at least one retry;
+	// TotalRetries counts individual re-attempts.
+	RetriedCalls int
+	TotalRetries int
+}
+
+// Search implements Searcher.
+func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
+	transient := r.IsTransient
+	if transient == nil {
+		transient = func(err error) bool { return !errors.Is(err, ErrBudgetExhausted) }
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var lastErr error
+	for attempt := 0; attempt <= r.Retries; attempt++ {
+		if attempt > 0 {
+			r.TotalRetries++
+			if attempt == 1 {
+				r.RetriedCalls++
+			}
+			if r.Backoff != nil {
+				sleep(r.Backoff(attempt))
+			}
+		}
+		recs, err := r.S.Search(q)
+		if err == nil {
+			return recs, nil
+		}
+		lastErr = err
+		if !transient(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("deepweb: %d attempts failed: %w", r.Retries+1, lastErr)
+}
+
+// K implements Searcher.
+func (r *Retrying) K() int { return r.S.K() }
+
+// ExponentialBackoff returns a Backoff function starting at base and
+// doubling each attempt, capped at max.
+func ExponentialBackoff(base, max time.Duration) func(int) time.Duration {
+	return func(attempt int) time.Duration {
+		d := base
+		for i := 1; i < attempt; i++ {
+			d *= 2
+			if d >= max {
+				return max
+			}
+		}
+		if d > max {
+			return max
+		}
+		return d
+	}
+}

@@ -1,0 +1,158 @@
+package deepweb_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/fixture"
+	"smartcrawl/internal/match"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/sample"
+)
+
+var errFlaky = errors.New("transient network failure")
+
+// flaky fails every n-th Search call.
+type flaky struct {
+	s     deepweb.Searcher
+	every int
+	calls int
+	fails int
+}
+
+func (f *flaky) Search(q deepweb.Query) ([]*relational.Record, error) {
+	f.calls++
+	if f.every > 0 && f.calls%f.every == 0 {
+		f.fails++
+		return nil, errFlaky
+	}
+	return f.s.Search(q)
+}
+
+func (f *flaky) K() int { return f.s.K() }
+
+func TestRetryingRecoversTransientFailures(t *testing.T) {
+	u := fixture.New()
+	fl := &flaky{s: u.DB, every: 2} // every 2nd call fails
+	r := &deepweb.Retrying{S: fl, Retries: 3}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Search(deepweb.Query{"thai"}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if r.RetriedCalls == 0 || fl.fails == 0 {
+		t.Fatalf("expected retries (retried=%d, fails=%d)", r.RetriedCalls, fl.fails)
+	}
+	if r.K() != u.DB.K() {
+		t.Fatal("K must pass through")
+	}
+}
+
+func TestRetryingGivesUpAfterRetries(t *testing.T) {
+	u := fixture.New()
+	fl := &flaky{s: u.DB, every: 1} // always fails
+	r := &deepweb.Retrying{S: fl, Retries: 2}
+	_, err := r.Search(deepweb.Query{"thai"})
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("err = %v, want wrapped errFlaky", err)
+	}
+	if fl.calls != 3 {
+		t.Fatalf("calls = %d, want 3 (1 + 2 retries)", fl.calls)
+	}
+}
+
+func TestRetryingRespectsNonTransient(t *testing.T) {
+	u := fixture.New()
+	fl := &flaky{s: u.DB, every: 1}
+	r := &deepweb.Retrying{
+		S:           fl,
+		Retries:     5,
+		IsTransient: func(error) bool { return false },
+	}
+	if _, err := r.Search(deepweb.Query{"thai"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if fl.calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry)", fl.calls)
+	}
+}
+
+func TestRetryingDoesNotRetryBudgetExhaustion(t *testing.T) {
+	u := fixture.New()
+	counting := deepweb.NewCounting(u.DB, 1)
+	r := &deepweb.Retrying{S: counting, Retries: 5}
+	if _, err := r.Search(deepweb.Query{"thai"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Search(deepweb.Query{"house"})
+	if !errors.Is(err, deepweb.ErrBudgetExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if counting.Issued() != 1 {
+		t.Fatalf("budget exhaustion must not be retried (issued %d)", counting.Issued())
+	}
+}
+
+func TestRetryingBackoffSchedule(t *testing.T) {
+	u := fixture.New()
+	fl := &flaky{s: u.DB, every: 1}
+	var waits []time.Duration
+	r := &deepweb.Retrying{
+		S:       fl,
+		Retries: 3,
+		Backoff: deepweb.ExponentialBackoff(100*time.Millisecond, 350*time.Millisecond),
+		Sleep:   func(d time.Duration) { waits = append(waits, d) },
+	}
+	_, _ = r.Search(deepweb.Query{"thai"})
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 350 * time.Millisecond}
+	if len(waits) != len(want) {
+		t.Fatalf("waits = %v", waits)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Fatalf("wait %d = %v, want %v", i, waits[i], want[i])
+		}
+	}
+}
+
+func TestExponentialBackoffCap(t *testing.T) {
+	b := deepweb.ExponentialBackoff(time.Second, 4*time.Second)
+	if b(1) != time.Second || b(2) != 2*time.Second || b(3) != 4*time.Second || b(10) != 4*time.Second {
+		t.Fatalf("backoff schedule wrong: %v %v %v %v", b(1), b(2), b(3), b(10))
+	}
+}
+
+// TestCrawlSurvivesFlakyInterface runs a full SMARTCRAWL through a flaky
+// interface wrapped in Retrying: failure injection end to end.
+func TestCrawlSurvivesFlakyInterface(t *testing.T) {
+	u := fixture.New()
+	fl := &flaky{s: u.DB, every: 3}
+	retrying := &deepweb.Retrying{S: fl, Retries: 5}
+	env := &crawler.Env{
+		Local:     u.Local,
+		Searcher:  retrying,
+		Tokenizer: u.Tokenizer,
+		Matcher:   match.NewExactOn(u.Tokenizer, nil, []int{0}),
+	}
+	smp := &sample.Sample{Records: u.Sample.Records, Theta: u.Theta}
+	c, err := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample: smp, Estimator: estimator.Biased{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredCount != 4 {
+		t.Fatalf("flaky crawl covered %d of 4", res.CoveredCount)
+	}
+	if fl.fails == 0 {
+		t.Fatal("fault injection did not fire")
+	}
+}

@@ -1,0 +1,97 @@
+// Package enrich is the end-to-end data-enrichment layer — the "Deeper"
+// system of the paper's demo [43]: given a local table, a hidden database
+// behind a keyword-search interface, and a query budget, it aligns schemas,
+// crawls with a chosen framework, matches crawled records to local ones,
+// and appends the hidden database's extra attributes as new local columns.
+package enrich
+
+import (
+	"errors"
+	"fmt"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/relational"
+)
+
+// Report summarizes an enrichment run.
+type Report struct {
+	// Budget is the query budget requested; QueriesIssued what was spent.
+	Budget        int
+	QueriesIssued int
+	// Enriched counts local records that received values.
+	Enriched int
+	// Coverage is Enriched / |D|.
+	Coverage float64
+	// NewColumns lists the attribute names appended to the local table.
+	NewColumns []string
+}
+
+// Options configures Enrich.
+type Options struct {
+	// Columns are the hidden column indices to append. Nil selects every
+	// hidden column not claimed by the schema mapping (the natural
+	// enrichment attributes).
+	Columns []int
+	// Mapping aligns local to hidden columns; required when Columns is
+	// nil to know which hidden columns are "new".
+	Mapping *relational.SchemaMapping
+	// Missing is the value written for uncovered records (default "").
+	Missing string
+	// Prefix is prepended to new column names to avoid collisions
+	// (default "h_").
+	Prefix string
+}
+
+// Enrich runs crawler c with the given budget and appends the selected
+// hidden attributes to local, in place. It returns the report and the
+// crawl result (for inspection of the per-query trace).
+func Enrich(local *relational.Table, hiddenSchema []string, c crawler.Crawler, budget int, opts Options) (*Report, *crawler.Result, error) {
+	if local == nil || local.Len() == 0 {
+		return nil, nil, errors.New("enrich: empty local table")
+	}
+	if c == nil {
+		return nil, nil, errors.New("enrich: nil crawler")
+	}
+	cols := opts.Columns
+	if cols == nil {
+		if opts.Mapping == nil {
+			return nil, nil, errors.New("enrich: need Columns or Mapping to pick enrichment attributes")
+		}
+		cols = opts.Mapping.UnmappedHidden(len(hiddenSchema))
+	}
+	if len(cols) == 0 {
+		return nil, nil, errors.New("enrich: no enrichment columns selected")
+	}
+	for _, j := range cols {
+		if j < 0 || j >= len(hiddenSchema) {
+			return nil, nil, fmt.Errorf("enrich: hidden column %d out of range", j)
+		}
+	}
+	prefix := opts.Prefix
+	if prefix == "" {
+		prefix = "h_"
+	}
+
+	res, err := c.Run(budget)
+	if err != nil {
+		return nil, nil, fmt.Errorf("enrich: crawl failed: %w", err)
+	}
+
+	report := &Report{Budget: budget, QueriesIssued: res.QueriesIssued}
+	newCols := make([]int, len(cols))
+	for i, j := range cols {
+		name := prefix + hiddenSchema[j]
+		report.NewColumns = append(report.NewColumns, name)
+		newCols[i] = local.AddColumn(name, opts.Missing)
+	}
+	for d, h := range res.Matches {
+		r := local.Records[d]
+		for i, j := range cols {
+			r.Values[newCols[i]] = h.Value(j)
+		}
+		r.InvalidateTokens()
+		report.Enriched++
+	}
+	report.Coverage = float64(report.Enriched) / float64(local.Len())
+	return report, res, nil
+}

@@ -1,0 +1,123 @@
+package enrich
+
+import (
+	"reflect"
+	"testing"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/fixture"
+	"smartcrawl/internal/match"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/sample"
+)
+
+func fixtureSmart(t *testing.T) (*crawler.Env, crawler.Crawler, *fixture.Universe) {
+	t.Helper()
+	u := fixture.New()
+	env := &crawler.Env{
+		Local:     u.Local,
+		Searcher:  u.DB,
+		Tokenizer: u.Tokenizer,
+		Matcher:   match.NewExactOn(u.Tokenizer, nil, []int{0}),
+	}
+	smp := &sample.Sample{Records: u.Sample.Records, Theta: u.Theta}
+	c, err := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample: smp, Estimator: estimator.Biased{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, c, u
+}
+
+func TestEnrichAppendsRating(t *testing.T) {
+	env, c, u := fixtureSmart(t)
+	report, res, err := Enrich(env.Local, u.HiddenTab.Schema, c, 5, Options{
+		Columns: []int{1}, // rating
+		Missing: "?",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(report.NewColumns, []string{"h_rating"}) {
+		t.Fatalf("NewColumns = %v", report.NewColumns)
+	}
+	col := env.Local.Col("h_rating")
+	if col == -1 {
+		t.Fatal("h_rating column missing")
+	}
+	// All four restaurants are coverable; budget 5 suffices.
+	want := map[string]string{
+		"Thai Noodle House":       "4.0",
+		"Saigon Ramen":            "3.9",
+		"Thai House":              "4.1",
+		"Grand Noodle House Thai": "4.2",
+	}
+	for _, r := range env.Local.Records {
+		if got := r.Value(col); got != want[r.Value(0)] {
+			t.Errorf("%s enriched with %q, want %q", r.Value(0), got, want[r.Value(0)])
+		}
+	}
+	if report.Enriched != 4 || report.Coverage != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if res.QueriesIssued != report.QueriesIssued {
+		t.Fatal("report/result disagree on queries issued")
+	}
+}
+
+func TestEnrichMissingMarker(t *testing.T) {
+	env, c, u := fixtureSmart(t)
+	report, _, err := Enrich(env.Local, u.HiddenTab.Schema, c, 1, Options{
+		Columns: []int{1},
+		Missing: "N/A",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Enriched >= 4 {
+		t.Fatalf("budget 1 should not enrich everything (%d)", report.Enriched)
+	}
+	col := env.Local.Col("h_rating")
+	missing := 0
+	for _, r := range env.Local.Records {
+		if r.Value(col) == "N/A" {
+			missing++
+		}
+	}
+	if missing != 4-report.Enriched {
+		t.Fatalf("missing markers %d, enriched %d", missing, report.Enriched)
+	}
+}
+
+func TestEnrichViaSchemaMapping(t *testing.T) {
+	env, c, u := fixtureSmart(t)
+	mapping := relational.MatchSchemas(env.Local, u.HiddenTab, u.Tokenizer)
+	report, _, err := Enrich(env.Local, u.HiddenTab.Schema, c, 5, Options{
+		Mapping: &mapping,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// name maps to name; rating is unmapped → the enrichment column.
+	if !reflect.DeepEqual(report.NewColumns, []string{"h_rating"}) {
+		t.Fatalf("NewColumns = %v", report.NewColumns)
+	}
+}
+
+func TestEnrichValidation(t *testing.T) {
+	env, c, u := fixtureSmart(t)
+	if _, _, err := Enrich(nil, u.HiddenTab.Schema, c, 5, Options{Columns: []int{1}}); err == nil {
+		t.Error("nil local should fail")
+	}
+	if _, _, err := Enrich(env.Local, u.HiddenTab.Schema, nil, 5, Options{Columns: []int{1}}); err == nil {
+		t.Error("nil crawler should fail")
+	}
+	if _, _, err := Enrich(env.Local, u.HiddenTab.Schema, c, 5, Options{}); err == nil {
+		t.Error("no columns and no mapping should fail")
+	}
+	if _, _, err := Enrich(env.Local, u.HiddenTab.Schema, c, 5, Options{Columns: []int{99}}); err == nil {
+		t.Error("out-of-range column should fail")
+	}
+}

@@ -1,0 +1,72 @@
+package estimator
+
+import "smartcrawl/internal/stats"
+
+// WeightedBiased generalizes the biased estimator to a known draw-odds
+// ratio ω ≠ 1 (§5.3): when the top-k records of an overflowing query are ω
+// times as likely to match the local table as the tail records, the
+// covered count follows Fisher's noncentral hypergeometric distribution
+// rather than the central one, and the expected benefit is its mean
+// instead of n·k/N. The paper assumes ω = 1 because users cannot supply ω;
+// this estimator is the extension that lifts the assumption, and the
+// ω-sensitivity experiment quantifies what it buys.
+//
+// With Omega = 1 it reduces exactly to Biased.
+type WeightedBiased struct {
+	// Omega is the odds ratio: the relative probability that a top-k
+	// record (vs a tail record) of an overflowing query matches D.
+	Omega float64
+}
+
+// Name implements Estimator.
+func (e WeightedBiased) Name() string { return "weighted-biased" }
+
+// Benefit implements Estimator. Solid queries are unaffected by ranking,
+// so they keep the plain |q(D)| estimate; overflowing queries estimate
+// N̂ = |q(Hs)|/θ, n̂ = |q(D)|, and return the Fisher noncentral mean of
+// drawing n̂ from N̂ with k successes at odds ratio Omega.
+func (e WeightedBiased) Benefit(s Stats) float64 {
+	omega := e.Omega
+	if omega <= 0 {
+		omega = 1
+	}
+	if !PredictOverflow(s) {
+		return float64(s.FreqD)
+	}
+	if s.FreqSample == 0 {
+		// §6.2 fallback: treat D as the sample; the central value is
+		// kα, scaled by the same ω adjustment ratio at the estimated
+		// population.
+		return float64(s.K) * s.Alpha * omegaAdjust(s, omega)
+	}
+	nHat := float64(s.FreqSample) / s.Theta
+	N := int(nHat + 0.5)
+	if N < s.K {
+		N = s.K
+	}
+	n := s.FreqD
+	if n > N {
+		n = N
+	}
+	return stats.FisherNoncentralMean(N, s.K, n, omega)
+}
+
+// omegaAdjust returns the ratio between the noncentral and central means
+// for a canonical overflow shape, used only by the sample-starved fallback
+// where the true N is unknown.
+func omegaAdjust(s Stats, omega float64) float64 {
+	if omega == 1 {
+		return 1
+	}
+	// Canonical shape: population 10k, draws |q(D)|, successes k.
+	const N = 10000
+	n := s.FreqD
+	if n > N {
+		n = N
+	}
+	central := stats.FisherNoncentralMean(N, s.K, n, 1)
+	if central == 0 {
+		return 1
+	}
+	return stats.FisherNoncentralMean(N, s.K, n, omega) / central
+}

@@ -1,0 +1,73 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+)
+
+func overflowStats() Stats {
+	// |q(Hs)|/θ = 40/0.01 = 4000 > k → overflow; |q(D)| = 200.
+	return Stats{FreqD: 200, FreqSample: 40, MatchSample: 2, Theta: 0.01, K: 100}
+}
+
+func TestWeightedBiasedReducesToBiasedAtOmegaOne(t *testing.T) {
+	s := overflowStats()
+	want := (Biased{}).Benefit(s) // 200·100·0.01/40 = 5
+	got := WeightedBiased{Omega: 1}.Benefit(s)
+	// Central Fisher mean equals n·k/N exactly.
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("ω=1 benefit %v, biased %v", got, want)
+	}
+	// Omega ≤ 0 behaves like 1.
+	if math.Abs(WeightedBiased{}.Benefit(s)-want) > 0.02 {
+		t.Fatal("zero omega should default to 1")
+	}
+}
+
+func TestWeightedBiasedMonotoneInOmega(t *testing.T) {
+	s := overflowStats()
+	prev := -1.0
+	for _, omega := range []float64{0.5, 1, 2, 4, 8} {
+		v := WeightedBiased{Omega: omega}.Benefit(s)
+		if v <= prev {
+			t.Fatalf("benefit not increasing in ω: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWeightedBiasedSolidUnaffected(t *testing.T) {
+	s := Stats{FreqD: 7, FreqSample: 0, Theta: 0.01, K: 100}
+	for _, omega := range []float64{0.5, 1, 4} {
+		if got := (WeightedBiased{Omega: omega}).Benefit(s); got != 7 {
+			t.Fatalf("solid benefit at ω=%v is %v, want 7", omega, got)
+		}
+	}
+}
+
+func TestWeightedBiasedBounds(t *testing.T) {
+	s := overflowStats()
+	for _, omega := range []float64{0.25, 1, 16} {
+		v := WeightedBiased{Omega: omega}.Benefit(s)
+		if v < 0 || v > float64(s.K) {
+			t.Fatalf("ω=%v benefit %v outside [0, k]", omega, v)
+		}
+	}
+}
+
+func TestWeightedBiasedAlphaFallback(t *testing.T) {
+	s := Stats{FreqD: 500, FreqSample: 0, Theta: 0.005, K: 100, Alpha: 0.1}
+	base := WeightedBiased{Omega: 1}.Benefit(s)
+	if math.Abs(base-float64(s.K)*s.Alpha) > 1e-9 {
+		t.Fatalf("ω=1 fallback = %v, want kα = %v", base, float64(s.K)*s.Alpha)
+	}
+	if up := (WeightedBiased{Omega: 4}).Benefit(s); up <= base {
+		t.Fatalf("ω=4 fallback %v should exceed ω=1 fallback %v", up, base)
+	}
+}
+
+func TestWeightedBiasedName(t *testing.T) {
+	if (WeightedBiased{}).Name() != "weighted-biased" {
+		t.Fatal("name")
+	}
+}

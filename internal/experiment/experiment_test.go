@@ -1,0 +1,438 @@
+package experiment
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns parameters small enough for unit tests (seconds, not
+// minutes) while keeping the qualitative shapes.
+func tiny() Params {
+	p := Scaled(0.05) // |H| = 5000, |D| = 500, b = 100
+	p.Seed = 7
+	return p
+}
+
+func TestScaledParams(t *testing.T) {
+	p := Scaled(0.2)
+	if p.HiddenSize != 20000 || p.LocalSize != 2000 || p.Budget != 400 {
+		t.Fatalf("Scaled(0.2) = %+v", p)
+	}
+	full := PaperScale()
+	if full.HiddenSize != 100000 || full.Budget != 2000 {
+		t.Fatalf("PaperScale = %+v", full)
+	}
+}
+
+func TestNewDBLPSetup(t *testing.T) {
+	s, err := NewDBLPSetup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instance.Local.Len() != 500 || s.Instance.Hidden.Len() != 5000 {
+		t.Fatalf("sizes: %d/%d", s.Instance.Local.Len(), s.Instance.Hidden.Len())
+	}
+	if s.Sample.Len() == 0 {
+		t.Fatal("empty sample")
+	}
+	if s.MaxCoverable() != 500 {
+		t.Fatalf("MaxCoverable = %d", s.MaxCoverable())
+	}
+}
+
+func TestRunAllApproaches(t *testing.T) {
+	s, err := NewDBLPSetup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Approach{SmartB, SmartU, Simple, Ideal, Naive, Full, Bound} {
+		res, err := s.Run(a, 30)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if res.QueriesIssued == 0 || res.QueriesIssued > 30 {
+			t.Fatalf("%s issued %d queries", a, res.QueriesIssued)
+		}
+		if tc := s.TruthCoverage(res); tc < 0 || tc > s.MaxCoverable() {
+			t.Fatalf("%s coverage %d out of range", a, tc)
+		}
+	}
+	if _, err := s.Run(Approach("bogus"), 5); err == nil {
+		t.Fatal("unknown approach should error")
+	}
+}
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	s, err := NewDBLPSetup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(SmartB, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := s.CoverageCurve(res)
+	if len(curve) != res.QueriesIssued {
+		t.Fatalf("curve length %d vs %d issued", len(curve), res.QueriesIssued)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatal("curve must be non-decreasing")
+		}
+	}
+	if got := curve[len(curve)-1]; got != s.TruthCoverage(res) {
+		t.Fatalf("curve end %d vs truth coverage %d", got, s.TruthCoverage(res))
+	}
+	// CoverageAt clamps sensibly.
+	if CoverageAt(curve, 0) != 0 || CoverageAt(nil, 5) != 0 {
+		t.Fatal("CoverageAt edge cases")
+	}
+	if CoverageAt(curve, 10_000) != curve[len(curve)-1] {
+		t.Fatal("CoverageAt must clamp to the end")
+	}
+}
+
+func TestTable2RunningExample(t *testing.T) {
+	tbl, err := Table2RunningExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("table too small: %d rows", len(tbl.Rows))
+	}
+	// Every naive query row must have true benefit ≥ 1 (all four
+	// restaurants exist in H and their specific queries are solid).
+	var buf bytes.Buffer
+	if err := tbl.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ramen saigon") || !strings.Contains(out, "overflow") {
+		t.Fatalf("unexpected table output:\n%s", out)
+	}
+}
+
+func TestFigure9YelpRuns(t *testing.T) {
+	p := Params{
+		HiddenSize: 3000, LocalSize: 300, K: 50,
+		Budget: 120, Theta: 0.01, ErrorRate: 0.1,
+		JaccardThreshold: 0.5, Seed: 3,
+	}
+	tbl, err := Figure9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty figure 9 table")
+	}
+	// Recall strings must parse as percentages ≤ 100.
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			if !strings.HasSuffix(cell, "%") {
+				t.Fatalf("cell %q not a percentage", cell)
+			}
+		}
+	}
+}
+
+func TestBoundGuaranteeHolds(t *testing.T) {
+	p := tiny()
+	p.DeltaD = 25
+	tbl, err := BoundGuarantee(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdsCol := -1
+	for i, h := range tbl.Header {
+		if h == "holds" {
+			holdsCol = i
+		}
+	}
+	if holdsCol == -1 {
+		t.Fatal("no holds column")
+	}
+	for _, row := range tbl.Rows {
+		if row[holdsCol] != "true" {
+			t.Fatalf("Lemma 2 violated in row %v", row)
+		}
+	}
+}
+
+func TestEstimatorAccuracySmallerMAEForBiased(t *testing.T) {
+	p := tiny()
+	tbl, err := EstimatorAccuracy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no accuracy rows")
+	}
+	// At the smallest theta with overflow rows, biased MAE should not
+	// exceed unbiased MAE (the paper's headline estimator finding).
+	var checked bool
+	for _, row := range tbl.Rows {
+		if row[0] == "0.1%" && row[1] == "overflow" {
+			biasedMAE := parseF(t, row[3])
+			unbiasedMAE := parseF(t, row[5])
+			if biasedMAE > unbiasedMAE {
+				t.Fatalf("biased MAE %v > unbiased MAE %v at θ=0.1%%", biasedMAE, unbiasedMAE)
+			}
+			checked = true
+		}
+	}
+	if !checked {
+		t.Fatal("no overflow row at θ=0.1% to check")
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblations(t *testing.T) {
+	p := tiny()
+	if _, err := AblateAlpha(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblateDeltaDRemoval(p); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := AblateHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("heap ablation rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestOmegaSensitivity(t *testing.T) {
+	tbl := OmegaSensitivity()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// ω = 1 row must show zero relative error.
+	for _, row := range tbl.Rows {
+		if row[0] == "1" && row[3] != "+0.0%" {
+			t.Fatalf("ω=1 relative error = %s", row[3])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Notes:  []string{"note"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", 0.333333)
+
+	var buf bytes.Buffer
+	if err := tbl.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "b", "1", "2.5", "0.3333", "# note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,b\n1,2.5\n") {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	cps := checkpoints(100, 10)
+	if len(cps) != 10 || cps[0] != 10 || cps[9] != 100 {
+		t.Fatalf("checkpoints = %v", cps)
+	}
+	if got := checkpoints(3, 10); len(got) != 3 {
+		t.Fatalf("small-budget checkpoints = %v", got)
+	}
+}
+
+func TestAblateBatchAndStemming(t *testing.T) {
+	p := tiny()
+	tbl, err := AblateBatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("batch ablation rows = %d", len(tbl.Rows))
+	}
+	// Batch 1 coverage should be the best (or tied).
+	best := parseF(t, tbl.Rows[0][1])
+	for _, row := range tbl.Rows[1:] {
+		if v := parseF(t, row[1]); v > best*1.05 {
+			t.Fatalf("batched coverage %v exceeds sequential %v by >5%%", v, best)
+		}
+	}
+	stem, err := AblateStemming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stem.Rows) != 2 {
+		t.Fatalf("stemming ablation rows = %d", len(stem.Rows))
+	}
+}
+
+func TestHeadlineMultiSeed(t *testing.T) {
+	p := tiny()
+	tbl, err := Headline(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// SmartB's own speedup cell is the dash; others parse as "N.NNx".
+	for _, row := range tbl.Rows {
+		if row[0] == string(SmartB) {
+			if row[3] != "—" {
+				t.Fatalf("smart-b speedup cell = %q", row[3])
+			}
+			continue
+		}
+		if !strings.HasSuffix(row[3], "x") {
+			t.Fatalf("speedup cell %q", row[3])
+		}
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Fatalf("MeanStd = %v, %v", mean, std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestAblateOnlineAndForm(t *testing.T) {
+	p := tiny()
+	tbl, err := AblateOnline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("online rows = %d", len(tbl.Rows))
+	}
+	fp := Params{HiddenSize: 2000, LocalSize: 200, K: 50, Budget: 200, Seed: 5}
+	ftbl, err := FormInterface(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ftbl.Rows) != 3 {
+		t.Fatalf("form rows = %d", len(ftbl.Rows))
+	}
+	// The coarse city-only form must issue no more queries than its pool.
+	pool := parseF(t, ftbl.Rows[0][1])
+	issued := parseF(t, ftbl.Rows[0][2])
+	if issued > pool {
+		t.Fatalf("form issued %v with pool %v", issued, pool)
+	}
+}
+
+// TestAllFiguresMicro smoke-runs every per-figure function at a very small
+// scale, asserting the qualitative orderings the paper reports.
+func TestAllFiguresMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-crawl sweep; skipped in -short")
+	}
+	p := Scaled(0.03) // |H| = 3000, |D| = 300, b = 60
+	p.Seed = 17
+
+	fig4, err := Figure4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig4) != 3 {
+		t.Fatalf("fig4 tables = %d", len(fig4))
+	}
+	// Final row of 4(b) (θ=1%): smart-b must beat full and naive.
+	last := fig4[1].Rows[len(fig4[1].Rows)-1]
+	smartB, full, naive := parseF(t, last[2]), parseF(t, last[4]), parseF(t, last[5])
+	if smartB <= full || smartB <= naive {
+		t.Fatalf("fig4(b) final row ordering broken: b=%v full=%v naive=%v", smartB, full, naive)
+	}
+
+	fig5, err := Figure5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig5) != 3 {
+		t.Fatalf("fig5 tables = %d", len(fig5))
+	}
+
+	fig6, err := Figure6(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1 row of the sweep: ideal == smart-b == naive == budget.
+	sweep := fig6[2]
+	k1 := sweep.Rows[0]
+	if k1[1] != k1[2] || k1[2] != k1[4] {
+		t.Fatalf("fig6 k=1 row should tie ideal/smart/naive: %v", k1)
+	}
+
+	fig7, err := Figure7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7) != 3 {
+		t.Fatalf("fig7 tables = %d", len(fig7))
+	}
+
+	fig8, err := Figure8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SmartCrawl-B must beat Naive at the final budget in both error
+	// settings.
+	for i, tbl := range fig8 {
+		last := tbl.Rows[len(tbl.Rows)-1]
+		if parseF(t, last[1]) <= parseF(t, last[2]) {
+			t.Fatalf("fig8 table %d: smart (%s) should beat naive (%s)", i, last[1], last[2])
+		}
+	}
+}
+
+func TestRankSensitivityStable(t *testing.T) {
+	p := tiny()
+	tbl, err := RankSensitivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The B/Ideal ratio must stay within a modest band across rankings.
+	lo, hi := 2.0, 0.0
+	for _, row := range tbl.Rows {
+		r := parseF(t, row[3])
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("B/Ideal spread %.2f–%.2f — estimator quality should be ranking-agnostic", lo, hi)
+	}
+}

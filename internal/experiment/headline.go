@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Headline runs the paper's headline comparison — coverage of every
+// framework at the default parameters — across several seeds and reports
+// mean ± standard deviation plus SMARTCRAWL-B's speedup factors over the
+// baselines. This is the statistical backing for the abstract's "2–10× in
+// a large variety of situations" claim.
+func Headline(p Params, seeds int) (*Table, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	approaches := []Approach{Ideal, SmartB, Simple, Full, Naive}
+	coverage := make(map[Approach][]float64, len(approaches))
+
+	for s := 0; s < seeds; s++ {
+		pp := p
+		pp.Seed = p.Seed + uint64(s)*1000003
+		setup, err := NewDBLPSetup(pp)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range approaches {
+			res, err := setup.Run(a, pp.Budget)
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", a, s, err)
+			}
+			coverage[a] = append(coverage[a], float64(setup.TruthCoverage(res)))
+		}
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Headline: coverage at defaults over %d seeds (|H|=%d, |D|=%d, b=%d, k=%d, θ=%.2f%%)",
+			seeds, p.HiddenSize, p.LocalSize, p.Budget, p.K, p.Theta*100),
+		Header: []string{"approach", "coverage mean", "stddev", "smart-b speedup"},
+	}
+	smartMean, _ := MeanStd(coverage[SmartB])
+	for _, a := range approaches {
+		mean, std := MeanStd(coverage[a])
+		speedup := "—"
+		if a != SmartB && mean > 0 {
+			speedup = fmt.Sprintf("%.2fx", smartMean/mean)
+		}
+		t.AddRow(string(a), mean, std, speedup)
+	}
+	t.Notes = append(t.Notes,
+		"speedup = smartcrawl-b mean coverage / approach mean coverage; the paper reports 2–10× over naive/full")
+	return t, nil
+}
+
+// MeanStd returns the sample mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

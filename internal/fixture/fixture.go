@@ -1,0 +1,79 @@
+// Package fixture builds a small test universe modeled on the paper's
+// running example (Figure 1): a 4-record local database of restaurants, a
+// 9-record hidden database with a top-2 rating-ranked keyword-search
+// interface, and a 3-record (θ = 1/3) hidden-database sample. The exact
+// contents are chosen to be self-consistent with the behaviours the paper
+// states for the example (q5 = "house" matches three local records and
+// overflows, the naive per-record queries are solid, "noodle" is dominated
+// by "noodle house", etc.), and every package's tests reuse it.
+package fixture
+
+import (
+	"smartcrawl/internal/hidden"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+// Universe bundles the running-example databases.
+type Universe struct {
+	Tokenizer *tokenize.Tokenizer
+	Local     *relational.Table // d1..d4
+	HiddenTab *relational.Table // h1..h9
+	DB        *hidden.Database  // top-2, ranked by rating desc
+	Sample    *relational.Table // h3, h5, h6
+	Theta     float64           // 1/3
+	K         int               // 2
+
+	// Match is the ground-truth entity mapping: local record ID →
+	// hidden record ID (d_i matches h_i for i = 0..3).
+	Match map[int]int
+}
+
+// K and sampling ratio of the running example.
+const (
+	ExampleK     = 2
+	ExampleTheta = 1.0 / 3.0
+)
+
+// New constructs the running-example universe.
+func New() *Universe {
+	tk := tokenize.New()
+
+	local := relational.NewTable("restaurants", []string{"name"})
+	local.Append("Thai Noodle House")       // d1 (ID 0)
+	local.Append("Saigon Ramen")            // d2 (ID 1)
+	local.Append("Thai House")              // d3 (ID 2)
+	local.Append("Grand Noodle House Thai") // d4 (ID 3)
+
+	hid := relational.NewTable("yelp", []string{"name", "rating"})
+	hid.Append("Thai Noodle House", "4.0")       // h1 matches d1
+	hid.Append("Saigon Ramen", "3.9")            // h2 matches d2
+	hid.Append("Thai House", "4.1")              // h3 matches d3
+	hid.Append("Grand Noodle House Thai", "4.2") // h4 matches d4
+	hid.Append("Steak House", "4.3")             // h5
+	hid.Append("Ramen Bar", "3.8")               // h6
+	hid.Append("Curry House", "3.5")             // h7
+	hid.Append("Thai Garden", "3.7")             // h8
+	hid.Append("House of Pancakes", "4.9")       // h9
+
+	db := hidden.New(hid, tk, ExampleK,
+		hidden.RankByNumericColumn(1), hidden.ModeConjunctive)
+
+	sample := relational.NewTable("yelp-sample", []string{"name", "rating"})
+	for _, id := range []int{2, 4, 5} { // h3, h5, h6 — Figure 1(b)
+		r := hid.Records[id]
+		s := sample.Append(r.Values...)
+		_ = s
+	}
+
+	return &Universe{
+		Tokenizer: tk,
+		Local:     local,
+		HiddenTab: hid,
+		DB:        db,
+		Sample:    sample,
+		Theta:     ExampleTheta,
+		K:         ExampleK,
+		Match:     map[int]int{0: 0, 1: 1, 2: 2, 3: 3},
+	}
+}

@@ -1,0 +1,196 @@
+package formweb
+
+import (
+	"reflect"
+	"testing"
+
+	"smartcrawl/internal/dataset"
+	"smartcrawl/internal/match"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+func bizTable() *relational.Table {
+	t := relational.NewTable("biz", []string{"name", "city", "category", "rating"})
+	t.Append("Thai Noodle House", "Phoenix", "Restaurants", "4.0")
+	t.Append("Saigon Ramen", "Tempe", "Restaurants", "3.9")
+	t.Append("Golden Grill", "Phoenix", "Bars", "4.5")
+	t.Append("Desert Cafe", "Phoenix", "Restaurants", "4.2")
+	t.Append("Canyon Bar", "Tempe", "Bars", "3.5")
+	t.Append("Mesa Diner", "Phoenix", "Restaurants", "4.8")
+	return t
+}
+
+func rankByRating(r *relational.Record) float64 {
+	switch r.Value(3) {
+	case "4.8":
+		return 4.8
+	case "4.5":
+		return 4.5
+	case "4.2":
+		return 4.2
+	case "4.0":
+		return 4.0
+	case "3.9":
+		return 3.9
+	default:
+		return 3.5
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	q, err := Normalize(Query{{Col: 2, Value: " Bars "}, {Col: 1, Value: "Phoenix"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Query{{Col: 1, Value: "phoenix"}, {Col: 2, Value: "bars"}}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("Normalize = %v", q)
+	}
+	if _, err := Normalize(Query{{Col: 1, Value: "a"}, {Col: 1, Value: "b"}}); err == nil {
+		t.Fatal("duplicate column should fail")
+	}
+	if _, err := Normalize(Query{{Col: 1, Value: "  "}}); err == nil {
+		t.Fatal("empty value should fail")
+	}
+}
+
+func TestSearchForm(t *testing.T) {
+	db := New(bizTable(), []int{1, 2}, 2, rankByRating)
+	recs, err := db.SearchForm(Query{{Col: 1, Value: "Phoenix"}, {Col: 2, Value: "Restaurants"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phoenix restaurants: Thai Noodle House (4.0), Desert Cafe (4.2),
+	// Mesa Diner (4.8) — top-2 by rating: Mesa Diner, Desert Cafe.
+	if len(recs) != 2 || recs[0].Value(0) != "Mesa Diner" || recs[1].Value(0) != "Desert Cafe" {
+		t.Fatalf("result = %v", recs)
+	}
+	if db.TrueFrequency(Query{{Col: 1, Value: "phoenix"}, {Col: 2, Value: "restaurants"}}) != 3 {
+		t.Fatal("TrueFrequency")
+	}
+}
+
+func TestSearchFormValidation(t *testing.T) {
+	db := New(bizTable(), []int{1, 2}, 2, rankByRating)
+	if _, err := db.SearchForm(nil); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := db.SearchForm(Query{{Col: 0, Value: "Thai"}}); err == nil {
+		t.Error("unfilterable column should fail")
+	}
+	recs, err := db.SearchForm(Query{{Col: 1, Value: "nowhere"}})
+	if err != nil || len(recs) != 0 {
+		t.Errorf("unknown value should return empty, got %v, %v", recs, err)
+	}
+}
+
+func TestGeneratePool(t *testing.T) {
+	local := relational.NewTable("d", []string{"name", "city", "category"})
+	local.Append("A", "Phoenix", "Restaurants")
+	local.Append("B", "Phoenix", "Restaurants")
+	local.Append("C", "Phoenix", "Bars")
+	local.Append("D", "Tempe", "Restaurants")
+
+	pool, err := GeneratePool(local, []int{1, 2}, []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, q := range pool {
+		keys[q.Key()] = true
+	}
+	// {phoenix, restaurants} has support 2 and is closed.
+	if !keys["1=phoenix&2=restaurants"] {
+		t.Fatalf("missing combined filter; pool = %v", pool)
+	}
+	// {phoenix} has support 3 ≠ 2, so it survives the closed filter too.
+	if !keys["1=phoenix"] {
+		t.Fatalf("missing city filter; pool = %v", pool)
+	}
+	// {restaurants} support 3: closed (no equal-support superset).
+	if !keys["2=restaurants"] {
+		t.Fatalf("missing category filter; pool = %v", pool)
+	}
+}
+
+func TestGeneratePoolValidation(t *testing.T) {
+	local := relational.NewTable("d", []string{"a"})
+	if _, err := GeneratePool(local, []int{0}, []int{0, 1}, 2); err == nil {
+		t.Fatal("misaligned columns should fail")
+	}
+	if _, err := GeneratePool(local, nil, nil, 2); err == nil {
+		t.Fatal("empty columns should fail")
+	}
+}
+
+func TestCrawlCoversViaForm(t *testing.T) {
+	tk := tokenize.New()
+	hid := bizTable()
+	db := New(hid, []int{1, 2}, 3, rankByRating)
+
+	// Local table: three of the businesses, aligned schema (name, city,
+	// category).
+	local := relational.NewTable("d", []string{"name", "city", "category"})
+	local.Append("Thai Noodle House", "Phoenix", "Restaurants")
+	local.Append("Desert Cafe", "Phoenix", "Restaurants")
+	local.Append("Canyon Bar", "Tempe", "Bars")
+
+	pool, err := GeneratePool(local, []int{1, 2}, []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := match.NewExactOn(tk, []int{0}, []int{0}) // match on name
+	res, err := Crawl(local, db, pool, tk, m, []int{1, 2}, []int{1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredCount != 3 {
+		t.Fatalf("covered %d of 3 (crawled %d)", res.CoveredCount, len(res.Crawled))
+	}
+	if res.QueriesIssued > 10 {
+		t.Fatalf("issued %d", res.QueriesIssued)
+	}
+}
+
+// TestFormVsKeywordReach demonstrates the structural limitation that keeps
+// the paper on keyword interfaces: a coarse form grid caps reachable
+// records at (#distinct filter combinations) × k, while keyword queries
+// can name individual entities.
+func TestFormVsKeywordReach(t *testing.T) {
+	in, err := dataset.GenerateYelp(dataset.YelpConfig{
+		HiddenSize: 4000, LocalSize: 400, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := tokenize.New()
+	// Form interface over city only (the coarsest realistic grid).
+	db := New(in.Hidden, []int{1}, 50, func(r *relational.Record) float64 {
+		return float64(r.ID % 97)
+	})
+	local, err := in.Local.Project("name", "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := GeneratePool(local, []int{1}, []int{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := match.NewExactOn(tk, in.LocalKey, in.HiddenKey)
+	res, err := Crawl(local, db, pool, tk, m, []int{1}, []int{1}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~15 cities × k=50 caps crawlable records at ~750 of 4000, so
+	// coverage of the 400 local records is capped near 750/4000 ≈ 19%.
+	maxReach := len(pool) * db.K()
+	if res.CoveredCount > maxReach {
+		t.Fatalf("covered %d exceeds the structural cap %d", res.CoveredCount, maxReach)
+	}
+	if res.QueriesIssued > len(pool) {
+		t.Fatalf("issued %d with only %d distinct form queries", res.QueriesIssued, len(pool))
+	}
+	t.Logf("form coverage %d/400 with %d queries (cap %d records)",
+		res.CoveredCount, res.QueriesIssued, maxReach)
+}

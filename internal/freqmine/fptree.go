@@ -1,0 +1,115 @@
+package freqmine
+
+import "sort"
+
+// fpNode is one node of an FP-tree. Children are keyed by item rank.
+type fpNode struct {
+	rank     int // item rank; -1 for the root
+	count    int
+	parent   *fpNode
+	children map[int]*fpNode
+	next     *fpNode // header-table sibling link
+}
+
+// fpTree holds the root and the header table (one chain of nodes per item
+// rank, used to walk all occurrences of an item bottom-up).
+type fpTree struct {
+	root   *fpNode
+	header []*fpNode
+}
+
+func newFPTree(nItems int) *fpTree {
+	return &fpTree{
+		root:   &fpNode{rank: -1, children: make(map[int]*fpNode)},
+		header: make([]*fpNode, nItems),
+	}
+}
+
+// filterAndRank keeps the transaction's frequent items, translated to ranks
+// and sorted ascending (most frequent first), deduplicated.
+func filterAndRank(t []int, rank map[int]int) []int {
+	var out []int
+	seen := make(map[int]struct{}, len(t))
+	for _, it := range t {
+		r, ok := rank[it]
+		if !ok {
+			continue
+		}
+		if _, dup := seen[r]; dup {
+			continue
+		}
+		seen[r] = struct{}{}
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// insert adds a ranked transaction with the given count to the tree.
+func (t *fpTree) insert(ranked []int, count int) {
+	node := t.root
+	for _, r := range ranked {
+		child, ok := node.children[r]
+		if !ok {
+			child = &fpNode{
+				rank:     r,
+				parent:   node,
+				children: make(map[int]*fpNode),
+				next:     t.header[r],
+			}
+			t.header[r] = child
+			node.children[r] = child
+		}
+		child.count += count
+		node = child
+	}
+}
+
+// mineTree emits every frequent itemset of tree extended by suffix,
+// recursing into conditional trees. Itemset items are ranks; the caller
+// translates back to item IDs.
+func mineTree(tree *fpTree, suffix []int, minSupport, maxLen int, out *[]Itemset) {
+	if len(suffix) >= maxLen {
+		return
+	}
+	// Walk items from least frequent (highest rank) to most frequent so
+	// conditional bases shrink fastest.
+	for r := len(tree.header) - 1; r >= 0; r-- {
+		support := 0
+		for n := tree.header[r]; n != nil; n = n.next {
+			support += n.count
+		}
+		if support < minSupport {
+			continue
+		}
+		itemset := make([]int, 0, len(suffix)+1)
+		itemset = append(itemset, r)
+		itemset = append(itemset, suffix...)
+		*out = append(*out, Itemset{Items: itemset, Support: support})
+
+		if len(itemset) >= maxLen {
+			continue
+		}
+		// Conditional pattern base: prefix paths of every node of r.
+		cond := newFPTree(r) // ranks < r only can appear above r
+		nonEmpty := false
+		for n := tree.header[r]; n != nil; n = n.next {
+			var path []int
+			for p := n.parent; p != nil && p.rank >= 0; p = p.parent {
+				path = append(path, p.rank)
+			}
+			if len(path) == 0 {
+				continue
+			}
+			// path is bottom-up; reverse to root-down order.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			cond.insert(path, n.count)
+			nonEmpty = true
+		}
+		if nonEmpty {
+			mineTree(cond, itemset, minSupport, maxLen, out)
+		}
+	}
+}

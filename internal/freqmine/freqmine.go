@@ -1,0 +1,303 @@
+// Package freqmine implements frequent-itemset mining over keyword
+// transactions, the engine behind the paper's query-pool generation (§3.1):
+// treating each local record's distinct keywords as a transaction, every
+// itemset with support ≥ t becomes a candidate query with |q(D)| ≥ t.
+//
+// Two miners are provided: FP-Growth (Han et al. [24], the algorithm the
+// paper cites) as the production path, and Apriori as an independent
+// baseline used by property tests to cross-validate results. A closed-
+// itemset filter implements the paper's dominance pruning — a query q₂ is
+// dominated by q₁ when |q₁(D)| = |q₂(D)| and q₁ ⊇ q₂, which is precisely
+// the statement that q₂ is a non-closed itemset.
+package freqmine
+
+import "sort"
+
+// Itemset is a frequent itemset: sorted item IDs plus the number of
+// transactions containing all of them.
+type Itemset struct {
+	Items   []int
+	Support int
+}
+
+// Config bounds a mining run.
+type Config struct {
+	// MinSupport is the paper's frequency threshold t (≥ 1). Itemsets
+	// must appear in at least MinSupport transactions.
+	MinSupport int
+	// MaxLen bounds itemset cardinality; 0 means unbounded. The paper's
+	// pool generation needs only short queries (long ones are covered by
+	// the per-record naive queries), and bounding the length keeps the
+	// 2^|d| candidate space tractable.
+	MaxLen int
+}
+
+func (c Config) maxLen() int {
+	if c.MaxLen <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return c.MaxLen
+}
+
+// MineFPGrowth returns all itemsets with support ≥ cfg.MinSupport and
+// length ≤ cfg.MaxLen, in deterministic order (by descending support, then
+// lexicographic items). Transactions are slices of item IDs; duplicates
+// within a transaction are ignored.
+func MineFPGrowth(transactions [][]int, cfg Config) []Itemset {
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 1
+	}
+	freq := countItems(transactions)
+
+	// Frequent items ordered by descending frequency (ties: ascending
+	// ID), the canonical FP-tree insertion order.
+	var items []int
+	for it, f := range freq {
+		if f >= cfg.MinSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if freq[items[a]] != freq[items[b]] {
+			return freq[items[a]] > freq[items[b]]
+		}
+		return items[a] < items[b]
+	})
+	rank := make(map[int]int, len(items))
+	for i, it := range items {
+		rank[it] = i
+	}
+
+	tree := newFPTree(len(items))
+	for _, t := range transactions {
+		filtered := filterAndRank(t, rank)
+		tree.insert(filtered, 1)
+	}
+
+	var out []Itemset
+	mineTree(tree, nil, cfg.MinSupport, cfg.maxLen(), &out)
+
+	// Translate ranks back to item IDs and canonicalize.
+	for i := range out {
+		for j, r := range out[i].Items {
+			out[i].Items[j] = items[r]
+		}
+		sort.Ints(out[i].Items)
+	}
+	sortItemsets(out)
+	return out
+}
+
+// MineApriori is the level-wise baseline miner with identical semantics to
+// MineFPGrowth. Exponentially slower on dense data; used for validation.
+func MineApriori(transactions [][]int, cfg Config) []Itemset {
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 1
+	}
+	// Deduplicate items within transactions and keep them sorted.
+	txs := make([][]int, len(transactions))
+	for i, t := range transactions {
+		txs[i] = sortedUnique(t)
+	}
+
+	freq := countItems(txs)
+	var level [][]int
+	for it, f := range freq {
+		if f >= cfg.MinSupport {
+			level = append(level, []int{it})
+		}
+	}
+	sort.Slice(level, func(a, b int) bool { return level[a][0] < level[b][0] })
+
+	var out []Itemset
+	for len(level) > 0 {
+		// Count supports of this level's candidates.
+		var frequent [][]int
+		for _, cand := range level {
+			sup := 0
+			for _, t := range txs {
+				if containsAll(t, cand) {
+					sup++
+				}
+			}
+			if sup >= cfg.MinSupport {
+				out = append(out, Itemset{Items: append([]int(nil), cand...), Support: sup})
+				frequent = append(frequent, cand)
+			}
+		}
+		if len(frequent) == 0 || len(level[0]) >= cfg.maxLen() {
+			break
+		}
+		level = joinLevel(frequent)
+	}
+	sortItemsets(out)
+	return out
+}
+
+// joinLevel produces (k+1)-candidates from sorted k-itemsets sharing their
+// first k−1 items (classic Apriori join), with the subset-pruning step.
+func joinLevel(frequent [][]int) [][]int {
+	freqSet := make(map[string]bool, len(frequent))
+	for _, f := range frequent {
+		freqSet[keyOf(f)] = true
+	}
+	var next [][]int
+	for i := 0; i < len(frequent); i++ {
+		for j := i + 1; j < len(frequent); j++ {
+			a, b := frequent[i], frequent[j]
+			if !samePrefix(a, b) {
+				continue
+			}
+			cand := append(append([]int(nil), a...), b[len(b)-1])
+			sort.Ints(cand)
+			// Prune: all k-subsets must be frequent.
+			ok := true
+			for drop := 0; drop < len(cand); drop++ {
+				sub := make([]int, 0, len(cand)-1)
+				sub = append(sub, cand[:drop]...)
+				sub = append(sub, cand[drop+1:]...)
+				if !freqSet[keyOf(sub)] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				next = append(next, cand)
+			}
+		}
+	}
+	return next
+}
+
+func samePrefix(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+func keyOf(items []int) string {
+	b := make([]byte, 0, len(items)*3)
+	for _, it := range items {
+		for it >= 128 {
+			b = append(b, byte(it&0x7f)|0x80)
+			it >>= 7
+		}
+		b = append(b, byte(it))
+	}
+	return string(b)
+}
+
+// FilterClosed removes non-closed itemsets: any itemset with a proper
+// superset of equal support in the input. This is the paper's dominance
+// rule — among queries with the same |q(D)|, keep only the most specific
+// (e.g. drop "noodle" when "noodle house" has the same frequency).
+// Note the filter is relative to the mined collection: with a MaxLen bound,
+// supersets longer than the bound are not considered (they are not pool
+// candidates either, so dominance against them is irrelevant).
+func FilterClosed(sets []Itemset) []Itemset {
+	// Group by support; within a group, an itemset is dominated iff some
+	// longer member contains it.
+	bySupport := make(map[int][]int) // support -> indices into sets
+	for i, s := range sets {
+		bySupport[s.Support] = append(bySupport[s.Support], i)
+	}
+	dominated := make([]bool, len(sets))
+	for _, group := range bySupport {
+		// Index group members by one item to limit subset checks.
+		byItem := make(map[int][]int)
+		for _, gi := range group {
+			for _, it := range sets[gi].Items {
+				byItem[it] = append(byItem[it], gi)
+			}
+		}
+		for _, gi := range group {
+			items := sets[gi].Items
+			// Candidates: supersets must contain items[0].
+			for _, gj := range byItem[items[0]] {
+				if gj == gi || len(sets[gj].Items) <= len(items) {
+					continue
+				}
+				if isSubset(items, sets[gj].Items) {
+					dominated[gi] = true
+					break
+				}
+			}
+		}
+	}
+	var out []Itemset
+	for i, s := range sets {
+		if !dominated[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// isSubset reports whether sorted slice a ⊆ sorted slice b.
+func isSubset(a, b []int) bool {
+	i := 0
+	for _, v := range b {
+		if i == len(a) {
+			return true
+		}
+		if a[i] == v {
+			i++
+		} else if a[i] < v {
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+func countItems(transactions [][]int) map[int]int {
+	freq := make(map[int]int)
+	for _, t := range transactions {
+		for _, it := range sortedUnique(t) {
+			freq[it]++
+		}
+	}
+	return freq
+}
+
+func sortedUnique(t []int) []int {
+	if len(t) == 0 {
+		return nil
+	}
+	cp := append([]int(nil), t...)
+	sort.Ints(cp)
+	out := cp[:1]
+	for _, v := range cp[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func containsAll(sortedTx, sortedItems []int) bool {
+	return isSubset(sortedItems, sortedTx)
+}
+
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(a, b int) bool {
+		sa, sb := sets[a], sets[b]
+		if sa.Support != sb.Support {
+			return sa.Support > sb.Support
+		}
+		if len(sa.Items) != len(sb.Items) {
+			return len(sa.Items) < len(sb.Items)
+		}
+		for i := range sa.Items {
+			if sa.Items[i] != sb.Items[i] {
+				return sa.Items[i] < sb.Items[i]
+			}
+		}
+		return false
+	})
+}

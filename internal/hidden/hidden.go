@@ -1,0 +1,227 @@
+// Package hidden implements the hidden-database simulator: a relational
+// table behind a top-k keyword-search interface with an unknown,
+// deterministic ranking function (§2, Definition 2). It reproduces both
+// interface flavors the paper evaluates:
+//
+//   - ModeConjunctive: only records containing ALL query keywords are
+//     returned (IMDb, ACM DL, GoodReads, SoundCloud — and the paper's
+//     simulated DBLP engine, which ranks by year);
+//   - ModeRanked: records matching ANY keyword may be returned, but records
+//     containing all keywords rank on top (Yelp's behaviour, §2 and §7.3).
+//
+// The package also exposes oracle accessors (true |q(H)|, the full record
+// set) used only by IdealCrawl and by experiment instrumentation — never by
+// the practical crawlers, which see the database exclusively through
+// deepweb.Searcher.
+package hidden
+
+import (
+	"fmt"
+	"sort"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/index"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+// Mode selects the search semantics.
+type Mode int
+
+const (
+	// ModeConjunctive returns only records containing every keyword.
+	ModeConjunctive Mode = iota
+	// ModeRanked returns records containing any keyword; all-keyword
+	// matches rank on top, the rest follow by static relevance score.
+	ModeRanked
+)
+
+// RankFunc assigns each record a static relevance score; higher scores rank
+// earlier. The function is "unknown" to crawlers — they only ever see its
+// effect through truncated result lists.
+type RankFunc func(r *relational.Record) float64
+
+// RankByNumericColumn ranks by the numeric value of column col, descending
+// (the paper's simulated engine ranks publications by year). Unparsable
+// values rank last.
+func RankByNumericColumn(col int) RankFunc {
+	return func(r *relational.Record) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(r.Value(col), "%g", &v); err != nil {
+			return negInf
+		}
+		return v
+	}
+}
+
+// RankByHash ranks by a deterministic pseudo-random hash of the record ID —
+// a stand-in for opaque relevance scores.
+func RankByHash(seed uint64) RankFunc {
+	return func(r *relational.Record) float64 {
+		z := uint64(r.ID)*0x9e3779b97f4a7c15 + seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return float64(z^(z>>31)) / (1 << 64)
+	}
+}
+
+// RankByDocLength ranks shorter documents first (a crude "exactness" prior
+// some engines exhibit).
+func RankByDocLength() RankFunc {
+	return func(r *relational.Record) float64 {
+		return -float64(len(r.Document()))
+	}
+}
+
+const negInf = -1.7976931348623157e308
+
+// Database is a simulated hidden database.
+type Database struct {
+	table *relational.Table
+	inv   *index.Inverted
+	score []float64 // precomputed rank scores, indexed by record ID
+	k     int
+	mode  Mode
+}
+
+// New builds a hidden database over table with the given top-k limit,
+// ranking function, and search mode. Record IDs must be dense 0..n-1 (as
+// produced by relational.Table.Append).
+func New(table *relational.Table, tk *tokenize.Tokenizer, k int, rank RankFunc, mode Mode) *Database {
+	if k <= 0 {
+		panic("hidden: k must be positive")
+	}
+	db := &Database{
+		table: table,
+		inv:   index.BuildInverted(table.Records, tk),
+		score: make([]float64, len(table.Records)),
+		k:     k,
+		mode:  mode,
+	}
+	for _, r := range table.Records {
+		if r.ID < 0 || r.ID >= len(db.score) {
+			panic("hidden: record IDs must be dense")
+		}
+		db.score[r.ID] = rank(r)
+	}
+	return db
+}
+
+// K returns the top-k limit of the search interface.
+func (db *Database) K() int { return db.k }
+
+// Search implements deepweb.Searcher. It is deterministic: ranking ties are
+// broken by record ID.
+func (db *Database) Search(q deepweb.Query) ([]*relational.Record, error) {
+	if err := deepweb.Validate(q); err != nil {
+		return nil, err
+	}
+	switch db.mode {
+	case ModeConjunctive:
+		return db.searchConjunctive(q), nil
+	case ModeRanked:
+		return db.searchRanked(q), nil
+	default:
+		return nil, fmt.Errorf("hidden: unknown mode %d", db.mode)
+	}
+}
+
+func (db *Database) searchConjunctive(q deepweb.Query) []*relational.Record {
+	ids := db.inv.Lookup(q)
+	if len(ids) > db.k {
+		ids = db.topK(ids, nil, len(q))
+	}
+	return db.materialize(ids)
+}
+
+func (db *Database) searchRanked(q deepweb.Query) []*relational.Record {
+	// Union of posting lists with per-record match counts.
+	matched := make(map[int]int)
+	for _, w := range q {
+		for _, id := range db.inv.Postings(w) {
+			matched[id]++
+		}
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(matched))
+	for id := range matched {
+		ids = append(ids, id)
+	}
+	if len(ids) > db.k {
+		ids = db.topK(ids, matched, len(q))
+	} else {
+		db.sortByRank(ids, matched, len(q))
+	}
+	return db.materialize(ids)
+}
+
+// topK selects and orders the k best IDs under (full-match tier, score
+// desc, id asc). matched may be nil (conjunctive mode: every candidate is
+// a full match).
+func (db *Database) topK(ids []int, matched map[int]int, fullCount int) []int {
+	cp := make([]int, len(ids))
+	copy(cp, ids)
+	db.sortByRank(cp, matched, fullCount)
+	return cp[:db.k]
+}
+
+// sortByRank orders candidates the way the paper describes Yelp behaving
+// (§2): records containing ALL query keywords rank on top; everything else
+// follows by the static relevance score alone. Partial matches are NOT
+// tiered by how many keywords they share — real engines pad the tail with
+// globally popular results, so the padding repeats across queries instead
+// of surfacing fresh entities per query. matched is nil in conjunctive
+// mode (every candidate is a full match).
+func (db *Database) sortByRank(ids []int, matched map[int]int, fullCount int) {
+	full := func(id int) bool {
+		return matched == nil || matched[id] == fullCount
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ia, ib := ids[a], ids[b]
+		fa, fb := full(ia), full(ib)
+		if fa != fb {
+			return fa
+		}
+		if db.score[ia] != db.score[ib] {
+			return db.score[ia] > db.score[ib]
+		}
+		return ia < ib
+	})
+}
+
+func (db *Database) materialize(ids []int) []*relational.Record {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]*relational.Record, len(ids))
+	for i, id := range ids {
+		out[i] = db.table.Records[id]
+	}
+	return out
+}
+
+// --- Oracle accessors (experiment instrumentation and IdealCrawl only) ---
+
+// Size returns |H|. Real hidden databases do not reveal this.
+func (db *Database) Size() int { return db.table.Len() }
+
+// Table returns the underlying table (ground truth for evaluation).
+func (db *Database) Table() *relational.Table { return db.table }
+
+// TrueFrequency returns |q(H)| — the number of hidden records satisfying q
+// under conjunctive semantics, regardless of mode. Oracle only.
+func (db *Database) TrueFrequency(q deepweb.Query) int { return db.inv.Count(q) }
+
+// IsOverflowing reports whether q is an overflowing query (|q(H)| > k,
+// Definition 2). Oracle only.
+func (db *Database) IsOverflowing(q deepweb.Query) bool {
+	return db.TrueFrequency(q) > db.k
+}
+
+// FullMatch returns all records satisfying q conjunctively, ignoring the
+// top-k truncation. Oracle only (used to verify estimator math in tests).
+func (db *Database) FullMatch(q deepweb.Query) []*relational.Record {
+	return db.materialize(db.inv.Lookup(q))
+}

@@ -1,0 +1,153 @@
+package index
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+// CompressedInverted is a space-efficient inverted index: each posting list
+// is stored as varint-encoded deltas between consecutive record IDs
+// (classic d-gap compression). For the skewed keyword distributions this
+// system indexes — a few head tokens with tens of thousands of postings —
+// it cuts index memory several-fold versus []int while supporting the same
+// conjunctive lookups. Lists decompress lazily during intersection, so the
+// common short-circuit paths (rare keyword first) never touch the long
+// lists' tails.
+type CompressedInverted struct {
+	postings map[string]compressedList
+	size     int
+}
+
+type compressedList struct {
+	data  []byte
+	count int
+}
+
+// BuildCompressedInverted indexes the records like BuildInverted but with
+// d-gap varint storage.
+func BuildCompressedInverted(recs []*relational.Record, tk *tokenize.Tokenizer) *CompressedInverted {
+	// Gather plain lists first (IDs may arrive unsorted).
+	tmp := make(map[string][]int)
+	for _, r := range recs {
+		for _, w := range r.Tokens(tk) {
+			tmp[w] = append(tmp[w], r.ID)
+		}
+	}
+	inv := &CompressedInverted{
+		postings: make(map[string]compressedList, len(tmp)),
+		size:     len(recs),
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for w, ids := range tmp {
+		sort.Ints(ids)
+		data := make([]byte, 0, len(ids)) // gaps are usually 1 byte
+		prev := 0
+		for i, id := range ids {
+			gap := id - prev
+			if i == 0 {
+				gap = id
+			}
+			n := binary.PutUvarint(buf[:], uint64(gap))
+			data = append(data, buf[:n]...)
+			prev = id
+		}
+		inv.postings[w] = compressedList{data: data, count: len(ids)}
+	}
+	return inv
+}
+
+// Size returns the number of indexed records.
+func (inv *CompressedInverted) Size() int { return inv.size }
+
+// VocabularySize returns the number of distinct keywords.
+func (inv *CompressedInverted) VocabularySize() int { return len(inv.postings) }
+
+// DocFreq returns |I(w)| without decompressing.
+func (inv *CompressedInverted) DocFreq(w string) int { return inv.postings[w].count }
+
+// Bytes returns the total compressed posting storage, for the
+// space-efficiency bench.
+func (inv *CompressedInverted) Bytes() int {
+	n := 0
+	for _, l := range inv.postings {
+		n += len(l.data)
+	}
+	return n
+}
+
+// listIterator walks a compressed list without materializing it.
+type listIterator struct {
+	data []byte
+	cur  int
+	done bool
+}
+
+func (l compressedList) iterator() *listIterator {
+	it := &listIterator{data: l.data}
+	it.next()
+	return it
+}
+
+// next advances to the following ID; done is set past the end.
+func (it *listIterator) next() {
+	if len(it.data) == 0 {
+		it.done = true
+		return
+	}
+	gap, n := binary.Uvarint(it.data)
+	it.data = it.data[n:]
+	it.cur += int(gap)
+}
+
+// Lookup returns the sorted IDs of records satisfying conjunctive query q,
+// identical in contract to Inverted.Lookup.
+func (inv *CompressedInverted) Lookup(q []string) []int {
+	if len(q) == 0 {
+		return nil
+	}
+	lists := make([]compressedList, len(q))
+	for i, w := range q {
+		l, ok := inv.postings[w]
+		if !ok || l.count == 0 {
+			return nil
+		}
+		lists[i] = l
+	}
+	// Rarest first, as in the plain index.
+	sort.Slice(lists, func(i, j int) bool { return lists[i].count < lists[j].count })
+
+	its := make([]*listIterator, len(lists))
+	for i, l := range lists {
+		its[i] = l.iterator()
+	}
+	var out []int
+	// k-way conjunctive merge: advance the lagging iterators toward the
+	// current candidate from the rarest list.
+	for !its[0].done {
+		candidate := its[0].cur
+		matched := true
+		for _, it := range its[1:] {
+			for !it.done && it.cur < candidate {
+				it.next()
+			}
+			if it.done {
+				return out
+			}
+			if it.cur != candidate {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			out = append(out, candidate)
+		}
+		its[0].next()
+	}
+	return out
+}
+
+// Count returns |q(D)|.
+func (inv *CompressedInverted) Count(q []string) int { return len(inv.Lookup(q)) }

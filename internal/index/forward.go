@@ -1,0 +1,43 @@
+package index
+
+// Forward is the forward index of Figure 3(b): it maps each local record ID
+// to the IDs of the pool queries the record satisfies (its forward list
+// F(d)). When a record is covered and removed from D, the forward list
+// identifies exactly the queries whose |q(D)| must be decremented — the
+// input to the delta-update mechanism.
+type Forward struct {
+	lists map[int][]int
+}
+
+// NewForward returns an empty forward index.
+func NewForward() *Forward { return &Forward{lists: make(map[int][]int)} }
+
+// Add records that query qid is satisfied by record rid.
+func (f *Forward) Add(rid, qid int) {
+	f.lists[rid] = append(f.lists[rid], qid)
+}
+
+// List returns F(rid), the query IDs satisfied by record rid (shared slice;
+// callers must not mutate). Missing records yield nil.
+func (f *Forward) List(rid int) []int { return f.lists[rid] }
+
+// Remove deletes the forward list of rid and returns it; the record is
+// leaving D and its list will not be consulted again.
+func (f *Forward) Remove(rid int) []int {
+	l := f.lists[rid]
+	delete(f.lists, rid)
+	return l
+}
+
+// Len returns the number of records with non-empty forward lists.
+func (f *Forward) Len() int { return len(f.lists) }
+
+// TotalEntries returns the sum of forward-list lengths — the Σ|F(d)| term
+// in the Appendix B complexity analysis.
+func (f *Forward) TotalEntries() int {
+	n := 0
+	for _, l := range f.lists {
+		n += len(l)
+	}
+	return n
+}

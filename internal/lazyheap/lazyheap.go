@@ -1,0 +1,118 @@
+// Package lazyheap implements the on-demand-updating priority queue of the
+// paper's Section 6.3 and Figure 3(c). Selecting argmax |q(D)| naively
+// requires rescanning the whole pool each iteration; instead, covered
+// records only *invalidate* the affected queries (via the forward index),
+// and a query's priority is recomputed lazily when it surfaces at the top
+// of the heap — the delta-update index U of Algorithm 4. A popped query is
+// returned only when its priority is clean, which preserves argmax
+// correctness because priorities only ever decrease.
+package lazyheap
+
+import "container/heap"
+
+// Queue is a max-priority queue of query IDs with lazy revalidation.
+// It is not safe for concurrent use.
+type Queue struct {
+	h     entryHeap
+	dirty map[int]bool
+
+	// Repushes counts lazy re-insertions — the `t` factor in the paper's
+	// Appendix B complexity analysis, reported by the ablation bench.
+	Repushes int
+}
+
+type entry struct {
+	id  int
+	pri float64
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	return &Queue{dirty: make(map[int]bool)}
+}
+
+// Push inserts a query with the given priority. Each query ID must be
+// pushed at most once; re-prioritization happens only through Invalidate +
+// lazy rescoring.
+func (q *Queue) Push(id int, priority float64) {
+	heap.Push(&q.h, entry{id: id, pri: priority})
+}
+
+// Len returns the number of queries currently queued.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Invalidate marks a query's cached priority as stale. The next time the
+// query reaches the top of the heap, rescore is consulted before it can be
+// returned. Invalidating an ID not in the queue is a harmless no-op (the
+// flag is cleared when the ID fails to appear).
+func (q *Queue) Invalidate(id int) { q.dirty[id] = true }
+
+// Reprioritize rebuilds the whole queue by rescoring every entry — used
+// when a global parameter of the scoring function changes (e.g. an online
+// calibration constant), which may raise priorities and therefore cannot
+// be handled by lazy invalidation (a stale low entry would hide beneath
+// clean ones). Entries for which rescore returns keep=false are dropped.
+// O(n) rescores plus O(n) heapify.
+func (q *Queue) Reprioritize(rescore func(id int) (priority float64, keep bool)) {
+	old := q.h
+	q.h = q.h[:0]
+	for _, e := range old {
+		if q.dirty[e.id] {
+			delete(q.dirty, e.id)
+		}
+		pri, keep := rescore(e.id)
+		if !keep {
+			continue
+		}
+		q.h = append(q.h, entry{id: e.id, pri: pri})
+	}
+	heap.Init(&q.h)
+}
+
+// Pop returns the query with the largest up-to-date priority, removing it
+// from the queue. For every stale query encountered at the top, rescore is
+// called with its ID; rescore returns the fresh priority and whether the
+// query should stay in the pool (keep=false drops it outright, used when
+// |q(D)| has fallen to zero). Pop returns ok=false when the queue is
+// exhausted.
+//
+// Correctness relies on priorities being non-increasing over time (covering
+// records can only shrink |q(D)|): a clean top entry therefore dominates
+// every stale entry's true priority.
+func (q *Queue) Pop(rescore func(id int) (priority float64, keep bool)) (id int, priority float64, ok bool) {
+	for q.h.Len() > 0 {
+		top := heap.Pop(&q.h).(entry)
+		if !q.dirty[top.id] {
+			return top.id, top.pri, true
+		}
+		delete(q.dirty, top.id)
+		pri, keep := rescore(top.id)
+		if !keep {
+			continue
+		}
+		q.Repushes++
+		heap.Push(&q.h, entry{id: top.id, pri: pri})
+	}
+	return 0, 0, false
+}
+
+// entryHeap is a max-heap on priority with ties broken by smaller ID so
+// selection is fully deterministic.
+type entryHeap []entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri > h[j].pri
+	}
+	return h[i].id < h[j].id
+}
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

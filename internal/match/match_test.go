@@ -1,0 +1,282 @@
+package match
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/stats"
+	"smartcrawl/internal/tokenize"
+)
+
+func rec(id int, doc string) *relational.Record {
+	return &relational.Record{ID: id, Values: []string{doc}}
+}
+
+func TestExactMatcher(t *testing.T) {
+	tk := tokenize.New()
+	m := NewExact(tk)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Thai House", "thai house", true},
+		{"Thai House", "House Thai", true}, // token-set equality
+		{"Thai House", "Thai House!", true},
+		{"Thai House", "Thai Houses", false},
+		{"Thai House", "Thai", false},
+		{"", "", true},
+	}
+	for _, c := range cases {
+		if got := m.Match(rec(0, c.a), rec(1, c.b)); got != c.want {
+			t.Errorf("Exact(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardSim(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3},
+		{[]string{"a"}, []string{"b"}, 0},
+		{nil, nil, 1},
+		{[]string{"a"}, nil, 0},
+		{[]string{"a", "b", "c", "d"}, []string{"a", "b", "c"}, 0.75},
+	}
+	for _, c := range cases {
+		if got := JaccardSim(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardMatcherThreshold(t *testing.T) {
+	tk := tokenize.New()
+	m := NewJaccard(tk, 0.75)
+	// 3 shared of 4 union = 0.75: match.
+	if !m.Match(rec(0, "alpha beta gamma delta"), rec(1, "alpha beta gamma")) {
+		t.Fatal("0.75 similarity should match at threshold 0.75")
+	}
+	// 2 shared of 4 union = 0.5: no match.
+	if m.Match(rec(0, "alpha beta gamma delta"), rec(1, "alpha beta")) {
+		t.Fatal("0.5 similarity should not match")
+	}
+}
+
+func TestNewJaccardPanicsOnBadThreshold(t *testing.T) {
+	for _, th := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("threshold %v should panic", th)
+				}
+			}()
+			NewJaccard(tokenize.New(), th)
+		}()
+	}
+}
+
+func TestSimilarityFunctions(t *testing.T) {
+	a := []string{"w", "x", "y"}
+	b := []string{"x", "y", "z", "q"}
+	// overlap = 2
+	if got := DiceSim(a, b); math.Abs(got-4.0/7) > 1e-12 {
+		t.Errorf("Dice = %v", got)
+	}
+	if got := OverlapSim(a, b); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Overlap = %v", got)
+	}
+	if got := CosineSim(a, b); math.Abs(got-2/math.Sqrt(12)) > 1e-12 {
+		t.Errorf("Cosine = %v", got)
+	}
+}
+
+func TestSimilarityBoundsAndSymmetry(t *testing.T) {
+	rng := stats.NewRNG(5)
+	vocab := []string{"a", "b", "c", "d", "e", "f"}
+	randSet := func() []string {
+		n := rng.Intn(5)
+		seen := map[string]bool{}
+		var out []string
+		for i := 0; i < n; i++ {
+			w := vocab[rng.Intn(len(vocab))]
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	sims := []func(a, b []string) float64{JaccardSim, DiceSim, OverlapSim, CosineSim}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randSet(), randSet()
+		for i, f := range sims {
+			ab, ba := f(a, b), f(b, a)
+			if math.Abs(ab-ba) > 1e-12 {
+				t.Fatalf("sim %d not symmetric on %v %v", i, a, b)
+			}
+			if ab < -1e-12 || ab > 1+1e-12 {
+				t.Fatalf("sim %d out of [0,1]: %v", i, ab)
+			}
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"rest", "restaurant", 6},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinTriangleProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 || len(b) > 30 {
+			return true
+		}
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			return false
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		diff := la - lb
+		if diff < 0 {
+			diff = -diff
+		}
+		maxLen := la
+		if lb > maxLen {
+			maxLen = lb
+		}
+		return d >= diff && d <= maxLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinerExact(t *testing.T) {
+	tk := tokenize.New()
+	locals := []*relational.Record{
+		rec(0, "Thai House"),
+		rec(1, "Steak House"),
+		rec(2, "thai HOUSE"), // duplicate key of 0
+	}
+	j := NewJoiner(locals, tk, NewExact(tk))
+	if got := j.Matches(rec(100, "Thai House")); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Matches = %v", got)
+	}
+	if got := j.Matches(rec(100, "Pizza Place")); got != nil {
+		t.Fatalf("Matches = %v, want nil", got)
+	}
+	covered := j.CoveredBy([]*relational.Record{
+		rec(100, "Steak House"),
+		rec(101, "Thai House"),
+		rec(102, "Steak House"), // dup in batch
+	})
+	if !reflect.DeepEqual(covered, []int{0, 1, 2}) {
+		t.Fatalf("CoveredBy = %v", covered)
+	}
+}
+
+// TestJoinerJaccardMatchesBruteForce is the key property test: the
+// prefix-filtered join must return exactly the records a full scan returns.
+func TestJoinerJaccardMatchesBruteForce(t *testing.T) {
+	tk := tokenize.New()
+	rng := stats.NewRNG(17)
+	vocab := make([]string, 30)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("tok%02d", i)
+	}
+	for _, threshold := range []float64{0.5, 0.75, 0.9, 1.0} {
+		m := NewJaccard(tk, threshold)
+		locals := make([]*relational.Record, 120)
+		for i := range locals {
+			n := 1 + rng.Intn(6)
+			doc := ""
+			for j := 0; j < n; j++ {
+				doc += vocab[rng.Intn(len(vocab))] + " "
+			}
+			locals[i] = rec(i, doc)
+		}
+		j := NewJoiner(locals, tk, m)
+		for trial := 0; trial < 100; trial++ {
+			n := 1 + rng.Intn(6)
+			doc := ""
+			for w := 0; w < n; w++ {
+				doc += vocab[rng.Intn(len(vocab))] + " "
+			}
+			probe := rec(1000+trial, doc)
+
+			var want []int
+			for i, d := range locals {
+				if m.Match(d, probe) {
+					want = append(want, i)
+				}
+			}
+			sort.Ints(want)
+			got := j.Matches(probe)
+			if len(got) == 0 {
+				got = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("threshold %v probe %q: got %v want %v",
+					threshold, doc, got, want)
+			}
+		}
+	}
+}
+
+type nameMatcher struct{}
+
+func (nameMatcher) Match(d, h *relational.Record) bool {
+	return d.Value(0) == h.Value(0)
+}
+
+func TestJoinerBlackBoxFallback(t *testing.T) {
+	tk := tokenize.New()
+	locals := []*relational.Record{rec(0, "A"), rec(1, "B"), rec(2, "A")}
+	j := NewJoiner(locals, tk, nameMatcher{})
+	if got := j.Matches(rec(9, "A")); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Matches = %v", got)
+	}
+}
+
+func BenchmarkJoinerJaccardProbe(b *testing.B) {
+	tk := tokenize.New()
+	rng := stats.NewRNG(3)
+	zipf := stats.NewZipf(rng, 1.0, 3000)
+	locals := make([]*relational.Record, 10000)
+	for i := range locals {
+		doc := ""
+		for j := 0; j < 6; j++ {
+			doc += fmt.Sprintf("w%d ", zipf.Draw())
+		}
+		locals[i] = rec(i, doc)
+	}
+	j := NewJoiner(locals, tk, NewJaccard(tk, 0.9))
+	probe := locals[42].Clone()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Matches(probe)
+	}
+}

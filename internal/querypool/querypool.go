@@ -1,0 +1,189 @@
+// Package querypool generates the SMARTCRAWL query pool of §3.1. The pool
+// is the union of (a) one very specific "naive" query per local record — a
+// concatenation of the record's candidate-key attributes, the same queries
+// NAIVECRAWL issues — and (b) every closed frequent keyword itemset with
+// support ≥ t in the local database, mined with FP-Growth. The closed-set
+// restriction implements the paper's dominance pruning: a query q₂ with
+// |q₂(D)| = |q₁(D)| whose keywords are a subset of q₁'s is dominated by q₁
+// and removed.
+package querypool
+
+import (
+	"sort"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/freqmine"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+// Query is one pool entry. IDs are dense 0..len(pool)-1 and used as
+// priority-queue and forward-index keys throughout the crawler.
+type Query struct {
+	ID       int
+	Keywords deepweb.Query
+	// Naive marks per-record specific queries (principle 1 of §3.1).
+	// A query can be both naive and frequent; Naive stays true.
+	Naive bool
+	// SourceRecord is the local record the naive query was generated
+	// from, or -1 for mined queries. NaiveCrawl uses it to attribute a
+	// query to "its" record.
+	SourceRecord int
+}
+
+// Config controls pool generation.
+type Config struct {
+	// MinSupport is the paper's t: mined queries must satisfy
+	// |q(D)| ≥ MinSupport. Default 2.
+	MinSupport int
+	// MaxQueryLen bounds the keyword count of mined queries. Default 3.
+	// Naive queries are exempt (they carry the full candidate key).
+	MaxQueryLen int
+	// KeyColumns are the column indices concatenated into each naive
+	// query; nil means all columns.
+	KeyColumns []int
+	// MaxNaiveKeywords truncates naive queries to the first n distinct
+	// keywords (0 = unlimited). Real search boxes reject very long
+	// queries; the paper's DBLP setup concatenates title+venue+authors.
+	MaxNaiveKeywords int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupport <= 0 {
+		c.MinSupport = 2
+	}
+	if c.MaxQueryLen <= 0 {
+		c.MaxQueryLen = 3
+	}
+	return c
+}
+
+// Pool is an immutable generated query pool.
+type Pool struct {
+	Queries []*Query
+	byKey   map[string]int
+}
+
+// Len returns the number of pool queries.
+func (p *Pool) Len() int { return len(p.Queries) }
+
+// Find returns the pool query with the given normalized keywords, or nil.
+func (p *Pool) Find(q deepweb.Query) *Query {
+	if i, ok := p.byKey[q.Key()]; ok {
+		return p.Queries[i]
+	}
+	return nil
+}
+
+// NaiveQuery builds the specific query NAIVECRAWL would issue for record r:
+// the distinct keywords of its key columns, normalized. Returns nil if the
+// record has no indexable tokens.
+func NaiveQuery(r *relational.Record, tk *tokenize.Tokenizer, cfg Config) deepweb.Query {
+	text := ""
+	if cfg.KeyColumns == nil {
+		text = r.Document()
+	} else {
+		vals := make([]string, 0, len(cfg.KeyColumns))
+		for _, c := range cfg.KeyColumns {
+			vals = append(vals, r.Value(c))
+		}
+		text = tokenize.Document(vals)
+	}
+	words := tk.Distinct(text)
+	if cfg.MaxNaiveKeywords > 0 && len(words) > cfg.MaxNaiveKeywords {
+		words = words[:cfg.MaxNaiveKeywords]
+	}
+	if len(words) == 0 {
+		return nil
+	}
+	sort.Strings(words)
+	// Dedup after sort (Distinct already deduped, but truncation keeps
+	// the invariant explicit).
+	out := words[:1]
+	for _, w := range words[1:] {
+		if w != out[len(out)-1] {
+			out = append(out, w)
+		}
+	}
+	return deepweb.Query(out)
+}
+
+// Generate builds the pool for local database D (§3.1): naive queries for
+// every record plus closed frequent itemsets with support ≥ t.
+func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{byKey: make(map[string]int)}
+
+	add := func(q deepweb.Query, naive bool, src int) {
+		if len(q) == 0 {
+			return
+		}
+		key := q.Key()
+		if i, ok := p.byKey[key]; ok {
+			if naive && !p.Queries[i].Naive {
+				p.Queries[i].Naive = true
+				p.Queries[i].SourceRecord = src
+			}
+			return
+		}
+		p.byKey[key] = len(p.Queries)
+		p.Queries = append(p.Queries, &Query{
+			ID:           len(p.Queries),
+			Keywords:     q,
+			Naive:        naive,
+			SourceRecord: src,
+		})
+	}
+
+	// Principle 1: one specific query per record (Q_naive).
+	for _, r := range local.Records {
+		add(NaiveQuery(r, tk, cfg), true, r.ID)
+	}
+
+	// Principle 2: frequent queries with |q(D)| ≥ t, dominance-pruned.
+	vocab, txs := tokenTransactions(local, tk)
+	mined := freqmine.MineFPGrowth(txs, freqmine.Config{
+		MinSupport: cfg.MinSupport,
+		MaxLen:     cfg.MaxQueryLen,
+	})
+	for _, s := range freqmine.FilterClosed(mined) {
+		words := make([]string, len(s.Items))
+		for i, it := range s.Items {
+			words[i] = vocab[it]
+		}
+		sort.Strings(words)
+		add(deepweb.Query(words), false, -1)
+	}
+	return p
+}
+
+// tokenTransactions maps the local records to integer-item transactions and
+// returns the id→token vocabulary. Token IDs are assigned in sorted token
+// order so generation is deterministic.
+func tokenTransactions(local *relational.Table, tk *tokenize.Tokenizer) ([]string, [][]int) {
+	seen := make(map[string]struct{})
+	for _, r := range local.Records {
+		for _, w := range r.Tokens(tk) {
+			seen[w] = struct{}{}
+		}
+	}
+	vocab := make([]string, 0, len(seen))
+	for w := range seen {
+		vocab = append(vocab, w)
+	}
+	sort.Strings(vocab)
+	id := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		id[w] = i
+	}
+	txs := make([][]int, len(local.Records))
+	for i, r := range local.Records {
+		toks := r.Tokens(tk)
+		t := make([]int, len(toks))
+		for j, w := range toks {
+			t[j] = id[w]
+		}
+		txs[i] = t
+	}
+	return vocab, txs
+}

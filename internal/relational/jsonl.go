@@ -1,0 +1,87 @@
+package relational
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON-Lines I/O: one JSON object per row, keyed by attribute name — the
+// format web-API dumps and data-wrangling tools commonly exchange. Unlike
+// CSV, it round-trips attribute names per row and tolerates records from
+// evolving schemas (missing keys become empty values; unknown keys extend
+// the schema in read order).
+
+// WriteJSONL writes the table as JSON Lines.
+func (t *Table) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range t.Records {
+		obj := make(map[string]string, len(t.Schema))
+		for i, name := range t.Schema {
+			obj[name] = r.Value(i)
+		}
+		if err := enc.Encode(obj); err != nil {
+			return fmt.Errorf("relational: encoding row %d: %w", r.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a table from JSON Lines. The schema is the union of keys
+// in encounter order (first row's keys first, sorted within each row for
+// determinism via json map iteration being random — so keys are collected
+// explicitly and sorted per first appearance). Rows missing a key get "".
+func ReadJSONL(name string, r io.Reader) (*Table, error) {
+	type row map[string]string
+	var rows []row
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var obj row
+		if err := dec.Decode(&obj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("relational: reading JSONL row %d: %w", len(rows), err)
+		}
+		rows = append(rows, obj)
+	}
+	// Schema: keys in order of first appearance; within one row, sorted
+	// for determinism (JSON objects are unordered).
+	var schema []string
+	seen := map[string]bool{}
+	for _, obj := range rows {
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			if !seen[k] {
+				keys = append(keys, k)
+			}
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			seen[k] = true
+			schema = append(schema, k)
+		}
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("relational: JSONL input %q has no attributes", name)
+	}
+	t := NewTable(name, schema)
+	for _, obj := range rows {
+		vals := make([]string, len(schema))
+		for i, k := range schema {
+			vals[i] = obj[k]
+		}
+		t.Append(vals...)
+	}
+	return t, nil
+}
+
+// sortStrings is a tiny insertion sort (schema key lists are short).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

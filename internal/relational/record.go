@@ -1,0 +1,69 @@
+// Package relational is the lightweight relational substrate the paper's
+// Section 2 assumes: local and hidden databases are relational tables whose
+// records are viewed as keyword documents. It provides records, tables with
+// schemas, duplicate removal (footnote 3 of the paper), CSV import/export
+// for the CLI tools, and a value-overlap schema matcher (the paper treats
+// schema matching as a solved pre-step; we implement a working one so the
+// end-to-end system is runnable).
+package relational
+
+import (
+	"fmt"
+	"strings"
+
+	"smartcrawl/internal/tokenize"
+)
+
+// Record is one row of a table. ID is unique within its table and stable
+// across the life of a crawl; Values aligns positionally with the owning
+// table's schema.
+type Record struct {
+	ID     int
+	Values []string
+
+	// tokens caches the distinct-token set of the record's document; it
+	// is populated lazily by Tokens and must be invalidated (set nil) if
+	// Values is mutated.
+	tokens []string
+}
+
+// Document returns the record's searchable document: the concatenation of
+// all attribute values (Definition 1).
+func (r *Record) Document() string { return tokenize.Document(r.Values) }
+
+// Tokens returns the record's distinct keyword tokens in first-appearance
+// order, computed with tk and cached. Callers must pass the same tokenizer
+// for the life of the record.
+func (r *Record) Tokens(tk *tokenize.Tokenizer) []string {
+	if r.tokens == nil {
+		r.tokens = tk.Distinct(r.Document())
+		if r.tokens == nil {
+			r.tokens = []string{} // distinguish "computed, empty"
+		}
+	}
+	return r.tokens
+}
+
+// InvalidateTokens clears the cached token set after a mutation of Values.
+func (r *Record) InvalidateTokens() { r.tokens = nil }
+
+// Value returns the value of the attribute at column i, or "" if out of
+// range (records imported from ragged CSVs may be short).
+func (r *Record) Value(i int) string {
+	if i < 0 || i >= len(r.Values) {
+		return ""
+	}
+	return r.Values[i]
+}
+
+// Clone returns a deep copy of the record (token cache not copied).
+func (r *Record) Clone() *Record {
+	v := make([]string, len(r.Values))
+	copy(v, r.Values)
+	return &Record{ID: r.ID, Values: v}
+}
+
+// String renders the record for debugging.
+func (r *Record) String() string {
+	return fmt.Sprintf("#%d[%s]", r.ID, strings.Join(r.Values, "|"))
+}

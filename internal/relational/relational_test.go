@@ -1,0 +1,284 @@
+package relational
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/tokenize"
+)
+
+func restaurantTable() *Table {
+	t := NewTable("restaurants", []string{"name", "city"})
+	t.Append("Thai Noodle House", "Vancouver")
+	t.Append("Saigon Noodle", "Burnaby")
+	t.Append("Thai House", "Surrey")
+	t.Append("Noodle House", "Vancouver")
+	return t
+}
+
+func TestAppendAssignsDenseIDs(t *testing.T) {
+	tbl := restaurantTable()
+	for i, r := range tbl.Records {
+		if r.ID != i {
+			t.Fatalf("record %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+func TestAppendPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	restaurantTable().Append("only-one-value")
+}
+
+func TestRecordDocumentAndTokens(t *testing.T) {
+	tk := tokenize.New()
+	tbl := restaurantTable()
+	r := tbl.Records[0]
+	if r.Document() != "Thai Noodle House Vancouver" {
+		t.Fatalf("Document = %q", r.Document())
+	}
+	want := []string{"thai", "noodle", "house", "vancouver"}
+	if got := r.Tokens(tk); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	// Cache must be stable across calls.
+	if got := r.Tokens(tk); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached Tokens = %v", got)
+	}
+}
+
+func TestInvalidateTokens(t *testing.T) {
+	tk := tokenize.New()
+	r := &Record{ID: 0, Values: []string{"alpha"}}
+	_ = r.Tokens(tk)
+	r.Values[0] = "beta"
+	r.InvalidateTokens()
+	if got := r.Tokens(tk); !reflect.DeepEqual(got, []string{"beta"}) {
+		t.Fatalf("Tokens after invalidate = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := &Record{ID: 7, Values: []string{"a", "b"}}
+	c := r.Clone()
+	c.Values[0] = "z"
+	if r.Values[0] != "a" {
+		t.Fatal("Clone must deep-copy values")
+	}
+	if c.ID != 7 {
+		t.Fatal("Clone must keep ID")
+	}
+}
+
+func TestCol(t *testing.T) {
+	tbl := restaurantTable()
+	if tbl.Col("City") != 1 { // case-insensitive
+		t.Fatal("Col(City) should be 1")
+	}
+	if tbl.Col("rating") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tbl := restaurantTable()
+	p, err := tbl.Project("city", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Schema, []string{"city", "name"}) {
+		t.Fatalf("schema = %v", p.Schema)
+	}
+	if p.Records[0].Value(0) != "Vancouver" || p.Records[0].Value(1) != "Thai Noodle House" {
+		t.Fatalf("row 0 = %v", p.Records[0].Values)
+	}
+	if _, err := tbl.Project("nope"); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	tk := tokenize.New()
+	tbl := NewTable("t", []string{"name"})
+	tbl.Append("Thai House")
+	tbl.Append("thai   HOUSE") // same normalized document
+	tbl.Append("Thai House!")  // punctuation-only difference
+	tbl.Append("Steak House")
+	dropped := tbl.Dedup(tk)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tbl.Len())
+	}
+	for i, r := range tbl.Records {
+		if r.ID != i {
+			t.Fatal("IDs must be reassigned densely after dedup")
+		}
+	}
+}
+
+func TestAddColumn(t *testing.T) {
+	tbl := restaurantTable()
+	j := tbl.AddColumn("rating", "?")
+	if j != 2 || tbl.Schema[2] != "rating" {
+		t.Fatalf("AddColumn index = %d, schema = %v", j, tbl.Schema)
+	}
+	for _, r := range tbl.Records {
+		if r.Value(2) != "?" {
+			t.Fatalf("default not applied: %v", r.Values)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := restaurantTable()
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("restaurants", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Schema, tbl.Schema) {
+		t.Fatalf("schema = %v", got.Schema)
+	}
+	if got.Len() != tbl.Len() {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for i := range tbl.Records {
+		if !reflect.DeepEqual(got.Records[i].Values, tbl.Records[i].Values) {
+			t.Fatalf("row %d = %v", i, got.Records[i].Values)
+		}
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	in := "name,city\nThai House\nSteak House,Surrey,extra\n"
+	tbl, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Records[0].Value(1) != "" {
+		t.Fatal("short row should be padded")
+	}
+	if len(tbl.Records[1].Values) != 2 {
+		t.Fatal("long row should be trimmed")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestMatchSchemasByName(t *testing.T) {
+	tk := tokenize.New()
+	local := NewTable("d", []string{"Name", "City"})
+	hidden := NewTable("h", []string{"city", "name", "rating"})
+	m := MatchSchemas(local, hidden, tk)
+	if m.LocalToHidden[0] != 1 || m.LocalToHidden[1] != 0 {
+		t.Fatalf("mapping = %v", m.LocalToHidden)
+	}
+	if got := m.UnmappedHidden(3); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("unmapped = %v", got)
+	}
+}
+
+func TestMatchSchemasByValues(t *testing.T) {
+	tk := tokenize.New()
+	local := NewTable("d", []string{"restaurant", "location"})
+	local.Append("Thai Noodle House", "Vancouver")
+	local.Append("Saigon Noodle", "Burnaby")
+	local.Append("Steak House", "Surrey")
+
+	hidden := NewTable("h", []string{"stars", "place", "biz"})
+	hidden.Append("4.5", "Vancouver", "Thai Noodle House")
+	hidden.Append("3.9", "Burnaby", "Saigon Noodle")
+	hidden.Append("4.1", "Surrey", "Steak House")
+
+	m := MatchSchemas(local, hidden, tk)
+	if m.LocalToHidden[0] != 2 {
+		t.Fatalf("restaurant should map to biz, got %d", m.LocalToHidden[0])
+	}
+	if m.LocalToHidden[1] != 1 {
+		t.Fatalf("location should map to place, got %d", m.LocalToHidden[1])
+	}
+	if got := m.UnmappedHidden(3); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("unmapped = %v (stars should be the enrichment column)", got)
+	}
+}
+
+func TestMatchSchemasNoOverlap(t *testing.T) {
+	tk := tokenize.New()
+	local := NewTable("d", []string{"x"})
+	local.Append("aaa bbb")
+	hidden := NewTable("h", []string{"y"})
+	hidden.Append("ccc ddd")
+	m := MatchSchemas(local, hidden, tk)
+	if m.LocalToHidden[0] != -1 {
+		t.Fatalf("disjoint columns should not match, got %d", m.LocalToHidden[0])
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tbl := restaurantTable()
+	var buf bytes.Buffer
+	if err := tbl.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL("restaurants", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tbl.Len() {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for i, r := range tbl.Records {
+		for j, name := range tbl.Schema {
+			if got.Records[i].Value(got.Col(name)) != r.Value(j) {
+				t.Fatalf("row %d col %s differs", i, name)
+			}
+		}
+	}
+}
+
+func TestReadJSONLRaggedSchema(t *testing.T) {
+	in := `{"name":"Thai House","city":"Phoenix"}
+{"name":"Steak House","rating":"4.3"}
+`
+	tbl, err := ReadJSONL("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema is the union: city+name from row 1, rating appended from row 2.
+	if len(tbl.Schema) != 3 {
+		t.Fatalf("schema = %v", tbl.Schema)
+	}
+	if tbl.Records[0].Value(tbl.Col("rating")) != "" {
+		t.Fatal("missing key should be empty")
+	}
+	if tbl.Records[1].Value(tbl.Col("rating")) != "4.3" {
+		t.Fatal("late-appearing key should be read")
+	}
+	if tbl.Records[1].Value(tbl.Col("city")) != "" {
+		t.Fatal("absent key should be empty")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL("t", strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := ReadJSONL("t", strings.NewReader("")); err == nil {
+		t.Fatal("empty input should fail (no attributes)")
+	}
+}

@@ -1,0 +1,148 @@
+package relational
+
+import (
+	"sort"
+	"strings"
+
+	"smartcrawl/internal/tokenize"
+)
+
+// SchemaMapping maps local column indices to hidden column indices. A value
+// of -1 means the local column has no counterpart.
+type SchemaMapping struct {
+	LocalToHidden []int
+	// Scores[i] is the confidence of the i-th mapping in [0, 1].
+	Scores []float64
+}
+
+// MatchSchemas aligns the attributes of a local and a hidden table. The
+// paper assumes schemas are pre-aligned (§2); this implements the standard
+// two-signal instance-based matcher used by the Deeper demo system so the
+// end-to-end pipeline works on raw CSVs:
+//
+//  1. exact (case-insensitive) attribute-name equality wins outright;
+//  2. otherwise columns are paired greedily by the Jaccard similarity of
+//     their value-token distributions over a bounded row sample.
+//
+// Each hidden column is assigned to at most one local column.
+func MatchSchemas(local, hidden *Table, tk *tokenize.Tokenizer) SchemaMapping {
+	const sampleRows = 200
+
+	m := SchemaMapping{
+		LocalToHidden: make([]int, len(local.Schema)),
+		Scores:        make([]float64, len(local.Schema)),
+	}
+	for i := range m.LocalToHidden {
+		m.LocalToHidden[i] = -1
+	}
+	usedHidden := make([]bool, len(hidden.Schema))
+
+	// Pass 1: exact name matches.
+	for i, ls := range local.Schema {
+		for j, hs := range hidden.Schema {
+			if !usedHidden[j] && strings.EqualFold(ls, hs) {
+				m.LocalToHidden[i] = j
+				m.Scores[i] = 1
+				usedHidden[j] = true
+				break
+			}
+		}
+	}
+
+	// Pass 2: instance-based greedy matching for the rest.
+	localSets := columnTokenSets(local, tk, sampleRows)
+	hiddenSets := columnTokenSets(hidden, tk, sampleRows)
+
+	type cand struct {
+		li, hj int
+		score  float64
+	}
+	var cands []cand
+	for i := range local.Schema {
+		if m.LocalToHidden[i] >= 0 {
+			continue
+		}
+		for j := range hidden.Schema {
+			if usedHidden[j] {
+				continue
+			}
+			s := jaccardSets(localSets[i], hiddenSets[j])
+			if s > 0 {
+				cands = append(cands, cand{i, j, s})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		if cands[a].li != cands[b].li {
+			return cands[a].li < cands[b].li
+		}
+		return cands[a].hj < cands[b].hj
+	})
+	for _, c := range cands {
+		if m.LocalToHidden[c.li] >= 0 || usedHidden[c.hj] {
+			continue
+		}
+		m.LocalToHidden[c.li] = c.hj
+		m.Scores[c.li] = c.score
+		usedHidden[c.hj] = true
+	}
+	return m
+}
+
+// UnmappedHidden returns hidden column indices not claimed by any local
+// column — the candidate enrichment attributes.
+func (m SchemaMapping) UnmappedHidden(hiddenWidth int) []int {
+	used := make([]bool, hiddenWidth)
+	for _, j := range m.LocalToHidden {
+		if j >= 0 {
+			used[j] = true
+		}
+	}
+	var out []int
+	for j := 0; j < hiddenWidth; j++ {
+		if !used[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func columnTokenSets(t *Table, tk *tokenize.Tokenizer, maxRows int) []map[string]struct{} {
+	sets := make([]map[string]struct{}, len(t.Schema))
+	for i := range sets {
+		sets[i] = make(map[string]struct{})
+	}
+	n := len(t.Records)
+	if n > maxRows {
+		n = maxRows
+	}
+	for _, r := range t.Records[:n] {
+		for i := range t.Schema {
+			for _, w := range tk.Tokens(r.Value(i)) {
+				sets[i][w] = struct{}{}
+			}
+		}
+	}
+	return sets
+}
+
+func jaccardSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	inter := 0
+	for w := range small {
+		if _, ok := big[w]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

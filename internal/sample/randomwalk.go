@@ -1,0 +1,220 @@
+package sample
+
+import (
+	"errors"
+	"fmt"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/stats"
+	"smartcrawl/internal/tokenize"
+)
+
+// RandomWalk is the zoom-in sampler for interfaces where single keywords
+// mostly overflow (large hidden databases behind small k): following the
+// random-walk family the paper cites (Dasgupta et al. [17], Zhang et al.
+// [48]), each walk starts from one random pool keyword and, while the
+// query overflows, narrows it by conjoining further random keywords until
+// it turns solid (or dies empty). A uniform record is then drawn from the
+// solid result and accepted with probability 1/(k·deg₁(h)) scaled by the
+// result size, where deg₁ counts the record's solid single-keyword pool
+// entries — the same first-order degree correction Keyword uses.
+//
+// The walk's multi-level trajectory makes exact inclusion probabilities
+// intractable without issuing many more queries (the known trade-off in
+// this literature); RandomWalk therefore produces an approximately uniform
+// sample and estimates θ by the same degree statistics as Keyword,
+// restricted to walks that ended at depth 1. When no depth-1 walks exist,
+// Theta is left 0 for the caller to supply out of band.
+type RandomWalkConfig struct {
+	// Target is the desired number of distinct sampled records.
+	Target int
+	// MaxQueries bounds total queries spent (0 = unlimited).
+	MaxQueries int
+	// MaxDepth bounds the zoom-in depth (default 4).
+	MaxDepth int
+	// Seed drives all random choices.
+	Seed uint64
+}
+
+// RandomWalk runs the zoom-in sampler against searcher s with the given
+// single-keyword seed pool.
+func RandomWalk(s deepweb.Searcher, pool []deepweb.Query, tk *tokenize.Tokenizer, cfg RandomWalkConfig) (*Sample, error) {
+	if cfg.Target <= 0 {
+		return nil, errors.New("sample: target must be positive")
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("sample: empty seed pool")
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 4
+	}
+	keywords := make([]string, len(pool))
+	inPool := make(map[string]bool, len(pool))
+	for i, q := range pool {
+		if len(q) != 1 {
+			return nil, fmt.Errorf("sample: seed pool must contain single-keyword queries, got %v", q)
+		}
+		keywords[i] = q[0]
+		inPool[q[0]] = true
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	k := s.K()
+
+	type queryInfo struct {
+		size  int
+		solid bool
+	}
+	issued := make(map[string]queryInfo)
+	results := make(map[string][]*relational.Record)
+	spent := 0
+	budgetErr := false
+
+	issue := func(q deepweb.Query) (queryInfo, []*relational.Record, error) {
+		key := q.Key()
+		if info, ok := issued[key]; ok {
+			return info, results[key], nil
+		}
+		if cfg.MaxQueries > 0 && spent >= cfg.MaxQueries {
+			budgetErr = true
+			return queryInfo{}, nil, ErrSampleBudget
+		}
+		spent++
+		res, err := s.Search(q)
+		if err != nil {
+			return queryInfo{}, nil, fmt.Errorf("sample: issuing %q: %w", q, err)
+		}
+		info := queryInfo{size: len(res), solid: len(res) < k}
+		issued[key] = info
+		results[key] = res
+		return info, res, nil
+	}
+
+	// conjoin extends q with keyword w, keeping normalized order; returns
+	// nil when w is already present.
+	conjoin := func(q deepweb.Query, w string) deepweb.Query {
+		out := make(deepweb.Query, 0, len(q)+1)
+		placed := false
+		for _, x := range q {
+			if x == w {
+				return nil
+			}
+			if !placed && w < x {
+				out = append(out, w)
+				placed = true
+			}
+			out = append(out, x)
+		}
+		if !placed {
+			out = append(out, w)
+		}
+		return out
+	}
+
+	degree1 := func(h *relational.Record) (int, error) {
+		deg := 0
+		for _, w := range h.Tokens(tk) {
+			if !inPool[w] {
+				continue
+			}
+			info, _, err := issue(deepweb.Query{w})
+			if err != nil {
+				return 0, err
+			}
+			if info.solid {
+				deg++
+			}
+		}
+		return deg, nil
+	}
+
+	var (
+		accepted     []*relational.Record
+		acceptedIDs  = make(map[int]bool)
+		sumDeg       float64
+		nAccepted1   int // accepted draws from depth-1 walks
+		uniformSolid int
+		uniformTotal int
+		sumSizes     float64
+	)
+
+	// Iteration guard, as in Keyword: memoized walks cost no budget, so
+	// an unsatisfiable configuration must not spin forever.
+	maxWalks := 1000*cfg.Target + 10*len(pool)
+	walks := 0
+walkLoop:
+	for len(acceptedIDs) < cfg.Target {
+		walks++
+		if walks > maxWalks {
+			break
+		}
+		q := deepweb.Query{keywords[rng.Intn(len(keywords))]}
+		depth := 1
+		for {
+			info, res, err := issue(q)
+			if err != nil {
+				break walkLoop
+			}
+			if depth == 1 {
+				uniformTotal++
+				if info.solid {
+					uniformSolid++
+					sumSizes += float64(info.size)
+				}
+			}
+			if info.solid {
+				if info.size == 0 {
+					break // dead walk; restart
+				}
+				h := res[rng.Intn(info.size)]
+				deg, err := degree1(h)
+				if err != nil {
+					break walkLoop
+				}
+				weight := float64(info.size) / float64(k)
+				if deg > 0 {
+					weight /= float64(deg)
+				}
+				if rng.Float64() < weight {
+					if depth == 1 && deg > 0 {
+						nAccepted1++
+						sumDeg += float64(deg)
+					}
+					if !acceptedIDs[h.ID] {
+						acceptedIDs[h.ID] = true
+						accepted = append(accepted, h)
+					}
+				}
+				break
+			}
+			if depth >= cfg.MaxDepth {
+				break // give up on this walk
+			}
+			next := conjoin(q, keywords[rng.Intn(len(keywords))])
+			if next == nil {
+				break
+			}
+			q = next
+			depth++
+		}
+	}
+
+	smp := &Sample{Records: accepted, QueriesSpent: spent}
+	if nAccepted1 > 0 && uniformSolid > 0 {
+		sHat := float64(len(pool)) *
+			(float64(uniformSolid) / float64(uniformTotal)) *
+			(sumSizes / float64(uniformSolid))
+		meanDeg := sumDeg / float64(nAccepted1)
+		if meanDeg > 0 && sHat > 0 {
+			smp.Theta = float64(len(accepted)) / (sHat / meanDeg)
+			if smp.Theta > 1 {
+				smp.Theta = 1
+			}
+		}
+	}
+	if budgetErr || len(accepted) < cfg.Target {
+		return smp, ErrSampleBudget
+	}
+	return smp, nil
+}

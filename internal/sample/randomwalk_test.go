@@ -1,0 +1,148 @@
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"smartcrawl/internal/deepweb"
+
+	"smartcrawl/internal/hidden"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/stats"
+	"smartcrawl/internal/tokenize"
+)
+
+// denseHidden builds a hidden DB over a TINY vocabulary, so every single
+// keyword overflows at the given k — the regime where the plain Keyword
+// sampler starves and zoom-in walks are required.
+func denseHidden(n, k int, seed uint64) (*hidden.Database, *relational.Table, *tokenize.Tokenizer) {
+	tk := tokenize.New()
+	rng := stats.NewRNG(seed)
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%02d", i)
+	}
+	tab := relational.NewTable("h", []string{"doc"})
+	for i := 0; i < n; i++ {
+		doc := ""
+		for j := 0; j < 4; j++ {
+			doc += vocab[rng.Intn(len(vocab))] + " "
+		}
+		tab.Append(doc)
+	}
+	db := hidden.New(tab, tk, k, hidden.RankByHash(seed), hidden.ModeConjunctive)
+	return db, tab, tk
+}
+
+func TestRandomWalkSamplesWhereKeywordStarves(t *testing.T) {
+	db, tab, tk := denseHidden(5000, 20, 3)
+	pool := SingleKeywordPool(tab, tk)
+
+	// Sanity: every single keyword overflows, so Keyword cannot accept.
+	for _, q := range pool[:5] {
+		res, err := db.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) < db.K() {
+			t.Skip("vocabulary not dense enough for the starving regime")
+		}
+	}
+	kw, err := Keyword(db, pool, tk, KeywordConfig{Target: 20, MaxQueries: 500, Seed: 1})
+	if !errors.Is(err, ErrSampleBudget) || kw.Len() != 0 {
+		t.Fatalf("expected Keyword to starve (err=%v, len=%d)", err, kw.Len())
+	}
+
+	smp, err := RandomWalk(db, pool, tk, RandomWalkConfig{Target: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.Len() != 50 {
+		t.Fatalf("random walk sampled %d, want 50", smp.Len())
+	}
+	seen := map[int]bool{}
+	for _, r := range smp.Records {
+		if seen[r.ID] {
+			t.Fatal("duplicate record")
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestRandomWalkRespectsBudget(t *testing.T) {
+	db, tab, tk := denseHidden(3000, 20, 5)
+	pool := SingleKeywordPool(tab, tk)
+	smp, err := RandomWalk(db, pool, tk, RandomWalkConfig{
+		Target: 1000, MaxQueries: 100, Seed: 2,
+	})
+	if !errors.Is(err, ErrSampleBudget) {
+		t.Fatalf("err = %v", err)
+	}
+	if smp.QueriesSpent > 100 {
+		t.Fatalf("spent %d > 100", smp.QueriesSpent)
+	}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	db, tab, tk := denseHidden(100, 10, 7)
+	pool := SingleKeywordPool(tab, tk)
+	if _, err := RandomWalk(db, pool, tk, RandomWalkConfig{Target: 0}); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := RandomWalk(db, nil, tk, RandomWalkConfig{Target: 5}); err == nil {
+		t.Error("empty pool should error")
+	}
+	if _, err := RandomWalk(db, []deepweb.Query{{"two", "words"}}, tk, RandomWalkConfig{Target: 5}); err == nil {
+		t.Error("multi-keyword seed should error")
+	}
+}
+
+func TestRandomWalkNearUniformish(t *testing.T) {
+	// Gross-concentration check, as for Keyword: no record should be
+	// sampled wildly more often than uniform across repeated runs.
+	db, tab, tk := denseHidden(500, 20, 9)
+	pool := SingleKeywordPool(tab, tk)
+	counts := map[int]int{}
+	total := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		smp, err := RandomWalk(db, pool, tk, RandomWalkConfig{Target: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range smp.Records {
+			counts[r.ID]++
+			total++
+		}
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	// Uniform expectation ≈ total/500 = 1; the walk is only
+	// approximately uniform, so just catch gross spikes.
+	if maxCount > 12 {
+		t.Fatalf("record sampled %d of %d times — grossly non-uniform", maxCount, total)
+	}
+}
+
+func TestRandomWalkThetaZeroWhenNoDepth1Walks(t *testing.T) {
+	// In the dense regime every depth-1 query overflows, so no depth-1
+	// acceptance happens and θ cannot be estimated from degree
+	// statistics — the sampler must report Theta = 0 rather than a
+	// fabricated value.
+	db, tab, tk := denseHidden(3000, 20, 21)
+	pool := SingleKeywordPool(tab, tk)
+	smp, err := RandomWalk(db, pool, tk, RandomWalkConfig{Target: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.Theta != 0 {
+		t.Fatalf("Theta = %v, want 0 (no depth-1 observations)", smp.Theta)
+	}
+	if smp.Len() != 30 {
+		t.Fatalf("sample size = %d", smp.Len())
+	}
+}

@@ -1,0 +1,195 @@
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/hidden"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/stats"
+	"smartcrawl/internal/tokenize"
+)
+
+func TestBernoulliRatioAndMembership(t *testing.T) {
+	tab := relational.NewTable("h", []string{"doc"})
+	for i := 0; i < 50000; i++ {
+		tab.Append(fmt.Sprintf("doc %d", i))
+	}
+	s := Bernoulli(tab, 0.01, stats.NewRNG(1))
+	ratio := float64(s.Len()) / float64(tab.Len())
+	if math.Abs(ratio-0.01) > 0.003 {
+		t.Fatalf("realized ratio %v, want ≈0.01", ratio)
+	}
+	if s.Theta != 0.01 {
+		t.Fatalf("Theta = %v", s.Theta)
+	}
+	if s.QueriesSpent != 0 {
+		t.Fatal("Bernoulli must not spend queries")
+	}
+	seen := map[int]bool{}
+	for _, r := range s.Records {
+		if r != tab.Records[r.ID] {
+			t.Fatal("sample must reference hidden records")
+		}
+		if seen[r.ID] {
+			t.Fatal("duplicate record in sample")
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestBernoulliPanicsOnBadTheta(t *testing.T) {
+	tab := relational.NewTable("h", []string{"doc"})
+	for _, theta := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("theta %v should panic", theta)
+				}
+			}()
+			Bernoulli(tab, theta, stats.NewRNG(1))
+		}()
+	}
+}
+
+// buildHidden makes a hidden DB of n records over a small vocabulary so
+// degrees and solidities vary.
+func buildHidden(n, k int, seed uint64) (*hidden.Database, *relational.Table, *tokenize.Tokenizer) {
+	tk := tokenize.New()
+	rng := stats.NewRNG(seed)
+	zipf := stats.NewZipf(rng, 1.05, 300)
+	tab := relational.NewTable("h", []string{"doc"})
+	for i := 0; i < n; i++ {
+		doc := ""
+		for j := 0; j < 5; j++ {
+			doc += fmt.Sprintf("w%03d ", zipf.Draw())
+		}
+		tab.Append(doc)
+	}
+	db := hidden.New(tab, tk, k, hidden.RankByHash(seed), hidden.ModeConjunctive)
+	return db, tab, tk
+}
+
+func TestKeywordSamplerProducesDistinctRecords(t *testing.T) {
+	db, tab, tk := buildHidden(2000, 50, 9)
+	pool := SingleKeywordPool(tab, tk)
+	s, err := Keyword(db, pool, tk, KeywordConfig{Target: 60, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 60 {
+		t.Fatalf("sample size = %d", s.Len())
+	}
+	if s.QueriesSpent == 0 {
+		t.Fatal("keyword sampling must spend queries")
+	}
+	seen := map[int]bool{}
+	for _, r := range s.Records {
+		if seen[r.ID] {
+			t.Fatal("duplicate record")
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestKeywordSamplerThetaEstimate(t *testing.T) {
+	const n = 3000
+	db, tab, tk := buildHidden(n, 100, 11)
+	pool := SingleKeywordPool(tab, tk)
+	s, err := Keyword(db, pool, tk, KeywordConfig{Target: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueTheta := float64(s.Len()) / float64(n)
+	// The degree estimator is approximate; require the right order of
+	// magnitude (within 3x), which is what the biased estimators need.
+	if s.Theta <= 0 {
+		t.Fatalf("Theta = %v, want positive", s.Theta)
+	}
+	ratio := s.Theta / trueTheta
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Fatalf("Theta estimate %v vs true %v (ratio %v)", s.Theta, trueTheta, ratio)
+	}
+}
+
+func TestKeywordSamplerNearUniform(t *testing.T) {
+	// Repeated small samples should not concentrate on a few records:
+	// check that across many runs, the most-sampled record is not
+	// grossly over-represented relative to uniform expectation.
+	const n = 400
+	db, tab, tk := buildHidden(n, 50, 13)
+	pool := SingleKeywordPool(tab, tk)
+	counts := make(map[int]int)
+	total := 0
+	for seed := uint64(0); seed < 30; seed++ {
+		s, err := Keyword(db, pool, tk, KeywordConfig{Target: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range s.Records {
+			counts[r.ID]++
+			total++
+		}
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	// Uniform expectation per record is total/n = 600/400 = 1.5;
+	// allow generous slack but catch gross concentration (e.g. a
+	// sampler that always returns top-ranked records would hit 30).
+	if float64(maxCount) > 10 {
+		t.Fatalf("record sampled %d of %d times — far from uniform", maxCount, total)
+	}
+}
+
+func TestKeywordSamplerBudgetExhaustion(t *testing.T) {
+	db, tab, tk := buildHidden(2000, 50, 15)
+	pool := SingleKeywordPool(tab, tk)
+	s, err := Keyword(db, pool, tk, KeywordConfig{Target: 500, MaxQueries: 30, Seed: 1})
+	if !errors.Is(err, ErrSampleBudget) {
+		t.Fatalf("err = %v, want ErrSampleBudget", err)
+	}
+	if s == nil {
+		t.Fatal("partial sample must still be returned")
+	}
+	if s.QueriesSpent > 30 {
+		t.Fatalf("spent %d > allowance 30", s.QueriesSpent)
+	}
+}
+
+func TestKeywordSamplerValidation(t *testing.T) {
+	db, tab, tk := buildHidden(100, 10, 17)
+	pool := SingleKeywordPool(tab, tk)
+	if _, err := Keyword(db, pool, tk, KeywordConfig{Target: 0}); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := Keyword(db, nil, tk, KeywordConfig{Target: 5}); err == nil {
+		t.Error("empty pool should error")
+	}
+	bad := []deepweb.Query{{"two", "words"}}
+	if _, err := Keyword(db, bad, tk, KeywordConfig{Target: 5}); err == nil {
+		t.Error("multi-keyword seed should error")
+	}
+}
+
+func TestSingleKeywordPool(t *testing.T) {
+	tk := tokenize.New()
+	tab := relational.NewTable("d", []string{"doc"})
+	tab.Append("alpha beta")
+	tab.Append("beta gamma")
+	pool := SingleKeywordPool(tab, tk)
+	if len(pool) != 3 {
+		t.Fatalf("pool = %v", pool)
+	}
+	for _, q := range pool {
+		if len(q) != 1 {
+			t.Fatalf("non-single query %v", q)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats provides the statistical substrate used across the
+// reproduction: a deterministic random-number generator so every experiment
+// is replayable from a seed, a bounded Zipf sampler for synthetic vocabulary
+// generation, hypergeometric distributions (the paper's "balls" analysis in
+// §5.3, including Fisher's noncentral variant for the ω ≠ 1 discussion), and
+// sampling utilities (permutations, reservoir sampling, Bernoulli subsets).
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). It is not safe for concurrent use; give each goroutine its
+// own RNG (use Split).
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same seed
+// produce identical streams on every platform.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent generator from r's stream. Useful for giving
+// sub-components their own deterministic randomness without coupling their
+// consumption patterns.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be faster, but
+	// modulo bias for n ≪ 2^64 is negligible here and simplicity wins.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes s in place.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleWithoutReplacement returns m distinct indices drawn uniformly from
+// [0, n). It panics if m > n. Runs in O(n) time using a partial
+// Fisher–Yates shuffle.
+func (r *RNG) SampleWithoutReplacement(n, m int) []int {
+	if m > n {
+		panic("stats: sample size exceeds population")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < m; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:m:m]
+}
+
+// Bernoulli returns the indices of [0, n) that pass independent coin flips
+// with probability p — the sampler used to build simulated hidden-database
+// samples with a known ratio θ.
+func (r *RNG) Bernoulli(n int, p float64) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the twin is discarded for simplicity).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,320 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := NewRNG(4)
+	got := r.SampleWithoutReplacement(100, 30)
+	if len(got) != 30 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("bad sample element %d", v)
+		}
+		seen[v] = true
+	}
+	// Uniformity: index 0 should be selected ≈ 30% of the time.
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleWithoutReplacement(10, 3) {
+			if v == 0 {
+				hits++
+			}
+		}
+	}
+	if p := float64(hits) / trials; math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("selection probability = %v, want ≈0.3", p)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when m > n")
+		}
+	}()
+	NewRNG(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestBernoulliRatio(t *testing.T) {
+	r := NewRNG(5)
+	got := r.Bernoulli(100000, 0.25)
+	ratio := float64(len(got)) / 100000
+	if math.Abs(ratio-0.25) > 0.01 {
+		t.Fatalf("Bernoulli ratio = %v, want ≈0.25", ratio)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("Bernoulli indices must be strictly increasing")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(6)
+	z := NewZipf(r, 1.0, 1000)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("Zipf counts not decreasing: %d %d %d",
+			counts[0], counts[10], counts[100])
+	}
+	// Rank-0 empirical probability should track the analytic one.
+	p0 := z.Prob(0)
+	emp := float64(counts[0]) / n
+	if math.Abs(p0-emp) > 0.01 {
+		t.Fatalf("rank-0 prob: analytic %v vs empirical %v", p0, emp)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(NewRNG(7), 1.3, 500)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(NewRNG(1), -1, 10)
+}
+
+func TestHypergeometricMeanEquation6(t *testing.T) {
+	// The paper's running illustration (Figure 2): N=10 balls, top-4
+	// black, 5 draws → E[X] = 5·4/10 = 2.
+	h := NewHypergeometric(10, 4, 5)
+	if got := h.Mean(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}
+
+func TestHypergeometricPMFSums(t *testing.T) {
+	h := NewHypergeometric(50, 12, 20)
+	sum, mean := 0.0, 0.0
+	for i := 0; i <= 20; i++ {
+		p := h.PMF(i)
+		if p < 0 {
+			t.Fatalf("negative PMF at %d", i)
+		}
+		sum += p
+		mean += float64(i) * p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %v", sum)
+	}
+	if math.Abs(mean-h.Mean()) > 1e-9 {
+		t.Fatalf("PMF mean %v vs analytic %v", mean, h.Mean())
+	}
+}
+
+func TestHypergeometricSampleMatchesMean(t *testing.T) {
+	r := NewRNG(8)
+	h := NewHypergeometric(100, 30, 40)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += h.Sample(r)
+	}
+	emp := float64(sum) / n
+	if math.Abs(emp-h.Mean()) > 0.05 {
+		t.Fatalf("empirical mean %v vs analytic %v", emp, h.Mean())
+	}
+}
+
+func TestHypergeometricEdgeCases(t *testing.T) {
+	if got := NewHypergeometric(0, 0, 0).Mean(); got != 0 {
+		t.Fatalf("empty population mean = %v", got)
+	}
+	h := NewHypergeometric(10, 10, 4) // all black
+	if got := h.PMF(4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("all-black PMF(4) = %v, want 1", got)
+	}
+	if got := h.CDF(3); got > 1e-12 {
+		t.Fatalf("all-black CDF(3) = %v, want 0", got)
+	}
+}
+
+func TestHypergeometricPanicsOnBadParams(t *testing.T) {
+	for _, c := range [][3]int{{5, 6, 2}, {5, 2, 6}, {-1, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %v", c)
+				}
+			}()
+			NewHypergeometric(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestFisherNoncentralMeanCentralCase(t *testing.T) {
+	// ω = 1 must agree with the central hypergeometric mean.
+	cases := [][3]int{{100, 20, 30}, {10, 4, 5}, {1000, 100, 50}}
+	for _, c := range cases {
+		want := NewHypergeometric(c[0], c[1], c[2]).Mean()
+		got := FisherNoncentralMean(c[0], c[1], c[2], 1.0)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("Fisher(ω=1) N=%d K=%d n=%d: %v, want %v",
+				c[0], c[1], c[2], got, want)
+		}
+	}
+}
+
+func TestFisherNoncentralMeanMonotoneInOmega(t *testing.T) {
+	prev := -1.0
+	for _, omega := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		m := FisherNoncentralMean(100, 20, 30, omega)
+		if m <= prev {
+			t.Fatalf("mean not increasing in ω: %v after %v", m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestFisherNoncentralMeanBounds(t *testing.T) {
+	f := func(a, b, c uint8, wRaw uint8) bool {
+		N := int(a%50) + 1
+		K := int(b) % (N + 1)
+		n := int(c) % (N + 1)
+		omega := 0.1 + float64(wRaw)/32.0
+		m := FisherNoncentralMean(N, K, n, omega)
+		lo := math.Max(0, float64(n+K-N))
+		hi := math.Min(float64(n), float64(K))
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(9)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal moments off: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(10)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams should differ")
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	z := NewZipf(NewRNG(1), 1.0, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Draw()
+	}
+}

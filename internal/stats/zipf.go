@@ -1,0 +1,70 @@
+package stats
+
+import "math"
+
+// Zipf samples ranks from a bounded Zipf (zeta) distribution:
+// P(rank = i) ∝ 1/(i+1)^s for i in [0, n). Natural-language word
+// frequencies are approximately Zipfian, which is the property of the DBLP
+// corpus that the paper's query-sharing idea exploits — a few head tokens
+// ("data", "query", "house") appear in many records. The synthetic dataset
+// generators draw vocabulary through this sampler so frequent-itemset
+// structure in the generated local databases mirrors real text.
+//
+// Sampling is by inverse CDF over a precomputed cumulative table: O(n)
+// setup, O(log n) per draw, exact (no rejection), deterministic given the
+// RNG.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf returns a sampler over n ranks with exponent s > 0. It panics on
+// invalid parameters.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 || s <= 0 || math.IsNaN(s) {
+		panic("stats: invalid Zipf parameters")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns a rank in [0, N) with Zipfian probability (rank 0 most
+// likely).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry ≥ u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns P(rank = i).
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

@@ -1,0 +1,73 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokens checks the tokenizer's invariants on arbitrary input: no
+// panics, all tokens lowercase and non-empty, no stop words, and
+// idempotence of re-tokenization.
+func FuzzTokens(f *testing.F) {
+	for _, seed := range []string{
+		"", "Thai Noodle House", "a-b_c.d", "ΣΩΔ unicode Ωmega",
+		"   spaces\t\ttabs\nnewlines ", "the and of", "123 4.56 7e8",
+		strings.Repeat("long ", 100),
+	} {
+		f.Add(seed)
+	}
+	tk := New()
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := tk.Tokens(s)
+		for _, w := range toks {
+			if w == "" {
+				t.Fatal("empty token")
+			}
+			if tk.IsStopWord(w) {
+				t.Fatalf("stop word %q leaked", w)
+			}
+			for _, r := range w {
+				if unicode.IsUpper(r) {
+					t.Fatalf("uppercase rune in %q", w)
+				}
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("separator rune in %q", w)
+				}
+			}
+		}
+		again := tk.Tokens(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("not idempotent: %v vs %v", toks, again)
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("not idempotent at %d: %v vs %v", i, toks, again)
+			}
+		}
+	})
+}
+
+// FuzzPorterStem checks the stemmer never panics, never empties a word,
+// and is idempotent-ish (stemming a stem never grows it).
+func FuzzPorterStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "sses", "caresses", "relational", "yyyy", "bbbb",
+		"optimization", "ing", "ed", "ies", "ational",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		w := strings.ToLower(s)
+		stem := PorterStem(w)
+		if len(w) > 2 && len(stem) == 0 {
+			t.Fatalf("stem of %q is empty", w)
+		}
+		if len(stem) > len(w)+1 {
+			t.Fatalf("stem grew: %q → %q", w, stem)
+		}
+		if len(PorterStem(stem)) > len(stem)+1 {
+			t.Fatalf("re-stem grew: %q → %q", stem, PorterStem(stem))
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package tokenize
+
+// PorterStem implements the classic Porter stemming algorithm (Porter,
+// 1980). Stemming folds inflected forms onto one keyword ("crawling",
+// "crawled", "crawls" → "crawl"), which tightens query sharing — frequent
+// itemsets stop fragmenting across morphological variants — and helps the
+// §6.1 fuzzy-matching situation when local and hidden records inflect the
+// same word differently. It is exposed as an opt-in Tokenizer stage
+// because it changes the query vocabulary sent to the hidden database,
+// which only helps when the hidden engine stems too (most full-text
+// engines do).
+//
+// The implementation follows the original paper's five steps with the
+// standard measure/vowel machinery, operating on lowercase ASCII; tokens
+// with non-ASCII letters are returned unchanged.
+func PorterStem(w string) string {
+	if len(w) <= 2 {
+		return w
+	}
+	for i := 0; i < len(w); i++ {
+		if w[i] < 'a' || w[i] > 'z' {
+			return w // digits, unicode: leave alone
+		}
+	}
+	b := []byte(w)
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isCons reports whether b[i] is a consonant in Porter's sense ('y' is a
+// consonant when it follows a vowel position rule).
+func isCons(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(b, i-1)
+	default:
+		return true
+	}
+}
+
+// measure returns m, the number of VC sequences in b[:end].
+func measure(b []byte, end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && isCons(b, i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !isCons(b, i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		// Consonant run → one VC.
+		for i < end && isCons(b, i) {
+			i++
+		}
+		m++
+	}
+	return m
+}
+
+// hasVowel reports whether b[:end] contains a vowel.
+func hasVowel(b []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isCons(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleCons reports whether b[:end] ends with a double consonant.
+func doubleCons(b []byte, end int) bool {
+	if end < 2 {
+		return false
+	}
+	return b[end-1] == b[end-2] && isCons(b, end-1)
+}
+
+// cvc reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x, or y.
+func cvc(b []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isCons(b, end-3) || isCons(b, end-2) || !isCons(b, end-1) {
+		return false
+	}
+	switch b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[len(b)-len(s):]) == s
+}
+
+// replaceSuffix swaps suffix old for new when the stem before old has
+// measure > minM. Returns the (possibly new) slice and whether it fired.
+func replaceSuffix(b []byte, old, new string, minM int) ([]byte, bool) {
+	if !hasSuffix(b, old) {
+		return b, false
+	}
+	stem := len(b) - len(old)
+	if measure(b, stem) <= minM {
+		return b, false
+	}
+	return append(b[:stem], new...), true
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b, len(b)-3) > 0 {
+			return b[:len(b)-1]
+		}
+		return b
+	}
+	fired := false
+	if hasSuffix(b, "ed") && hasVowel(b, len(b)-2) {
+		b = b[:len(b)-2]
+		fired = true
+	} else if hasSuffix(b, "ing") && hasVowel(b, len(b)-3) {
+		b = b[:len(b)-3]
+		fired = true
+	}
+	if !fired {
+		return b
+	}
+	switch {
+	case hasSuffix(b, "at"), hasSuffix(b, "bl"), hasSuffix(b, "iz"):
+		return append(b, 'e')
+	case doubleCons(b, len(b)):
+		last := b[len(b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return b[:len(b)-1]
+		}
+		return b
+	case measure(b, len(b)) == 1 && cvc(b, len(b)):
+		return append(b, 'e')
+	}
+	return b
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && hasVowel(b, len(b)-1) {
+		b[len(b)-1] = 'i'
+	}
+	return b
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+	{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+	{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+	{"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if b2, ok := replaceSuffix(b, r.old, r.new, 0); ok {
+			return b2
+		}
+		if hasSuffix(b, r.old) {
+			return b // suffix matched but condition failed: stop
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+	{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if b2, ok := replaceSuffix(b, r.old, r.new, 0); ok {
+			return b2
+		}
+		if hasSuffix(b, r.old) {
+			return b
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(b, s) {
+			continue
+		}
+		stem := len(b) - len(s)
+		if measure(b, stem) <= 1 {
+			return b
+		}
+		if s == "ion" && stem > 0 && b[stem-1] != 's' && b[stem-1] != 't' {
+			return b
+		}
+		return b[:stem]
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if !hasSuffix(b, "e") {
+		return b
+	}
+	stem := len(b) - 1
+	m := measure(b, stem)
+	if m > 1 || (m == 1 && !cvc(b, stem)) {
+		return b[:stem]
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if measure(b, len(b)) > 1 && doubleCons(b, len(b)) && b[len(b)-1] == 'l' {
+		return b[:len(b)-1]
+	}
+	return b
+}

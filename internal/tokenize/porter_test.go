@@ -1,0 +1,137 @@
+package tokenize
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPorterStemKnownPairs(t *testing.T) {
+	cases := map[string]string{
+		// Plurals (step 1a).
+		"caresses": "caress",
+		"ponies":   "poni",
+		"cats":     "cat",
+		"caress":   "caress",
+		"queries":  "queri",
+		// Past/participle (step 1b).
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"failing":   "fail",
+		"filing":    "file",
+		"crawling":  "crawl",
+		"crawled":   "crawl",
+		"crawls":    "crawl",
+		// y → i (step 1c).
+		"happy": "happi",
+		"sky":   "sky",
+		// Derivational suffixes (steps 2–4).
+		"relational":    "relat",
+		"optimization":  "optim",
+		"databases":     "databas",
+		"formalize":     "formal",
+		"sensitiveness": "sensit",
+		// Final e and double l (step 5).
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// Untouched.
+		"a":    "a",
+		"is":   "is",
+		"2019": "2019",
+		"café": "café",
+	}
+	for in, want := range cases {
+		if got := PorterStem(in); got != want {
+			t.Errorf("PorterStem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: stemming is idempotent on its own output for plain words and
+// never grows a word by more than one character (the only growth is the
+// restored final 'e').
+func TestPorterStemProperties(t *testing.T) {
+	words := []string{
+		"running", "jumps", "hopeful", "happiness", "nationally",
+		"engineering", "computation", "computing", "computers",
+		"abilities", "ability", "triplicate", "formative", "electrical",
+		"conflated", "troubled", "generalizations",
+	}
+	for _, w := range words {
+		s := PorterStem(w)
+		if len(s) > len(w)+1 {
+			t.Errorf("stem grew: %q → %q", w, s)
+		}
+		if s == "" {
+			t.Errorf("stem of %q is empty", w)
+		}
+	}
+	f := func(raw string) bool {
+		w := strings.ToLower(raw)
+		s := PorterStem(w)
+		return len(s) <= len(w)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizerWithStemmer(t *testing.T) {
+	tk := New()
+	tk.Stemmer = PorterStem
+	got := tk.Tokens("Crawling crawled databases efficiently")
+	want := []string{"crawl", "crawl", "databas", "effici"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stemmed tokens = %v, want %v", got, want)
+	}
+	// Distinct should collapse the variants.
+	d := tk.Distinct("crawling crawled crawls")
+	if !reflect.DeepEqual(d, []string{"crawl"}) {
+		t.Fatalf("Distinct = %v", d)
+	}
+}
+
+func TestStemmerStrengthensQuerySharing(t *testing.T) {
+	// Two records with inflectional variants share no tokens unstemmed
+	// but share both tokens stemmed.
+	plain := New()
+	stemmed := New()
+	stemmed.Stemmer = PorterStem
+
+	a, b := "crawling databases", "crawled database"
+	inter := func(tk *Tokenizer) int {
+		sa := tk.Set(a)
+		n := 0
+		for w := range tk.Set(b) {
+			if _, ok := sa[w]; ok {
+				n++
+			}
+		}
+		return n
+	}
+	if inter(plain) != 0 {
+		t.Fatalf("plain overlap = %d, want 0", inter(plain))
+	}
+	if inter(stemmed) != 2 {
+		t.Fatalf("stemmed overlap = %d, want 2", inter(stemmed))
+	}
+}
+
+func BenchmarkPorterStem(b *testing.B) {
+	words := []string{"optimization", "crawling", "databases", "relational", "happiness"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PorterStem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,170 @@
+package tokenize
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokensBasic(t *testing.T) {
+	tk := New()
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Thai Noodle House", []string{"thai", "noodle", "house"}},
+		{"Lotus of Siam", []string{"lotus", "siam"}},                // "of" is a stop word
+		{"Lotus-of-Siam (Thai)", []string{"lotus", "siam", "thai"}}, // punctuation splits
+		{"  multiple   spaces ", []string{"multiple", "spaces"}},    // whitespace runs
+		{"UPPER lower MiXeD", []string{"upper", "lower", "mixed"}},  // case folding
+		{"café résumé", []string{"café", "résumé"}},                 // unicode letters kept
+		{"2019 SIGMOD", []string{"2019", "sigmod"}},                 // digits kept
+		{"", nil},
+		{"the and of", nil}, // all stop words
+		{"a1-b2_c3", []string{"a1", "b2", "c3"}},
+	}
+	for _, c := range cases {
+		if got := tk.Tokens(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokens(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokensKeepsDuplicates(t *testing.T) {
+	tk := New()
+	got := tk.Tokens("noodle noodle house")
+	want := []string{"noodle", "noodle", "house"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestDistinctOrder(t *testing.T) {
+	tk := New()
+	got := tk.Distinct("house noodle house thai noodle")
+	want := []string{"house", "noodle", "thai"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Distinct = %v, want %v", got, want)
+	}
+}
+
+func TestSet(t *testing.T) {
+	tk := New()
+	set := tk.Set("Thai House thai HOUSE")
+	if len(set) != 2 {
+		t.Fatalf("Set size = %d, want 2", len(set))
+	}
+	for _, w := range []string{"thai", "house"} {
+		if _, ok := set[w]; !ok {
+			t.Errorf("Set missing %q", w)
+		}
+	}
+}
+
+func TestMinTokenLen(t *testing.T) {
+	tk := New()
+	tk.MinTokenLen = 2
+	got := tk.Tokens("x yy zzz")
+	want := []string{"yy", "zzz"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestCustomStopWords(t *testing.T) {
+	tk := NewWithStopWords([]string{"restaurant", "CAFE"})
+	got := tk.Tokens("Thai Restaurant Cafe Bar")
+	want := []string{"thai", "bar"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	if !tk.IsStopWord("Restaurant") || !tk.IsStopWord("cafe") {
+		t.Error("IsStopWord should be case-insensitive")
+	}
+	if tk.IsStopWord("thai") {
+		t.Error("thai should not be a stop word")
+	}
+}
+
+func TestDocument(t *testing.T) {
+	got := Document([]string{"Thai Noodle", "Vancouver", "4.5"})
+	want := "Thai Noodle Vancouver 4.5"
+	if got != want {
+		t.Fatalf("Document = %q, want %q", got, want)
+	}
+	// Attribute boundaries must not merge tokens.
+	tk := New()
+	toks := tk.Tokens(Document([]string{"abc", "def"}))
+	if !reflect.DeepEqual(toks, []string{"abc", "def"}) {
+		t.Fatalf("boundary merge: %v", toks)
+	}
+}
+
+func TestNormalizeQuery(t *testing.T) {
+	tk := New()
+	a := tk.NormalizeQuery("Noodle House")
+	b := tk.NormalizeQuery("house NOODLE noodle")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("normalized forms differ: %v vs %v", a, b)
+	}
+	if !reflect.DeepEqual(a, []string{"house", "noodle"}) {
+		t.Fatalf("NormalizeQuery = %v", a)
+	}
+}
+
+// Property: tokenization is idempotent — re-tokenizing the join of the
+// tokens yields the same tokens.
+func TestTokensIdempotent(t *testing.T) {
+	tk := New()
+	f := func(s string) bool {
+		once := tk.Tokens(s)
+		twice := tk.Tokens(strings.Join(once, " "))
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every produced token is lowercase, non-empty, and not a stop word.
+func TestTokensWellFormed(t *testing.T) {
+	tk := New()
+	f := func(s string) bool {
+		for _, w := range tk.Tokens(s) {
+			if w == "" || w != strings.ToLower(w) || tk.IsStopWord(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NormalizeQuery output is sorted and duplicate-free.
+func TestNormalizeQuerySortedUnique(t *testing.T) {
+	tk := New()
+	f := func(s string) bool {
+		q := tk.NormalizeQuery(s)
+		for i := 1; i < len(q); i++ {
+			if q[i-1] >= q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTokens(b *testing.B) {
+	tk := New()
+	text := "Progressive Deep Web Crawling Through Keyword Queries For Data Enrichment SIGMOD 2019"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Tokens(text)
+	}
+}

@@ -1,0 +1,296 @@
+// Package smartcrawl is the public API of this reproduction of
+// "Progressive Deep Web Crawling Through Keyword Queries For Data
+// Enrichment" (SIGMOD 2019). It solves the DeepEnrich problem: given a
+// local table D, a hidden database H reachable only through a top-k
+// keyword-search interface, and a query budget b, issue b queries whose
+// results cover (entity-match) as many records of D as possible — then
+// append H's extra attributes to the covered records.
+//
+// Quick start:
+//
+//	tk := smartcrawl.NewTokenizer()
+//	hiddenDB := smartcrawl.NewHiddenDatabase(hiddenTable, tk, smartcrawl.HiddenOptions{K: 50})
+//	smp := smartcrawl.BernoulliSample(hiddenTable, 0.005, 42)
+//	env := &smartcrawl.Env{
+//		Local:     localTable,
+//		Searcher:  hiddenDB,
+//		Tokenizer: tk,
+//		Matcher:   smartcrawl.NewExactMatcher(tk),
+//	}
+//	c, err := smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Sample: smp})
+//	report, result, err := smartcrawl.Enrich(localTable, hiddenTable.Schema, c, 1000,
+//		smartcrawl.EnrichOptions{Columns: []int{3}})
+//
+// The facade re-exports the building blocks from the internal packages;
+// see DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+package smartcrawl
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/enrich"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/hidden"
+	"smartcrawl/internal/match"
+	"smartcrawl/internal/querypool"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/sample"
+	"smartcrawl/internal/stats"
+	"smartcrawl/internal/tokenize"
+)
+
+// Core data types.
+type (
+	// Record is one row of a table; see Table.
+	Record = relational.Record
+	// Table is a named relation with a schema.
+	Table = relational.Table
+	// SchemaMapping aligns local columns to hidden columns.
+	SchemaMapping = relational.SchemaMapping
+	// Tokenizer turns text into the keyword tokens everything agrees on.
+	Tokenizer = tokenize.Tokenizer
+	// Query is a normalized conjunctive keyword query.
+	Query = deepweb.Query
+	// Searcher is the restricted interface to a hidden database.
+	Searcher = deepweb.Searcher
+	// Matcher is the entity-resolution black box.
+	Matcher = match.Matcher
+	// Sample is a hidden-database sample with its ratio θ.
+	Sample = sample.Sample
+	// Env bundles the local table, search interface, tokenizer, and
+	// matcher for a crawl.
+	Env = crawler.Env
+	// Crawler runs a budgeted crawl.
+	Crawler = crawler.Crawler
+	// Result is a crawl outcome: covered records, matches, trace.
+	Result = crawler.Result
+	// Step is one issued query in a Result trace.
+	Step = crawler.Step
+	// HiddenDatabase is the in-process hidden-database simulator.
+	HiddenDatabase = hidden.Database
+	// PoolConfig controls query-pool generation.
+	PoolConfig = querypool.Config
+	// EnrichOptions configures Enrich.
+	EnrichOptions = enrich.Options
+	// EnrichReport summarizes an enrichment run.
+	EnrichReport = enrich.Report
+)
+
+// NewTokenizer returns the default tokenizer (English stop words).
+func NewTokenizer() *Tokenizer { return tokenize.New() }
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema []string) *Table {
+	return relational.NewTable(name, schema)
+}
+
+// HiddenOptions configures NewHiddenDatabase.
+type HiddenOptions struct {
+	// K is the top-k result limit (required, > 0).
+	K int
+	// RankColumn ranks results by the numeric value of this hidden
+	// column, descending. Negative selects a deterministic hash ranking.
+	RankColumn int
+	// NonConjunctive switches to the Yelp-style interface: any-keyword
+	// matches may be returned, all-keyword matches rank on top.
+	NonConjunctive bool
+}
+
+// NewHiddenDatabase wraps a table in a simulated keyword-search interface.
+// Use it to stand in for a real deep website in tests and experiments; for
+// real endpoints implement Searcher (see internal/deepweb/httpapi for an
+// HTTP client/server pair).
+func NewHiddenDatabase(t *Table, tk *Tokenizer, opts HiddenOptions) *HiddenDatabase {
+	rank := hidden.RankByHash(0x5eed)
+	if opts.RankColumn >= 0 {
+		rank = hidden.RankByNumericColumn(opts.RankColumn)
+	}
+	mode := hidden.ModeConjunctive
+	if opts.NonConjunctive {
+		mode = hidden.ModeRanked
+	}
+	return hidden.New(t, tk, opts.K, rank, mode)
+}
+
+// NewExactMatcher matches records with identical normalized documents
+// (Assumption 3 of the paper).
+func NewExactMatcher(tk *Tokenizer) Matcher { return match.NewExact(tk) }
+
+// NewExactMatcherOn is NewExactMatcher restricted to aligned key columns
+// (local side, hidden side); nil means all columns.
+func NewExactMatcherOn(tk *Tokenizer, localCols, hiddenCols []int) Matcher {
+	return match.NewExactOn(tk, localCols, hiddenCols)
+}
+
+// NewJaccardMatcher matches records whose token-set Jaccard similarity
+// meets the threshold — the fuzzy matching of §6.1.
+func NewJaccardMatcher(tk *Tokenizer, threshold float64) Matcher {
+	return match.NewJaccard(tk, threshold)
+}
+
+// NewJaccardMatcherOn is NewJaccardMatcher restricted to key columns.
+func NewJaccardMatcherOn(tk *Tokenizer, threshold float64, localCols, hiddenCols []int) Matcher {
+	return match.NewJaccardOn(tk, threshold, localCols, hiddenCols)
+}
+
+// MatchAll combines matchers conjunctively ("name fuzzy AND city exact").
+func MatchAll(parts ...Matcher) Matcher { return match.And(parts...) }
+
+// MatchAny combines matchers disjunctively.
+func MatchAny(parts ...Matcher) Matcher { return match.Or(parts...) }
+
+// NewBlockedMatcher builds the classic blocking-then-verification ER
+// pipeline: block generates candidates through an indexable matcher
+// (exact or Jaccard), verify predicates filter them. The crawl loop's
+// similarity join indexes the block, so probes stay fast.
+func NewBlockedMatcher(block Matcher, verify ...Matcher) Matcher {
+	return match.NewBlockedAnd(block, verify...)
+}
+
+// BernoulliSample draws a hidden-database sample with known ratio theta —
+// the simulation-side sampler. Use KeywordSample against real interfaces.
+func BernoulliSample(hiddenTable *Table, theta float64, seed uint64) *Sample {
+	return sample.Bernoulli(hiddenTable, theta, stats.NewRNG(seed))
+}
+
+// KeywordSampleConfig configures KeywordSample.
+type KeywordSampleConfig = sample.KeywordConfig
+
+// KeywordSample builds a near-uniform hidden-database sample through the
+// search interface alone (stand-in for Zhang et al. [48]); the seed pool
+// is typically SingleKeywordPool(localTable).
+func KeywordSample(s Searcher, pool []Query, tk *Tokenizer, cfg KeywordSampleConfig) (*Sample, error) {
+	return sample.Keyword(s, pool, tk, cfg)
+}
+
+// SingleKeywordPool extracts every distinct keyword of a table as
+// single-keyword queries — the sampler's seed pool (§7.1.2).
+func SingleKeywordPool(t *Table, tk *Tokenizer) []Query {
+	return sample.SingleKeywordPool(t, tk)
+}
+
+// RandomWalkSampleConfig configures RandomWalkSample.
+type RandomWalkSampleConfig = sample.RandomWalkConfig
+
+// RandomWalkSample is the zoom-in variant of KeywordSample for interfaces
+// where single keywords mostly overflow (large hidden databases behind a
+// small k): overflowing walks are narrowed by conjoining further keywords
+// until they turn solid.
+func RandomWalkSample(s Searcher, pool []Query, tk *Tokenizer, cfg RandomWalkSampleConfig) (*Sample, error) {
+	return sample.RandomWalk(s, pool, tk, cfg)
+}
+
+// SmartOptions configures NewSmartCrawler.
+type SmartOptions struct {
+	// Sample enables the QSel-Est estimators; nil falls back to
+	// QSel-Simple (frequency-based selection).
+	Sample *Sample
+	// Unbiased selects the unbiased estimators instead of the biased
+	// ones (the paper recommends biased; see §7.2.1).
+	Unbiased bool
+	// Omega, when > 0 and ≠ 1, uses the Fisher-noncentral weighted
+	// estimator (§5.3 extension): top-k records are Omega times as
+	// likely to match D as tail records. Requires a Sample and is
+	// mutually exclusive with Unbiased.
+	Omega float64
+	// Pool controls query-pool generation.
+	Pool PoolConfig
+	// BatchSize > 1 issues the top-n selections concurrently per round
+	// (the searcher must be safe for concurrent use, as HTTP clients
+	// are); trades a little coverage for wall-clock against slow
+	// interfaces.
+	BatchSize int
+	// Resume continues from a checkpoint saved with SaveCheckpoint; the
+	// resumed crawl selects exactly what an uninterrupted crawl with the
+	// combined budget would.
+	Resume *Result
+	// Online enables pay-as-you-go calibration: no sample is needed —
+	// the crawler learns query benefits from the results it fetches
+	// anyway. Mutually exclusive with Sample.
+	Online bool
+}
+
+// NewSmartCrawler builds the paper's SMARTCRAWL framework: query pool from
+// D (query sharing), iterative benefit-estimated selection
+// (local-database-aware crawling), ΔD prediction, and the lazy
+// priority-queue machinery of §6.3.
+func NewSmartCrawler(env *Env, opts SmartOptions) (Crawler, error) {
+	cfg := crawler.SmartConfig{
+		PoolConfig:        opts.Pool,
+		Sample:            opts.Sample,
+		BatchSize:         opts.BatchSize,
+		Resume:            opts.Resume,
+		OnlineCalibration: opts.Online,
+	}
+	if opts.Sample != nil {
+		cfg.AlphaFallback = true
+		switch {
+		case opts.Unbiased && opts.Omega > 0 && opts.Omega != 1:
+			return nil, errors.New("smartcrawl: Unbiased and Omega are mutually exclusive")
+		case opts.Unbiased:
+			cfg.Estimator = estimator.Unbiased{}
+		case opts.Omega > 0 && opts.Omega != 1:
+			cfg.Estimator = estimator.WeightedBiased{Omega: opts.Omega}
+		default:
+			cfg.Estimator = estimator.Biased{}
+		}
+	}
+	return crawler.NewSmart(env, cfg)
+}
+
+// SaveCheckpoint serializes a crawl result so a later session can resume
+// it (SmartOptions.Resume) — enrichment jobs routinely span multiple API
+// quota windows.
+func SaveCheckpoint(w io.Writer, res *Result) error {
+	return crawler.SaveResult(w, res)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Result, error) {
+	return crawler.LoadResult(r)
+}
+
+// NewRetryingSearcher wraps a Searcher so transient failures (network
+// blips, 5xx) are retried with exponential backoff before a crawl gives
+// up.
+func NewRetryingSearcher(s Searcher, retries int, base, max time.Duration) Searcher {
+	return &deepweb.Retrying{
+		S:       s,
+		Retries: retries,
+		Backoff: deepweb.ExponentialBackoff(base, max),
+	}
+}
+
+// PorterStem is the Porter stemming algorithm; assign it to
+// Tokenizer.Stemmer to fold morphological variants onto one keyword
+// (enable only when the hidden database's engine stems too).
+func PorterStem(w string) string { return tokenize.PorterStem(w) }
+
+// NewNaiveCrawler builds the NAIVECRAWL baseline: one specific query per
+// local record, in seeded random order. keyColumns nil means all columns.
+func NewNaiveCrawler(env *Env, keyColumns []int, seed uint64) (Crawler, error) {
+	return crawler.NewNaive(env, keyColumns, seed)
+}
+
+// NewFullCrawler builds the FULLCRAWL baseline: local-database-oblivious
+// crawling by sample-frequent keywords.
+func NewFullCrawler(env *Env, smp *Sample) (Crawler, error) {
+	return crawler.NewFull(env, smp)
+}
+
+// MatchSchemas aligns the attributes of a local and a hidden table by name
+// and value overlap.
+func MatchSchemas(local, hiddenTable *Table, tk *Tokenizer) SchemaMapping {
+	return relational.MatchSchemas(local, hiddenTable, tk)
+}
+
+// Enrich crawls with c under the budget and appends the selected hidden
+// attributes to the local table in place.
+func Enrich(local *Table, hiddenSchema []string, c Crawler, budget int, opts EnrichOptions) (*EnrichReport, *Result, error) {
+	return enrich.Enrich(local, hiddenSchema, c, budget, opts)
+}
