@@ -18,8 +18,10 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Full race tier: every package under the detector, including the 64-goroutine
+# dispatcher/rate-limiter stress tests in internal/deepweb.
 race:
-	$(GO) test -race ./internal/crawler/ ./internal/deepweb/... ./internal/lazyheap/
+	$(GO) test -race ./...
 
 # One pass over every per-figure bench, tables visible in the log.
 bench:

@@ -20,6 +20,7 @@
 //	ablate-deltad §4.2 ΔD removal
 //	ablate-heap   §6.3 lazy priority queue vs eager rescan
 //	ablate-batch  batch-greedy concurrent selection (extension)
+//	parallel      parallel crawl pipeline wall-clock vs workers (extension)
 //	ablate-stem   Porter stemming under data errors (extension)
 //	online        pay-as-you-go calibration, no upfront sample (extension)
 //	form          form-based vs keyword interface (extension)
@@ -38,16 +39,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"smartcrawl/internal/experiment"
 )
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 0.2, "size multiplier relative to the paper's Table 3")
-		seed   = flag.Uint64("seed", 42, "experiment seed")
-		seeds  = flag.Int("seeds", 3, "seeds averaged by the headline subcommand")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		scale   = flag.Float64("scale", 0.2, "size multiplier relative to the paper's Table 3")
+		seed    = flag.Uint64("seed", 42, "experiment seed")
+		seeds   = flag.Int("seeds", 3, "seeds averaged by the headline subcommand")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers = flag.Int("workers", 0, "crawl pipeline worker-pool size (ablate-batch, parallel)")
+		latency = flag.Duration("latency", 5*time.Millisecond, "injected per-query latency (parallel)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,6 +62,7 @@ func main() {
 
 	p := experiment.Scaled(*scale)
 	p.Seed = *seed
+	p.Workers = *workers
 
 	run := map[string]func() ([]*experiment.Table, error){
 		"table2": one(func() (*experiment.Table, error) { return experiment.Table2RunningExample() }),
@@ -76,6 +81,7 @@ func main() {
 		"ablate-deltad": one(func() (*experiment.Table, error) { return experiment.AblateDeltaDRemoval(p) }),
 		"ablate-heap":   one(func() (*experiment.Table, error) { return experiment.AblateHeap(p) }),
 		"ablate-batch":  one(func() (*experiment.Table, error) { return experiment.AblateBatch(p) }),
+		"parallel":      one(func() (*experiment.Table, error) { return experiment.ParallelCrawl(p, *latency) }),
 		"ablate-stem":   one(func() (*experiment.Table, error) { return experiment.AblateStemming(p) }),
 		"online":        one(func() (*experiment.Table, error) { return experiment.AblateOnline(p) }),
 		"ranks":         one(func() (*experiment.Table, error) { return experiment.RankSensitivity(p) }),
@@ -90,7 +96,7 @@ func main() {
 	if cmd == "all" {
 		names = []string{"headline", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"bound", "estimators", "ablate-alpha", "ablate-deltad", "ablate-heap",
-			"ablate-batch", "ablate-stem", "online", "form", "ranks", "omega"}
+			"ablate-batch", "parallel", "ablate-stem", "online", "form", "ranks", "omega"}
 	}
 	for _, name := range names {
 		fn, ok := run[name]

@@ -9,6 +9,10 @@
 //	           -theta 0.005 -enrich rating -out enriched.csv
 //	smartcrawl -local mine.csv -url http://localhost:8080 -budget 500 \
 //	           -sample-target 200 -enrich rating -out enriched.csv
+//
+// Against slow remote interfaces, -workers N overlaps N query round-trips
+// per selection round (results are deterministic for any worker count at a
+// fixed -batch; see DESIGN.md §5 "Concurrency model").
 package main
 
 import (
@@ -37,6 +41,8 @@ func main() {
 		enrichCols = flag.String("enrich", "", "comma-separated hidden columns to append (names)")
 		outPath    = flag.String("out", "", "output CSV (default: stdout)")
 		checkpoint = flag.String("checkpoint", "", "crawl checkpoint file: resumed if present, written after the run (smart/simple strategies)")
+		workers    = flag.Int("workers", 1, "concurrent query workers (smart/simple/online strategies); >1 overlaps round-trips")
+		batchSize  = flag.Int("batch", 0, "queries selected per round (default: -workers); >1 trades a little coverage for wall-clock")
 		seed       = flag.Uint64("seed", 42, "seed")
 	)
 	flag.Parse()
@@ -130,17 +136,37 @@ func main() {
 		}
 	}
 
+	// A worker pool without a batch to chew through is idle: default the
+	// selection batch to the worker count so -workers alone overlaps
+	// round-trips (results stay identical for any -workers at a fixed
+	// -batch; only -batch affects selection quality).
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be >= 1"))
+	}
+	if *batchSize == 0 {
+		*batchSize = *workers
+	}
+	smartOpts := smartcrawl.SmartOptions{
+		Resume:    resume,
+		BatchSize: *batchSize,
+		Workers:   *workers,
+	}
+
 	var (
 		c   smartcrawl.Crawler
 		err error
 	)
 	switch *strategy {
 	case "smart":
-		c, err = smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Sample: smp, Resume: resume})
+		opts := smartOpts
+		opts.Sample = smp
+		c, err = smartcrawl.NewSmartCrawler(env, opts)
 	case "simple":
-		c, err = smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Resume: resume})
+		c, err = smartcrawl.NewSmartCrawler(env, smartOpts)
 	case "online":
-		c, err = smartcrawl.NewSmartCrawler(env, smartcrawl.SmartOptions{Online: true, Resume: resume})
+		opts := smartOpts
+		opts.Online = true
+		c, err = smartcrawl.NewSmartCrawler(env, opts)
 	case "naive":
 		c, err = smartcrawl.NewNaiveCrawler(env, nil, *seed)
 	case "full":

@@ -3,7 +3,6 @@ package crawler
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/estimator"
@@ -67,6 +66,16 @@ type SmartConfig struct {
 	// selection order, keeping runs deterministic. 0 or 1 is the
 	// sequential Algorithm 4.
 	BatchSize int
+	// Concurrency is the worker-pool size of the crawl pipeline: how
+	// many goroutines issue a selection batch (deepweb.Dispatcher), and
+	// how many shards the inverted-index build and FP-Growth mining are
+	// partitioned into. It is a pure wall-clock knob — results are
+	// merged into the delta-update loop in selection order by a single
+	// writer, so at a fixed seed the coverage and the issued-query log
+	// are byte-identical for ANY Concurrency. 0 defaults to BatchSize
+	// (every query of a batch gets its own goroutine). Selection quality
+	// is governed by BatchSize alone.
+	Concurrency int
 }
 
 // Smart is the SMARTCRAWL framework (Algorithm 4).
@@ -139,9 +148,22 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	counting := deepweb.NewCounting(env.Searcher, budget)
 	k := env.Searcher.K()
 
-	pool := querypool.Generate(env.Local, env.Tokenizer, s.cfg.PoolConfig)
+	batch := s.cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	workers := s.cfg.Concurrency
+	if workers < 1 {
+		workers = batch
+	}
+
+	poolCfg := s.cfg.PoolConfig
+	if poolCfg.Workers == 0 {
+		poolCfg.Workers = workers
+	}
+	pool := querypool.Generate(env.Local, env.Tokenizer, poolCfg)
 	s.PoolSize = pool.Len()
-	invD := index.BuildInverted(env.Local.Records, env.Tokenizer)
+	invD := index.BuildInvertedN(env.Local.Records, env.Tokenizer, workers)
 
 	// Sample-side statics.
 	var (
@@ -157,7 +179,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		if s.cfg.AlphaFallback {
 			alpha = theta * float64(env.Local.Len()) / float64(s.cfg.Sample.Len())
 		}
-		invS = buildSampleIndex(s.cfg.Sample, env)
+		invS = buildSampleIndex(s.cfg.Sample, env, workers)
 		sampleTokens = make([]map[string]struct{}, s.cfg.Sample.Len())
 		for i, r := range s.cfg.Sample.Records {
 			sampleTokens[i] = env.Tokenizer.Set(r.Document())
@@ -314,10 +336,12 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 	}
 
-	batch := s.cfg.BatchSize
-	if batch < 1 {
-		batch = 1
-	}
+	// The crawl pipeline: selection (producer, this goroutine) feeds the
+	// dispatcher's worker pool, whose in-order outcomes feed the merge
+	// stage (single writer, this goroutine again). The heap, forward
+	// index, considered set, and calibration buckets are touched only by
+	// the merge stage, so no crawl state is ever shared across goroutines.
+	disp := &deepweb.Dispatcher{S: counting, Workers: workers}
 	type issue struct {
 		st      *qstate
 		benefit float64
@@ -354,22 +378,19 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			break
 		}
 
-		// Issue the round — concurrently when batching.
-		if len(round) == 1 {
-			round[0].recs, round[0].err = counting.Search(round[0].st.q.Keywords)
-		} else {
-			var wg sync.WaitGroup
-			for _, is := range round {
-				wg.Add(1)
-				go func(is *issue) {
-					defer wg.Done()
-					is.recs, is.err = counting.Search(is.st.q.Keywords)
-				}(is)
-			}
-			wg.Wait()
+		// Issue the round through the worker pool. Outcomes come back
+		// index-aligned with the selection order regardless of which
+		// worker finished first.
+		qs := make([]deepweb.Query, len(round))
+		for i, is := range round {
+			qs[i] = is.st.q.Keywords
+		}
+		for i, o := range disp.Dispatch(qs) {
+			round[i].recs, round[i].err = o.Records, o.Err
 		}
 
-		// Absorb in selection order so runs stay deterministic.
+		// Merge stage: absorb in selection order so runs stay
+		// deterministic for any worker count.
 		for _, is := range round {
 			if errors.Is(is.err, deepweb.ErrBudgetExhausted) {
 				continue
@@ -444,12 +465,12 @@ func countSatisfying(positions []int, sampleTokens []map[string]struct{}, q deep
 // buildSampleIndex builds an inverted index over the sample records,
 // re-identified to dense positions (sample records keep their hidden-table
 // IDs, which may be sparse relative to the sample).
-func buildSampleIndex(smp *sample.Sample, env *Env) *index.Inverted {
+func buildSampleIndex(smp *sample.Sample, env *Env, workers int) *index.Inverted {
 	reIDed := make([]*relational.Record, len(smp.Records))
 	for i, r := range smp.Records {
 		reIDed[i] = &relational.Record{ID: i, Values: r.Values}
 	}
-	return index.BuildInverted(reIDed, env.Tokenizer)
+	return index.BuildInvertedN(reIDed, env.Tokenizer, workers)
 }
 
 // eagerArgmax scans every live query state and returns the one with the

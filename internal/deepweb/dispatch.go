@@ -1,0 +1,80 @@
+package deepweb
+
+import (
+	"sync"
+
+	"smartcrawl/internal/relational"
+)
+
+// Outcome is the result of one dispatched query: the records returned by
+// the searcher, or the error the attempt ended with. Index is the query's
+// position in the dispatched batch, so callers can correlate outcomes with
+// their own per-query state even after filtering.
+type Outcome struct {
+	Index   int
+	Query   Query
+	Records []*relational.Record
+	Err     error
+}
+
+// Dispatcher fans a batch of queries out over a fixed-size worker pool
+// against any Searcher — the in-process simulator or an HTTP client — and
+// returns the outcomes in SUBMISSION order, not arrival order. That
+// ordering is the determinism guarantee the concurrent crawl pipeline
+// rests on: the merge stage absorbs results in selection order, so
+// coverage and the issued-query log are identical for any worker count.
+//
+// A Dispatcher is stateless between calls and safe for concurrent use by
+// multiple goroutines as long as the wrapped Searcher is (Counting, Cache,
+// Limited, the simulator, and the HTTP client all are).
+type Dispatcher struct {
+	// S is the searcher every worker issues through.
+	S Searcher
+	// Workers bounds the number of goroutines per Dispatch call; values
+	// below 1 (and batches of one query) run inline on the caller's
+	// goroutine. The pool never exceeds the batch size.
+	Workers int
+}
+
+// Dispatch issues every query of the batch and returns one Outcome per
+// query, index-aligned with qs. It never returns early: a failed query
+// records its error in its slot while the rest of the batch proceeds —
+// budget-exhaustion and transient failures are per-query decisions the
+// merge stage makes, not reasons to drop completed work.
+func (d *Dispatcher) Dispatch(qs []Query) []Outcome {
+	out := make([]Outcome, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	workers := d.Workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			recs, err := d.S.Search(q)
+			out[i] = Outcome{Index: i, Query: q, Records: recs, Err: err}
+		}
+		return out
+	}
+	// Each worker claims indexes from a shared channel and writes only to
+	// its claimed slots, so the outcome slice needs no locking.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				recs, err := d.S.Search(qs[i])
+				out[i] = Outcome{Index: i, Query: qs[i], Records: recs, Err: err}
+			}
+		}()
+	}
+	for i := range qs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,199 @@
+package deepweb_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/fixture"
+	"smartcrawl/internal/relational"
+)
+
+// echoSearcher returns one synthetic record per query, recording
+// concurrency so tests can assert pool bounds.
+type echoSearcher struct {
+	inFlight    int64
+	maxInFlight int64
+	calls       int64
+	fail        func(q deepweb.Query) error
+	block       chan struct{} // non-nil: Search parks here until closed
+}
+
+func (e *echoSearcher) Search(q deepweb.Query) ([]*relational.Record, error) {
+	cur := atomic.AddInt64(&e.inFlight, 1)
+	defer atomic.AddInt64(&e.inFlight, -1)
+	for {
+		max := atomic.LoadInt64(&e.maxInFlight)
+		if cur <= max || atomic.CompareAndSwapInt64(&e.maxInFlight, max, cur) {
+			break
+		}
+	}
+	atomic.AddInt64(&e.calls, 1)
+	if e.block != nil {
+		<-e.block
+	}
+	if e.fail != nil {
+		if err := e.fail(q); err != nil {
+			return nil, err
+		}
+	}
+	return []*relational.Record{{ID: len(q), Values: []string{q.Key()}}}, nil
+}
+
+func (e *echoSearcher) K() int { return 2 }
+
+func queries(n int) []deepweb.Query {
+	qs := make([]deepweb.Query, n)
+	for i := range qs {
+		qs[i] = deepweb.Query{fmt.Sprintf("kw%03d", i)}
+	}
+	return qs
+}
+
+func TestDispatchPreservesSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		d := &deepweb.Dispatcher{S: &echoSearcher{}, Workers: workers}
+		qs := queries(25)
+		outs := d.Dispatch(qs)
+		if len(outs) != len(qs) {
+			t.Fatalf("workers=%d: %d outcomes for %d queries", workers, len(outs), len(qs))
+		}
+		for i, o := range outs {
+			if o.Index != i {
+				t.Fatalf("workers=%d: outcome %d has index %d", workers, i, o.Index)
+			}
+			if o.Query.Key() != qs[i].Key() {
+				t.Fatalf("workers=%d: outcome %d is for %q, want %q", workers, i, o.Query, qs[i])
+			}
+			if o.Err != nil || len(o.Records) != 1 || o.Records[0].Values[0] != qs[i].Key() {
+				t.Fatalf("workers=%d: outcome %d = %+v", workers, i, o)
+			}
+		}
+	}
+}
+
+func TestDispatchBoundsWorkerPool(t *testing.T) {
+	e := &echoSearcher{}
+	d := &deepweb.Dispatcher{S: e, Workers: 4}
+	d.Dispatch(queries(64))
+	if e.maxInFlight > 4 {
+		t.Fatalf("observed %d concurrent searches, want <= 4", e.maxInFlight)
+	}
+	if e.calls != 64 {
+		t.Fatalf("calls = %d, want 64", e.calls)
+	}
+}
+
+func TestDispatchActuallyOverlaps(t *testing.T) {
+	// With 4 workers and a searcher that parks until all 4 have arrived,
+	// the batch can only finish if the dispatcher truly runs them
+	// concurrently.
+	block := make(chan struct{})
+	e := &echoSearcher{block: block}
+	d := &deepweb.Dispatcher{S: e, Workers: 4}
+	done := make(chan []deepweb.Outcome)
+	go func() { done <- d.Dispatch(queries(4)) }()
+	for atomic.LoadInt64(&e.inFlight) < 4 {
+		runtime.Gosched() // until all four workers are parked in Search
+	}
+	close(block)
+	outs := <-done
+	if len(outs) != 4 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+}
+
+func TestDispatchRecordsPerQueryErrors(t *testing.T) {
+	boom := errors.New("boom")
+	e := &echoSearcher{fail: func(q deepweb.Query) error {
+		if q.Key() == "kw003" {
+			return boom
+		}
+		return nil
+	}}
+	d := &deepweb.Dispatcher{S: e, Workers: 4}
+	outs := d.Dispatch(queries(8))
+	for i, o := range outs {
+		if i == 3 {
+			if !errors.Is(o.Err, boom) {
+				t.Fatalf("outcome 3 err = %v, want boom", o.Err)
+			}
+			continue
+		}
+		if o.Err != nil {
+			t.Fatalf("outcome %d unexpectedly failed: %v", i, o.Err)
+		}
+	}
+}
+
+func TestDispatchEmptyBatch(t *testing.T) {
+	d := &deepweb.Dispatcher{S: &echoSearcher{}, Workers: 8}
+	if outs := d.Dispatch(nil); len(outs) != 0 {
+		t.Fatalf("empty batch produced %d outcomes", len(outs))
+	}
+}
+
+// TestDispatchDeterministicThroughBudget proves the pipeline's budget
+// interplay: a Counting wrapper shared by all workers charges exactly one
+// unit per dispatched query, independent of worker count and scheduling.
+func TestDispatchDeterministicThroughBudget(t *testing.T) {
+	u := fixture.New()
+	for _, workers := range []int{1, 2, 8} {
+		counting := deepweb.NewCounting(u.DB, 0)
+		d := &deepweb.Dispatcher{S: counting, Workers: workers}
+		qs := []deepweb.Query{{"thai"}, {"house"}, {"noodle"}, {"bbq"}}
+		ref := make([][]string, len(qs))
+		for i, q := range qs {
+			recs, err := u.DB.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs {
+				ref[i] = append(ref[i], r.Values[0])
+			}
+		}
+		outs := d.Dispatch(qs)
+		if counting.Issued() != len(qs) {
+			t.Fatalf("workers=%d: issued %d, want %d", workers, counting.Issued(), len(qs))
+		}
+		for i, o := range outs {
+			var got []string
+			for _, r := range o.Records {
+				got = append(got, r.Values[0])
+			}
+			if !reflect.DeepEqual(got, ref[i]) {
+				t.Fatalf("workers=%d: query %d returned %v, want %v", workers, i, got, ref[i])
+			}
+		}
+	}
+}
+
+// TestDispatcherSafeForConcurrentCallers: several goroutines sharing one
+// Dispatcher (and one searcher chain) must not interfere — each caller
+// gets its own index-aligned outcome slice.
+func TestDispatcherSafeForConcurrentCallers(t *testing.T) {
+	d := &deepweb.Dispatcher{S: deepweb.NewCache(&echoSearcher{}), Workers: 4}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qs := queries(16)
+			for round := 0; round < 10; round++ {
+				outs := d.Dispatch(qs)
+				for i, o := range outs {
+					if o.Err != nil || o.Records[0].Values[0] != qs[i].Key() {
+						t.Errorf("outcome %d corrupted: %+v", i, o)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

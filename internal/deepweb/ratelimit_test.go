@@ -1,0 +1,119 @@
+package deepweb_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/fixture"
+)
+
+// fakeClock is a manually-stepped time source shared by bucket tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func TestBucketConsumesAndRefills(t *testing.T) {
+	clk := newFakeClock()
+	b := deepweb.NewBucket(3, 2).WithClock(clk.now) // 3 tokens, 2/s refill
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("token %d denied from a full bucket", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket allowed a request")
+	}
+	clk.advance(500 * time.Millisecond) // +1 token
+	if !b.Allow() {
+		t.Fatal("refilled token denied")
+	}
+	if b.Allow() {
+		t.Fatal("second token allowed after only one refilled")
+	}
+}
+
+func TestBucketCapsAtCapacity(t *testing.T) {
+	clk := newFakeClock()
+	b := deepweb.NewBucket(2, 100).WithClock(clk.now)
+	clk.advance(time.Hour) // would refill thousands of tokens
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens = %v, want capped at 2", got)
+	}
+}
+
+func TestLimitedFailsFastWhenThrottled(t *testing.T) {
+	u := fixture.New()
+	clk := newFakeClock()
+	l := &deepweb.Limited{S: u.DB, B: deepweb.NewBucket(2, 1).WithClock(clk.now)}
+	if _, err := l.Search(deepweb.Query{"thai"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Search(deepweb.Query{"house"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.Search(deepweb.Query{"noodle"})
+	if !errors.Is(err, deepweb.ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	if l.K() != u.DB.K() {
+		t.Fatal("K must pass through")
+	}
+	clk.advance(time.Second)
+	if _, err := l.Search(deepweb.Query{"noodle"}); err != nil {
+		t.Fatalf("post-refill search failed: %v", err)
+	}
+}
+
+// TestLimitedDoesNotChargeThrottledRequests pins the composition order the
+// docs promise: with Counting OUTSIDE Limited the throttled attempt is
+// charged (like a real quota meter); with Counting INSIDE it is free.
+func TestLimitedCompositionWithCounting(t *testing.T) {
+	u := fixture.New()
+	clk := newFakeClock()
+
+	// Counting inside: a throttled request never reaches the meter.
+	inner := deepweb.NewCounting(u.DB, 0)
+	l := &deepweb.Limited{S: inner, B: deepweb.NewBucket(1, 0).WithClock(clk.now)}
+	_, _ = l.Search(deepweb.Query{"thai"})
+	_, err := l.Search(deepweb.Query{"house"})
+	if !errors.Is(err, deepweb.ErrRateLimited) {
+		t.Fatalf("err = %v", err)
+	}
+	if inner.Issued() != 1 {
+		t.Fatalf("inner meter charged %d, want 1 (throttled attempt is free)", inner.Issued())
+	}
+
+	// Counting outside: every attempt is charged, throttled or not.
+	outer := deepweb.NewCounting(&deepweb.Limited{
+		S: u.DB, B: deepweb.NewBucket(1, 0).WithClock(clk.now),
+	}, 0)
+	_, _ = outer.Search(deepweb.Query{"thai"})
+	_, _ = outer.Search(deepweb.Query{"house"})
+	if outer.Issued() != 2 {
+		t.Fatalf("outer meter charged %d, want 2", outer.Issued())
+	}
+}
+
+func TestDelayedPassesThrough(t *testing.T) {
+	u := fixture.New()
+	d := &deepweb.Delayed{S: u.DB, Delay: time.Millisecond}
+	start := time.Now()
+	recs, err := d.Search(deepweb.Query{"thai"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+	want, _ := u.DB.Search(deepweb.Query{"thai"})
+	if len(recs) != len(want) {
+		t.Fatalf("delayed search returned %d records, want %d", len(recs), len(want))
+	}
+	if d.K() != u.DB.K() {
+		t.Fatal("K must pass through")
+	}
+}

@@ -1,8 +1,10 @@
 package deepweb
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"smartcrawl/internal/relational"
@@ -27,11 +29,21 @@ type Retrying struct {
 	// Sleep is the clock used between attempts; nil means time.Sleep
 	// (tests inject a fake).
 	Sleep func(time.Duration)
+	// Context, when non-nil, aborts retrying: a backoff wait in progress
+	// returns as soon as the context is cancelled, and no further attempt
+	// is made — Search returns the context's error. Long crawls wire
+	// their shutdown signal here so a worker stuck in exponential backoff
+	// does not hold the pipeline open.
+	Context context.Context
 
 	// RetriedCalls counts Search calls that needed at least one retry;
-	// TotalRetries counts individual re-attempts.
+	// TotalRetries counts individual re-attempts. Updates are guarded by
+	// mu (the dispatcher issues through one shared Retrying from many
+	// workers); read them only after concurrent Searches have returned.
 	RetriedCalls int
 	TotalRetries int
+
+	mu sync.Mutex
 }
 
 // Search implements Searcher.
@@ -40,19 +52,40 @@ func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
 	if transient == nil {
 		transient = func(err error) bool { return !errors.Is(err, ErrBudgetExhausted) }
 	}
+	ctx := r.Context
 	sleep := r.Sleep
 	if sleep == nil {
-		sleep = time.Sleep
+		if ctx == nil {
+			sleep = time.Sleep
+		} else {
+			// Interruptible wait: whichever of the timer and the
+			// cancellation fires first ends the backoff.
+			sleep = func(d time.Duration) {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+				}
+			}
+		}
 	}
 	var lastErr error
 	for attempt := 0; attempt <= r.Retries; attempt++ {
 		if attempt > 0 {
+			r.mu.Lock()
 			r.TotalRetries++
 			if attempt == 1 {
 				r.RetriedCalls++
 			}
+			r.mu.Unlock()
 			if r.Backoff != nil {
 				sleep(r.Backoff(attempt))
+			}
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 		}
 		recs, err := r.S.Search(q)

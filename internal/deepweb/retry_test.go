@@ -1,6 +1,7 @@
 package deepweb_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -123,6 +124,117 @@ func TestExponentialBackoffCap(t *testing.T) {
 	b := deepweb.ExponentialBackoff(time.Second, 4*time.Second)
 	if b(1) != time.Second || b(2) != 2*time.Second || b(3) != 4*time.Second || b(10) != 4*time.Second {
 		t.Fatalf("backoff schedule wrong: %v %v %v %v", b(1), b(2), b(3), b(10))
+	}
+}
+
+// TestRetryingContextCancellation is the table-driven cancellation matrix:
+// a context cancelled before the call, mid-backoff (by the fake sleep), or
+// never. Cancellation mid-backoff must surface the context error without
+// spending further attempts on the wrapped searcher.
+func TestRetryingContextCancellation(t *testing.T) {
+	cases := []struct {
+		name string
+		// cancelOnSleep cancels the context during the n-th backoff wait
+		// (1-based); 0 cancels before Search is called; -1 never cancels.
+		cancelOnSleep int
+		retries       int
+		wantErr       error
+		wantCalls     int // attempts that reach the wrapped searcher
+	}{
+		{name: "cancelled before call", cancelOnSleep: 0, retries: 5, wantErr: context.Canceled, wantCalls: 0},
+		{name: "cancelled during first backoff", cancelOnSleep: 1, retries: 5, wantErr: context.Canceled, wantCalls: 1},
+		{name: "cancelled during third backoff", cancelOnSleep: 3, retries: 5, wantErr: context.Canceled, wantCalls: 3},
+		{name: "never cancelled, retries exhausted", cancelOnSleep: -1, retries: 2, wantErr: errFlaky, wantCalls: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixture.New()
+			fl := &flaky{s: u.DB, every: 1} // always fails
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if tc.cancelOnSleep == 0 {
+				cancel()
+			}
+			sleeps := 0
+			r := &deepweb.Retrying{
+				S:       fl,
+				Retries: tc.retries,
+				Context: ctx,
+				Backoff: deepweb.ExponentialBackoff(time.Millisecond, 8*time.Millisecond),
+				Sleep: func(time.Duration) {
+					sleeps++
+					if sleeps == tc.cancelOnSleep {
+						cancel() // the cancellation lands mid-backoff
+					}
+				},
+			}
+			_, err := r.Search(deepweb.Query{"thai"})
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if fl.calls != tc.wantCalls {
+				t.Fatalf("searcher saw %d attempts, want %d", fl.calls, tc.wantCalls)
+			}
+		})
+	}
+}
+
+// TestRetryingTokenBucketInteraction is the table-driven throttling matrix:
+// Retrying wraps Limited, the bucket refills on the fake clock that the
+// backoff advances, so "retry after N failures" and "tokens after T
+// seconds" interact exactly as they would against a live quota.
+func TestRetryingTokenBucketInteraction(t *testing.T) {
+	cases := []struct {
+		name         string
+		capacity     int
+		refillPerSec float64
+		retries      int
+		calls        int // sequential Search calls to issue
+		wantOK       int // calls that must succeed
+		wantErr      error
+	}{
+		// 1 token up front, 1 token/s refill, backoff advances the clock
+		// 1s per attempt: every call eventually gets a token.
+		{name: "refill outpaces retries", capacity: 1, refillPerSec: 1, retries: 3, calls: 4, wantOK: 4},
+		// No refill at all: the first call drains the bucket, the second
+		// burns every retry and surfaces ErrRateLimited.
+		{name: "no refill exhausts retries", capacity: 1, refillPerSec: 0, retries: 3, calls: 2, wantOK: 1, wantErr: deepweb.ErrRateLimited},
+		// Slow refill (one token per 4s = 4 backoff steps): exactly at
+		// the retry horizon, so each call succeeds on its final attempt.
+		{name: "refill lands on last retry", capacity: 1, refillPerSec: 0.25, retries: 4, calls: 3, wantOK: 3},
+		// Slow refill, too few retries: fails after the first token.
+		{name: "refill beyond retry horizon", capacity: 1, refillPerSec: 0.2, retries: 2, calls: 2, wantOK: 1, wantErr: deepweb.ErrRateLimited},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := fixture.New()
+			clk := newFakeClock()
+			bucket := deepweb.NewBucket(tc.capacity, tc.refillPerSec).WithClock(clk.now)
+			limited := &deepweb.Limited{S: u.DB, B: bucket}
+			r := &deepweb.Retrying{
+				S:       limited,
+				Retries: tc.retries,
+				Backoff: func(int) time.Duration { return time.Second },
+				// The fake sleep advances the fake clock, refilling the
+				// bucket the way real waiting would.
+				Sleep: func(d time.Duration) { clk.advance(d) },
+			}
+			ok := 0
+			var lastErr error
+			for i := 0; i < tc.calls; i++ {
+				if _, err := r.Search(deepweb.Query{"thai"}); err != nil {
+					lastErr = err
+				} else {
+					ok++
+				}
+			}
+			if ok != tc.wantOK {
+				t.Fatalf("%d calls succeeded, want %d (last error: %v)", ok, tc.wantOK, lastErr)
+			}
+			if tc.wantErr != nil && !errors.Is(lastErr, tc.wantErr) {
+				t.Fatalf("last error = %v, want %v", lastErr, tc.wantErr)
+			}
+		})
 	}
 }
 

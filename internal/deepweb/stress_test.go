@@ -1,0 +1,133 @@
+package deepweb_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/fixture"
+)
+
+// TestStressDispatcherPipeline hammers the full concurrent-crawl searcher
+// chain — Retrying(Limited(Cache(Counting(simulator)))) — through the
+// dispatcher from 64 goroutines at once. It exists to run under
+// `go test -race` (the Makefile `race` tier): the assertions are
+// deliberately coarse; the race detector is the real oracle for the
+// single-writer/shared-reader discipline of every layer.
+func TestStressDispatcherPipeline(t *testing.T) {
+	u := fixture.New()
+	counting := deepweb.NewCounting(u.DB, 0)
+	chain := &deepweb.Retrying{
+		S: &deepweb.Limited{
+			S: deepweb.NewCache(counting),
+			// Generous refill so the stress run is throttled sometimes
+			// but never starves.
+			B: deepweb.NewBucket(256, 1e6),
+		},
+		Retries: 8,
+		Backoff: deepweb.ExponentialBackoff(time.Microsecond, 50*time.Microsecond),
+	}
+	d := &deepweb.Dispatcher{S: chain, Workers: 8}
+
+	const goroutines = 64
+	const rounds = 20
+	keywords := []string{"thai", "house", "noodle", "bbq", "seafood", "garden", "golden", "palace"}
+	var searches int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qs := make([]deepweb.Query, 0, len(keywords))
+				for i := range keywords {
+					qs = append(qs, deepweb.Query{keywords[(g+r+i)%len(keywords)]})
+				}
+				for i, o := range d.Dispatch(qs) {
+					if o.Err != nil {
+						t.Errorf("goroutine %d round %d query %d: %v", g, r, i, o.Err)
+						return
+					}
+					atomic.AddInt64(&searches, 1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if want := int64(goroutines * rounds * len(keywords)); searches != want {
+		t.Fatalf("completed %d searches, want %d", searches, want)
+	}
+}
+
+// TestStressBucket hits one bucket from 64 goroutines and checks global
+// token accounting: the total number of admitted requests can never exceed
+// capacity plus what the elapsed wall-clock could have refilled.
+func TestStressBucket(t *testing.T) {
+	const capacity = 100
+	const refillPerSec = 1000.0
+	b := deepweb.NewBucket(capacity, refillPerSec)
+	start := time.Now()
+	var allowed int64
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					atomic.AddInt64(&allowed, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// +1 slack for a refill racing the final Allow.
+	max := int64(capacity + refillPerSec*elapsed.Seconds() + 1)
+	if allowed > max {
+		t.Fatalf("bucket admitted %d requests, max permitted by accounting is %d", allowed, max)
+	}
+	if allowed < capacity {
+		t.Fatalf("bucket admitted %d requests, want at least the initial capacity %d", allowed, capacity)
+	}
+}
+
+// TestStressCountingBudgetExact: 64 goroutines race one shared budget; the
+// meter must admit exactly Budget searches, never more, and every loser
+// must see ErrBudgetExhausted.
+func TestStressCountingBudgetExact(t *testing.T) {
+	u := fixture.New()
+	const budget = 97
+	counting := deepweb.NewCounting(u.DB, budget)
+	var ok, exhausted int64
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, err := counting.Search(deepweb.Query{fmt.Sprintf("kw%d", g)})
+				switch {
+				case err == nil:
+					atomic.AddInt64(&ok, 1)
+				case errors.Is(err, deepweb.ErrBudgetExhausted):
+					atomic.AddInt64(&exhausted, 1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ok != budget {
+		t.Fatalf("admitted %d searches, want exactly %d", ok, budget)
+	}
+	if exhausted != 64*10-budget {
+		t.Fatalf("exhausted = %d, want %d", exhausted, 64*10-budget)
+	}
+}

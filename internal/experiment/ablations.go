@@ -34,6 +34,7 @@ func AblateBatch(p Params) (*Table, error) {
 		c, err := crawler.NewSmart(s.Env(), crawler.SmartConfig{
 			Sample: s.Sample, Estimator: estimator.Biased{},
 			AlphaFallback: true, BatchSize: batch,
+			Concurrency: p.Workers,
 		})
 		if err != nil {
 			return nil, err

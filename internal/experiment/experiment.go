@@ -48,6 +48,11 @@ type Params struct {
 	JaccardThreshold float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers is the crawl pipeline's worker-pool size for experiments
+	// that exercise the concurrent dispatcher (ablate-batch, parallel).
+	// 0 keeps the per-experiment default. Coverage numbers are
+	// worker-count-invariant by construction; only wall-clock moves.
+	Workers int
 }
 
 // PaperScale returns the paper's default parameters (Table 3). A full run

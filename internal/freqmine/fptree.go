@@ -75,41 +75,51 @@ func mineTree(tree *fpTree, suffix []int, minSupport, maxLen int, out *[]Itemset
 	// Walk items from least frequent (highest rank) to most frequent so
 	// conditional bases shrink fastest.
 	for r := len(tree.header) - 1; r >= 0; r-- {
-		support := 0
-		for n := tree.header[r]; n != nil; n = n.next {
-			support += n.count
-		}
-		if support < minSupport {
-			continue
-		}
-		itemset := make([]int, 0, len(suffix)+1)
-		itemset = append(itemset, r)
-		itemset = append(itemset, suffix...)
-		*out = append(*out, Itemset{Items: itemset, Support: support})
+		mineItem(tree, r, suffix, minSupport, maxLen, out)
+	}
+}
 
-		if len(itemset) >= maxLen {
+// mineItem handles one item of tree's header table: emit the itemset
+// {r}∪suffix if frequent, then recurse into r's conditional tree. After
+// the tree is built it is only read, so distinct items of the SAME tree
+// can be mined from different goroutines concurrently — each invocation
+// allocates its own conditional trees and appends to its own out slice.
+// This is the partition point of the parallel miner.
+func mineItem(tree *fpTree, r int, suffix []int, minSupport, maxLen int, out *[]Itemset) {
+	support := 0
+	for n := tree.header[r]; n != nil; n = n.next {
+		support += n.count
+	}
+	if support < minSupport {
+		return
+	}
+	itemset := make([]int, 0, len(suffix)+1)
+	itemset = append(itemset, r)
+	itemset = append(itemset, suffix...)
+	*out = append(*out, Itemset{Items: itemset, Support: support})
+
+	if len(itemset) >= maxLen {
+		return
+	}
+	// Conditional pattern base: prefix paths of every node of r.
+	cond := newFPTree(r) // ranks < r only can appear above r
+	nonEmpty := false
+	for n := tree.header[r]; n != nil; n = n.next {
+		var path []int
+		for p := n.parent; p != nil && p.rank >= 0; p = p.parent {
+			path = append(path, p.rank)
+		}
+		if len(path) == 0 {
 			continue
 		}
-		// Conditional pattern base: prefix paths of every node of r.
-		cond := newFPTree(r) // ranks < r only can appear above r
-		nonEmpty := false
-		for n := tree.header[r]; n != nil; n = n.next {
-			var path []int
-			for p := n.parent; p != nil && p.rank >= 0; p = p.parent {
-				path = append(path, p.rank)
-			}
-			if len(path) == 0 {
-				continue
-			}
-			// path is bottom-up; reverse to root-down order.
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			cond.insert(path, n.count)
-			nonEmpty = true
+		// path is bottom-up; reverse to root-down order.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
 		}
-		if nonEmpty {
-			mineTree(cond, itemset, minSupport, maxLen, out)
-		}
+		cond.insert(path, n.count)
+		nonEmpty = true
+	}
+	if nonEmpty {
+		mineTree(cond, itemset, minSupport, maxLen, out)
 	}
 }

@@ -11,7 +11,10 @@
 // the statement that q₂ is a non-closed itemset.
 package freqmine
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Itemset is a frequent itemset: sorted item IDs plus the number of
 // transactions containing all of them.
@@ -30,6 +33,13 @@ type Config struct {
 	// the per-record naive queries), and bounding the length keeps the
 	// 2^|d| candidate space tractable.
 	MaxLen int
+	// Workers partitions the top-level mining loop — one task per
+	// frequent item's conditional tree — across a goroutine pool. The
+	// global FP-tree is read-only once built, so partitions share it
+	// without locking; each worker collects into a private slice and the
+	// shards are concatenated before the final canonical sort, making the
+	// output identical for any worker count. 0 or 1 mines sequentially.
+	Workers int
 }
 
 func (c Config) maxLen() int {
@@ -75,7 +85,11 @@ func MineFPGrowth(transactions [][]int, cfg Config) []Itemset {
 	}
 
 	var out []Itemset
-	mineTree(tree, nil, cfg.MinSupport, cfg.maxLen(), &out)
+	if cfg.Workers > 1 && len(items) > 1 {
+		out = mineParallel(tree, cfg.MinSupport, cfg.maxLen(), cfg.Workers)
+	} else {
+		mineTree(tree, nil, cfg.MinSupport, cfg.maxLen(), &out)
+	}
 
 	// Translate ranks back to item IDs and canonicalize.
 	for i := range out {
@@ -85,6 +99,43 @@ func MineFPGrowth(transactions [][]int, cfg Config) []Itemset {
 		sort.Ints(out[i].Items)
 	}
 	sortItemsets(out)
+	return out
+}
+
+// mineParallel fans the top-level items of the global FP-tree out over a
+// worker pool. Items are claimed highest-rank-first (least frequent),
+// matching the sequential walk: rare items have small conditional bases,
+// so the expensive frequent items drain last and the pool stays busy.
+// Shards are concatenated in rank order; the caller's canonical sort makes
+// the ordering irrelevant to the final output.
+func mineParallel(tree *fpTree, minSupport, maxLen, workers int) []Itemset {
+	n := len(tree.header)
+	if workers > n {
+		workers = n
+	}
+	shards := make([][]Itemset, n)
+	ranks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range ranks {
+				var out []Itemset
+				mineItem(tree, r, nil, minSupport, maxLen, &out)
+				shards[r] = out
+			}
+		}()
+	}
+	for r := n - 1; r >= 0; r-- {
+		ranks <- r
+	}
+	close(ranks)
+	wg.Wait()
+	var out []Itemset
+	for r := n - 1; r >= 0; r-- {
+		out = append(out, shards[r]...)
+	}
 	return out
 }
 

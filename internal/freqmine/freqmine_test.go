@@ -320,3 +320,25 @@ func ExampleMineFPGrowth() {
 	// [1 2] 2
 	// [1 3] 2
 }
+
+// TestMineFPGrowthParallelMatchesSequential: partitioned mining (one shard
+// per top-level conditional tree) must return exactly the itemsets of the
+// sequential miner — same sets, same supports, same canonical order.
+func TestMineFPGrowthParallelMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 10; trial++ {
+		txs := randomTxs(rng, 200, 20, 8)
+		for _, minSup := range []int{2, 5} {
+			for _, maxLen := range []int{3, 5} {
+				seq := MineFPGrowth(txs, Config{MinSupport: minSup, MaxLen: maxLen})
+				for _, workers := range []int{2, 4, 16} {
+					par := MineFPGrowth(txs, Config{MinSupport: minSup, MaxLen: maxLen, Workers: workers})
+					if !reflect.DeepEqual(par, seq) {
+						t.Fatalf("trial %d sup=%d len=%d workers=%d: parallel mining diverged\n got %v\nwant %v",
+							trial, minSup, maxLen, workers, par, seq)
+					}
+				}
+			}
+		}
+	}
+}

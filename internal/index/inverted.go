@@ -8,6 +8,7 @@ package index
 
 import (
 	"sort"
+	"sync"
 
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/tokenize"
@@ -23,21 +24,74 @@ type Inverted struct {
 
 // BuildInverted indexes the given records with tokenizer tk.
 func BuildInverted(recs []*relational.Record, tk *tokenize.Tokenizer) *Inverted {
+	return BuildInvertedN(recs, tk, 1)
+}
+
+// BuildInvertedN is BuildInverted sharded over a worker pool: the record
+// slice is split into contiguous chunks, each worker tokenizes and indexes
+// its chunk into a private postings map, and the shards are merged in
+// chunk order. The result is identical to the sequential build for any
+// worker count — posting lists are sorted by record ID either way —
+// because tokenization dominates the cost and is embarrassingly parallel.
+// Workers below 2 (or tiny inputs) build sequentially.
+func BuildInvertedN(recs []*relational.Record, tk *tokenize.Tokenizer, workers int) *Inverted {
 	inv := &Inverted{postings: make(map[string][]int), size: len(recs)}
-	for _, r := range recs {
-		for _, w := range r.Tokens(tk) {
-			inv.postings[w] = append(inv.postings[w], r.ID)
+	// Sharding overhead beats the gain on small inputs.
+	const minShard = 256
+	if workers > len(recs)/minShard {
+		workers = len(recs) / minShard
+	}
+	if workers <= 1 {
+		for _, r := range recs {
+			for _, w := range r.Tokens(tk) {
+				inv.postings[w] = append(inv.postings[w], r.ID)
+			}
+		}
+		sortPostings(inv.postings)
+		return inv
+	}
+	shards := make([]map[string][]int, workers)
+	var wg sync.WaitGroup
+	chunk := (len(recs) + workers - 1) / workers
+	for s := 0; s < workers; s++ {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			m := make(map[string][]int)
+			for _, r := range recs[lo:hi] {
+				for _, w := range r.Tokens(tk) {
+					m[w] = append(m[w], r.ID)
+				}
+			}
+			shards[s] = m
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	// Merge in shard order: contiguous chunks keep IDs grouped, and the
+	// final defensive sort makes the layout identical to the sequential
+	// build regardless of worker count.
+	for _, m := range shards {
+		for w, p := range m {
+			inv.postings[w] = append(inv.postings[w], p...)
 		}
 	}
-	// Record iteration order follows the slice, and Tokens is
-	// deduplicated, so each posting list is already sorted and unique if
-	// record IDs are appended in increasing order. Records may arrive in
-	// arbitrary ID order, so sort defensively.
-	for w, p := range inv.postings {
-		sort.Ints(p)
-		inv.postings[w] = p
-	}
+	sortPostings(inv.postings)
 	return inv
+}
+
+// sortPostings sorts every posting list ascending. Record iteration order
+// follows the slice, and Tokens is deduplicated, so each list is already
+// sorted and unique if record IDs arrive in increasing order; records may
+// arrive in arbitrary ID order, so sort defensively.
+func sortPostings(postings map[string][]int) {
+	for w, p := range postings {
+		sort.Ints(p)
+		postings[w] = p
+	}
 }
 
 // Size returns the number of indexed records.

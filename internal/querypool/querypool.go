@@ -46,6 +46,11 @@ type Config struct {
 	// keywords (0 = unlimited). Real search boxes reject very long
 	// queries; the paper's DBLP setup concatenates title+venue+authors.
 	MaxNaiveKeywords int
+	// Workers parallelizes the FP-Growth mining stage (one task per
+	// frequent item's conditional tree). The generated pool — contents
+	// and query IDs — is identical for any worker count. 0 or 1 mines
+	// sequentially.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +150,7 @@ func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool
 	mined := freqmine.MineFPGrowth(txs, freqmine.Config{
 		MinSupport: cfg.MinSupport,
 		MaxLen:     cfg.MaxQueryLen,
+		Workers:    cfg.Workers,
 	})
 	for _, s := range freqmine.FilterClosed(mined) {
 		words := make([]string, len(s.Items))

@@ -1,0 +1,130 @@
+// Benchmark and regression coverage for the concurrent crawl pipeline:
+// SMARTCRAWL driven through the httpapi simulator with per-request latency
+// injected, so query round-trips dominate exactly as they do against a real
+// deep website. BenchmarkParallelCrawl is the before/after artifact recorded
+// in BENCH_parallel.json; the test asserts the determinism guarantee end to
+// end over HTTP (identical coverage and issued-query log at any worker
+// count).
+package smartcrawl_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"smartcrawl"
+	"smartcrawl/internal/dataset"
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/deepweb/httpapi"
+)
+
+// parallelUniverse is a DBLP-sim instance behind a latency-injecting HTTP
+// search endpoint, plus everything a smart crawl needs against it.
+type parallelUniverse struct {
+	srv *httptest.Server
+	env *smartcrawl.Env
+	smp *smartcrawl.Sample
+}
+
+func (u *parallelUniverse) Close() { u.srv.Close() }
+
+func newParallelUniverse(tb testing.TB, latency time.Duration) *parallelUniverse {
+	tb.Helper()
+	in, err := dataset.GenerateDBLP(dataset.DBLPConfig{
+		CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: 42,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tk := smartcrawl.NewTokenizer()
+	db := smartcrawl.NewHiddenDatabase(in.Hidden, tk, smartcrawl.HiddenOptions{
+		K: 50, RankColumn: in.RankColumn,
+	})
+	// The Delayed wrapper sits server-side, so every HTTP round-trip pays
+	// the injected latency — concurrent requests overlap their sleeps just
+	// like real network waits.
+	server := httpapi.NewServer(&deepweb.Delayed{S: db, Delay: latency}, tk, nil)
+	srv := httptest.NewServer(server.Handler())
+	client := &httpapi.Client{BaseURL: srv.URL}
+	if err := client.Probe(smartcrawl.Query{"probe"}); err != nil {
+		srv.Close()
+		tb.Fatal(err)
+	}
+	env := &smartcrawl.Env{
+		Local:     in.Local,
+		Searcher:  client,
+		Tokenizer: tk,
+		Matcher:   smartcrawl.NewExactMatcherOn(tk, in.LocalKey, in.HiddenKey),
+	}
+	return &parallelUniverse{
+		srv: srv,
+		env: env,
+		smp: smartcrawl.BernoulliSample(in.Hidden, 0.03, 12),
+	}
+}
+
+func (u *parallelUniverse) crawl(tb testing.TB, workers, budget int) *smartcrawl.Result {
+	tb.Helper()
+	c, err := smartcrawl.NewSmartCrawler(u.env, smartcrawl.SmartOptions{
+		Sample: u.smp, BatchSize: 8, Workers: workers,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := c.Run(budget)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkParallelCrawl measures wall-clock of a budget-48 smart crawl over
+// HTTP with 10ms of injected per-request latency (a fast real-world API), at
+// 1/2/4/8 workers. With BatchSize 8 the selection trajectory is fixed;
+// workers only overlap the round-trips, so the coverage metric must not move
+// while ns/op drops.
+func BenchmarkParallelCrawl(b *testing.B) {
+	const latency = 10 * time.Millisecond
+	const budget = 48
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			u := newParallelUniverse(b, latency)
+			defer u.Close()
+			b.ResetTimer()
+			var covered int
+			for i := 0; i < b.N; i++ {
+				res := u.crawl(b, workers, budget)
+				if i == 0 {
+					covered = res.CoveredCount
+				} else if res.CoveredCount != covered {
+					b.Fatalf("coverage drifted between iterations: %d vs %d",
+						res.CoveredCount, covered)
+				}
+			}
+			b.ReportMetric(float64(covered), "covered")
+		})
+	}
+}
+
+// TestParallelCrawlHTTPDeterministic runs the full stack — facade, HTTP
+// client, server, simulator — and requires identical coverage and
+// issued-query logs for 1 vs 8 workers at equal seed and budget.
+func TestParallelCrawlHTTPDeterministic(t *testing.T) {
+	u := newParallelUniverse(t, 0)
+	defer u.Close()
+	ref := u.crawl(t, 1, 40)
+	got := u.crawl(t, 8, 40)
+	if got.CoveredCount != ref.CoveredCount {
+		t.Fatalf("coverage differs: 8 workers covered %d, 1 worker covered %d",
+			got.CoveredCount, ref.CoveredCount)
+	}
+	if len(got.Steps) != len(ref.Steps) {
+		t.Fatalf("issued %d queries with 8 workers, %d with 1", len(got.Steps), len(ref.Steps))
+	}
+	for i := range ref.Steps {
+		if got.Steps[i].Query.Key() != ref.Steps[i].Query.Key() {
+			t.Fatalf("step %d differs: %v vs %v", i, got.Steps[i].Query, ref.Steps[i].Query)
+		}
+	}
+}

@@ -205,6 +205,12 @@ type SmartOptions struct {
 	// are); trades a little coverage for wall-clock against slow
 	// interfaces.
 	BatchSize int
+	// Workers is the crawl pipeline's worker-pool size: goroutines
+	// issuing each batch, plus shards for index construction and pool
+	// mining. Purely a wall-clock knob — at a fixed seed, coverage and
+	// the issued-query log are identical for any Workers value; only
+	// BatchSize affects selection quality. 0 defaults to BatchSize.
+	Workers int
 	// Resume continues from a checkpoint saved with SaveCheckpoint; the
 	// resumed crawl selects exactly what an uninterrupted crawl with the
 	// combined budget would.
@@ -224,6 +230,7 @@ func NewSmartCrawler(env *Env, opts SmartOptions) (Crawler, error) {
 		PoolConfig:        opts.Pool,
 		Sample:            opts.Sample,
 		BatchSize:         opts.BatchSize,
+		Concurrency:       opts.Workers,
 		Resume:            opts.Resume,
 		OnlineCalibration: opts.Online,
 	}
@@ -264,6 +271,15 @@ func NewRetryingSearcher(s Searcher, retries int, base, max time.Duration) Searc
 		Retries: retries,
 		Backoff: deepweb.ExponentialBackoff(base, max),
 	}
+}
+
+// NewRateLimitedSearcher wraps a Searcher with a client-side token bucket
+// (capacity tokens, refilled at refillPerSec) so a multi-worker crawl
+// never exceeds the polite request rate, whatever SmartOptions.Workers is
+// set to. A throttled request fails fast with a transient error; compose
+// with NewRetryingSearcher (outside) to wait out the refill with backoff.
+func NewRateLimitedSearcher(s Searcher, capacity int, refillPerSec float64) Searcher {
+	return &deepweb.Limited{S: s, B: deepweb.NewBucket(capacity, refillPerSec)}
 }
 
 // PorterStem is the Porter stemming algorithm; assign it to
