@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments examples fuzz clean
+.PHONY: all build vet test test-short race bench experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -47,6 +47,14 @@ fuzz:
 	$(GO) test -fuzz FuzzTokens -fuzztime 30s ./internal/tokenize/
 	$(GO) test -fuzz FuzzPorterStem -fuzztime 30s ./internal/tokenize/
 	$(GO) test -fuzz FuzzLoadResult -fuzztime 30s ./internal/crawler/
+	$(GO) test -fuzz FuzzLoadCSV -fuzztime 30s ./internal/relational/
+
+# Line-coverage report; per-package baseline numbers are recorded in
+# DESIGN.md ("Observability" section) — regenerate them with this target
+# after substantive changes.
+cover:
+	$(GO) test -coverprofile cover.out ./...
+	$(GO) tool cover -func cover.out | tail -1
 
 clean:
 	$(GO) clean ./...

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"smartcrawl/internal/experiment"
+	"smartcrawl/internal/obs"
 )
 
 func main() {
@@ -98,13 +99,18 @@ func main() {
 			"bound", "estimators", "ablate-alpha", "ablate-deltad", "ablate-heap",
 			"ablate-batch", "parallel", "ablate-stem", "online", "form", "ranks", "omega"}
 	}
+	// Per-phase wall-clock: each subcommand is one obs phase, so `all`
+	// ends with a table showing where the regeneration time went.
+	o := obs.New()
 	for _, name := range names {
 		fn, ok := run[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown subcommand %q\n", name)
 			os.Exit(2)
 		}
+		stop := o.Phase(name)
 		tables, err := fn()
+		stop()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
@@ -122,6 +128,15 @@ func main() {
 			}
 		}
 	}
+	phases, durs := o.PhaseDurations()
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	for i, name := range phases {
+		fmt.Fprintf(os.Stderr, "timing: %-14s %9.0fms\n", name, float64(durs[i])/float64(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "timing: %-14s %9.0fms\n", "total", float64(total)/float64(time.Millisecond))
 }
 
 // yelpParams derives the Figure-9 parameters from the DBLP-scaled ones:

@@ -12,14 +12,25 @@
 //
 //	GET /search?q=thai+noodle    top-k results as JSON
 //	GET /healthz                 liveness
+//	GET /stats                   request counters (legacy summary)
+//	GET /debug/vars              expvar: live query counters, latency
+//	                             percentiles, memstats (JSON)
+//	GET /debug/pprof/            pprof profiles (CPU, heap, goroutine, …)
+//
+// The debug endpoints serve the production-tuning loop: watch
+// /debug/vars while a crawl fleet hammers /search, pull a CPU profile
+// when latency percentiles move. Disable with -debug=false on exposed
+// deployments.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,6 +38,7 @@ import (
 
 	"smartcrawl/internal/deepweb/httpapi"
 	"smartcrawl/internal/hidden"
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/tokenize"
 )
@@ -40,6 +52,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		rate      = flag.Float64("rate", 0, "requests per second refill (0 = unlimited)")
 		burst     = flag.Int("burst", 100, "rate-limiter burst capacity")
+		debug     = flag.Bool("debug", true, "serve /debug/vars (expvar) and /debug/pprof endpoints")
 	)
 	flag.Parse()
 	if *tablePath == "" {
@@ -72,7 +85,26 @@ func main() {
 		limiter = httpapi.NewTokenBucket(*burst, *rate)
 	}
 	srv := httpapi.NewServer(db, tk, limiter)
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	o := obs.New()
+	srv.SetObs(o)
+
+	handler := srv.Handler()
+	if *debug {
+		// Live query counters under /debug/vars, CPU/heap/goroutine
+		// profiles under /debug/pprof/. Registered on an explicit mux —
+		// nothing leaks onto http.DefaultServeMux.
+		expvar.Publish("hiddenserver", expvar.Func(func() any { return o.Snapshot() }))
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
 	// in-flight searches, then exit.

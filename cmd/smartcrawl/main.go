@@ -16,13 +16,17 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"smartcrawl"
+	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/deepweb/httpapi"
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 )
 
@@ -44,6 +48,11 @@ func main() {
 		workers    = flag.Int("workers", 1, "concurrent query workers (smart/simple/online strategies); >1 overlaps round-trips")
 		batchSize  = flag.Int("batch", 0, "queries selected per round (default: -workers); >1 trades a little coverage for wall-clock")
 		seed       = flag.Uint64("seed", 42, "seed")
+		tracePath  = flag.String("trace", "", "write a JSONL session trace (query/round/retry/rate-limit/checkpoint/phase events) to this file")
+		metrics    = flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr (implied by -trace)")
+		rate       = flag.Float64("rate", 0, "client-side polite request rate, queries/sec (0 = unpaced); throttled queries are retried with backoff")
+		burst      = flag.Int("burst", 10, "client-side token-bucket burst capacity (with -rate)")
+		retries    = flag.Int("retries", 5, "transient-failure retries per query (rate-limit waits, network blips)")
 	)
 	flag.Parse()
 	if *localPath == "" {
@@ -51,6 +60,26 @@ func main() {
 	}
 	if (*hiddenPath == "") == (*url == "") {
 		fatal(fmt.Errorf("exactly one of -hidden or -url is required"))
+	}
+
+	// Observability: -trace records the session as JSONL, -metrics prints
+	// the end-of-run summary. Disabled (nil sink) when neither is set, so
+	// the default path pays one branch per hook.
+	var (
+		o      *obs.Obs
+		tracer *obs.Tracer
+	)
+	if *tracePath != "" || *metrics {
+		o = obs.New()
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			tracer = obs.NewTracer(bufio.NewWriter(f))
+			o.SetTracer(tracer)
+		}
 	}
 
 	tk := smartcrawl.NewTokenizer()
@@ -79,10 +108,12 @@ func main() {
 		if err := client.Probe(pool[0]); err != nil {
 			fatal(fmt.Errorf("probing %s: %w", *url, err))
 		}
+		stopSample := o.Phase("keyword_sample")
 		var err error
 		smp, err = smartcrawl.KeywordSample(client, pool, tk, smartcrawl.KeywordSampleConfig{
 			Target: *sampleTgt, Seed: *seed,
 		})
+		stopSample()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "warning: sampling incomplete: %v\n", err)
 		}
@@ -93,6 +124,26 @@ func main() {
 			hiddenSchema = make([]string, len(smp.Records[0].Values))
 			for i := range hiddenSchema {
 				hiddenSchema[i] = fmt.Sprintf("col%d", i)
+			}
+		}
+	}
+
+	// Client-side politeness: a token bucket paces the whole crawl below
+	// -rate regardless of -workers, and a retrying layer outside it waits
+	// throttled queries out with exponential backoff (so a denial costs a
+	// wait, not the crawl). Both report into the observability sink.
+	if *rate > 0 {
+		searcher = &deepweb.Limited{
+			S:   searcher,
+			B:   deepweb.NewBucket(*burst, *rate),
+			Obs: o,
+		}
+		if *retries > 0 {
+			searcher = &deepweb.Retrying{
+				S:       searcher,
+				Retries: *retries,
+				Backoff: deepweb.ExponentialBackoff(200*time.Millisecond, 5*time.Second),
+				Obs:     o,
 			}
 		}
 	}
@@ -120,7 +171,7 @@ func main() {
 	} else {
 		matcher = smartcrawl.NewExactMatcherOn(tk, localCols, hiddenCols)
 	}
-	env := &smartcrawl.Env{Local: local, Searcher: searcher, Tokenizer: tk, Matcher: matcher}
+	env := &smartcrawl.Env{Local: local, Searcher: searcher, Tokenizer: tk, Matcher: matcher, Obs: o}
 
 	// Resume from a previous quota window when a checkpoint exists.
 	var resume *smartcrawl.Result
@@ -207,7 +258,9 @@ func main() {
 		mapping := smartcrawl.MatchSchemas(local, hiddenTable, tk)
 		opts.Mapping = &mapping
 	}
+	stopEnrich := o.Phase("crawl_and_enrich")
 	report, res, err := smartcrawl.Enrich(local, hiddenSchema, c, *budget, opts)
+	stopEnrich()
 	if err != nil {
 		fatal(err)
 	}
@@ -223,7 +276,20 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
+		o.Checkpoint(*checkpoint, res.CoveredCount, res.QueriesIssued)
 		fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", *checkpoint)
+	}
+
+	// End-of-run observability: summary to stderr, trace flushed to disk.
+	if o != nil {
+		o.WriteSummary(os.Stderr)
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: trace incomplete: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
+		}
 	}
 
 	out := os.Stdout

@@ -17,6 +17,7 @@ import (
 
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/match"
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/tokenize"
 )
@@ -32,6 +33,11 @@ type Env struct {
 	// recorded step — progress reporting for long crawls. It runs on the
 	// crawl goroutine; keep it fast.
 	OnStep func(Step)
+	// Obs, when set, observes the crawl: per-query events with estimated
+	// vs realized benefit, selection-round and phase timings, dispatcher
+	// latency. Nil disables all instrumentation at the cost of one
+	// branch per hook; observation never changes crawl results.
+	Obs *obs.Obs
 }
 
 func (e *Env) validate() error {
@@ -141,6 +147,10 @@ func (t *tracker) absorb(q deepweb.Query, benefit float64, recs []*relational.Re
 		NewHidden:         newHidden,
 	}
 	t.res.Steps = append(t.res.Steps, step)
+	if o := t.env.Obs; o != nil {
+		o.Query(q.Key(), benefit, len(recs), len(newly), t.res.CoveredCount,
+			len(recs) < t.env.Searcher.K())
+	}
 	if t.env.OnStep != nil {
 		t.env.OnStep(step)
 	}

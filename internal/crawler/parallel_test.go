@@ -1,12 +1,14 @@
 package crawler_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"smartcrawl/internal/crawler"
 	"smartcrawl/internal/dataset"
 	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/sample"
 	"smartcrawl/internal/stats"
 )
@@ -67,6 +69,90 @@ func TestParallelCrawlDeterministic(t *testing.T) {
 			if got.QueriesIssued != ref.QueriesIssued {
 				t.Fatalf("seed %d workers %d: issued %d, want %d",
 					seed, workers, got.QueriesIssued, ref.QueriesIssued)
+			}
+		}
+	}
+}
+
+// TestTracingDeterministic is the observability counterpart of the test
+// above: attaching a metrics sink and a JSONL tracer must not perturb the
+// crawl. For each seed and worker count, the traced run's issued-query
+// log and coverage must be byte-identical to the untraced run's — obs
+// hooks observe, they never decide. The traced run must also actually
+// emit a parseable trace whose query events mirror the crawl trajectory.
+func TestTracingDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		run := func(workers int, o *obs.Obs) *crawler.Result {
+			env, in, _ := dblpEnv(t, dataset.DBLPConfig{
+				CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: seed,
+			}, 50, nil)
+			env.Obs = o
+			smp := sample.Bernoulli(in.Hidden, 0.03, stats.NewRNG(seed+100))
+			c, err := crawler.NewSmart(env, crawler.SmartConfig{
+				Sample:      smp,
+				Estimator:   estimator.Biased{},
+				BatchSize:   8,
+				Concurrency: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		for _, workers := range []int{1, 4, 16} {
+			plain := run(workers, nil)
+			var trace bytes.Buffer
+			o := obs.New()
+			o.SetTracer(obs.NewTracer(&trace))
+			traced := run(workers, o)
+
+			if a, b := queryLog(plain), queryLog(traced); a != b {
+				t.Fatalf("seed %d workers %d: tracing changed the issued-query log\n--- off ---\n%s\n--- on ---\n%s",
+					seed, workers, a, b)
+			}
+			if plain.CoveredCount != traced.CoveredCount {
+				t.Fatalf("seed %d workers %d: tracing changed coverage %d → %d",
+					seed, workers, plain.CoveredCount, traced.CoveredCount)
+			}
+
+			// The sink must have seen the whole crawl…
+			if got := o.QueriesIssued.Value(); got != int64(traced.QueriesIssued) {
+				t.Fatalf("seed %d workers %d: obs counted %d queries, crawl issued %d",
+					seed, workers, got, traced.QueriesIssued)
+			}
+			if got := o.RecordsCovered.Value(); got != int64(traced.CoveredCount) {
+				t.Fatalf("seed %d workers %d: obs counted %d covered, crawl covered %d",
+					seed, workers, got, traced.CoveredCount)
+			}
+			// …and the trace must replay it: one query event per step, in
+			// absorb order, with matching keys and coverage deltas.
+			events, err := obs.ParseEvents(bytes.NewReader(trace.Bytes()))
+			if err != nil {
+				t.Fatalf("seed %d workers %d: trace not parseable: %v", seed, workers, err)
+			}
+			var queries []obs.Event
+			for _, e := range events {
+				if e.Type == obs.EventQuery {
+					queries = append(queries, e)
+				}
+			}
+			if len(queries) != len(traced.Steps) {
+				t.Fatalf("seed %d workers %d: %d query events for %d steps",
+					seed, workers, len(queries), len(traced.Steps))
+			}
+			for i, e := range queries {
+				if e.Query != traced.Steps[i].Query.Key() {
+					t.Fatalf("seed %d workers %d: trace event %d query %q, step %q",
+						seed, workers, i, e.Query, traced.Steps[i].Query.Key())
+				}
+			}
+			if last := queries[len(queries)-1]; last.CumCovered != traced.CoveredCount {
+				t.Fatalf("seed %d workers %d: final trace cum_covered %d, coverage %d",
+					seed, workers, last.CumCovered, traced.CoveredCount)
 			}
 		}
 	}

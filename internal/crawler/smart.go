@@ -161,9 +161,11 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	if poolCfg.Workers == 0 {
 		poolCfg.Workers = workers
 	}
+	stopPool := env.Obs.Phase("pool_generate")
 	pool := querypool.Generate(env.Local, env.Tokenizer, poolCfg)
+	stopPool()
 	s.PoolSize = pool.Len()
-	invD := index.BuildInvertedN(env.Local.Records, env.Tokenizer, workers)
+	invD := index.BuildInvertedNObs(env.Local.Records, env.Tokenizer, workers, env.Obs)
 
 	// Sample-side statics.
 	var (
@@ -175,6 +177,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		sampleTokens  []map[string]struct{}
 	)
 	if s.cfg.Sample != nil && s.cfg.Sample.Len() > 0 {
+		stopSample := env.Obs.Phase("sample_index")
 		theta = s.cfg.Sample.Theta
 		if s.cfg.AlphaFallback {
 			alpha = theta * float64(env.Local.Len()) / float64(s.cfg.Sample.Len())
@@ -190,6 +193,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 				sampleMatches[d] = append(sampleMatches[d], pos)
 			}
 		}
+		stopSample()
 	}
 
 	// Per-query state, forward index, and initial priorities.
@@ -213,6 +217,13 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 		return b
 	}
+	// Estimator Benefit calls are the selection hot path; the instrumented
+	// wrapper adds one atomic count per call and nothing else, so the
+	// benefits — and therefore selection order — are bit-identical.
+	est := s.cfg.Estimator
+	if env.Obs.Enabled() {
+		est = estimator.Instrumented{E: est, Obs: env.Obs}
+	}
 	benefitOf := func(st *qstate) float64 {
 		if s.cfg.OnlineCalibration {
 			b := calib[bucketOf(len(st.qD))]
@@ -227,7 +238,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			}
 			return float64(k) // uncalibrated: QSel-Simple capped at k
 		}
-		return s.cfg.Estimator.Benefit(estimator.Stats{
+		return est.Benefit(estimator.Stats{
 			FreqD:       st.freqD,
 			FreqSample:  st.freqS,
 			MatchSample: st.matchS,
@@ -341,7 +352,8 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	// stage (single writer, this goroutine again). The heap, forward
 	// index, considered set, and calibration buckets are touched only by
 	// the merge stage, so no crawl state is ever shared across goroutines.
-	disp := &deepweb.Dispatcher{S: counting, Workers: workers}
+	disp := &deepweb.Dispatcher{S: counting, Workers: workers, Obs: env.Obs}
+	defer env.Obs.Phase("crawl_loop")()
 	type issue struct {
 		st      *qstate
 		benefit float64
@@ -376,6 +388,9 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 		if len(round) == 0 {
 			break
+		}
+		if o := env.Obs; o != nil {
+			o.Round(len(round), counting.Remaining())
 		}
 
 		// Issue the round through the worker pool. Outcomes come back

@@ -1,8 +1,11 @@
 package deepweb
 
 import (
+	"errors"
 	"sync"
+	"time"
 
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 )
 
@@ -34,6 +37,23 @@ type Dispatcher struct {
 	// below 1 (and batches of one query) run inline on the caller's
 	// goroutine. The pool never exceeds the batch size.
 	Workers int
+	// Obs, when non-nil, observes per-query round-trip latency and search
+	// errors. Purely observational: outcomes are identical with or
+	// without it.
+	Obs *obs.Obs
+}
+
+// search issues one query, timing it into the sink when one is attached.
+// The disabled path takes the nil branch and nothing else — no clock
+// reads.
+func (d *Dispatcher) search(q Query) ([]*relational.Record, error) {
+	if d.Obs == nil {
+		return d.S.Search(q)
+	}
+	start := time.Now()
+	recs, err := d.S.Search(q)
+	d.Obs.SearchDone(time.Since(start), err != nil && !errors.Is(err, ErrBudgetExhausted))
+	return recs, err
 }
 
 // Dispatch issues every query of the batch and returns one Outcome per
@@ -52,7 +72,7 @@ func (d *Dispatcher) Dispatch(qs []Query) []Outcome {
 	}
 	if workers <= 1 {
 		for i, q := range qs {
-			recs, err := d.S.Search(q)
+			recs, err := d.search(q)
 			out[i] = Outcome{Index: i, Query: q, Records: recs, Err: err}
 		}
 		return out
@@ -66,7 +86,7 @@ func (d *Dispatcher) Dispatch(qs []Query) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				recs, err := d.S.Search(qs[i])
+				recs, err := d.search(qs[i])
 				out[i] = Outcome{Index: i, Query: qs[i], Records: recs, Err: err}
 			}
 		}()

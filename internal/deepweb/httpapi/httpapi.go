@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/tokenize"
 )
@@ -47,6 +48,7 @@ type Server struct {
 	searcher deepweb.Searcher
 	tk       *tokenize.Tokenizer
 	limiter  *TokenBucket // nil = unlimited
+	obs      *obs.Obs     // nil = uninstrumented
 
 	mu          sync.Mutex
 	searches    int
@@ -58,6 +60,11 @@ type Server struct {
 func NewServer(searcher deepweb.Searcher, tk *tokenize.Tokenizer, limiter *TokenBucket) *Server {
 	return &Server{searcher: searcher, tk: tk, limiter: limiter}
 }
+
+// SetObs attaches an observability sink: live query counters, per-request
+// search latency, rate-limit denials. cmd/hiddenserver publishes the
+// sink's snapshot at /debug/vars. Call before serving.
+func (s *Server) SetObs(o *obs.Obs) { s.obs = o }
 
 // Handler returns the HTTP handler for the API.
 func (s *Server) Handler() http.Handler {
@@ -92,6 +99,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.limiter != nil && !s.limiter.Allow() {
 		s.count(&s.rateLimited)
+		if s.obs != nil {
+			s.obs.RateLimitDenied(r.URL.Query().Get("q"), 0)
+		}
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{"rate limit exceeded"})
 		return
 	}
@@ -101,13 +111,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"empty query"})
 		return
 	}
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	recs, err := s.searcher.Search(q)
+	if s.obs != nil {
+		s.obs.SearchDone(time.Since(start), err != nil)
+	}
 	if err != nil {
 		s.count(&s.errors)
 		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 		return
 	}
 	s.count(&s.searches)
+	if s.obs != nil {
+		s.obs.SearchServed(q.Key(), len(recs), len(recs) < s.searcher.K())
+	}
 	resp := searchResponse{K: s.searcher.K(), Records: make([]wireRecord, len(recs))}
 	for i, rec := range recs {
 		resp.Records[i] = wireRecord{ID: rec.ID, Values: rec.Values}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 )
 
@@ -93,11 +94,18 @@ func (b *Bucket) Tokens() float64 {
 type Limited struct {
 	S Searcher
 	B *Bucket
+	// Obs, when non-nil, records every denial (with the bucket's token
+	// level) into the observability sink — the rate-limit-pressure signal
+	// for tuning worker counts against polite request rates.
+	Obs *obs.Obs
 }
 
 // Search implements Searcher.
 func (l *Limited) Search(q Query) ([]*relational.Record, error) {
 	if !l.B.Allow() {
+		if l.Obs != nil {
+			l.Obs.RateLimitDenied(q.Key(), l.B.Tokens())
+		}
 		return nil, ErrRateLimited
 	}
 	return l.S.Search(q)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 )
 
@@ -35,6 +36,9 @@ type Retrying struct {
 	// their shutdown signal here so a worker stuck in exponential backoff
 	// does not hold the pipeline open.
 	Context context.Context
+	// Obs, when non-nil, records every re-attempt (with its backoff wait
+	// and the error that caused it) into the observability sink.
+	Obs *obs.Obs
 
 	// RetriedCalls counts Search calls that needed at least one retry;
 	// TotalRetries counts individual re-attempts. Updates are guarded by
@@ -79,8 +83,13 @@ func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
 				r.RetriedCalls++
 			}
 			r.mu.Unlock()
+			var wait time.Duration
 			if r.Backoff != nil {
-				sleep(r.Backoff(attempt))
+				wait = r.Backoff(attempt)
+			}
+			r.Obs.Retry(q.Key(), attempt, wait, lastErr)
+			if wait > 0 {
+				sleep(wait)
 			}
 		}
 		if ctx != nil {

@@ -1,0 +1,25 @@
+package estimator
+
+import "smartcrawl/internal/obs"
+
+// Instrumented wraps an Estimator so every Benefit call is counted in the
+// observability sink. Benefit invocations are the Algorithm-4 hot path —
+// the lazy heap rescores on every pop and invalidation — so the hook is a
+// single atomic add and the estimate itself is untouched: an instrumented
+// estimator returns bit-identical benefits, preserving selection order.
+// Estimate-vs-realized accuracy is tracked separately, per absorbed query
+// (obs.Obs.Query), because realized benefit only exists after issuing.
+type Instrumented struct {
+	E   Estimator
+	Obs *obs.Obs
+}
+
+// Name implements Estimator, passing the wrapped name through so
+// experiment output is unchanged by instrumentation.
+func (i Instrumented) Name() string { return i.E.Name() }
+
+// Benefit implements Estimator.
+func (i Instrumented) Benefit(s Stats) float64 {
+	i.Obs.EstimateComputed()
+	return i.E.Benefit(s)
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/tokenize"
 )
@@ -22,9 +23,35 @@ type Inverted struct {
 	size     int // number of indexed records
 }
 
+// minShard is the fewest records worth a shard of its own: sharding
+// overhead beats the gain on small inputs.
+const minShard = 256
+
 // BuildInverted indexes the given records with tokenizer tk.
 func BuildInverted(recs []*relational.Record, tk *tokenize.Tokenizer) *Inverted {
 	return BuildInvertedN(recs, tk, 1)
+}
+
+// BuildInvertedNObs is BuildInvertedN with build observability: the shard
+// count actually used and the build wall-clock land in the sink (phase
+// "index_build"). A nil sink is exactly BuildInvertedN.
+func BuildInvertedNObs(recs []*relational.Record, tk *tokenize.Tokenizer, workers int, o *obs.Obs) *Inverted {
+	if o != nil {
+		defer o.Phase("index_build")()
+	}
+	inv := BuildInvertedN(recs, tk, workers)
+	if o != nil {
+		// Report the effective shard count after the min-shard clamp.
+		effective := workers
+		if effective > len(recs)/minShard {
+			effective = len(recs) / minShard
+		}
+		if effective < 1 {
+			effective = 1
+		}
+		o.IndexBuilt(effective)
+	}
+	return inv
 }
 
 // BuildInvertedN is BuildInverted sharded over a worker pool: the record
@@ -36,8 +63,6 @@ func BuildInverted(recs []*relational.Record, tk *tokenize.Tokenizer) *Inverted 
 // Workers below 2 (or tiny inputs) build sequentially.
 func BuildInvertedN(recs []*relational.Record, tk *tokenize.Tokenizer, workers int) *Inverted {
 	inv := &Inverted{postings: make(map[string][]int), size: len(recs)}
-	// Sharding overhead beats the gain on small inputs.
-	const minShard = 256
 	if workers > len(recs)/minShard {
 		workers = len(recs) / minShard
 	}

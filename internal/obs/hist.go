@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsUs are the fixed histogram bucket upper bounds in
+// microseconds: sub-millisecond resolution for the in-process simulator,
+// second-scale resolution for real web APIs with backoff. Fixed buckets
+// keep Observe allocation-free and the struct zero-value usable.
+var latencyBoundsUs = [...]int64{
+	100, 250, 500, // sub-millisecond: simulator searches
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, // 1–50ms: LAN round-trips
+	100_000, 250_000, 500_000, // 0.1–0.5s: WAN round-trips
+	1_000_000, 2_500_000, 5_000_000, 10_000_000, // 1–10s: slow APIs
+	30_000_000, 60_000_000, // backoff territory
+}
+
+// numBuckets includes the overflow bucket.
+const numBuckets = len(latencyBoundsUs) + 1
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe from many goroutines. The zero value is ready to use.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sumUs  atomic.Int64
+	maxUs  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := 0
+	for i < len(latencyBoundsUs) && us > latencyBoundsUs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	for {
+		old := h.maxUs.Load()
+		if us <= old || h.maxUs.CompareAndSwap(old, us) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time read of a Histogram.
+type HistogramSnapshot struct {
+	Count         int64
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+	// Buckets holds the per-bucket counts; Bounds the matching upper
+	// bounds (the final bucket is unbounded).
+	Buckets []int64
+	Bounds  []time.Duration
+}
+
+// Snapshot reads the histogram. Concurrent Observes may land between
+// bucket reads; the snapshot is still internally plausible (quantiles are
+// computed from the bucket counts actually read).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: make([]int64, numBuckets),
+		Bounds:  make([]time.Duration, len(latencyBoundsUs)),
+	}
+	var total int64
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+		total += s.Buckets[i]
+	}
+	for i, b := range latencyBoundsUs {
+		s.Bounds[i] = time.Duration(b) * time.Microsecond
+	}
+	s.Count = total
+	if total == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sumUs.Load()/total) * time.Microsecond
+	s.Max = time.Duration(h.maxUs.Load()) * time.Microsecond
+	s.P50 = h.quantile(s.Buckets, total, 0.50)
+	s.P95 = h.quantile(s.Buckets, total, 0.95)
+	s.P99 = h.quantile(s.Buckets, total, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// observation — a conservative (over-)estimate, as bucketed histograms
+// give. The overflow bucket reports the observed max.
+func (h *Histogram) quantile(buckets []int64, total int64, q float64) time.Duration {
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		if cum >= rank {
+			if i < len(latencyBoundsUs) {
+				return time.Duration(latencyBoundsUs[i]) * time.Microsecond
+			}
+			return time.Duration(h.maxUs.Load()) * time.Microsecond
+		}
+	}
+	return time.Duration(h.maxUs.Load()) * time.Microsecond
+}

@@ -1,0 +1,412 @@
+// Package obs is the crawl observability subsystem: atomic counters and
+// gauges, fixed-bucket latency histograms, and a structured JSONL session
+// tracer. It exists because SMARTCRAWL's value claim is per-query
+// efficiency under a hard budget — tuning the crawler requires seeing
+// benefit-estimate quality, retry and rate-limit pressure, and where
+// wall-clock goes inside the Algorithm-4 loop, not just the final coverage
+// number.
+//
+// Everything hangs off *Obs, a nil-safe sink: every method is a no-op on a
+// nil receiver, so instrumented code calls hooks unconditionally and the
+// disabled path costs a single branch. The package depends only on the
+// standard library and must never perturb crawl results — hooks observe,
+// they do not decide (regression-tested: tracing on vs off produces
+// byte-identical issued-query logs).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value. The zero value is
+// ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatSum is an atomically accumulated float64 (CAS on the bit pattern).
+// The zero value is ready to use.
+type FloatSum struct{ bits atomic.Uint64 }
+
+// Add accumulates v.
+func (f *FloatSum) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated sum.
+func (f *FloatSum) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Obs is the observability sink threaded through the crawl stack. All
+// fields are safe for concurrent update; all methods are safe to call on a
+// nil *Obs (they become a branch and nothing else), which is how the
+// disabled path stays free.
+type Obs struct {
+	// Crawl-loop counters (merge stage, single writer).
+	QueriesIssued  Counter // queries absorbed into the crawl result
+	RecordsCovered Counter // local records newly covered
+	SolidQueries   Counter // issued queries with |result| < k
+	Rounds         Counter // selection rounds (batches popped)
+	Dispatched     Counter // queries handed to the worker pool
+	EstimateCalls  Counter // estimator Benefit() invocations
+
+	// Interface-pressure counters (worker pool, many writers).
+	SearchErrors Counter // failed searches (budget exhaustion excluded)
+	RetriedCalls Counter // searches that needed at least one retry
+	Retries      Counter // individual re-attempts
+	RateLimited  Counter // client-side token-bucket denials
+	Checkpoints  Counter // checkpoint writes
+
+	// Index construction.
+	IndexBuilds Counter
+	IndexShards Gauge // shard count of the most recent build
+
+	// BucketTokens is the token count observed at the most recent
+	// rate-limit denial, in milli-tokens (gauges are integral).
+	BucketTokens Gauge
+
+	// SearchLatency observes one duration per dispatched query.
+	SearchLatency Histogram
+
+	// Estimate-vs-realized benefit accounting: each absorbed query
+	// contributes its estimated benefit and the coverage delta it
+	// actually produced, so estimator bias and MAE fall out of a run.
+	BenefitPairs  Counter
+	BenefitEst    FloatSum
+	BenefitReal   FloatSum
+	BenefitAbsErr FloatSum
+
+	// now is the clock used for phase timing; nil means time.Now.
+	// Tests inject a fake for deterministic trace output.
+	now func() time.Time
+
+	tracer atomic.Pointer[Tracer]
+
+	mu       sync.Mutex
+	phaseDur map[string]time.Duration
+	phaseSeq []string // insertion order, for stable summaries
+}
+
+// New returns an empty, enabled sink. The zero value &Obs{} is equivalent.
+func New() *Obs { return &Obs{} }
+
+// WithClock replaces the phase-timing clock (tests inject a fake for
+// deterministic trace durations) and returns o.
+func (o *Obs) WithClock(now func() time.Time) *Obs {
+	o.now = now
+	return o
+}
+
+// Enabled reports whether the sink collects anything. A nil *Obs is the
+// disabled sink.
+func (o *Obs) Enabled() bool { return o != nil }
+
+// SetTracer attaches a session tracer; nil detaches. Safe to call
+// concurrently with hooks.
+func (o *Obs) SetTracer(t *Tracer) {
+	if o == nil {
+		return
+	}
+	o.tracer.Store(t)
+}
+
+// Tracer returns the attached tracer, or nil.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Load()
+}
+
+func (o *Obs) clock() time.Time {
+	if o.now != nil {
+		return o.now()
+	}
+	return time.Now()
+}
+
+// Query records one absorbed query: counters, the estimate-vs-realized
+// benefit pair, and a trace event. Called by the merge stage (single
+// goroutine) after every issued query, for every crawl framework.
+func (o *Obs) Query(q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
+	if o == nil {
+		return
+	}
+	o.QueriesIssued.Inc()
+	o.RecordsCovered.Add(int64(newCovered))
+	if solid {
+		o.SolidQueries.Inc()
+	}
+	o.BenefitPairs.Inc()
+	o.BenefitEst.Add(est)
+	o.BenefitReal.Add(float64(newCovered))
+	o.BenefitAbsErr.Add(math.Abs(est - float64(newCovered)))
+	if t := o.tracer.Load(); t != nil {
+		t.query(q, est, resultSize, newCovered, cumCovered, solid)
+	}
+}
+
+// SearchServed records one served search on the interface side (the
+// hiddenserver): a query counter and a trace event, but no benefit pair —
+// the server has no estimate to compare against.
+func (o *Obs) SearchServed(q string, resultSize int, solid bool) {
+	if o == nil {
+		return
+	}
+	o.QueriesIssued.Inc()
+	if solid {
+		o.SolidQueries.Inc()
+	}
+	if t := o.tracer.Load(); t != nil {
+		t.query(q, 0, resultSize, 0, 0, solid)
+	}
+}
+
+// Round records one selection round of size n with budgetLeft queries
+// remaining (-1 = unlimited) before the round is dispatched.
+func (o *Obs) Round(n, budgetLeft int) {
+	if o == nil {
+		return
+	}
+	o.Rounds.Inc()
+	o.Dispatched.Add(int64(n))
+	if t := o.tracer.Load(); t != nil {
+		t.round(n, budgetLeft)
+	}
+}
+
+// SearchDone observes one dispatched query's round-trip latency. failed
+// marks real errors (budget exhaustion is a clean stop, not a failure).
+func (o *Obs) SearchDone(d time.Duration, failed bool) {
+	if o == nil {
+		return
+	}
+	o.SearchLatency.Observe(d)
+	if failed {
+		o.SearchErrors.Inc()
+	}
+}
+
+// Retry records re-attempt number attempt (1-based) of query q after wait,
+// caused by cause (the previous attempt's error).
+func (o *Obs) Retry(q string, attempt int, wait time.Duration, cause error) {
+	if o == nil {
+		return
+	}
+	o.Retries.Inc()
+	if attempt == 1 {
+		o.RetriedCalls.Inc()
+	}
+	msg := ""
+	if cause != nil {
+		msg = cause.Error()
+	}
+	if t := o.tracer.Load(); t != nil {
+		t.retry(q, attempt, wait, msg)
+	}
+}
+
+// RateLimitDenied records a client-side token-bucket denial of query q,
+// with the bucket's token count at denial time.
+func (o *Obs) RateLimitDenied(q string, tokens float64) {
+	if o == nil {
+		return
+	}
+	o.RateLimited.Inc()
+	o.BucketTokens.Set(int64(tokens * 1000))
+	if t := o.tracer.Load(); t != nil {
+		t.rateLimit(q, tokens)
+	}
+}
+
+// Checkpoint records a checkpoint write: covered records and queries spent
+// at save time.
+func (o *Obs) Checkpoint(path string, covered, queries int) {
+	if o == nil {
+		return
+	}
+	o.Checkpoints.Inc()
+	if t := o.tracer.Load(); t != nil {
+		t.checkpoint(path, covered, queries)
+	}
+}
+
+// EstimateComputed counts one estimator Benefit() call — the hottest hook
+// (heap rescoring), so it is a single atomic add.
+func (o *Obs) EstimateComputed() {
+	if o == nil {
+		return
+	}
+	o.EstimateCalls.Inc()
+}
+
+// IndexBuilt records one inverted-index build over the given shard count.
+func (o *Obs) IndexBuilt(shards int) {
+	if o == nil {
+		return
+	}
+	o.IndexBuilds.Inc()
+	o.IndexShards.Set(int64(shards))
+}
+
+// Phase starts a named wall-clock phase and returns its stop function:
+//
+//	defer o.Phase("pool_generate")()
+//
+// Stop accumulates the duration (phases can run more than once) and emits
+// a trace event. On a nil sink both calls are no-ops.
+func (o *Obs) Phase(name string) func() {
+	if o == nil {
+		return func() {}
+	}
+	start := o.clock()
+	return func() {
+		d := o.clock().Sub(start)
+		o.mu.Lock()
+		if o.phaseDur == nil {
+			o.phaseDur = make(map[string]time.Duration)
+		}
+		if _, seen := o.phaseDur[name]; !seen {
+			o.phaseSeq = append(o.phaseSeq, name)
+		}
+		o.phaseDur[name] += d
+		o.mu.Unlock()
+		if t := o.tracer.Load(); t != nil {
+			t.phase(name, d)
+		}
+	}
+}
+
+// PhaseDurations returns the accumulated phase durations in start order.
+func (o *Obs) PhaseDurations() ([]string, []time.Duration) {
+	if o == nil {
+		return nil, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	names := make([]string, len(o.phaseSeq))
+	durs := make([]time.Duration, len(o.phaseSeq))
+	copy(names, o.phaseSeq)
+	for i, n := range names {
+		durs[i] = o.phaseDur[n]
+	}
+	return names, durs
+}
+
+// Snapshot renders every metric into a JSON-marshalable map — the expvar
+// payload for /debug/vars and the raw form of the end-of-run summary.
+func (o *Obs) Snapshot() map[string]any {
+	if o == nil {
+		return nil
+	}
+	m := map[string]any{
+		"queries_issued":  o.QueriesIssued.Value(),
+		"records_covered": o.RecordsCovered.Value(),
+		"solid_queries":   o.SolidQueries.Value(),
+		"rounds":          o.Rounds.Value(),
+		"dispatched":      o.Dispatched.Value(),
+		"estimate_calls":  o.EstimateCalls.Value(),
+		"search_errors":   o.SearchErrors.Value(),
+		"retried_calls":   o.RetriedCalls.Value(),
+		"retries":         o.Retries.Value(),
+		"rate_limited":    o.RateLimited.Value(),
+		"checkpoints":     o.Checkpoints.Value(),
+		"index_builds":    o.IndexBuilds.Value(),
+		"index_shards":    o.IndexShards.Value(),
+	}
+	if hs := o.SearchLatency.Snapshot(); hs.Count > 0 {
+		m["search_latency"] = map[string]any{
+			"count":   hs.Count,
+			"mean_ms": roundMs(hs.Mean),
+			"p50_ms":  roundMs(hs.P50),
+			"p95_ms":  roundMs(hs.P95),
+			"p99_ms":  roundMs(hs.P99),
+			"max_ms":  roundMs(hs.Max),
+		}
+	}
+	if n := o.BenefitPairs.Value(); n > 0 {
+		m["benefit"] = map[string]any{
+			"pairs":         n,
+			"mean_estimate": round3(o.BenefitEst.Value() / float64(n)),
+			"mean_realized": round3(o.BenefitReal.Value() / float64(n)),
+			"mae":           round3(o.BenefitAbsErr.Value() / float64(n)),
+		}
+	}
+	if names, durs := o.PhaseDurations(); len(names) > 0 {
+		ph := make(map[string]any, len(names))
+		for i, name := range names {
+			ph[name] = roundMs(durs[i])
+		}
+		m["phase_ms"] = ph
+	}
+	return m
+}
+
+// WriteSummary prints a human-readable end-of-run metrics summary.
+func (o *Obs) WriteSummary(w io.Writer) {
+	if o == nil {
+		return
+	}
+	fmt.Fprintf(w, "obs: %d queries issued in %d rounds, %d records covered, %d solid\n",
+		o.QueriesIssued.Value(), o.Rounds.Value(), o.RecordsCovered.Value(), o.SolidQueries.Value())
+	fmt.Fprintf(w, "obs: interface: %d dispatched, %d errors, %d retried calls (%d re-attempts), %d rate-limit denials\n",
+		o.Dispatched.Value(), o.SearchErrors.Value(), o.RetriedCalls.Value(),
+		o.Retries.Value(), o.RateLimited.Value())
+	if hs := o.SearchLatency.Snapshot(); hs.Count > 0 {
+		fmt.Fprintf(w, "obs: search latency: mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",
+			roundMs(hs.Mean), roundMs(hs.P50), roundMs(hs.P95), roundMs(hs.P99), roundMs(hs.Max))
+	}
+	if n := o.BenefitPairs.Value(); n > 0 {
+		fmt.Fprintf(w, "obs: benefit estimates: mean est %.2f vs realized %.2f (MAE %.2f over %d queries, %d estimator calls)\n",
+			o.BenefitEst.Value()/float64(n), o.BenefitReal.Value()/float64(n),
+			o.BenefitAbsErr.Value()/float64(n), n, o.EstimateCalls.Value())
+	}
+	names, durs := o.PhaseDurations()
+	for i, name := range names {
+		fmt.Fprintf(w, "obs: phase %-16s %9.2fms\n", name, roundMs(durs[i]))
+	}
+}
+
+func roundMs(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*100) / 100
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// sortedKeys is a test/debug helper: stable iteration over a snapshot.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that starts at the Unix epoch plus one hour
+// and advances step per reading — deterministic timestamps and durations.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.UnixMilli(3_600_000)
+	return func() time.Time {
+		now := t
+		t = t.Add(step)
+		return now
+	}
+}
+
+// TestNilSinkIsSafe pins the nil-safety contract every instrumented call
+// site relies on: every hook (and every accessor) must be a no-op on a
+// nil *Obs, never a panic.
+func TestNilSinkIsSafe(t *testing.T) {
+	var o *Obs
+	if o.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	o.Query("a b", 3, 5, 2, 10, true)
+	o.SearchServed("a", 5, false)
+	o.Round(8, 40)
+	o.SearchDone(time.Millisecond, true)
+	o.Retry("a", 1, time.Second, errors.New("boom"))
+	o.RateLimitDenied("a", 0.5)
+	o.Checkpoint("x.ckpt", 10, 5)
+	o.EstimateComputed()
+	o.IndexBuilt(4)
+	o.Phase("p")() // both the call and the stop must be no-ops
+	o.SetTracer(NewTracer(&bytes.Buffer{}))
+	if o.Tracer() != nil {
+		t.Fatal("nil sink returned a tracer")
+	}
+	if s := o.Snapshot(); s != nil {
+		t.Fatalf("nil sink snapshot = %v", s)
+	}
+	names, durs := o.PhaseDurations()
+	if names != nil || durs != nil {
+		t.Fatal("nil sink has phases")
+	}
+	o.WriteSummary(&bytes.Buffer{}) // must not panic or write garbage
+}
+
+func TestCountersAndBenefitMeter(t *testing.T) {
+	o := New()
+	o.Query("thai noodle", 5, 50, 3, 3, false)
+	o.Query("rare dish", 2, 4, 2, 5, true)
+	o.Round(2, 46)
+	o.EstimateComputed()
+	o.EstimateComputed()
+	o.EstimateComputed()
+
+	if got := o.QueriesIssued.Value(); got != 2 {
+		t.Fatalf("QueriesIssued = %d, want 2", got)
+	}
+	if got := o.RecordsCovered.Value(); got != 5 {
+		t.Fatalf("RecordsCovered = %d, want 5", got)
+	}
+	if got := o.SolidQueries.Value(); got != 1 {
+		t.Fatalf("SolidQueries = %d, want 1", got)
+	}
+	if got := o.Rounds.Value(); got != 1 {
+		t.Fatalf("Rounds = %d, want 1", got)
+	}
+	if got := o.Dispatched.Value(); got != 2 {
+		t.Fatalf("Dispatched = %d, want 2", got)
+	}
+	if got := o.EstimateCalls.Value(); got != 3 {
+		t.Fatalf("EstimateCalls = %d, want 3", got)
+	}
+	// Benefit meter: estimates 5 and 2 vs realized 3 and 2 → MAE = 1.
+	if got := o.BenefitPairs.Value(); got != 2 {
+		t.Fatalf("BenefitPairs = %d, want 2", got)
+	}
+	if got := o.BenefitAbsErr.Value(); got != 2 {
+		t.Fatalf("BenefitAbsErr = %v, want 2", got)
+	}
+	if got := o.BenefitEst.Value(); got != 7 {
+		t.Fatalf("BenefitEst = %v, want 7", got)
+	}
+	if got := o.BenefitReal.Value(); got != 5 {
+		t.Fatalf("BenefitReal = %v, want 5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations and 10 slow ones: p50 in the 250µs bucket,
+	// p95/p99 at second scale, max exact.
+	for i := 0; i < 90; i++ {
+		h.Observe(200 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1200 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 != 250*time.Microsecond {
+		t.Fatalf("p50 = %v, want 250µs (bucket upper bound)", s.P50)
+	}
+	if s.P95 != 2500*time.Millisecond {
+		t.Fatalf("p95 = %v, want 2.5s (bucket upper bound)", s.P95)
+	}
+	if s.Max != 1200*time.Millisecond {
+		t.Fatalf("max = %v, want 1.2s", s.Max)
+	}
+	mean := time.Duration((90*200*1000+10*1_200_000_000)/100) * time.Nanosecond
+	if diff := s.Mean - mean; diff > time.Microsecond || diff < -time.Microsecond {
+		t.Fatalf("mean = %v, want ≈%v", s.Mean, mean)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Minute) // beyond the last bound
+	s := h.Snapshot()
+	if s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Buckets[len(s.Buckets)-1])
+	}
+	if s.P99 != 5*time.Minute {
+		t.Fatalf("overflow p99 = %v, want observed max", s.P99)
+	}
+}
+
+func TestPhaseAccumulation(t *testing.T) {
+	o := New().WithClock(fakeClock(10 * time.Millisecond))
+	o.Phase("index_build")() // start and stop: one 10ms step
+	o.Phase("index_build")() // accumulates
+	o.Phase("crawl_loop")()
+	names, durs := o.PhaseDurations()
+	if len(names) != 2 || names[0] != "index_build" || names[1] != "crawl_loop" {
+		t.Fatalf("phases = %v", names)
+	}
+	if durs[0] != 20*time.Millisecond || durs[1] != 10*time.Millisecond {
+		t.Fatalf("durations = %v", durs)
+	}
+}
+
+func TestSnapshotAndSummary(t *testing.T) {
+	o := New().WithClock(fakeClock(5 * time.Millisecond))
+	o.Query("a", 4, 50, 4, 4, false)
+	o.SearchDone(3*time.Millisecond, false)
+	o.Retry("a", 1, time.Second, errors.New("flaky"))
+	o.RateLimitDenied("a", 0.25)
+	o.IndexBuilt(8)
+	o.Phase("pool_generate")()
+
+	s := o.Snapshot()
+	for _, key := range []string{
+		"queries_issued", "records_covered", "retries", "rate_limited",
+		"index_shards", "search_latency", "benefit", "phase_ms",
+	} {
+		if _, ok := s[key]; !ok {
+			t.Fatalf("snapshot missing %q (keys: %v)", key, sortedKeys(s))
+		}
+	}
+	if got := o.BucketTokens.Value(); got != 250 {
+		t.Fatalf("BucketTokens = %d milli-tokens, want 250", got)
+	}
+
+	var buf bytes.Buffer
+	o.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"1 queries issued", "4 records covered", "1 rate-limit denials",
+		"search latency", "benefit estimates", "phase pool_generate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

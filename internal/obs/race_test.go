@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentUpdates hammers every metric family and the tracer from
+// 64 goroutines and checks the totals. Run under -race (make race) this
+// is the memory-safety proof for the worker-pool hooks; without -race it
+// still verifies no update is lost.
+func TestConcurrentUpdates(t *testing.T) {
+	const (
+		goroutines = 64
+		perG       = 500
+	)
+	o := New()
+	o.SetTracer(NewTracer(io.Discard))
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				o.Query("q", 2, 10, 1, 0, i%2 == 0)
+				o.SearchDone(time.Duration(i%7)*time.Millisecond, i%10 == 0)
+				o.Retry("q", 1+i%3, time.Millisecond, nil)
+				o.RateLimitDenied("q", 0.5)
+				o.EstimateComputed()
+				if i%50 == 0 {
+					o.Round(8, 100)
+					o.IndexBuilt(4)
+					o.Phase("p")()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := int64(goroutines * perG)
+	if got := o.QueriesIssued.Value(); got != total {
+		t.Errorf("QueriesIssued = %d, want %d", got, total)
+	}
+	if got := o.RecordsCovered.Value(); got != total {
+		t.Errorf("RecordsCovered = %d, want %d", got, total)
+	}
+	if got := o.SolidQueries.Value(); got != total/2 {
+		t.Errorf("SolidQueries = %d, want %d", got, total/2)
+	}
+	if got := o.BenefitPairs.Value(); got != total {
+		t.Errorf("BenefitPairs = %d, want %d", got, total)
+	}
+	// est 2 vs realized 1 → MAE contribution 1 per query. FloatSum CAS
+	// must not lose increments under contention.
+	if got := o.BenefitAbsErr.Value(); got != float64(total) {
+		t.Errorf("BenefitAbsErr = %v, want %v", got, float64(total))
+	}
+	if got := o.SearchLatency.Snapshot().Count; got != total {
+		t.Errorf("latency count = %d, want %d", got, total)
+	}
+	if got := o.SearchErrors.Value(); got != total/10 {
+		t.Errorf("SearchErrors = %d, want %d", got, total/10)
+	}
+	if got := o.Retries.Value(); got != total {
+		t.Errorf("Retries = %d, want %d", got, total)
+	}
+	if got := o.RateLimited.Value(); got != total {
+		t.Errorf("RateLimited = %d, want %d", got, total)
+	}
+	if got := o.EstimateCalls.Value(); got != total {
+		t.Errorf("EstimateCalls = %d, want %d", got, total)
+	}
+	rounds := int64(goroutines * (perG / 50))
+	if got := o.Rounds.Value(); got != rounds {
+		t.Errorf("Rounds = %d, want %d", got, rounds)
+	}
+
+	// Tracer sequence numbers must be dense: every emitted event got a
+	// unique seq under the lock.
+	tr := o.Tracer()
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error under concurrency: %v", err)
+	}
+	// Snapshot under concurrent history must not panic and must be
+	// JSON-marshalable (the expvar path).
+	if s := o.Snapshot(); s["queries_issued"].(int64) != total {
+		t.Errorf("snapshot queries_issued = %v", s["queries_issued"])
+	}
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer emits structured session events as JSON Lines: one event per
+// line, fields in a fixed order (struct declaration order, which
+// encoding/json preserves), every line independently parseable. A trace
+// is the replayable story of a crawl session — which query was selected
+// with what estimated benefit, what it returned, what it newly covered,
+// plus retry/backoff, rate-limit, checkpoint, and phase-timing events.
+//
+// Tracer serializes writes with a mutex and is safe for concurrent use
+// by the dispatcher's workers. Write errors are sticky: the first one is
+// retained (Err) and later events are dropped, so a full disk degrades a
+// crawl to untraced instead of failing it.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+	seq uint64
+	err error
+}
+
+// NewTracer traces onto w. Callers own w's lifecycle; wrap files in a
+// bufio.Writer and use Flush before closing.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, now: time.Now}
+}
+
+// WithClock replaces the tracer's time source (tests inject a fake clock
+// for byte-stable golden traces) and returns the tracer.
+func (t *Tracer) WithClock(now func() time.Time) *Tracer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	return t
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Flush flushes the underlying writer when it is buffered (implements
+// Flush() error, as bufio.Writer does).
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	if f, ok := t.w.(interface{ Flush() error }); ok {
+		t.err = f.Flush()
+	}
+	return t.err
+}
+
+// Event types, the `type` field of every trace line.
+const (
+	EventQuery      = "query"
+	EventRound      = "round"
+	EventRetry      = "retry"
+	EventRateLimit  = "rate_limit"
+	EventCheckpoint = "checkpoint"
+	EventPhase      = "phase"
+)
+
+// Event is the union wire format of one trace line, for consumers reading
+// traces back (ParseEvents). Producers emit per-type structs so that each
+// event carries exactly its own fields, always in the same order.
+type Event struct {
+	Seq        uint64  `json:"seq"`
+	TMs        int64   `json:"t_ms"`
+	Type       string  `json:"type"`
+	Query      string  `json:"query,omitempty"`
+	EstBenefit float64 `json:"est_benefit,omitempty"`
+	ResultSize int     `json:"result_size,omitempty"`
+	NewCovered int     `json:"new_covered,omitempty"`
+	CumCovered int     `json:"cum_covered,omitempty"`
+	Solid      bool    `json:"solid,omitempty"`
+	Size       int     `json:"size,omitempty"`
+	BudgetLeft int     `json:"budget_left,omitempty"`
+	Attempt    int     `json:"attempt,omitempty"`
+	WaitMs     int64   `json:"wait_ms,omitempty"`
+	Tokens     float64 `json:"tokens,omitempty"`
+	Err        string  `json:"err,omitempty"`
+	Phase      string  `json:"phase,omitempty"`
+	DurMs      int64   `json:"dur_ms,omitempty"`
+	Path       string  `json:"path,omitempty"`
+	Covered    int     `json:"covered,omitempty"`
+	Queries    int     `json:"queries,omitempty"`
+}
+
+// ParseEvents decodes a JSONL trace back into events — the consumer side
+// of the schema, used by tests and analysis tooling.
+func ParseEvents(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return events, err
+		}
+		events = append(events, e)
+	}
+	return events, sc.Err()
+}
+
+// Per-type wire structs. Field order here IS the schema: encoding/json
+// marshals struct fields in declaration order, and the golden-file test
+// pins these bytes.
+
+type queryEvent struct {
+	Seq        uint64  `json:"seq"`
+	TMs        int64   `json:"t_ms"`
+	Type       string  `json:"type"`
+	Query      string  `json:"query"`
+	EstBenefit float64 `json:"est_benefit"`
+	ResultSize int     `json:"result_size"`
+	NewCovered int     `json:"new_covered"`
+	CumCovered int     `json:"cum_covered"`
+	Solid      bool    `json:"solid"`
+}
+
+type roundEvent struct {
+	Seq        uint64 `json:"seq"`
+	TMs        int64  `json:"t_ms"`
+	Type       string `json:"type"`
+	Size       int    `json:"size"`
+	BudgetLeft int    `json:"budget_left"`
+}
+
+type retryEvent struct {
+	Seq     uint64 `json:"seq"`
+	TMs     int64  `json:"t_ms"`
+	Type    string `json:"type"`
+	Query   string `json:"query"`
+	Attempt int    `json:"attempt"`
+	WaitMs  int64  `json:"wait_ms"`
+	Err     string `json:"err,omitempty"`
+}
+
+type rateLimitEvent struct {
+	Seq    uint64  `json:"seq"`
+	TMs    int64   `json:"t_ms"`
+	Type   string  `json:"type"`
+	Query  string  `json:"query"`
+	Tokens float64 `json:"tokens"`
+}
+
+type checkpointEvent struct {
+	Seq     uint64 `json:"seq"`
+	TMs     int64  `json:"t_ms"`
+	Type    string `json:"type"`
+	Path    string `json:"path"`
+	Covered int    `json:"covered"`
+	Queries int    `json:"queries"`
+}
+
+type phaseEvent struct {
+	Seq   uint64 `json:"seq"`
+	TMs   int64  `json:"t_ms"`
+	Type  string `json:"type"`
+	Phase string `json:"phase"`
+	DurMs int64  `json:"dur_ms"`
+}
+
+func (t *Tracer) query(q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
+	t.emit(func(seq uint64, tms int64) any {
+		return queryEvent{seq, tms, EventQuery, q, est, resultSize, newCovered, cumCovered, solid}
+	})
+}
+
+func (t *Tracer) round(size, budgetLeft int) {
+	t.emit(func(seq uint64, tms int64) any {
+		return roundEvent{seq, tms, EventRound, size, budgetLeft}
+	})
+}
+
+func (t *Tracer) retry(q string, attempt int, wait time.Duration, errMsg string) {
+	t.emit(func(seq uint64, tms int64) any {
+		return retryEvent{seq, tms, EventRetry, q, attempt, wait.Milliseconds(), errMsg}
+	})
+}
+
+func (t *Tracer) rateLimit(q string, tokens float64) {
+	t.emit(func(seq uint64, tms int64) any {
+		return rateLimitEvent{seq, tms, EventRateLimit, q, tokens}
+	})
+}
+
+func (t *Tracer) checkpoint(path string, covered, queries int) {
+	t.emit(func(seq uint64, tms int64) any {
+		return checkpointEvent{seq, tms, EventCheckpoint, path, covered, queries}
+	})
+}
+
+func (t *Tracer) phase(name string, d time.Duration) {
+	t.emit(func(seq uint64, tms int64) any {
+		return phaseEvent{seq, tms, EventPhase, name, d.Milliseconds()}
+	})
+}
+
+// emit assigns the sequence number and timestamp under the lock, so trace
+// lines are totally ordered even when workers race.
+func (t *Tracer) emit(build func(seq uint64, tms int64) any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	e := build(t.seq, t.now().UnixMilli())
+	t.seq++
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}

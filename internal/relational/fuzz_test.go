@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"smartcrawl/internal/tokenize"
 )
 
 // FuzzReadCSV checks the CSV ingester never panics on arbitrary input and
@@ -61,6 +63,67 @@ func FuzzReadCSV(f *testing.F) {
 		if again.Len() < nonEmpty || again.Len() > tbl.Len() {
 			t.Fatalf("round trip row count %d outside [%d, %d]", again.Len(), nonEmpty, tbl.Len())
 		}
+	})
+}
+
+// FuzzLoadCSV drives arbitrary CSV bytes through the full load pipeline a
+// crawl performs on an ingested local table — parse, tokenize, dedup,
+// enrich-column — and checks the loaded table stays internally consistent
+// at every step. Where FuzzReadCSV is about serialization round trips,
+// this target (like crawler.FuzzLoadResult) is about the invariants
+// downstream code relies on: dense record IDs and schema-width rows, which
+// the matcher and the enrichment writer index by without bounds checks.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("name,city\nThai House,Phoenix\nThai House,Phoenix\nNoodle Bar,Tempe\n")
+	f.Add("a\n\n\n")
+	f.Add("a,b\nshort\nlong,er,row\n")
+	f.Add("\"quoted,comma\",b\nv1,v2\n")
+	f.Add("k\n\x00\xff\n")
+	f.Add("x,y\n,\n,\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tbl, err := ReadCSV("local", strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		check := func(stage string) {
+			for i, r := range tbl.Records {
+				if r.ID != i {
+					t.Fatalf("%s: record %d has ID %d (IDs must stay dense)", stage, i, r.ID)
+				}
+				if len(r.Values) != len(tbl.Schema) {
+					t.Fatalf("%s: row %d width %d != schema %d", stage, i, len(r.Values), len(tbl.Schema))
+				}
+			}
+		}
+		check("loaded")
+
+		// Tokenization of every loaded record must not panic, and must be
+		// stable: the crawler tokenizes local records many times (pool
+		// generation, matching) and assumes identical output each time.
+		tk := tokenize.New()
+		for _, r := range tbl.Records {
+			a := strings.Join(r.Tokens(tk), " ")
+			r.InvalidateTokens()
+			if b := strings.Join(r.Tokens(tk), " "); a != b {
+				t.Fatalf("tokenization unstable: %q vs %q", a, b)
+			}
+		}
+
+		// Dedup reassigns IDs densely and accounts for every dropped row.
+		before := tbl.Len()
+		dropped := tbl.Dedup(tk)
+		if tbl.Len()+dropped != before {
+			t.Fatalf("dedup dropped %d of %d but kept %d", dropped, before, tbl.Len())
+		}
+		check("deduped")
+
+		// The enrichment layer appends crawled attributes to loaded
+		// tables; width invariants must survive that too.
+		col := tbl.AddColumn("enriched", "")
+		if col != len(tbl.Schema)-1 {
+			t.Fatalf("AddColumn returned %d, want %d", col, len(tbl.Schema)-1)
+		}
+		check("enriched")
 	})
 }
 

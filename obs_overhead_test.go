@@ -1,0 +1,149 @@
+// Overhead budget for the observability layer: metrics hooks ride inside
+// the Algorithm-4 crawl loop and the dispatcher, so their cost must be
+// invisible next to real work. BenchmarkObsOverhead is the artifact
+// recorded in BENCH_obs.json; TestObsOverheadUnderTwoPercent enforces the
+// <2% budget in the regular test run using interleaved min-of-N timing.
+package smartcrawl_test
+
+import (
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"smartcrawl"
+	"smartcrawl/internal/dataset"
+)
+
+// simUniverse is the in-process counterpart of parallelUniverse: the smart
+// crawl drives the simulator directly, no HTTP and no injected latency, so
+// per-hook overhead is as large a fraction of the run as it can ever be.
+// Any overhead invisible here is invisible everywhere.
+type simUniverse struct {
+	env *smartcrawl.Env
+	smp *smartcrawl.Sample
+}
+
+func newSimUniverse(tb testing.TB) *simUniverse {
+	tb.Helper()
+	in, err := dataset.GenerateDBLP(dataset.DBLPConfig{
+		CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: 42,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tk := smartcrawl.NewTokenizer()
+	db := smartcrawl.NewHiddenDatabase(in.Hidden, tk, smartcrawl.HiddenOptions{
+		K: 50, RankColumn: in.RankColumn,
+	})
+	env := &smartcrawl.Env{
+		Local:     in.Local,
+		Searcher:  db,
+		Tokenizer: tk,
+		Matcher:   smartcrawl.NewExactMatcherOn(tk, in.LocalKey, in.HiddenKey),
+	}
+	return &simUniverse{env: env, smp: smartcrawl.BernoulliSample(in.Hidden, 0.03, 12)}
+}
+
+// crawl runs one budget-48 smart crawl with the given sink attached.
+func (u *simUniverse) crawl(tb testing.TB, o *smartcrawl.Obs) *smartcrawl.Result {
+	tb.Helper()
+	u.env.Obs = o
+	c, err := smartcrawl.NewSmartCrawler(u.env, smartcrawl.SmartOptions{
+		Sample: u.smp, BatchSize: 8,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := c.Run(48)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkObsOverhead times the same in-process crawl under three sinks:
+// nil (disabled path — one branch per hook), live metrics, and metrics
+// plus a JSONL tracer writing to io.Discard. Recorded in BENCH_obs.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	modes := []struct {
+		name string
+		sink func() *smartcrawl.Obs
+	}{
+		{"sink=nil", func() *smartcrawl.Obs { return nil }},
+		{"sink=metrics", func() *smartcrawl.Obs { return smartcrawl.NewObs() }},
+		{"sink=metrics+trace", func() *smartcrawl.Obs {
+			o := smartcrawl.NewObs()
+			o.SetTracer(smartcrawl.NewTracer(io.Discard))
+			return o
+		}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			u := newSimUniverse(b)
+			b.ResetTimer()
+			var covered int
+			for i := 0; i < b.N; i++ {
+				res := u.crawl(b, mode.sink())
+				if i == 0 {
+					covered = res.CoveredCount
+				} else if res.CoveredCount != covered {
+					b.Fatalf("coverage drifted between iterations: %d vs %d",
+						res.CoveredCount, covered)
+				}
+			}
+			b.ReportMetric(float64(covered), "covered")
+		})
+	}
+}
+
+// TestObsOverheadUnderTwoPercent enforces the observability budget: the
+// enabled-metrics crawl must cost at most 2% more wall-clock than the nil
+// sink (plus a small absolute allowance for timer noise). Runs are
+// interleaved and the minimum per mode is compared — min-of-N is robust
+// to scheduling noise, which only ever slows a run down.
+func TestObsOverheadUnderTwoPercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	u := newSimUniverse(t)
+	// Warm both paths (index sharding, page cache) before timing.
+	u.crawl(t, nil)
+	u.crawl(t, smartcrawl.NewObs())
+
+	// A shared CI machine wobbles single timings by several percent, so a
+	// one-shot comparison would flake in both directions. Each attempt
+	// compares interleaved min-of-10 timings against the budget — 2%
+	// relative plus 3ms absolute for timer granularity — and up to three
+	// attempts may run. A real regression shifts every attempt past the
+	// budget; noise does not survive three.
+	const rounds = 10
+	var lastOff, lastOn time.Duration
+	for attempt := 0; attempt < 3; attempt++ {
+		minOff, minOn := time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < rounds; i++ {
+			runtime.GC()
+			start := time.Now()
+			u.crawl(t, nil)
+			if d := time.Since(start); d < minOff {
+				minOff = d
+			}
+			runtime.GC()
+			start = time.Now()
+			u.crawl(t, smartcrawl.NewObs())
+			if d := time.Since(start); d < minOn {
+				minOn = d
+			}
+		}
+		lastOff, lastOn = minOff, minOn
+		if minOn <= minOff+minOff/50+3*time.Millisecond {
+			t.Logf("obs overhead: nil sink min %v, metrics min %v (%.2f%%)",
+				minOff, minOn, 100*(float64(minOn)/float64(minOff)-1))
+			return
+		}
+		t.Logf("attempt %d over budget: nil sink min %v, metrics min %v — retrying",
+			attempt+1, minOff, minOn)
+	}
+	t.Fatalf("metrics overhead too high in all attempts: nil sink min %v, metrics min %v (%.2f%%)",
+		lastOff, lastOn, 100*(float64(lastOn)/float64(lastOff)-1))
+}

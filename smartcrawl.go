@@ -37,6 +37,7 @@ import (
 	"smartcrawl/internal/estimator"
 	"smartcrawl/internal/hidden"
 	"smartcrawl/internal/match"
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/querypool"
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/sample"
@@ -79,7 +80,28 @@ type (
 	EnrichOptions = enrich.Options
 	// EnrichReport summarizes an enrichment run.
 	EnrichReport = enrich.Report
+	// Obs is the observability sink: attach one to Env.Obs to get live
+	// counters, latency histograms, estimate-vs-realized benefit
+	// accounting, and (with a Tracer) a JSONL session trace. All hooks
+	// are no-ops on a nil sink, and observation never changes crawl
+	// results.
+	Obs = obs.Obs
+	// Tracer emits structured JSONL session events (see obs.Event for
+	// the schema).
+	Tracer = obs.Tracer
+	// TraceEvent is one parsed line of a JSONL session trace.
+	TraceEvent = obs.Event
 )
+
+// NewObs returns an enabled observability sink (see Env.Obs).
+func NewObs() *Obs { return obs.New() }
+
+// NewTracer traces session events onto w as JSON Lines; attach it with
+// Obs.SetTracer. Wrap files in a bufio.Writer and Flush before closing.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// ParseTrace decodes a JSONL session trace back into events.
+func ParseTrace(r io.Reader) ([]TraceEvent, error) { return obs.ParseEvents(r) }
 
 // NewTokenizer returns the default tokenizer (English stop words).
 func NewTokenizer() *Tokenizer { return tokenize.New() }
