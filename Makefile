@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments examples fuzz cover clean
+.PHONY: all build vet test test-short race check chaos bench experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -22,6 +22,17 @@ test-short:
 # dispatcher/rate-limiter stress tests in internal/deepweb.
 race:
 	$(GO) test -race ./...
+
+# The pre-merge gate: vet plus the full suite under the race detector.
+check: vet race
+
+# Chaos drill (docs/OPERATIONS.md): the fault-injection and resilience
+# tests, ending with the graceful-degradation acceptance sweep — ≥90% of
+# clean coverage at a 10% transient-fault rate, fully accounted. The slow
+# sweep honors -short, so `go test -short` stays fast.
+chaos:
+	$(GO) test -v -run 'Faulty|Breaker|Guarded|Resilience|FaultSweep|InjectedFaults' \
+		./internal/deepweb/... ./internal/crawler/
 
 # One pass over every per-figure bench, tables visible in the log.
 bench:

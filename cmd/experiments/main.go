@@ -26,6 +26,7 @@
 //	form          form-based vs keyword interface (extension)
 //	ranks         ranking-function sensitivity (Lemmas 4–5 claim)
 //	omega         §5.3 ω=1 sensitivity analysis
+//	faults        fault sweep: coverage retained under interface misbehaviour (extension)
 //	headline      multi-seed coverage comparison with speedup factors
 //	all           everything above
 //
@@ -90,6 +91,7 @@ func main() {
 			return experiment.FormInterface(yelpParams(p))
 		}),
 		"omega":    one(func() (*experiment.Table, error) { return experiment.OmegaSensitivity(), nil }),
+		"faults":   one(func() (*experiment.Table, error) { return experiment.FaultSweep(p) }),
 		"headline": one(func() (*experiment.Table, error) { return experiment.Headline(p, *seeds) }),
 	}
 
@@ -97,7 +99,8 @@ func main() {
 	if cmd == "all" {
 		names = []string{"headline", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"bound", "estimators", "ablate-alpha", "ablate-deltad", "ablate-heap",
-			"ablate-batch", "parallel", "ablate-stem", "online", "form", "ranks", "omega"}
+			"ablate-batch", "parallel", "ablate-stem", "online", "form", "ranks", "omega",
+			"faults"}
 	}
 	// Per-phase wall-clock: each subcommand is one obs phase, so `all`
 	// ends with a table showing where the regeneration time went.

@@ -21,6 +21,13 @@
 // /debug/vars while a crawl fleet hammers /search, pull a CPU profile
 // when latency percentiles move. Disable with -debug=false on exposed
 // deployments.
+//
+// -fault-profile turns the server into a chaos fixture: it injects
+// deterministic misbehaviour (504 timeouts, 503 outages, 429 bursts,
+// silently truncated and stale pages) per a named preset or key=value
+// spec, seeded by -fault-seed so every drill replays identically. See
+// docs/OPERATIONS.md ("Fault injection") for the grammar and the client
+// side of the drill.
 package main
 
 import (
@@ -33,9 +40,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/deepweb/httpapi"
 	"smartcrawl/internal/hidden"
 	"smartcrawl/internal/obs"
@@ -53,6 +62,10 @@ func main() {
 		rate      = flag.Float64("rate", 0, "requests per second refill (0 = unlimited)")
 		burst     = flag.Int("burst", 100, "rate-limiter burst capacity")
 		debug     = flag.Bool("debug", true, "serve /debug/vars (expvar) and /debug/pprof endpoints")
+		faultSpec = flag.String("fault-profile", "", "inject deterministic faults: a preset ("+
+			strings.Join(deepweb.FaultPresetNames(), "|")+") or a key=value spec, e.g. timeout=0.05,truncate=0.1")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed of the fault schedule (same seed+profile ⇒ same faults)")
+		faultLat  = flag.Duration("fault-latency", 0, "extra latency added to every faulted attempt")
 	)
 	flag.Parse()
 	if *tablePath == "" {
@@ -84,8 +97,19 @@ func main() {
 	if *rate > 0 {
 		limiter = httpapi.NewTokenBucket(*burst, *rate)
 	}
-	srv := httpapi.NewServer(db, tk, limiter)
 	o := obs.New()
+	var searcher deepweb.Searcher = db
+	if *faultSpec != "" {
+		p, err := deepweb.ParseFaultProfile(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		p.Seed = *faultSeed
+		p.Latency = *faultLat
+		searcher = deepweb.NewFaulty(searcher, p).WithObs(o)
+		fmt.Fprintf(os.Stderr, "fault injection on: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+	srv := httpapi.NewServer(searcher, tk, limiter)
 	srv.SetObs(o)
 
 	handler := srv.Handler()

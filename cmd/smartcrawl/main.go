@@ -13,6 +13,12 @@
 // Against slow remote interfaces, -workers N overlaps N query round-trips
 // per selection round (results are deterministic for any worker count at a
 // fixed -batch; see DESIGN.md §5 "Concurrency model").
+//
+// -faults runs the crawl as a chaos drill over a deterministically
+// misbehaving interface, with the resilience stack engaged (-retries,
+// -max-attempts requeue/forfeit, -breaker) and a one-line resilience
+// report at the end; -trace captures the whole degraded session as JSONL.
+// docs/OPERATIONS.md is the operator runbook for all of it.
 package main
 
 import (
@@ -53,6 +59,11 @@ func main() {
 		rate       = flag.Float64("rate", 0, "client-side polite request rate, queries/sec (0 = unpaced); throttled queries are retried with backoff")
 		burst      = flag.Int("burst", 10, "client-side token-bucket burst capacity (with -rate)")
 		retries    = flag.Int("retries", 5, "transient-failure retries per query (rate-limit waits, network blips)")
+		faults     = flag.String("faults", "", "chaos drill: inject deterministic faults into the search path — a preset ("+
+			strings.Join(deepweb.FaultPresetNames(), "|")+") or a key=value spec (e.g. timeout=0.05,truncate=0.1)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the injected fault schedule (with -faults)")
+		maxAttempts = flag.Int("max-attempts", 0, "failed queries are re-queued up to N times before being forfeited (0 = fail fast; defaults to 3 with -faults)")
+		breakerN    = flag.Int("breaker", -1, "circuit-breaker consecutive-failure threshold; 0 disables (default: 5 with -faults, else off)")
 	)
 	flag.Parse()
 	if *localPath == "" {
@@ -128,23 +139,38 @@ func main() {
 		}
 	}
 
+	// Chaos drill: -faults injects deterministic misbehaviour (timeouts,
+	// 5xx, 429 bursts, truncation, staleness) into the search path so the
+	// degradation machinery below can be exercised and replayed from its
+	// seed. Injected inside the politeness stack, where a real flaky
+	// interface would sit.
+	if *faults != "" {
+		p, err := deepweb.ParseFaultProfile(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		p.Seed = *faultSeed
+		searcher = deepweb.NewFaulty(searcher, p).WithObs(o)
+	}
+
 	// Client-side politeness: a token bucket paces the whole crawl below
 	// -rate regardless of -workers, and a retrying layer outside it waits
-	// throttled queries out with exponential backoff (so a denial costs a
-	// wait, not the crawl). Both report into the observability sink.
+	// transient failures out with exponential backoff (so a denial or an
+	// injected blip costs a wait, not the crawl). All layers report into
+	// the observability sink.
 	if *rate > 0 {
 		searcher = &deepweb.Limited{
 			S:   searcher,
 			B:   deepweb.NewBucket(*burst, *rate),
 			Obs: o,
 		}
-		if *retries > 0 {
-			searcher = &deepweb.Retrying{
-				S:       searcher,
-				Retries: *retries,
-				Backoff: deepweb.ExponentialBackoff(200*time.Millisecond, 5*time.Second),
-				Obs:     o,
-			}
+	}
+	if *retries > 0 && (*rate > 0 || *faults != "") {
+		searcher = &deepweb.Retrying{
+			S:       searcher,
+			Retries: *retries,
+			Backoff: deepweb.ExponentialBackoff(200*time.Millisecond, 5*time.Second),
+			Obs:     o,
 		}
 	}
 
@@ -197,10 +223,28 @@ func main() {
 	if *batchSize == 0 {
 		*batchSize = *workers
 	}
+	// Graceful degradation: with -faults on, failed queries are retried a
+	// few times then forfeited (instead of aborting the crawl), and a
+	// circuit breaker holds selection while the interface is down.
+	if *maxAttempts == 0 && *faults != "" {
+		*maxAttempts = 3
+	}
+	if *breakerN < 0 {
+		*breakerN = 0
+		if *faults != "" {
+			*breakerN = 5
+		}
+	}
+	var brk *smartcrawl.Breaker
+	if *breakerN > 0 {
+		brk = smartcrawl.NewBreaker(smartcrawl.BreakerConfig{FailureThreshold: *breakerN}).WithObs(o)
+	}
 	smartOpts := smartcrawl.SmartOptions{
-		Resume:    resume,
-		BatchSize: *batchSize,
-		Workers:   *workers,
+		Resume:      resume,
+		BatchSize:   *batchSize,
+		Workers:     *workers,
+		MaxAttempts: *maxAttempts,
+		Breaker:     brk,
 	}
 
 	var (
@@ -266,6 +310,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "crawl: %d queries issued, %d/%d records enriched (%.1f%%)\n",
 		report.QueriesIssued, report.Enriched, local.Len(), 100*report.Coverage)
+	if res.Resilience != nil {
+		fmt.Fprintln(os.Stderr, res.Resilience.String())
+	}
 	if *checkpoint != "" {
 		f, err := os.Create(*checkpoint)
 		if err != nil {

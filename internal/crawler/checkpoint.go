@@ -30,6 +30,12 @@ type checkpointFile struct {
 	Steps         []checkpointStep `json:"steps"`
 	Crawled       []wireRecord     `json:"crawled"`
 	Matches       []matchPair      `json:"matches"`
+	// Resilience persists the graceful-degradation report; absent for
+	// runs without fault tolerance (and in pre-resilience checkpoints,
+	// which load fine — the field is optional, version stays 1). Resumed
+	// runs report cumulatively, and forfeited queries — absent from
+	// Steps — are naturally re-eligible for selection.
+	Resilience *Resilience `json:"resilience,omitempty"`
 }
 
 type checkpointStep struct {
@@ -58,6 +64,7 @@ func SaveResult(w io.Writer, res *Result) error {
 		CoveredCount:  res.CoveredCount,
 		QueriesIssued: res.QueriesIssued,
 		Covered:       res.Covered,
+		Resilience:    res.Resilience,
 	}
 	for _, s := range res.Steps {
 		cf.Steps = append(cf.Steps, checkpointStep{
@@ -99,6 +106,7 @@ func LoadResult(r io.Reader) (*Result, error) {
 		QueriesIssued: cf.QueriesIssued,
 		Matches:       make(map[int]*relational.Record, len(cf.Matches)),
 		Crawled:       make(map[int]*relational.Record, len(cf.Crawled)),
+		Resilience:    cf.Resilience,
 	}
 	for _, s := range cf.Steps {
 		res.Steps = append(res.Steps, Step{

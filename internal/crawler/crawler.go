@@ -9,6 +9,15 @@
 // All practical crawlers access the hidden database exclusively through a
 // deepweb.Searcher; IdealCrawl additionally holds an oracle handle, which
 // is the point — it is the unattainable upper bound the estimators chase.
+//
+// SMARTCRAWL optionally degrades gracefully over a misbehaving interface
+// (SmartConfig.MaxAttempts, SmartConfig.Breaker): failed queries are
+// requeued with freshly recomputed benefits or forfeited, uncharged
+// failures refund their budget unit, truncated result pages are absorbed
+// partially with solidity judged on the interface's true result size, and
+// the run ends with a fully accounted Resilience report that survives
+// checkpoint/resume. Fault classes and accounting rules live in package
+// deepweb; docs/OPERATIONS.md is the operator-facing guide.
 package crawler
 
 import (
@@ -87,6 +96,11 @@ type Result struct {
 	// Crawled holds every distinct hidden record retrieved, keyed by
 	// hidden record ID.
 	Crawled map[int]*relational.Record
+	// Resilience is the graceful-degradation report of a SMARTCRAWL run
+	// with fault tolerance enabled (SmartConfig.MaxAttempts/Breaker); nil
+	// otherwise. Checkpoints persist it so resumed runs report
+	// cumulatively.
+	Resilience *Resilience
 }
 
 // Crawler runs a crawl under a query budget.
@@ -120,6 +134,15 @@ func newTracker(env *Env) *tracker {
 // absorb records a query result: returns the local record IDs newly
 // covered by it and logs the step.
 func (t *tracker) absorb(q deepweb.Query, benefit float64, recs []*relational.Record) []int {
+	return t.absorbSized(q, benefit, recs, len(recs))
+}
+
+// absorbSized is absorb for results whose true size differs from the
+// records in hand: a truncated page carries len(recs) records but the
+// interface matched resultSize. The step trace and the solidity decision
+// (resultSize < k drives both the obs event and §4.2 ΔD replay on resume)
+// use the true size, so a cut page is never mistaken for a solid result.
+func (t *tracker) absorbSized(q deepweb.Query, benefit float64, recs []*relational.Record, resultSize int) []int {
 	var newly []int
 	var newHidden []int
 	for _, h := range recs {
@@ -143,13 +166,13 @@ func (t *tracker) absorb(q deepweb.Query, benefit float64, recs []*relational.Re
 		EstimatedBenefit:  benefit,
 		NewlyCovered:      len(newly),
 		CumulativeCovered: t.res.CoveredCount,
-		ResultSize:        len(recs),
+		ResultSize:        resultSize,
 		NewHidden:         newHidden,
 	}
 	t.res.Steps = append(t.res.Steps, step)
 	if o := t.env.Obs; o != nil {
-		o.Query(q.Key(), benefit, len(recs), len(newly), t.res.CoveredCount,
-			len(recs) < t.env.Searcher.K())
+		o.Query(q.Key(), benefit, resultSize, len(newly), t.res.CoveredCount,
+			resultSize < t.env.Searcher.K())
 	}
 	if t.env.OnStep != nil {
 		t.env.OnStep(step)

@@ -1,0 +1,318 @@
+package crawler_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/dataset"
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/sample"
+	"smartcrawl/internal/stats"
+)
+
+// faultyDBLPRun builds the standard DBLP determinism environment, wraps
+// its searcher in the full resilience stack (Faulty under one in-line
+// Retrying), and runs a budgeted crawl with requeue/forfeit and a breaker
+// engaged.
+func faultyDBLPRun(t *testing.T, seed uint64, workers, budget int, profile deepweb.FaultProfile) *crawler.Result {
+	t.Helper()
+	env, in, _ := dblpEnv(t, dataset.DBLPConfig{
+		CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: seed,
+	}, 50, nil)
+	env.Searcher = &deepweb.Retrying{S: deepweb.NewFaulty(env.Searcher, profile), Retries: 2}
+	smp := sample.Bernoulli(in.Hidden, 0.03, stats.NewRNG(seed+100))
+	c, err := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample:      smp,
+		Estimator:   estimator.Biased{},
+		BatchSize:   8,
+		Concurrency: workers,
+		MaxAttempts: 3,
+		Breaker:     deepweb.NewBreaker(deepweb.BreakerConfig{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFaultyCrawlDeterministic extends the worker-count determinism
+// regression to faulted runs: the fault schedule is a pure function of
+// (seed, query, attempt), requeues re-enter through the deterministic
+// selection path, and the breaker is driven from the merge stage — so the
+// issued-query log AND the full resilience report must be byte-identical
+// at any worker count.
+func TestFaultyCrawlDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		profile, err := deepweb.ParseFaultProfile("moderate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		profile.Seed = seed
+		ref := faultyDBLPRun(t, seed, 1, 48, profile)
+		if ref.Resilience == nil {
+			t.Fatalf("seed %d: resilient run produced no resilience report", seed)
+		}
+		if !ref.Resilience.Accounted() {
+			t.Fatalf("seed %d: reference report unaccounted: %s", seed, ref.Resilience)
+		}
+		refLog := queryLog(ref)
+		if len(ref.Steps) == 0 {
+			t.Fatalf("seed %d: reference run issued no queries", seed)
+		}
+		for _, workers := range []int{4, 16} {
+			got := faultyDBLPRun(t, seed, workers, 48, profile)
+			if log := queryLog(got); log != refLog {
+				t.Fatalf("seed %d workers %d: issued-query log diverged under faults\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+					seed, workers, refLog, workers, log)
+			}
+			if got.CoveredCount != ref.CoveredCount {
+				t.Fatalf("seed %d workers %d: coverage %d, want %d",
+					seed, workers, got.CoveredCount, ref.CoveredCount)
+			}
+			if !reflect.DeepEqual(got.Resilience, ref.Resilience) {
+				t.Fatalf("seed %d workers %d: resilience report diverged\nworkers=1: %+v\nworkers=%d: %+v",
+					seed, workers, ref.Resilience, workers, got.Resilience)
+			}
+		}
+	}
+}
+
+// TestFaultSweepGracefulDegradation is the acceptance bar: at a 10%
+// transient-fault rate the resilient crawl must retain at least 90% of the
+// clean run's coverage, with every dispatched query accounted for.
+func TestFaultSweepGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep crawls a full DBLP instance; skipped in -short")
+	}
+	const seed, budget = 1, 60
+	clean := func() *crawler.Result {
+		env, in, _ := dblpEnv(t, dataset.DBLPConfig{
+			CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: seed,
+		}, 50, nil)
+		smp := sample.Bernoulli(in.Hidden, 0.03, stats.NewRNG(seed+100))
+		c, err := crawler.NewSmart(env, crawler.SmartConfig{
+			Sample: smp, Estimator: estimator.Biased{}, BatchSize: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	profile, err := deepweb.ParseFaultProfile("transient10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := profile.TransientRate(); r < 0.0999 || r > 0.1001 {
+		t.Fatalf("transient10 rate = %v, want 0.10", r)
+	}
+	profile.Seed = seed
+	faulted := faultyDBLPRun(t, seed, 4, budget, profile)
+	rep := faulted.Resilience
+	if rep == nil || !rep.Accounted() {
+		t.Fatalf("faulted run unaccounted: %+v", rep)
+	}
+	if clean.CoveredCount == 0 {
+		t.Fatal("clean run covered nothing; the ratio below is meaningless")
+	}
+	ratio := float64(faulted.CoveredCount) / float64(clean.CoveredCount)
+	t.Logf("coverage clean=%d faulted=%d (%.1f%%); report: %s",
+		clean.CoveredCount, faulted.CoveredCount, 100*ratio, rep)
+	if ratio < 0.9 {
+		t.Fatalf("faulted coverage %d is %.1f%% of clean %d, want >= 90%%",
+			faulted.CoveredCount, 100*ratio, clean.CoveredCount)
+	}
+}
+
+// TestResilienceRefundsUnchargedFailures: an interface that 429s every
+// attempt charges nothing (real quota meters do not bill rejected
+// requests), so the crawl must refund every unit, forfeit every query,
+// trip the breaker — and still terminate with a fully accounted report.
+func TestResilienceRefundsUnchargedFailures(t *testing.T) {
+	env, _, smp := fixtureEnv(t)
+	profile := deepweb.FaultProfile{Seed: 5, RateLimit: 1, BurstLen: 100}
+	env.Searcher = deepweb.NewFaulty(env.Searcher, profile)
+	c, err := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample:      smp,
+		Estimator:   estimator.Biased{},
+		MaxAttempts: 2,
+		Breaker:     deepweb.NewBreaker(deepweb.BreakerConfig{FailureThreshold: 3, Cooldown: 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Resilience
+	if rep == nil {
+		t.Fatal("no resilience report")
+	}
+	if !rep.Accounted() {
+		t.Fatalf("report unaccounted: %s", rep)
+	}
+	if rep.Absorbed != 0 || res.CoveredCount != 0 || res.QueriesIssued != 0 {
+		t.Fatalf("nothing should succeed against a total outage: %s (issued %d, covered %d)",
+			rep, res.QueriesIssued, res.CoveredCount)
+	}
+	if rep.Forfeited == 0 || rep.Requeued == 0 {
+		t.Fatalf("every query should be requeued then forfeited: %s", rep)
+	}
+	if rep.Refunded != rep.Requeued+rep.Forfeited {
+		t.Fatalf("every failed dispatch was a 429 — all must be refunded: %s", rep)
+	}
+	if rep.BreakerTrips == 0 {
+		t.Fatalf("a total outage must trip the breaker: %s", rep)
+	}
+	if len(rep.ForfeitedQueries) != rep.Forfeited {
+		t.Fatalf("%d forfeited queries listed, counter says %d", len(rep.ForfeitedQueries), rep.Forfeited)
+	}
+}
+
+// TestResilienceAbsorbsTruncatedResults: truncated pages are absorbed
+// partially (the records in hand still cover records) while solidity uses
+// the interface's true result size, and the report separates truncations
+// from failures.
+func TestResilienceAbsorbsTruncatedResults(t *testing.T) {
+	const seed = 2
+	env, in, _ := dblpEnv(t, dataset.DBLPConfig{
+		CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: seed,
+	}, 50, nil)
+	env.Searcher = deepweb.NewFaulty(env.Searcher, deepweb.FaultProfile{Seed: seed, Truncate: 1})
+	smp := sample.Bernoulli(in.Hidden, 0.03, stats.NewRNG(seed+100))
+	c, err := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample: smp, Estimator: estimator.Biased{}, BatchSize: 4,
+		MaxAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Resilience
+	if rep == nil || !rep.Accounted() {
+		t.Fatalf("unaccounted: %+v", rep)
+	}
+	if rep.Truncated == 0 {
+		t.Fatalf("Truncate=1 injected no truncations: %s", rep)
+	}
+	if rep.Truncated > rep.Absorbed {
+		t.Fatalf("every truncation is an absorption: %s", rep)
+	}
+	if res.CoveredCount == 0 {
+		t.Fatal("partial pages must still cover records")
+	}
+	if rep.Requeued != 0 || rep.Forfeited != 0 {
+		t.Fatalf("truncation is absorbed, never retried: %s", rep)
+	}
+	// Solidity must be judged on the interface's true size, not the cut
+	// page: a step whose full result hit k is overflowing even though
+	// fewer records came back.
+	full := 0
+	for _, s := range res.Steps {
+		if s.ResultSize == 50 {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Skip("no k-sized results in this trajectory; solidity claim not exercised")
+	}
+}
+
+// TestResilienceCheckpointRoundTrip: the resilience report survives
+// SaveResult/LoadResult, and a resumed faulty session keeps accumulating
+// on top of it without breaking the accounting identity.
+func TestResilienceCheckpointRoundTrip(t *testing.T) {
+	const seed = 3
+	profile, err := deepweb.ParseFaultProfile("severe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile.Seed = seed
+
+	mkCrawler := func(resume *crawler.Result) *crawler.Smart {
+		env, in, _ := dblpEnv(t, dataset.DBLPConfig{
+			CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: seed,
+		}, 50, nil)
+		env.Searcher = &deepweb.Retrying{S: deepweb.NewFaulty(env.Searcher, profile), Retries: 1}
+		smp := sample.Bernoulli(in.Hidden, 0.03, stats.NewRNG(seed+100))
+		c, err := crawler.NewSmart(env, crawler.SmartConfig{
+			Sample: smp, Estimator: estimator.Biased{}, BatchSize: 4,
+			MaxAttempts: 2,
+			Breaker:     deepweb.NewBreaker(deepweb.BreakerConfig{}),
+			Resume:      resume,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	res1, err := mkCrawler(nil).Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Resilience == nil || !res1.Resilience.Accounted() {
+		t.Fatalf("session 1 unaccounted: %+v", res1.Resilience)
+	}
+
+	var buf bytes.Buffer
+	if err := crawler.SaveResult(&buf, res1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := crawler.LoadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Resilience, res1.Resilience) {
+		t.Fatalf("resilience report mangled by checkpoint round-trip:\nsaved:  %+v\nloaded: %+v",
+			res1.Resilience, loaded.Resilience)
+	}
+
+	res2, err := mkCrawler(loaded).Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := res2.Resilience
+	if rep2 == nil || !rep2.Accounted() {
+		t.Fatalf("resumed session unaccounted: %+v", rep2)
+	}
+	if rep2.Dispatched <= res1.Resilience.Dispatched {
+		t.Fatalf("resumed report must accumulate: dispatched %d after %d",
+			rep2.Dispatched, res1.Resilience.Dispatched)
+	}
+	if res2.CoveredCount < res1.CoveredCount {
+		t.Fatalf("resume lost coverage: %d < %d", res2.CoveredCount, res1.CoveredCount)
+	}
+}
+
+// TestNonResilientRunHasNoReport pins the opt-in: with MaxAttempts and
+// Breaker unset the crawl aborts on the first hard failure (pre-existing
+// behaviour) and attaches no resilience report to clean runs.
+func TestNonResilientRunHasNoReport(t *testing.T) {
+	env, _, smp := fixtureEnv(t)
+	c, err := crawler.NewSmart(env, crawler.SmartConfig{Sample: smp, Estimator: estimator.Biased{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilience != nil {
+		t.Fatalf("non-resilient run attached a report: %+v", res.Resilience)
+	}
+}

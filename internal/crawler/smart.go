@@ -76,6 +76,26 @@ type SmartConfig struct {
 	// (every query of a batch gets its own goroutine). Selection quality
 	// is governed by BatchSize alone.
 	Concurrency int
+	// MaxAttempts > 0 enables graceful degradation: a query whose issue
+	// fails is re-queued into the selection pool (with its benefit
+	// recomputed against the current coverage) until it has failed
+	// MaxAttempts times, then forfeited; the run continues instead of
+	// aborting. Failures the interface never charged — 429 bursts, an
+	// open circuit, cancellations (deepweb.Charged) — refund their budget
+	// unit. Truncated result pages (deepweb.TruncatedError) are absorbed
+	// partially with solidity judged on the true result size. The run's
+	// Result carries a Resilience report. 0 (the default) preserves the
+	// strict behavior: any interface error aborts the run.
+	MaxAttempts int
+	// Breaker, when non-nil, gates selection rounds through a circuit
+	// breaker: interface failures feed it, and while it is open whole
+	// rounds are held (each held round advances the count-based
+	// cooldown); the half-open probe round has size 1. Driven entirely
+	// from the single-writer merge stage, so breaker transitions — like
+	// everything else — are deterministic for any Concurrency. Implies
+	// MaxAttempts=1 when MaxAttempts is unset. Attach obs via
+	// deepweb.(*Breaker).WithObs; Run does not rewire it.
+	Breaker *deepweb.Breaker
 }
 
 // Smart is the SMARTCRAWL framework (Algorithm 4).
@@ -136,6 +156,9 @@ type qstate struct {
 	matchS int
 	freqS  int // |q(Hs)|, static
 	issued bool
+	// attempts counts failed issues of this query (graceful degradation);
+	// at SmartConfig.MaxAttempts the query is forfeited.
+	attempts int
 }
 
 // Run implements Crawler, executing Algorithm 4: generate the pool, build
@@ -353,6 +376,50 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	// index, considered set, and calibration buckets are touched only by
 	// the merge stage, so no crawl state is ever shared across goroutines.
 	disp := &deepweb.Dispatcher{S: counting, Workers: workers, Obs: env.Obs}
+
+	// Graceful degradation (see SmartConfig.MaxAttempts/Breaker): failed
+	// queries are requeued or forfeited instead of aborting the run, and
+	// the report below accounts for every dispatched query.
+	br := s.cfg.Breaker
+	maxAttempts := s.cfg.MaxAttempts
+	if maxAttempts < 1 && br != nil {
+		maxAttempts = 1
+	}
+	resilient := maxAttempts > 0
+	var rep *Resilience
+	tripsBase := 0
+	if resilient {
+		rep = &Resilience{}
+		if prev := s.cfg.Resume; prev != nil && prev.Resilience != nil {
+			rep = prev.Resilience.clone()
+		}
+		tripsBase = rep.BreakerTrips
+	}
+	// requeue returns a failed query to the pool for another attempt. Its
+	// live statistics are recomputed from the considered set first:
+	// removals during the in-flight window skipped this query (issued
+	// queries are normally never reconsidered), so freqD/matchS are stale.
+	// Returns false — forfeit — when attempts are exhausted or nothing the
+	// query covers is still uncovered.
+	requeue := func(st *qstate) bool {
+		st.freqD, st.matchS = 0, 0
+		for _, d := range st.qD {
+			if !considered[d] {
+				continue
+			}
+			st.freqD++
+			st.matchS += countSatisfying(sampleMatches[d], sampleTokens, st.q.Keywords)
+		}
+		if st.freqD <= 0 || st.attempts >= maxAttempts {
+			return false
+		}
+		st.issued = false
+		if !s.cfg.EagerSelection {
+			heap.Push(st.q.ID, benefitOf(st))
+		}
+		return true
+	}
+
 	defer env.Obs.Phase("crawl_loop")()
 	type issue struct {
 		st      *qstate
@@ -361,9 +428,19 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		err     error
 	}
 	for !counting.Exhausted() && remaining > 0 {
+		// Circuit gate: while open, each held round advances the
+		// count-based cooldown; the round that half-opens the breaker
+		// proceeds as a single-query probe.
+		if br != nil && !br.Allow() {
+			rep.BreakerHolds++
+			continue
+		}
 		// Pop up to `batch` queries (bounded by the remaining budget so
 		// concurrent issues never overshoot b).
 		n := batch
+		if br != nil && br.State() == deepweb.BreakerHalfOpen {
+			n = 1
+		}
 		if r := counting.Remaining(); r >= 0 && r < n {
 			n = r
 		}
@@ -405,15 +482,64 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 
 		// Merge stage: absorb in selection order so runs stay
-		// deterministic for any worker count.
+		// deterministic for any worker count — including every
+		// degradation decision (requeue, forfeit, refund, breaker
+		// feeding), which is why none of it happens on the workers.
 		for _, is := range round {
+			st := is.st
 			if errors.Is(is.err, deepweb.ErrBudgetExhausted) {
+				if rep != nil {
+					rep.Dispatched++
+					rep.BudgetStops++
+				}
 				continue
 			}
-			if is.err != nil {
-				return nil, fmt.Errorf("crawler: issuing %q: %w", is.st.q.Keywords, is.err)
+			if rep != nil {
+				rep.Dispatched++
 			}
-			newly := t.absorb(is.st.q.Keywords, is.benefit, is.recs)
+			if br != nil {
+				br.Record(is.err)
+			}
+			resultSize := len(is.recs)
+			if is.err != nil {
+				var te *deepweb.TruncatedError
+				switch {
+				case !resilient:
+					return nil, fmt.Errorf("crawler: issuing %q: %w", st.q.Keywords, is.err)
+				case errors.As(is.err, &te):
+					// A cut page: absorb the partial records below, but
+					// judge solidity — and trace the step — on the true
+					// matched size, so §4.2 never removes ΔD records on
+					// the strength of a truncated result.
+					resultSize = te.Full
+					rep.Truncated++
+					env.Obs.Truncated(st.q.Keywords.Key(), te.Returned, te.Full)
+				default:
+					if !deepweb.Charged(is.err) {
+						// The interface never billed this failure (429,
+						// open circuit, cancellation) — a query that
+						// never executed must not consume budget.
+						counting.Refund()
+						rep.Refunded++
+						env.Obs.Refunded(st.q.Keywords.Key())
+					}
+					st.attempts++
+					if requeue(st) {
+						rep.Requeued++
+						env.Obs.Requeued(st.q.Keywords.Key(), st.attempts, is.err)
+					} else {
+						rep.Forfeited++
+						rep.ForfeitedQueries = append(rep.ForfeitedQueries, st.q.Keywords.Key())
+						env.Obs.Forfeited(st.q.Keywords.Key(), st.attempts, is.err)
+					}
+					continue
+				}
+			}
+			if rep != nil {
+				rep.Absorbed++
+				rep.dropForfeit(st.q.Keywords.Key())
+			}
+			newly := t.absorbSized(st.q.Keywords, is.benefit, is.recs, resultSize)
 			if s.cfg.OnlineCalibration && len(is.st.qD) > 0 {
 				bkt := bucketOf(len(is.st.qD))
 				old := calib[bkt]
@@ -440,10 +566,11 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			// §4.2 ΔD prediction: a solid query (result smaller than
 			// k) returns everything matching it, so any record of
 			// q(D) it did not cover cannot be in H — drop it from
-			// consideration.
-			solid := len(is.recs) < k
+			// consideration. resultSize is the interface's true match
+			// count even when the page was truncated.
+			solid := resultSize < k
 			if solid && !s.cfg.DisableDeltaDRemoval {
-				for _, d := range is.st.qD {
+				for _, d := range st.qD {
 					remove(d)
 				}
 			}
@@ -451,6 +578,12 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	}
 
 	s.HeapRepushes = heap.Repushes
+	if rep != nil {
+		if br != nil {
+			rep.BreakerTrips = tripsBase + br.Trips()
+		}
+		t.res.Resilience = rep
+	}
 	return t.res, nil
 }
 

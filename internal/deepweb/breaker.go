@@ -1,0 +1,223 @@
+package deepweb
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"smartcrawl/internal/obs"
+	"smartcrawl/internal/relational"
+)
+
+// ErrCircuitOpen is returned by Guarded.Search while the breaker rejects
+// traffic. It is a client-side denial: the query never reached the
+// interface, so it must not be charged against the budget (see Charged).
+var ErrCircuitOpen = errors.New("deepweb: circuit open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic while the backend cools down.
+	BreakerOpen
+	// BreakerHalfOpen lets probe traffic through to test recovery.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig shapes a Breaker. Cooldown is counted in Allow calls, not
+// wall-clock: a deterministic crawl cannot depend on timers, and the crawl
+// loop calls Allow once per held round, so "Cooldown rounds" is the
+// natural unit there. Wrap Allow in your own timer for time-based use.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit; default 5.
+	FailureThreshold int
+	// Cooldown is how many Allow calls are rejected while open before
+	// the breaker half-opens; default 8.
+	Cooldown int
+	// HalfOpenProbes is how many consecutive successes in half-open
+	// close the circuit again; default 1.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker is a closed/open/half-open circuit breaker protecting a misbehaving
+// interface from being hammered — every rejected call is budget and retry
+// time not wasted on a backend that is down. It is a bare state machine:
+// compose it with a Searcher via Guarded (concurrent use, mutex-guarded),
+// or drive Allow/Record from a single goroutine (the crawl loop's merge
+// stage does, which keeps breaker transitions deterministic at any worker
+// count). State transitions are reported to the attached obs sink.
+type Breaker struct {
+	cfg BreakerConfig
+	obs *obs.Obs
+
+	mu           sync.Mutex
+	state        BreakerState
+	fails        int // consecutive failures while closed
+	cooldownLeft int
+	probeOK      int // consecutive successes while half-open
+	trips        int
+}
+
+// NewBreaker returns a closed breaker (defaults applied).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// WithObs attaches an observability sink recording state transitions, and
+// returns b.
+func (b *Breaker) WithObs(o *obs.Obs) *Breaker {
+	b.obs = o
+	return b
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the circuit has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// transitionLocked moves to next, reporting the change. Callers hold mu.
+func (b *Breaker) transitionLocked(next BreakerState) {
+	if b.state == next {
+		return
+	}
+	from := b.state
+	b.state = next
+	if next == BreakerOpen {
+		b.trips++
+		b.cooldownLeft = b.cfg.Cooldown
+	}
+	b.obs.BreakerTransition(from.String(), next.String(), b.fails)
+}
+
+// Allow reports whether a call may proceed. While open, each rejected
+// Allow advances the cooldown; the call that exhausts it half-opens the
+// circuit and is admitted as the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // open
+		b.cooldownLeft--
+		if b.cooldownLeft > 0 {
+			return false
+		}
+		b.probeOK = 0
+		b.transitionLocked(BreakerHalfOpen)
+		return true
+	}
+}
+
+// Success records a successful call.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.fails = 0
+			b.transitionLocked(BreakerClosed)
+		}
+	}
+	// A late success from a call in flight when the circuit opened is
+	// ignored: recovery is proven by probes, not stragglers.
+}
+
+// Failure records a failed call, opening the circuit at the threshold (or
+// immediately from half-open: the probe failed).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.transitionLocked(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.fails++
+		b.transitionLocked(BreakerOpen)
+	}
+}
+
+// Record classifies err as Success or Failure: interface failures trip the
+// breaker, while budget exhaustion (a clean local stop), truncated results
+// (data was returned), and context cancellation (the caller hung up, not
+// the backend) are not evidence against the backend.
+func (b *Breaker) Record(err error) {
+	switch {
+	case err == nil, errors.Is(err, ErrTruncated):
+		b.Success()
+	case errors.Is(err, ErrBudgetExhausted),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		// neutral
+	default:
+		b.Failure()
+	}
+}
+
+// Guarded composes a Breaker with a Searcher: rejected calls fail fast
+// with ErrCircuitOpen, admitted calls feed their outcome back into the
+// breaker. ErrCircuitOpen is transient (the cooldown is ticking down), so
+// Retrying's default classifier re-attempts it — wrap Retrying outside
+// Guarded and a backoff wait doubles as breaker cooldown. Safe for
+// concurrent use when the wrapped Searcher is.
+type Guarded struct {
+	S Searcher
+	B *Breaker
+}
+
+// Search implements Searcher.
+func (g *Guarded) Search(q Query) ([]*relational.Record, error) {
+	if !g.B.Allow() {
+		return nil, ErrCircuitOpen
+	}
+	recs, err := g.S.Search(q)
+	g.B.Record(err)
+	return recs, err
+}
+
+// K implements Searcher.
+func (g *Guarded) K() int { return g.S.K() }

@@ -1,0 +1,201 @@
+package deepweb_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/obs"
+	"smartcrawl/internal/relational"
+)
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// cycle, pinning the count-based cooldown semantics the crawl loop relies
+// on (one Allow per held round).
+func TestBreakerLifecycle(t *testing.T) {
+	o := obs.New()
+	b := deepweb.NewBreaker(deepweb.BreakerConfig{
+		FailureThreshold: 3, Cooldown: 4, HalfOpenProbes: 1,
+	}).WithObs(o)
+
+	if b.State() != deepweb.BreakerClosed {
+		t.Fatal("new breaker must start closed")
+	}
+	// A success resets the consecutive-failure count.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != deepweb.BreakerClosed {
+		t.Fatal("non-consecutive failures must not trip the breaker")
+	}
+	b.Failure() // third consecutive → open
+	if b.State() != deepweb.BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state=%v trips=%d after threshold, want open/1", b.State(), b.Trips())
+	}
+	// Cooldown is counted in Allow calls: the first Cooldown-1 are
+	// rejected, the one that exhausts it is admitted as the probe.
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("Allow #%d during cooldown must reject", i+1)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("the Allow that exhausts the cooldown must admit the probe")
+	}
+	if b.State() != deepweb.BreakerHalfOpen {
+		t.Fatalf("state=%v after cooldown, want half_open", b.State())
+	}
+	// Probe failure reopens immediately, restarting the cooldown.
+	b.Failure()
+	if b.State() != deepweb.BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state=%v trips=%d after failed probe, want open/2", b.State(), b.Trips())
+	}
+	for !b.Allow() {
+	}
+	b.Success() // probe succeeds → closed
+	if b.State() != deepweb.BreakerClosed {
+		t.Fatalf("state=%v after successful probe, want closed", b.State())
+	}
+	// Closing resets the failure count: it takes a full threshold to trip
+	// again.
+	b.Failure()
+	b.Failure()
+	if b.State() != deepweb.BreakerClosed {
+		t.Fatal("failure count must reset when the circuit closes")
+	}
+}
+
+// TestBreakerRecordClassification: which errors count against the backend.
+func TestBreakerRecordClassification(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		err   error
+		trips bool // does repeating it open a threshold-2 breaker?
+	}{
+		{"nil is success", nil, false},
+		{"truncated is success (data came back)", &deepweb.TruncatedError{Full: 10, Returned: 5}, false},
+		{"budget exhausted is neutral", deepweb.ErrBudgetExhausted, false},
+		{"cancellation is neutral", context.Canceled, false},
+		{"deadline is neutral", context.DeadlineExceeded, false},
+		{"timeout is failure", deepweb.ErrInjectedTimeout, true},
+		{"rate limit is failure", deepweb.ErrRateLimited, true},
+		{"unknown error is failure", errors.New("http 500"), true},
+	} {
+		b := deepweb.NewBreaker(deepweb.BreakerConfig{FailureThreshold: 2})
+		b.Record(tc.err)
+		b.Record(tc.err)
+		if got := b.State() == deepweb.BreakerOpen; got != tc.trips {
+			t.Errorf("%s: open=%v, want %v", tc.name, got, tc.trips)
+		}
+	}
+	// Neutral errors must not reset the failure streak either: a run of
+	// failures interleaved with cancellations still trips.
+	b := deepweb.NewBreaker(deepweb.BreakerConfig{FailureThreshold: 2})
+	b.Record(errors.New("boom"))
+	b.Record(context.Canceled)
+	b.Record(errors.New("boom"))
+	if b.State() != deepweb.BreakerOpen {
+		t.Fatal("neutral Record must not reset the consecutive-failure count")
+	}
+}
+
+// searcherFunc adapts a closure to deepweb.Searcher for these tests.
+type searcherFunc struct {
+	f func(deepweb.Query) ([]*relational.Record, error)
+	k int
+}
+
+func (s searcherFunc) Search(q deepweb.Query) ([]*relational.Record, error) { return s.f(q) }
+func (s searcherFunc) K() int                                               { return s.k }
+
+// TestGuardedFailFast: once the circuit opens, Guarded rejects without
+// touching the backend, ErrCircuitOpen is uncharged (the interface never
+// saw the query), and Retrying's default classifier would re-attempt it.
+func TestGuardedFailFast(t *testing.T) {
+	br := deepweb.NewBreaker(deepweb.BreakerConfig{FailureThreshold: 2, Cooldown: 100})
+	calls := 0
+	g := &deepweb.Guarded{
+		S: searcherFunc{
+			f: func(q deepweb.Query) ([]*relational.Record, error) {
+				calls++
+				return nil, errors.New("down")
+			},
+			k: 10,
+		},
+		B: br,
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := g.Search(deepweb.Query{"q"}); err == nil {
+			t.Fatal("backend error must surface")
+		}
+	}
+	if br.State() != deepweb.BreakerOpen {
+		t.Fatalf("state=%v, want open", br.State())
+	}
+	_, err := g.Search(deepweb.Query{"q"})
+	if !errors.Is(err, deepweb.ErrCircuitOpen) {
+		t.Fatalf("err=%v, want ErrCircuitOpen", err)
+	}
+	if calls != 2 {
+		t.Fatalf("backend saw %d calls, want 2 (open circuit must not pass traffic)", calls)
+	}
+	if deepweb.Charged(deepweb.ErrCircuitOpen) {
+		t.Fatal("a circuit-open rejection never reached the interface; it must not be charged")
+	}
+	if g.K() != 10 {
+		t.Fatal("K must pass through Guarded")
+	}
+}
+
+// TestGuardedConcurrent hammers one Guarded searcher from many goroutines
+// (run under -race). The backend flips between outage and recovery; the
+// invariant checked is purely that every call returns either records or a
+// classified error and the breaker lands in a valid state.
+func TestGuardedConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	backend := searcherFunc{
+		f: func(q deepweb.Query) ([]*relational.Record, error) {
+			mu.Lock()
+			n++
+			fail := n%7 < 3
+			mu.Unlock()
+			if fail {
+				return nil, deepweb.ErrUnavailable
+			}
+			return []*relational.Record{{ID: 1}}, nil
+		},
+		k: 1,
+	}
+	br := deepweb.NewBreaker(deepweb.BreakerConfig{FailureThreshold: 3, Cooldown: 2})
+	g := &deepweb.Guarded{S: backend, B: br}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				recs, err := g.Search(deepweb.Query{"q"})
+				if err == nil && len(recs) != 1 {
+					t.Error("success with no records")
+					return
+				}
+				if err != nil && !errors.Is(err, deepweb.ErrCircuitOpen) && !errors.Is(err, deepweb.ErrUnavailable) {
+					t.Errorf("unexpected error %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	switch br.State() {
+	case deepweb.BreakerClosed, deepweb.BreakerOpen, deepweb.BreakerHalfOpen:
+	default:
+		t.Fatalf("breaker in invalid state %v", br.State())
+	}
+}

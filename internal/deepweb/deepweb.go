@@ -1,9 +1,17 @@
 // Package deepweb defines the restricted access interface through which all
 // crawlers see a hidden database (§2, Definition 2): a keyword query goes
 // in, at most k records come out, and nothing else about H is observable.
-// It also provides the budget-accounting wrapper that charges every issued
-// query, mirroring the per-day API quotas (Yelp: 25,000 requests/day,
-// Google Maps: 2,500/day) that motivate the paper's budget b.
+// Around that interface it layers everything a production crawl needs to
+// survive a real web API: budget accounting that charges every issued
+// query and refunds never-executed ones (Counting, mirroring the per-day
+// quotas — Yelp: 25,000 requests/day, Google Maps: 2,500/day — that
+// motivate the paper's budget b), memoization (Cache), a worker-pool
+// dispatcher with deterministic in-order outcomes (Dispatcher), retry with
+// backoff (Retrying), client-side token-bucket pacing (Limited), a
+// closed/open/half-open circuit breaker (Breaker, Guarded), and a
+// deterministic seedable fault injector (Faulty) that misbehaves exactly
+// like the adversarial interfaces of §2/§6 — timeouts, 5xx bursts, 429
+// storms, truncated and stale result pages — so resilience is testable.
 package deepweb
 
 import (
@@ -75,6 +83,19 @@ func (c *Counting) Search(q Query) ([]*relational.Record, error) {
 
 // K returns the wrapped interface's result limit.
 func (c *Counting) K() int { return c.S.K() }
+
+// Refund returns one previously charged unit. The graceful-degradation
+// path calls it when it gives up on a query whose failure the interface
+// never billed — a client-side token-bucket denial, an open circuit, a
+// 429 rejection, a context cancellation before dispatch (see Charged).
+// A query that never executed must not consume budget.
+func (c *Counting) Refund() {
+	c.mu.Lock()
+	if c.issued > 0 {
+		c.issued--
+	}
+	c.mu.Unlock()
+}
 
 // Issued returns the number of queries charged so far.
 func (c *Counting) Issued() int {

@@ -1,7 +1,6 @@
 package deepweb
 
 import (
-	"errors"
 	"sync"
 	"time"
 
@@ -45,14 +44,17 @@ type Dispatcher struct {
 
 // search issues one query, timing it into the sink when one is attached.
 // The disabled path takes the nil branch and nothing else — no clock
-// reads.
+// reads. Error classification is SearchFailed's: budget exhaustion,
+// context cancellation (the query never executed — its dispatch is
+// accounted by the merge stage's forfeit path, not as an interface
+// error), and truncated-but-returned results do not count as failures.
 func (d *Dispatcher) search(q Query) ([]*relational.Record, error) {
 	if d.Obs == nil {
 		return d.S.Search(q)
 	}
 	start := time.Now()
 	recs, err := d.S.Search(q)
-	d.Obs.SearchDone(time.Since(start), err != nil && !errors.Is(err, ErrBudgetExhausted))
+	d.Obs.SearchDone(time.Since(start), SearchFailed(err))
 	return recs, err
 }
 

@@ -1,6 +1,7 @@
 package deepweb_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -11,6 +12,7 @@ import (
 
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/fixture"
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 )
 
@@ -170,6 +172,27 @@ func TestDispatchDeterministicThroughBudget(t *testing.T) {
 				t.Fatalf("workers=%d: query %d returned %v, want %v", workers, i, got, ref[i])
 			}
 		}
+	}
+}
+
+// TestDispatchCancelledQueryNotCountedAsError: a context-cancelled
+// in-flight query is the caller hanging up, not an interface failure — it
+// must not inflate the SearchErrors metric (a genuine failure must).
+func TestDispatchCancelledQueryNotCountedAsError(t *testing.T) {
+	o := obs.New()
+	e := &echoSearcher{fail: func(q deepweb.Query) error {
+		switch q.Key() {
+		case "kw001":
+			return fmt.Errorf("dial: %w", context.Canceled)
+		case "kw002":
+			return errors.New("http 500")
+		}
+		return nil
+	}}
+	d := &deepweb.Dispatcher{S: e, Workers: 2, Obs: o}
+	d.Dispatch(queries(4))
+	if got := o.SearchErrors.Value(); got != 1 {
+		t.Fatalf("SearchErrors = %d, want 1 (only the genuine failure)", got)
 	}
 }
 

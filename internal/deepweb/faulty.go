@@ -1,0 +1,426 @@
+package deepweb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"smartcrawl/internal/obs"
+	"smartcrawl/internal/relational"
+)
+
+// The paper's setting is an adversarial interface: a remote top-k keyword
+// API that rate-limits, times out, and silently truncates (§2, §6). Faulty
+// wraps any Searcher with deterministic, seedable injection of exactly
+// those misbehaviours, so the crawl loop's coverage guarantees can be
+// tested — and regression-pinned — under interface failure. Every fault
+// decision is a pure hash of (seed, query key, attempt number), never of
+// arrival order, which is what makes fault replay deterministic: the same
+// seed and profile produce the same per-query fault schedule at any
+// worker count.
+
+// FaultClass names one injected misbehaviour.
+type FaultClass string
+
+const (
+	// FaultTimeout simulates a request that never completes: the attempt
+	// fails with ErrInjectedTimeout (after Latency, when configured).
+	FaultTimeout FaultClass = "timeout"
+	// FaultUnavailable simulates a transient server error (HTTP 5xx).
+	FaultUnavailable FaultClass = "unavailable"
+	// FaultRateLimit simulates a burst of server-side 429 rejections:
+	// the first BurstLen attempts fail with ErrRateLimited.
+	FaultRateLimit FaultClass = "rate_limit"
+	// FaultTruncate shortens the result page: the wrapped result is cut
+	// to TruncateFrac of its records and returned with a TruncatedError
+	// carrying the true size.
+	FaultTruncate FaultClass = "truncate"
+	// FaultStale serves results from an older snapshot: a deterministic
+	// per-record subset of the result is silently omitted. The caller
+	// cannot detect this fault — that is the point.
+	FaultStale FaultClass = "stale"
+)
+
+// ErrInjectedTimeout marks a fault-injected request timeout.
+var ErrInjectedTimeout = errors.New("deepweb: injected timeout")
+
+// ErrUnavailable marks a fault-injected transient server error (5xx).
+var ErrUnavailable = errors.New("deepweb: service unavailable")
+
+// ErrTruncated is the sentinel wrapped by every TruncatedError, so
+// callers can classify with errors.Is without unpacking the type.
+var ErrTruncated = errors.New("deepweb: truncated result")
+
+// TruncatedError reports a short result page: Search returned Returned
+// records alongside this error, but the interface actually matched Full.
+// Callers unaware of truncation see an error and fail safe (they do not
+// mistake a cut page for a solid result); resilience-aware callers
+// errors.As the type, absorb the partial records, and use Full for
+// solidity decisions. Retrying does not re-attempt it — the records are
+// already in hand.
+type TruncatedError struct {
+	Full     int // records the interface matched
+	Returned int // records actually returned
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("deepweb: result truncated to %d of %d records", e.Returned, e.Full)
+}
+
+func (e *TruncatedError) Unwrap() error { return ErrTruncated }
+
+// FaultProfile configures a Faulty wrapper: one probability per fault
+// class (at most one class is assigned per query, by cumulative walk over
+// a per-query hash) plus the shape parameters of each class. The zero
+// profile injects nothing.
+type FaultProfile struct {
+	// Seed drives every fault decision. Two Faulty wrappers with equal
+	// seeds and profiles inject identical fault schedules.
+	Seed uint64
+	// Per-class probabilities; their sum must be ≤ 1.
+	Timeout     float64
+	Unavailable float64
+	RateLimit   float64
+	Truncate    float64
+	Stale       float64
+	// FailAttempts is how many attempts of a timeout/unavailable query
+	// fail before the fault clears (a transient outage); default 2.
+	FailAttempts int
+	// BurstLen is how many attempts of a rate-limited query are rejected
+	// before the burst passes; default 3.
+	BurstLen int
+	// TruncateFrac is the fraction of the page kept on truncation;
+	// default 0.5.
+	TruncateFrac float64
+	// StaleFrac is the fraction of hidden records visible to stale
+	// queries; default 0.75.
+	StaleFrac float64
+	// Latency, when > 0, delays every faulted attempt — wall-clock
+	// realism for timeout experiments. Keep 0 in tests.
+	Latency time.Duration
+}
+
+// TransientRate is the summed probability of the transient fault classes
+// (timeout, unavailable, rate-limit) — the knob the graceful-degradation
+// acceptance bar is stated against.
+func (p FaultProfile) TransientRate() float64 { return p.Timeout + p.Unavailable + p.RateLimit }
+
+// Total is the probability that a query draws any fault class.
+func (p FaultProfile) Total() float64 {
+	return p.Timeout + p.Unavailable + p.RateLimit + p.Truncate + p.Stale
+}
+
+// withDefaults fills the shape parameters left zero.
+func (p FaultProfile) withDefaults() FaultProfile {
+	if p.FailAttempts <= 0 {
+		p.FailAttempts = 2
+	}
+	if p.BurstLen <= 0 {
+		p.BurstLen = 3
+	}
+	if p.TruncateFrac <= 0 {
+		p.TruncateFrac = 0.5
+	}
+	if p.StaleFrac <= 0 {
+		p.StaleFrac = 0.75
+	}
+	return p
+}
+
+// faultPresets are the named profiles accepted by ParseFaultProfile and
+// the CLI -faults flags. "transient10" is the acceptance profile: a 10%
+// transient-fault rate with no response shaping.
+var faultPresets = map[string]FaultProfile{
+	"none": {},
+	"mild": {Timeout: 0.02, Unavailable: 0.02, RateLimit: 0.01,
+		Truncate: 0.02, Stale: 0.01},
+	"moderate": {Timeout: 0.04, Unavailable: 0.04, RateLimit: 0.02,
+		Truncate: 0.05, Stale: 0.03},
+	"severe": {Timeout: 0.08, Unavailable: 0.08, RateLimit: 0.05,
+		Truncate: 0.10, Stale: 0.05, FailAttempts: 3},
+	"transient10": {Timeout: 0.05, Unavailable: 0.03, RateLimit: 0.02},
+}
+
+// FaultPresetNames lists the named profiles, sorted — for flag usage text.
+func FaultPresetNames() []string {
+	names := make([]string, 0, len(faultPresets))
+	for n := range faultPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseFaultProfile turns a CLI spec into a profile: either a preset name
+// (none, mild, moderate, severe, transient10) or a comma-separated list of
+// class=probability pairs plus shape overrides, e.g.
+//
+//	"timeout=0.05,truncate=0.1,truncate-frac=0.3,attempts=3"
+//
+// Recognized keys: timeout, unavailable, ratelimit, truncate, stale
+// (probabilities in [0,1]); attempts, burst (ints); truncate-frac,
+// stale-frac (fractions). The seed is set separately (it is a replay
+// handle, not part of the failure model).
+func ParseFaultProfile(spec string) (FaultProfile, error) {
+	if p, ok := faultPresets[strings.ToLower(strings.TrimSpace(spec))]; ok {
+		return p, nil
+	}
+	var p FaultProfile
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return p, fmt.Errorf("deepweb: fault spec %q: want key=value or a preset (%s)",
+				part, strings.Join(FaultPresetNames(), "|"))
+		}
+		f, ferr := strconv.ParseFloat(val, 64)
+		n, nerr := strconv.Atoi(val)
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "timeout":
+			p.Timeout = f
+		case "unavailable":
+			p.Unavailable = f
+		case "ratelimit", "rate-limit":
+			p.RateLimit = f
+		case "truncate":
+			p.Truncate = f
+		case "stale":
+			p.Stale = f
+		case "truncate-frac":
+			p.TruncateFrac = f
+		case "stale-frac":
+			p.StaleFrac = f
+		case "attempts":
+			ferr = nerr
+			p.FailAttempts = n
+		case "burst":
+			ferr = nerr
+			p.BurstLen = n
+		default:
+			return p, fmt.Errorf("deepweb: fault spec: unknown key %q", key)
+		}
+		if ferr != nil {
+			return p, fmt.Errorf("deepweb: fault spec %q: %v", part, ferr)
+		}
+	}
+	if t := p.Total(); t > 1 {
+		return p, fmt.Errorf("deepweb: fault probabilities sum to %.3f > 1", t)
+	}
+	return p, nil
+}
+
+// Faulty wraps a Searcher with deterministic fault injection per
+// FaultProfile. Which class (if any) a query draws is a pure function of
+// (seed, query key); how an attempt of that query behaves depends only on
+// the per-query attempt number, counted inside the wrapper — so the fault
+// schedule is independent of worker scheduling, and a crawl over a Faulty
+// backend replays byte-identically from its seed. Safe for concurrent use
+// when the wrapped Searcher is.
+type Faulty struct {
+	S Searcher
+	P FaultProfile
+
+	obs *obs.Obs
+
+	mu       sync.Mutex
+	attempts map[string]int
+	injected map[FaultClass]int
+}
+
+// NewFaulty wraps s with the profile (shape defaults applied).
+func NewFaulty(s Searcher, p FaultProfile) *Faulty {
+	return &Faulty{
+		S:        s,
+		P:        p.withDefaults(),
+		attempts: make(map[string]int),
+		injected: make(map[FaultClass]int),
+	}
+}
+
+// WithObs attaches an observability sink recording every injected fault,
+// and returns f.
+func (f *Faulty) WithObs(o *obs.Obs) *Faulty {
+	f.obs = o
+	return f
+}
+
+// Injected returns a copy of the per-class injection counts so far.
+func (f *Faulty) Injected() map[FaultClass]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[FaultClass]int, len(f.injected))
+	for c, n := range f.injected {
+		out[c] = n
+	}
+	return out
+}
+
+// classOf assigns q its fault class (or "" for none) by cumulative walk
+// over a seeded per-query hash.
+func (f *Faulty) classOf(key string) FaultClass {
+	u := unitFloat(hashString(f.P.Seed, "class", key))
+	for _, c := range []struct {
+		class FaultClass
+		p     float64
+	}{
+		{FaultTimeout, f.P.Timeout},
+		{FaultUnavailable, f.P.Unavailable},
+		{FaultRateLimit, f.P.RateLimit},
+		{FaultTruncate, f.P.Truncate},
+		{FaultStale, f.P.Stale},
+	} {
+		if u < c.p {
+			return c.class
+		}
+		u -= c.p
+	}
+	return ""
+}
+
+// inject records one injected fault (counter + obs hook). Callers hold mu.
+func (f *Faulty) injectLocked(key string, class FaultClass, attempt int) {
+	f.injected[class]++
+	f.obs.FaultInjected(key, string(class), attempt)
+}
+
+// Search implements Searcher, misbehaving per the profile.
+func (f *Faulty) Search(q Query) ([]*relational.Record, error) {
+	key := q.Key()
+	class := f.classOf(key)
+	if class == "" {
+		return f.S.Search(q)
+	}
+
+	f.mu.Lock()
+	f.attempts[key]++
+	attempt := f.attempts[key]
+	switch class {
+	case FaultTimeout:
+		if attempt <= f.P.FailAttempts {
+			f.injectLocked(key, class, attempt)
+			f.mu.Unlock()
+			if f.P.Latency > 0 {
+				time.Sleep(f.P.Latency)
+			}
+			return nil, fmt.Errorf("deepweb: %q attempt %d: %w", key, attempt, ErrInjectedTimeout)
+		}
+	case FaultUnavailable:
+		if attempt <= f.P.FailAttempts {
+			f.injectLocked(key, class, attempt)
+			f.mu.Unlock()
+			if f.P.Latency > 0 {
+				time.Sleep(f.P.Latency)
+			}
+			return nil, fmt.Errorf("deepweb: %q attempt %d: %w", key, attempt, ErrUnavailable)
+		}
+	case FaultRateLimit:
+		if attempt <= f.P.BurstLen {
+			f.injectLocked(key, class, attempt)
+			f.mu.Unlock()
+			return nil, fmt.Errorf("deepweb: %q attempt %d: injected burst: %w", key, attempt, ErrRateLimited)
+		}
+	}
+	f.mu.Unlock()
+
+	recs, err := f.S.Search(q)
+	if err != nil {
+		return recs, err
+	}
+	switch class {
+	case FaultTruncate:
+		m := int(float64(len(recs)) * f.P.TruncateFrac)
+		if m >= len(recs) {
+			return recs, nil
+		}
+		f.mu.Lock()
+		f.injectLocked(key, class, attempt)
+		f.mu.Unlock()
+		return recs[:m:m], &TruncatedError{Full: len(recs), Returned: m}
+	case FaultStale:
+		kept := recs[:0:0]
+		for _, r := range recs {
+			// Record visibility is keyed per record, not per query, so
+			// every stale query agrees on which records are "recent".
+			if unitFloat(hashString(f.P.Seed, "stale", strconv.Itoa(r.ID))) < f.P.StaleFrac {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) < len(recs) {
+			f.mu.Lock()
+			f.injectLocked(key, class, attempt)
+			f.mu.Unlock()
+		}
+		return kept, nil
+	}
+	return recs, nil
+}
+
+// K implements Searcher.
+func (f *Faulty) K() int { return f.S.K() }
+
+// Charged reports whether a failed Search was charged by the interface.
+// Client-side denials (token-bucket rejections, an open circuit), 429
+// rejections, and context cancellations never executed server-side — real
+// quota meters do not bill them, so a budgeted crawl refunds their unit
+// (Counting.Refund) when it gives up on the attempt.
+func Charged(err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrRateLimited),
+		errors.Is(err, ErrCircuitOpen),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	return true
+}
+
+// SearchFailed classifies err for the interface-error counter: budget
+// exhaustion is a clean local stop, a cancelled context means the query
+// never executed, and a truncated result did return data — none of them
+// are interface failures.
+func SearchFailed(err error) bool {
+	return err != nil &&
+		!errors.Is(err, ErrBudgetExhausted) &&
+		!errors.Is(err, ErrTruncated) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// hashString is a seeded FNV-1a over salt+key, finalized with a
+// splitmix64 mix so nearby inputs land far apart.
+func hashString(seed uint64, salt, key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(salt); i++ {
+		h = (h ^ uint64(salt[i])) * prime
+	}
+	h = (h ^ '/') * prime
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime
+	}
+	return mix64(h ^ seed)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 { return float64(h>>11) / float64(1<<53) }

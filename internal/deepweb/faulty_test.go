@@ -1,0 +1,297 @@
+package deepweb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/relational"
+)
+
+// stub is a well-behaved backend returning n records for every query.
+type stub struct{ n, k int }
+
+func (s stub) Search(q deepweb.Query) ([]*relational.Record, error) {
+	recs := make([]*relational.Record, s.n)
+	for i := range recs {
+		recs[i] = &relational.Record{ID: i, Values: []string{q.Key()}}
+	}
+	return recs, nil
+}
+
+func (s stub) K() int { return s.k }
+
+// probeQueries is a deterministic spread of query keys.
+func probeQueries(n int) []deepweb.Query {
+	qs := make([]deepweb.Query, n)
+	for i := range qs {
+		qs[i] = deepweb.Query{fmt.Sprintf("kw%02d", i)}
+	}
+	return qs
+}
+
+// outcomeOf summarizes one Search for order-independence comparison.
+func outcomeOf(recs []*relational.Record, err error) string {
+	switch {
+	case err == nil:
+		return fmt.Sprintf("ok:%d", len(recs))
+	default:
+		return fmt.Sprintf("recs:%d err:%v", len(recs), err)
+	}
+}
+
+// TestFaultyScheduleIndependentOfCallOrder is the core determinism
+// property: a query's fault behaviour is a pure function of (seed, query,
+// per-query attempt number), so issuing the same queries in a different
+// interleaving produces the same per-query outcome sequences.
+func TestFaultyScheduleIndependentOfCallOrder(t *testing.T) {
+	profile := deepweb.FaultProfile{
+		Seed: 7, Timeout: 0.2, Unavailable: 0.2, RateLimit: 0.2, Truncate: 0.2, Stale: 0.2,
+	}
+	qs := probeQueries(40)
+	const attempts = 4
+
+	run := func(reverse bool) map[string][]string {
+		f := deepweb.NewFaulty(stub{n: 10, k: 10}, profile)
+		out := make(map[string][]string)
+		// Forward order interleaves attempts across queries; reverse
+		// order runs each query's attempts back to back. Any dependence
+		// on global call order would split these.
+		if reverse {
+			for i := len(qs) - 1; i >= 0; i-- {
+				for a := 0; a < attempts; a++ {
+					out[qs[i].Key()] = append(out[qs[i].Key()], outcomeOf(f.Search(qs[i])))
+				}
+			}
+		} else {
+			for a := 0; a < attempts; a++ {
+				for _, q := range qs {
+					out[q.Key()] = append(out[q.Key()], outcomeOf(f.Search(q)))
+				}
+			}
+		}
+		return out
+	}
+
+	fwd, rev := run(false), run(true)
+	for key, seq := range fwd {
+		if got := fmt.Sprint(rev[key]); got != fmt.Sprint(seq) {
+			t.Fatalf("query %q outcome sequence depends on call order:\nfwd: %v\nrev: %v", key, seq, rev[key])
+		}
+	}
+	// The spread should actually exercise several classes, or the test
+	// proves nothing.
+	f := deepweb.NewFaulty(stub{n: 10, k: 10}, profile)
+	for _, q := range qs {
+		f.Search(q) //nolint:errcheck — probing the schedule
+	}
+	if len(f.Injected()) < 3 {
+		t.Fatalf("profile injected too few classes to be meaningful: %v", f.Injected())
+	}
+}
+
+// TestFaultyTransientRecovery pins the transient shape: timeout and
+// unavailable queries fail exactly FailAttempts attempts, rate-limited
+// queries exactly BurstLen, then recover.
+func TestFaultyTransientRecovery(t *testing.T) {
+	cases := []struct {
+		name     string
+		profile  deepweb.FaultProfile
+		failures int
+		sentinel error
+	}{
+		{"timeout", deepweb.FaultProfile{Seed: 1, Timeout: 1, FailAttempts: 2}, 2, deepweb.ErrInjectedTimeout},
+		{"unavailable", deepweb.FaultProfile{Seed: 1, Unavailable: 1, FailAttempts: 3}, 3, deepweb.ErrUnavailable},
+		{"rate_limit", deepweb.FaultProfile{Seed: 1, RateLimit: 1, BurstLen: 3}, 3, deepweb.ErrRateLimited},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := deepweb.NewFaulty(stub{n: 5, k: 5}, tc.profile)
+			q := deepweb.Query{"thai"}
+			for i := 0; i < tc.failures; i++ {
+				recs, err := f.Search(q)
+				if !errors.Is(err, tc.sentinel) {
+					t.Fatalf("attempt %d: err = %v, want %v", i+1, err, tc.sentinel)
+				}
+				if len(recs) != 0 {
+					t.Fatalf("attempt %d returned %d records with a transient error", i+1, len(recs))
+				}
+			}
+			recs, err := f.Search(q)
+			if err != nil || len(recs) != 5 {
+				t.Fatalf("post-outage attempt: recs=%d err=%v, want clean success", len(recs), err)
+			}
+			// Other queries under the same profile share the schedule
+			// shape but their attempt counters are independent.
+			if _, err := f.Search(deepweb.Query{"noodle"}); !errors.Is(err, tc.sentinel) {
+				t.Fatalf("fresh query must start its own outage, got %v", err)
+			}
+		})
+	}
+}
+
+// TestFaultyTruncation: the cut page comes back WITH the error, the error
+// carries the true size, and errors.Is/As both classify it.
+func TestFaultyTruncation(t *testing.T) {
+	f := deepweb.NewFaulty(stub{n: 10, k: 10}, deepweb.FaultProfile{Seed: 3, Truncate: 1, TruncateFrac: 0.5})
+	recs, err := f.Search(deepweb.Query{"thai"})
+	if !errors.Is(err, deepweb.ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	var te *deepweb.TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T does not unwrap to *TruncatedError", err)
+	}
+	if te.Full != 10 || te.Returned != 5 || len(recs) != 5 {
+		t.Fatalf("got %d records, TruncatedError{Full:%d Returned:%d}; want 5/10/5", len(recs), te.Full, te.Returned)
+	}
+	// Appending to the partial slice must not clobber the backend's
+	// records (full-capacity reslice would).
+	_ = append(recs, &relational.Record{ID: 99})
+	again, _ := f.Search(deepweb.Query{"thai"})
+	if again[len(again)-1].ID == 99 {
+		t.Fatal("truncated slice aliases backend storage")
+	}
+}
+
+// TestFaultyStaleDeterministic: staleness hides a per-record subset, the
+// same one on every call and for every stale query.
+func TestFaultyStaleDeterministic(t *testing.T) {
+	f := deepweb.NewFaulty(stub{n: 20, k: 20}, deepweb.FaultProfile{Seed: 11, Stale: 1, StaleFrac: 0.5})
+	first, err := f.Search(deepweb.Query{"thai"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || len(first) == 20 {
+		t.Fatalf("stale filter kept %d/20 records; want a proper subset (pick another seed?)", len(first))
+	}
+	second, _ := f.Search(deepweb.Query{"thai"})
+	other, _ := f.Search(deepweb.Query{"noodle"})
+	ids := func(recs []*relational.Record) string {
+		s := ""
+		for _, r := range recs {
+			s += fmt.Sprintf("%d,", r.ID)
+		}
+		return s
+	}
+	if ids(first) != ids(second) {
+		t.Fatal("stale subset changed between calls")
+	}
+	if ids(first) != ids(other) {
+		t.Fatal("stale visibility must be per record, not per query")
+	}
+}
+
+// TestParseFaultProfile covers presets, key=value specs, and rejection.
+func TestParseFaultProfile(t *testing.T) {
+	p, err := deepweb.ParseFaultProfile("transient10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := p.TransientRate(); r < 0.0999 || r > 0.1001 {
+		t.Fatalf("transient10 preset has transient rate %v, want 0.10", r)
+	}
+	p, err = deepweb.ParseFaultProfile("timeout=0.05,truncate=0.1,truncate-frac=0.3,attempts=4,burst=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Timeout != 0.05 || p.Truncate != 0.1 || p.TruncateFrac != 0.3 || p.FailAttempts != 4 || p.BurstLen != 2 {
+		t.Fatalf("spec parsed into %+v", p)
+	}
+	for _, bad := range []string{"bogus-preset", "wat=1", "timeout=x", "timeout=0.9,stale=0.9"} {
+		if _, err := deepweb.ParseFaultProfile(bad); err == nil {
+			t.Errorf("ParseFaultProfile(%q) accepted", bad)
+		}
+	}
+	if len(deepweb.FaultPresetNames()) < 4 {
+		t.Fatal("preset list lost entries")
+	}
+}
+
+// TestChargedAndSearchFailed pin the two error classifiers the budget
+// accounting and the dispatcher metrics rest on.
+func TestChargedAndSearchFailed(t *testing.T) {
+	ctxCanceled := fmt.Errorf("wrapped: %w", context.Canceled)
+	for _, tc := range []struct {
+		err             error
+		charged, failed bool
+	}{
+		{nil, true, false},
+		{deepweb.ErrRateLimited, false, true},
+		{deepweb.ErrCircuitOpen, false, true},
+		{ctxCanceled, false, false},
+		{deepweb.ErrBudgetExhausted, true, false},
+		{&deepweb.TruncatedError{Full: 10, Returned: 5}, true, false},
+		{deepweb.ErrInjectedTimeout, true, true},
+		{errors.New("http 500"), true, true},
+	} {
+		if got := deepweb.Charged(tc.err); got != tc.charged {
+			t.Errorf("Charged(%v) = %v, want %v", tc.err, got, tc.charged)
+		}
+		if got := deepweb.SearchFailed(tc.err); got != tc.failed {
+			t.Errorf("SearchFailed(%v) = %v, want %v", tc.err, got, tc.failed)
+		}
+	}
+}
+
+// TestResilienceStackComposed drives the full decorator stack — Retrying
+// outside Limited outside Guarded outside Faulty — across fault classes,
+// retry budgets, and breaker thresholds, pinning what the crawl loop can
+// rely on from the composition.
+func TestResilienceStackComposed(t *testing.T) {
+	cases := []struct {
+		name      string
+		profile   deepweb.FaultProfile
+		retries   int
+		threshold int
+		wantErr   error // sentinel via errors.Is; nil = success
+		wantRecs  int
+		wantState deepweb.BreakerState
+	}{
+		{"timeout absorbed by retry budget",
+			deepweb.FaultProfile{Seed: 1, Timeout: 1, FailAttempts: 2}, 2, 10, nil, 8, deepweb.BreakerClosed},
+		{"timeout outlives short retry budget",
+			deepweb.FaultProfile{Seed: 1, Timeout: 1, FailAttempts: 2}, 1, 10, deepweb.ErrInjectedTimeout, 0, deepweb.BreakerClosed},
+		{"unavailable absorbed by retry budget",
+			deepweb.FaultProfile{Seed: 1, Unavailable: 1, FailAttempts: 2}, 2, 10, nil, 8, deepweb.BreakerClosed},
+		{"rate-limit burst waited out",
+			deepweb.FaultProfile{Seed: 1, RateLimit: 1, BurstLen: 3}, 3, 10, nil, 8, deepweb.BreakerClosed},
+		{"rate-limit burst outlives retries",
+			deepweb.FaultProfile{Seed: 1, RateLimit: 1, BurstLen: 3}, 1, 10, deepweb.ErrRateLimited, 0, deepweb.BreakerClosed},
+		{"truncation not retried, records forwarded",
+			deepweb.FaultProfile{Seed: 3, Truncate: 1, TruncateFrac: 0.5}, 5, 10, deepweb.ErrTruncated, 4, deepweb.BreakerClosed},
+		{"failures trip a tight breaker",
+			deepweb.FaultProfile{Seed: 1, Timeout: 1, FailAttempts: 9}, 1, 2, deepweb.ErrInjectedTimeout, 0, deepweb.BreakerOpen},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			br := deepweb.NewBreaker(deepweb.BreakerConfig{FailureThreshold: tc.threshold})
+			s := &deepweb.Retrying{
+				S: &deepweb.Limited{
+					S: &deepweb.Guarded{S: deepweb.NewFaulty(stub{n: 8, k: 8}, tc.profile), B: br},
+					B: deepweb.NewBucket(1000, 1000), // generous: pacing must not interfere
+				},
+				Retries: tc.retries,
+			}
+			recs, err := s.Search(deepweb.Query{"thai"})
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("err = %v, want success", err)
+				}
+			} else if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if len(recs) != tc.wantRecs {
+				t.Fatalf("got %d records, want %d", len(recs), tc.wantRecs)
+			}
+			if st := br.State(); st != tc.wantState {
+				t.Fatalf("breaker state %v, want %v", st, tc.wantState)
+			}
+			if s.K() != 8 {
+				t.Fatal("K must pass through the whole stack")
+			}
+		})
+	}
+}

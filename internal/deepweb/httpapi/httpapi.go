@@ -10,6 +10,7 @@ package httpapi
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -117,12 +118,36 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	recs, err := s.searcher.Search(q)
 	if s.obs != nil {
-		s.obs.SearchDone(time.Since(start), err != nil)
+		s.obs.SearchDone(time.Since(start), deepweb.SearchFailed(err))
 	}
 	if err != nil {
-		s.count(&s.errors)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
-		return
+		// Map injected faults to the HTTP status a real interface would
+		// produce; a truncated page is served as a plain 200 — real APIs
+		// cut result lists silently, so the wire client cannot tell.
+		var te *deepweb.TruncatedError
+		switch {
+		case errors.As(err, &te):
+			// fall through to the 200 path with the partial records
+		case errors.Is(err, deepweb.ErrRateLimited):
+			s.count(&s.rateLimited)
+			if s.obs != nil {
+				s.obs.RateLimitDenied(q.Key(), 0)
+			}
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{"rate limit exceeded"})
+			return
+		case errors.Is(err, deepweb.ErrInjectedTimeout):
+			s.count(&s.errors)
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{err.Error()})
+			return
+		case errors.Is(err, deepweb.ErrUnavailable):
+			s.count(&s.errors)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+			return
+		default:
+			s.count(&s.errors)
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
 	}
 	s.count(&s.searches)
 	if s.obs != nil {
@@ -205,12 +230,15 @@ func (c *Client) doSearch(u string) (recs []*relational.Record, retryable bool, 
 		return nil, false, fmt.Errorf("httpapi: reading response: %w", err)
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
-		return nil, true, fmt.Errorf("httpapi: rate limited (429)")
+		// Wrapping ErrRateLimited lets budget accounting upstream refund
+		// the unit (deepweb.Charged): the server never ran the query.
+		return nil, true, fmt.Errorf("httpapi: rate limited (429): %w", deepweb.ErrRateLimited)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse
 		_ = json.Unmarshal(body, &er)
-		return nil, false, fmt.Errorf("httpapi: status %d: %s", resp.StatusCode, er.Error)
+		// 5xx is transient (the backend may recover); 4xx is not.
+		return nil, resp.StatusCode >= 500, fmt.Errorf("httpapi: status %d: %s", resp.StatusCode, er.Error)
 	}
 	var sr searchResponse
 	if err := json.Unmarshal(body, &sr); err != nil {

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -174,6 +175,82 @@ func TestCrawlThroughHTTP(t *testing.T) {
 	if res.CoveredCount != 4 {
 		t.Fatalf("HTTP crawl covered %d of 4", res.CoveredCount)
 	}
+}
+
+// faultyTestServer serves the fixture database through a Faulty wrapper,
+// the same wiring cmd/hiddenserver uses for -fault-profile.
+func faultyTestServer(t *testing.T, p deepweb.FaultProfile) *httptest.Server {
+	t.Helper()
+	u := fixture.New()
+	srv := NewServer(deepweb.NewFaulty(u.DB, p), u.Tokenizer, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestServerMapsInjectedFaults pins the HTTP status mapping for each
+// injected fault class: truncation is a silent 200 partial page (the
+// client cannot detect it — that is the point), 429 for rate-limit bursts,
+// 504 for timeouts, 503 for unavailability.
+func TestServerMapsInjectedFaults(t *testing.T) {
+	status := func(ts *httptest.Server) int {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/search?q=thai")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	t.Run("truncate serves partial page as 200", func(t *testing.T) {
+		ts := faultyTestServer(t, deepweb.FaultProfile{Seed: 1, Truncate: 1, TruncateFrac: 0.5})
+		c := &Client{BaseURL: ts.URL}
+		// The fixture's "thai" matches 2 records (k=2); the cut page has 1.
+		recs, err := c.Search(deepweb.Query{"thai"})
+		if err != nil {
+			t.Fatalf("a silently truncated page must look like success: %v", err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("got %d records, want the truncated 1", len(recs))
+		}
+	})
+	t.Run("rate-limit burst maps to 429", func(t *testing.T) {
+		ts := faultyTestServer(t, deepweb.FaultProfile{Seed: 1, RateLimit: 1, BurstLen: 1})
+		if got := status(ts); got != 429 {
+			t.Fatalf("status %d, want 429", got)
+		}
+		// The Go client classifies the 429 as deepweb.ErrRateLimited so the
+		// crawl loop's refund accounting recognizes the uncharged denial.
+		if _, err := (&Client{BaseURL: ts.URL}).Search(deepweb.Query{"house"}); !errors.Is(err, deepweb.ErrRateLimited) {
+			t.Fatalf("client err = %v, want ErrRateLimited", err)
+		}
+	})
+	t.Run("timeout maps to 504", func(t *testing.T) {
+		ts := faultyTestServer(t, deepweb.FaultProfile{Seed: 1, Timeout: 1})
+		if got := status(ts); got != 504 {
+			t.Fatalf("status %d, want 504", got)
+		}
+	})
+	t.Run("unavailable maps to 503", func(t *testing.T) {
+		ts := faultyTestServer(t, deepweb.FaultProfile{Seed: 1, Unavailable: 1})
+		if got := status(ts); got != 503 {
+			t.Fatalf("status %d, want 503", got)
+		}
+	})
+	t.Run("client retries through a transient outage", func(t *testing.T) {
+		// FailAttempts=2: the first two requests 504, the third succeeds —
+		// within the client's retry budget.
+		ts := faultyTestServer(t, deepweb.FaultProfile{Seed: 1, Timeout: 1, FailAttempts: 2})
+		c := &Client{BaseURL: ts.URL, Retries: 2, RetryDelay: time.Millisecond}
+		recs, err := c.Search(deepweb.Query{"thai"})
+		if err != nil {
+			t.Fatalf("retries should outlast the outage: %v", err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("got %d records after recovery, want 2", len(recs))
+		}
+	})
 }
 
 func TestStatsEndpoint(t *testing.T) {

@@ -22,7 +22,9 @@ type Retrying struct {
 	// Retries is the number of re-attempts after the first failure.
 	Retries int
 	// IsTransient classifies errors worth retrying; nil retries
-	// everything except ErrBudgetExhausted.
+	// everything except ErrBudgetExhausted and ErrTruncated (a truncated
+	// result already returned its records — re-issuing would discard
+	// them for a page that will truncate identically).
 	IsTransient func(error) bool
 	// Backoff returns the wait before re-attempt i (1-based); nil means
 	// no wait.
@@ -54,7 +56,9 @@ type Retrying struct {
 func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
 	transient := r.IsTransient
 	if transient == nil {
-		transient = func(err error) bool { return !errors.Is(err, ErrBudgetExhausted) }
+		transient = func(err error) bool {
+			return !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, ErrTruncated)
+		}
 	}
 	ctx := r.Context
 	sleep := r.Sleep
@@ -103,7 +107,9 @@ func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
 		}
 		lastErr = err
 		if !transient(err) {
-			return nil, err
+			// Forward any records alongside the error: a TruncatedError
+			// carries the partial page its caller may still absorb.
+			return recs, err
 		}
 	}
 	return nil, fmt.Errorf("deepweb: %d attempts failed: %w", r.Retries+1, lastErr)

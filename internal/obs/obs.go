@@ -1,10 +1,11 @@
 // Package obs is the crawl observability subsystem: atomic counters and
 // gauges, fixed-bucket latency histograms, and a structured JSONL session
-// tracer. It exists because SMARTCRAWL's value claim is per-query
-// efficiency under a hard budget — tuning the crawler requires seeing
-// benefit-estimate quality, retry and rate-limit pressure, and where
-// wall-clock goes inside the Algorithm-4 loop, not just the final coverage
-// number.
+// tracer (schema in docs/TRACE_SCHEMA.md). It exists because SMARTCRAWL's
+// value claim is per-query efficiency under a hard budget — tuning the
+// crawler requires seeing benefit-estimate quality, retry and rate-limit
+// pressure, fault-injection and circuit-breaker activity under a degraded
+// interface, and where wall-clock goes inside the Algorithm-4 loop, not
+// just the final coverage number.
 //
 // Everything hangs off *Obs, a nil-safe sink: every method is a no-op on a
 // nil receiver, so instrumented code calls hooks unconditionally and the
@@ -85,6 +86,15 @@ type Obs struct {
 	RateLimited  Counter // client-side token-bucket denials
 	Checkpoints  Counter // checkpoint writes
 
+	// Resilience counters (fault injection and graceful degradation).
+	FaultsInjected Counter // faults injected by a deepweb.Faulty wrapper
+	Truncations    Counter // results absorbed partially (short pages)
+	Requeues       Counter // failed selections pushed back into the pool
+	Forfeits       Counter // selections given up after their attempt cap
+	Refunds        Counter // budget units refunded (never charged by the interface)
+	BreakerTrips   Counter // circuit-breaker transitions into open
+	BreakerState   Gauge   // current breaker position (0 closed, 1 open, 2 half-open)
+
 	// Index construction.
 	IndexBuilds Counter
 	IndexShards Gauge // shard count of the most recent build
@@ -113,6 +123,9 @@ type Obs struct {
 	mu       sync.Mutex
 	phaseDur map[string]time.Duration
 	phaseSeq []string // insertion order, for stable summaries
+
+	faultMu sync.Mutex
+	faultBy map[string]int64 // injected-fault counts by class
 }
 
 // New returns an empty, enabled sink. The zero value &Obs{} is equivalent.
@@ -247,6 +260,111 @@ func (o *Obs) RateLimitDenied(q string, tokens float64) {
 	}
 }
 
+// FaultInjected records one injected fault: the query it hit, its class
+// (deepweb.FaultClass), and the per-query attempt number it fired on.
+func (o *Obs) FaultInjected(q, class string, attempt int) {
+	if o == nil {
+		return
+	}
+	o.FaultsInjected.Inc()
+	o.faultMu.Lock()
+	if o.faultBy == nil {
+		o.faultBy = make(map[string]int64)
+	}
+	o.faultBy[class]++
+	o.faultMu.Unlock()
+	if t := o.tracer.Load(); t != nil {
+		t.fault(q, class, attempt)
+	}
+}
+
+// FaultsByClass returns a copy of the injected-fault counts keyed by class.
+func (o *Obs) FaultsByClass() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	o.faultMu.Lock()
+	defer o.faultMu.Unlock()
+	out := make(map[string]int64, len(o.faultBy))
+	for c, n := range o.faultBy {
+		out[c] = n
+	}
+	return out
+}
+
+// BreakerTransition records a circuit-breaker state change with the
+// consecutive-failure count that drove it.
+func (o *Obs) BreakerTransition(from, to string, failures int) {
+	if o == nil {
+		return
+	}
+	if to == "open" {
+		o.BreakerTrips.Inc()
+	}
+	switch to {
+	case "closed":
+		o.BreakerState.Set(0)
+	case "open":
+		o.BreakerState.Set(1)
+	case "half_open":
+		o.BreakerState.Set(2)
+	}
+	if t := o.tracer.Load(); t != nil {
+		t.breaker(from, to, failures)
+	}
+}
+
+// Requeued records a failed selection pushed back into the pool for
+// re-dispatch: the query, which attempt just failed, and why.
+func (o *Obs) Requeued(q string, attempt int, cause error) {
+	if o == nil {
+		return
+	}
+	o.Requeues.Inc()
+	if t := o.tracer.Load(); t != nil {
+		t.requeue(q, attempt, errMsg(cause))
+	}
+}
+
+// Forfeited records a selection given up for good after attempts
+// dispatches, with the error that ended it.
+func (o *Obs) Forfeited(q string, attempts int, cause error) {
+	if o == nil {
+		return
+	}
+	o.Forfeits.Inc()
+	if t := o.tracer.Load(); t != nil {
+		t.forfeit(q, attempts, errMsg(cause))
+	}
+}
+
+// Refunded counts one budget unit returned because the failed query was
+// never charged by the interface (client-side denial or cancellation).
+func (o *Obs) Refunded(q string) {
+	if o == nil {
+		return
+	}
+	o.Refunds.Inc()
+	_ = q // counter-only; the forfeit/requeue event carries the query
+}
+
+// Truncated counts one result absorbed partially: the interface matched
+// full records but returned only the first returned of them.
+func (o *Obs) Truncated(q string, returned, full int) {
+	if o == nil {
+		return
+	}
+	o.Truncations.Inc()
+	_, _, _ = q, returned, full // counter-only; the fault event carries detail
+}
+
+func errMsg(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
 // Checkpoint records a checkpoint write: covered records and queries spent
 // at save time.
 func (o *Obs) Checkpoint(path string, covered, queries int) {
@@ -342,6 +460,22 @@ func (o *Obs) Snapshot() map[string]any {
 		"index_builds":    o.IndexBuilds.Value(),
 		"index_shards":    o.IndexShards.Value(),
 	}
+	if o.FaultsInjected.Value()+o.Requeues.Value()+o.Forfeits.Value()+
+		o.Refunds.Value()+o.Truncations.Value()+o.BreakerTrips.Value() > 0 {
+		res := map[string]any{
+			"faults_injected": o.FaultsInjected.Value(),
+			"truncations":     o.Truncations.Value(),
+			"requeues":        o.Requeues.Value(),
+			"forfeits":        o.Forfeits.Value(),
+			"refunds":         o.Refunds.Value(),
+			"breaker_trips":   o.BreakerTrips.Value(),
+			"breaker_state":   o.BreakerState.Value(),
+		}
+		if by := o.FaultsByClass(); len(by) > 0 {
+			res["fault_classes"] = by
+		}
+		m["resilience"] = res
+	}
 	if hs := o.SearchLatency.Snapshot(); hs.Count > 0 {
 		m["search_latency"] = map[string]any{
 			"count":   hs.Count,
@@ -380,6 +514,12 @@ func (o *Obs) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "obs: interface: %d dispatched, %d errors, %d retried calls (%d re-attempts), %d rate-limit denials\n",
 		o.Dispatched.Value(), o.SearchErrors.Value(), o.RetriedCalls.Value(),
 		o.Retries.Value(), o.RateLimited.Value())
+	if o.FaultsInjected.Value()+o.Requeues.Value()+o.Forfeits.Value()+
+		o.Refunds.Value()+o.Truncations.Value()+o.BreakerTrips.Value() > 0 {
+		fmt.Fprintf(w, "obs: resilience: %d faults injected, %d truncated results, %d requeues, %d forfeits, %d budget refunds, breaker tripped %d times\n",
+			o.FaultsInjected.Value(), o.Truncations.Value(), o.Requeues.Value(),
+			o.Forfeits.Value(), o.Refunds.Value(), o.BreakerTrips.Value())
+	}
 	if hs := o.SearchLatency.Snapshot(); hs.Count > 0 {
 		fmt.Fprintf(w, "obs: search latency: mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",
 			roundMs(hs.Mean), roundMs(hs.P50), roundMs(hs.P95), roundMs(hs.P99), roundMs(hs.Max))

@@ -13,7 +13,9 @@ import (
 // encoding/json preserves), every line independently parseable. A trace
 // is the replayable story of a crawl session — which query was selected
 // with what estimated benefit, what it returned, what it newly covered,
-// plus retry/backoff, rate-limit, checkpoint, and phase-timing events.
+// plus retry/backoff, rate-limit, checkpoint, phase-timing, and the
+// resilience events (fault, breaker, requeue, forfeit) of a degraded
+// crawl. Every event type and field is documented in docs/TRACE_SCHEMA.md.
 //
 // Tracer serializes writes with a mutex and is safe for concurrent use
 // by the dispatcher's workers. Write errors are sticky: the first one is
@@ -63,7 +65,9 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
-// Event types, the `type` field of every trace line.
+// Event types, the `type` field of every trace line. The full schema —
+// per-type field tables with a sample line each — is documented in
+// docs/TRACE_SCHEMA.md; keep the two in sync when adding event types.
 const (
 	EventQuery      = "query"
 	EventRound      = "round"
@@ -71,6 +75,10 @@ const (
 	EventRateLimit  = "rate_limit"
 	EventCheckpoint = "checkpoint"
 	EventPhase      = "phase"
+	EventFault      = "fault"
+	EventBreaker    = "breaker"
+	EventRequeue    = "requeue"
+	EventForfeit    = "forfeit"
 )
 
 // Event is the union wire format of one trace line, for consumers reading
@@ -97,6 +105,10 @@ type Event struct {
 	Path       string  `json:"path,omitempty"`
 	Covered    int     `json:"covered,omitempty"`
 	Queries    int     `json:"queries,omitempty"`
+	Class      string  `json:"class,omitempty"`
+	From       string  `json:"from,omitempty"`
+	To         string  `json:"to,omitempty"`
+	Failures   int     `json:"failures,omitempty"`
 }
 
 // ParseEvents decodes a JSONL trace back into events — the consumer side
@@ -178,6 +190,35 @@ type phaseEvent struct {
 	DurMs int64  `json:"dur_ms"`
 }
 
+type faultEvent struct {
+	Seq     uint64 `json:"seq"`
+	TMs     int64  `json:"t_ms"`
+	Type    string `json:"type"`
+	Query   string `json:"query"`
+	Class   string `json:"class"`
+	Attempt int    `json:"attempt"`
+}
+
+type breakerEvent struct {
+	Seq      uint64 `json:"seq"`
+	TMs      int64  `json:"t_ms"`
+	Type     string `json:"type"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Failures int    `json:"failures"`
+}
+
+// requeueEvent doubles as the forfeit event: same shape, different type
+// tag (a forfeit's Attempt is the total dispatch count it burned).
+type requeueEvent struct {
+	Seq     uint64 `json:"seq"`
+	TMs     int64  `json:"t_ms"`
+	Type    string `json:"type"`
+	Query   string `json:"query"`
+	Attempt int    `json:"attempt"`
+	Err     string `json:"err,omitempty"`
+}
+
 func (t *Tracer) query(q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
 	t.emit(func(seq uint64, tms int64) any {
 		return queryEvent{seq, tms, EventQuery, q, est, resultSize, newCovered, cumCovered, solid}
@@ -211,6 +252,30 @@ func (t *Tracer) checkpoint(path string, covered, queries int) {
 func (t *Tracer) phase(name string, d time.Duration) {
 	t.emit(func(seq uint64, tms int64) any {
 		return phaseEvent{seq, tms, EventPhase, name, d.Milliseconds()}
+	})
+}
+
+func (t *Tracer) fault(q, class string, attempt int) {
+	t.emit(func(seq uint64, tms int64) any {
+		return faultEvent{seq, tms, EventFault, q, class, attempt}
+	})
+}
+
+func (t *Tracer) breaker(from, to string, failures int) {
+	t.emit(func(seq uint64, tms int64) any {
+		return breakerEvent{seq, tms, EventBreaker, from, to, failures}
+	})
+}
+
+func (t *Tracer) requeue(q string, attempt int, errMsg string) {
+	t.emit(func(seq uint64, tms int64) any {
+		return requeueEvent{seq, tms, EventRequeue, q, attempt, errMsg}
+	})
+}
+
+func (t *Tracer) forfeit(q string, attempts int, errMsg string) {
+	t.emit(func(seq uint64, tms int64) any {
+		return requeueEvent{seq, tms, EventForfeit, q, attempts, errMsg}
 	})
 }
 

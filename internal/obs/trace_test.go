@@ -31,6 +31,10 @@ func emitOneOfEach() *bytes.Buffer {
 	o.RateLimitDenied("thai noodle", 0.5)
 	o.Query("thai noodle", 3.5, 50, 3, 3, false)
 	o.Checkpoint("run.ckpt", 3, 1)
+	o.FaultInjected("rare dish", "timeout", 1)
+	o.BreakerTransition("closed", "open", 5)
+	o.Requeued("rare dish", 1, errors.New("injected timeout"))
+	o.Forfeited("rare dish", 3, errors.New("injected timeout"))
 	return &buf
 }
 
@@ -75,7 +79,8 @@ func TestTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantTypes := []string{EventPhase, EventRound, EventRetry, EventRateLimit, EventQuery, EventCheckpoint}
+	wantTypes := []string{EventPhase, EventRound, EventRetry, EventRateLimit, EventQuery, EventCheckpoint,
+		EventFault, EventBreaker, EventRequeue, EventForfeit}
 	if len(events) != len(wantTypes) {
 		t.Fatalf("got %d events, want %d", len(events), len(wantTypes))
 	}
@@ -95,6 +100,18 @@ func TestTraceRoundTrip(t *testing.T) {
 	r := events[2]
 	if r.Attempt != 1 || r.WaitMs != 200 || r.Err != "http 500" {
 		t.Errorf("retry event fields lost in round trip: %+v", r)
+	}
+	f := events[6]
+	if f.Query != "rare dish" || f.Class != "timeout" || f.Attempt != 1 {
+		t.Errorf("fault event fields lost in round trip: %+v", f)
+	}
+	b := events[7]
+	if b.From != "closed" || b.To != "open" || b.Failures != 5 {
+		t.Errorf("breaker event fields lost in round trip: %+v", b)
+	}
+	ff := events[9]
+	if ff.Query != "rare dish" || ff.Attempt != 3 || ff.Err != "injected timeout" {
+		t.Errorf("forfeit event fields lost in round trip: %+v", ff)
 	}
 }
 

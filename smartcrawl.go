@@ -23,7 +23,12 @@
 //
 // The facade re-exports the building blocks from the internal packages;
 // see DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-// reproduced evaluation.
+// reproduced evaluation. For crawls against unreliable interfaces it also
+// exposes the resilience layer — NewFaultySearcher (deterministic fault
+// injection for chaos drills), NewBreaker/NewGuardedSearcher (circuit
+// breaking), SmartOptions.MaxAttempts (requeue/forfeit with budget
+// refunds), and the per-run Resilience report — documented operator-side
+// in docs/OPERATIONS.md.
 package smartcrawl
 
 import (
@@ -91,6 +96,20 @@ type (
 	Tracer = obs.Tracer
 	// TraceEvent is one parsed line of a JSONL session trace.
 	TraceEvent = obs.Event
+	// FaultProfile configures deterministic fault injection (see
+	// NewFaultySearcher); parse CLI specs with ParseFaultProfile.
+	FaultProfile = deepweb.FaultProfile
+	// TruncatedError reports a cut result page: the partial records are
+	// returned alongside it, and Full carries the true match count.
+	TruncatedError = deepweb.TruncatedError
+	// Breaker is a closed/open/half-open circuit breaker; attach one to
+	// SmartOptions.Breaker or compose it with NewGuardedSearcher.
+	Breaker = deepweb.Breaker
+	// BreakerConfig shapes a Breaker (thresholds, count-based cooldown).
+	BreakerConfig = deepweb.BreakerConfig
+	// Resilience is the graceful-degradation report of a fault-tolerant
+	// crawl (Result.Resilience).
+	Resilience = crawler.Resilience
 )
 
 // NewObs returns an enabled observability sink (see Env.Obs).
@@ -241,6 +260,16 @@ type SmartOptions struct {
 	// the crawler learns query benefits from the results it fetches
 	// anyway. Mutually exclusive with Sample.
 	Online bool
+	// MaxAttempts > 0 enables graceful degradation: failed queries are
+	// re-queued up to MaxAttempts times then forfeited instead of
+	// aborting the crawl, uncharged failures refund their budget unit,
+	// and truncated pages are absorbed partially. The run's Result
+	// carries a Resilience report. 0 keeps the strict fail-fast behavior.
+	MaxAttempts int
+	// Breaker, when non-nil, holds selection rounds while the interface
+	// is misbehaving (implies MaxAttempts >= 1). Construct with
+	// NewBreaker.
+	Breaker *Breaker
 }
 
 // NewSmartCrawler builds the paper's SMARTCRAWL framework: query pool from
@@ -255,6 +284,8 @@ func NewSmartCrawler(env *Env, opts SmartOptions) (Crawler, error) {
 		Concurrency:       opts.Workers,
 		Resume:            opts.Resume,
 		OnlineCalibration: opts.Online,
+		MaxAttempts:       opts.MaxAttempts,
+		Breaker:           opts.Breaker,
 	}
 	if opts.Sample != nil {
 		cfg.AlphaFallback = true
@@ -302,6 +333,34 @@ func NewRetryingSearcher(s Searcher, retries int, base, max time.Duration) Searc
 // with NewRetryingSearcher (outside) to wait out the refill with backoff.
 func NewRateLimitedSearcher(s Searcher, capacity int, refillPerSec float64) Searcher {
 	return &deepweb.Limited{S: s, B: deepweb.NewBucket(capacity, refillPerSec)}
+}
+
+// ParseFaultProfile turns a CLI fault spec — a preset name (none, mild,
+// moderate, severe, transient10) or "timeout=0.05,truncate=0.1"-style
+// pairs — into a FaultProfile. Set the Seed on the returned profile.
+func ParseFaultProfile(spec string) (FaultProfile, error) {
+	return deepweb.ParseFaultProfile(spec)
+}
+
+// NewFaultySearcher wraps a Searcher with deterministic, seedable fault
+// injection: timeouts, transient 5xx, 429 bursts, truncated and stale
+// result pages, per the profile's probabilities. The same seed and
+// profile misbehave identically at any worker count — faulty crawls
+// replay byte-for-byte.
+func NewFaultySearcher(s Searcher, p FaultProfile) Searcher {
+	return deepweb.NewFaulty(s, p)
+}
+
+// NewBreaker builds a circuit breaker (zero config = defaults: open after
+// 5 consecutive failures, half-open after 8 held calls, close after 1
+// good probe).
+func NewBreaker(cfg BreakerConfig) *Breaker { return deepweb.NewBreaker(cfg) }
+
+// NewGuardedSearcher gates a Searcher through a breaker: while open,
+// calls fail fast without reaching the interface (and without being
+// charged — see the Resilience report's refund accounting).
+func NewGuardedSearcher(s Searcher, b *Breaker) Searcher {
+	return &deepweb.Guarded{S: s, B: b}
 }
 
 // PorterStem is the Porter stemming algorithm; assign it to
