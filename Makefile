@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check chaos bench experiments examples fuzz cover clean
+.PHONY: all build vet test test-short race check chaos crashtest bench experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -23,8 +23,9 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The pre-merge gate: vet plus the full suite under the race detector.
-check: vet race
+# The pre-merge gate: vet, the full suite under the race detector, and the
+# kill-anywhere crash-recovery matrix against the real binary.
+check: vet race crashtest
 
 # Chaos drill (docs/OPERATIONS.md): the fault-injection and resilience
 # tests, ending with the graceful-degradation acceptance sweep — ≥90% of
@@ -33,6 +34,14 @@ check: vet race
 chaos:
 	$(GO) test -v -run 'Faulty|Breaker|Guarded|Resilience|FaultSweep|InjectedFaults' \
 		./internal/deepweb/... ./internal/crawler/
+
+# Crash drill (docs/OPERATIONS.md): SIGKILL the real smartcrawl binary at
+# deterministic journal points — including mid-record, torn-write ones —
+# resume from the snapshot + WAL, and require the combined run to match an
+# uninterrupted one byte-for-byte. Built with -race here, so the signal
+# handler and shutdown paths run under the detector too.
+crashtest:
+	$(GO) test -race -count=1 -v -run 'CrashRecovery|GracefulInterrupt' ./internal/durable/crashtest/
 
 # One pass over every per-figure bench, tables visible in the log.
 bench:
@@ -59,6 +68,7 @@ fuzz:
 	$(GO) test -fuzz FuzzPorterStem -fuzztime 30s ./internal/tokenize/
 	$(GO) test -fuzz FuzzLoadResult -fuzztime 30s ./internal/crawler/
 	$(GO) test -fuzz FuzzLoadCSV -fuzztime 30s ./internal/relational/
+	$(GO) test -fuzz FuzzJournalRecover -fuzztime 30s ./internal/durable/
 
 # Line-coverage report; per-package baseline numbers are recorded in
 # DESIGN.md ("Observability" section) — regenerate them with this target

@@ -27,6 +27,7 @@
 //	ranks         ranking-function sensitivity (Lemmas 4–5 claim)
 //	omega         §5.3 ω=1 sensitivity analysis
 //	faults        fault sweep: coverage retained under interface misbehaviour (extension)
+//	durability    durability sweep: crash-safety cost and recovery equivalence (extension)
 //	headline      multi-seed coverage comparison with speedup factors
 //	all           everything above
 //
@@ -90,9 +91,10 @@ func main() {
 		"form": one(func() (*experiment.Table, error) {
 			return experiment.FormInterface(yelpParams(p))
 		}),
-		"omega":    one(func() (*experiment.Table, error) { return experiment.OmegaSensitivity(), nil }),
-		"faults":   one(func() (*experiment.Table, error) { return experiment.FaultSweep(p) }),
-		"headline": one(func() (*experiment.Table, error) { return experiment.Headline(p, *seeds) }),
+		"omega":      one(func() (*experiment.Table, error) { return experiment.OmegaSensitivity(), nil }),
+		"faults":     one(func() (*experiment.Table, error) { return experiment.FaultSweep(p) }),
+		"durability": one(func() (*experiment.Table, error) { return experiment.DurabilitySweep(p) }),
+		"headline":   one(func() (*experiment.Table, error) { return experiment.Headline(p, *seeds) }),
 	}
 
 	names := []string{cmd}
@@ -100,7 +102,7 @@ func main() {
 		names = []string{"headline", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"bound", "estimators", "ablate-alpha", "ablate-deltad", "ablate-heap",
 			"ablate-batch", "parallel", "ablate-stem", "online", "form", "ranks", "omega",
-			"faults"}
+			"faults", "durability"}
 	}
 	// Per-phase wall-clock: each subcommand is one obs phase, so `all`
 	// ends with a table showing where the regeneration time went.

@@ -128,7 +128,18 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	// Defensive server limits: a stalled or malicious client must not pin
+	// a connection (and its goroutine) forever, and headers are bounded so
+	// a garbage request cannot balloon memory. WriteTimeout leaves room
+	// for the slowest search plus injected fault latency.
+	hs := &http.Server{
+		Addr:           *addr,
+		Handler:        handler,
+		ReadTimeout:    10 * time.Second,
+		WriteTimeout:   30 * time.Second,
+		IdleTimeout:    2 * time.Minute,
+		MaxHeaderBytes: 1 << 20,
+	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
 	// in-flight searches, then exit.

@@ -18,20 +18,32 @@
 // misbehaving interface, with the resilience stack engaged (-retries,
 // -max-attempts requeue/forfeit, -breaker) and a one-line resilience
 // report at the end; -trace captures the whole degraded session as JSONL.
-// docs/OPERATIONS.md is the operator runbook for all of it.
+//
+// -checkpoint makes the crawl resumable across quota windows; adding -wal
+// makes it crash-safe: every absorbed query is journaled before the next
+// is charged, the journal is compacted into the checkpoint every
+// -autosave steps, SIGINT/SIGTERM drains in-flight queries and saves a
+// resumable state, and even a SIGKILL loses at most one in-flight record.
+// -checkpoint-inspect prints what a checkpoint + journal pair holds
+// without crawling. docs/OPERATIONS.md is the operator runbook for all of
+// it.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"smartcrawl"
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/deepweb/httpapi"
+	"smartcrawl/internal/durable"
 	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
 )
@@ -51,6 +63,10 @@ func main() {
 		enrichCols = flag.String("enrich", "", "comma-separated hidden columns to append (names)")
 		outPath    = flag.String("out", "", "output CSV (default: stdout)")
 		checkpoint = flag.String("checkpoint", "", "crawl checkpoint file: resumed if present, written after the run (smart/simple strategies)")
+		wal        = flag.String("wal", "", "write-ahead journal file (with -checkpoint): makes the crawl crash-safe — every absorbed query is durable before the next is charged")
+		autosave   = flag.Int("autosave", durable.DefaultEvery, "journal→checkpoint compaction cadence in absorbed queries (with -checkpoint); 0 saves only at exit")
+		walSync    = flag.String("wal-sync", durable.SyncCompact, "journal fsync policy: always | round | compact (crash durability never needs fsync; this guards power loss)")
+		inspect    = flag.Bool("checkpoint-inspect", false, "print what -checkpoint (and -wal) hold, then exit without crawling")
 		workers    = flag.Int("workers", 1, "concurrent query workers (smart/simple/online strategies); >1 overlaps round-trips")
 		batchSize  = flag.Int("batch", 0, "queries selected per round (default: -workers); >1 trades a little coverage for wall-clock")
 		seed       = flag.Uint64("seed", 42, "seed")
@@ -66,11 +82,48 @@ func main() {
 		breakerN    = flag.Int("breaker", -1, "circuit-breaker consecutive-failure threshold; 0 disables (default: 5 with -faults, else off)")
 	)
 	flag.Parse()
+
+	// Inspect mode reads the durability files and exits — the only
+	// filesystem access it needs is the files being inspected.
+	if *inspect {
+		if *checkpoint == "" {
+			fatal(fmt.Errorf("-checkpoint-inspect requires -checkpoint"))
+		}
+		inspectCheckpoint(*checkpoint, *wal)
+		return
+	}
+
+	// Validate every flag before touching the filesystem: a misuse error
+	// must not depend on which files happen to exist, and must never
+	// surface after state has been opened or mutated.
 	if *localPath == "" {
 		fatal(fmt.Errorf("-local is required"))
 	}
 	if (*hiddenPath == "") == (*url == "") {
 		fatal(fmt.Errorf("exactly one of -hidden or -url is required"))
+	}
+	switch *strategy {
+	case "smart", "simple", "online":
+	case "naive", "full":
+		if *checkpoint != "" {
+			fatal(fmt.Errorf("-checkpoint supports the smart/simple/online strategies"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be >= 1"))
+	}
+	if *wal != "" && *checkpoint == "" {
+		fatal(fmt.Errorf("-wal requires -checkpoint (the journal compacts into it)"))
+	}
+	switch *walSync {
+	case durable.SyncAlways, durable.SyncRound, durable.SyncCompact:
+	default:
+		fatal(fmt.Errorf("-wal-sync must be %s, %s, or %s", durable.SyncAlways, durable.SyncRound, durable.SyncCompact))
+	}
+	if *autosave < 0 {
+		fatal(fmt.Errorf("-autosave must be >= 0"))
 	}
 
 	// Observability: -trace records the session as JSONL, -metrics prints
@@ -199,15 +252,56 @@ func main() {
 	}
 	env := &smartcrawl.Env{Local: local, Searcher: searcher, Tokenizer: tk, Matcher: matcher, Obs: o}
 
-	// Resume from a previous quota window when a checkpoint exists.
-	var resume *smartcrawl.Result
+	// Graceful shutdown: the first SIGINT/SIGTERM stops selection at the
+	// next round boundary and drains in-flight queries — every charged
+	// query's outcome is kept and saved; a second signal aborts hard.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "smartcrawl: interrupt — draining in-flight queries (repeat to abort)")
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "smartcrawl: aborted")
+		os.Exit(130)
+	}()
+
+	// Durability: with -checkpoint, prior state (snapshot + journal) is
+	// recovered through the durable sink, which also journals this run.
+	var (
+		resume  *smartcrawl.Result
+		pending []smartcrawl.PendingQuery
+		sink    *smartcrawl.Durability
+	)
 	if *checkpoint != "" {
-		if f, err := os.Open(*checkpoint); err == nil {
-			resume, err = smartcrawl.LoadCheckpoint(f)
-			f.Close()
-			if err != nil {
-				fatal(fmt.Errorf("loading checkpoint %s: %w", *checkpoint, err))
+		var err error
+		sink, err = smartcrawl.OpenDurability(smartcrawl.DurabilityOptions{
+			Snapshot:   *checkpoint,
+			Journal:    *wal,
+			Every:      *autosave,
+			Sync:       *walSync,
+			LocalLen:   local.Len(),
+			Obs:        o,
+			CrashPoint: os.Getenv(durable.CrashEnv),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rec := sink.Recovered()
+		if rec.JournalRecords > 0 || rec.TornTail {
+			covered, queries := 0, 0
+			if rec.Result != nil {
+				covered, queries = rec.Result.CoveredCount, rec.Result.QueriesIssued
 			}
+			o.Recovered(*wal, rec.JournalRecords, covered, queries, rec.LastSeq, rec.TornTail)
+			fmt.Fprintf(os.Stderr, "recovered: %d journal records replayed (torn tail: %t, %d queries pending)\n",
+				rec.JournalRecords, rec.TornTail, len(rec.Pending))
+		}
+		if rec.Result != nil {
+			resume = rec.Result
+			pending = rec.Pending
 			fmt.Fprintf(os.Stderr, "resuming: %d records covered, %d queries spent previously\n",
 				resume.CoveredCount, resume.QueriesIssued)
 		}
@@ -217,9 +311,6 @@ func main() {
 	// selection batch to the worker count so -workers alone overlaps
 	// round-trips (results stay identical for any -workers at a fixed
 	// -batch; only -batch affects selection quality).
-	if *workers < 1 {
-		fatal(fmt.Errorf("-workers must be >= 1"))
-	}
 	if *batchSize == 0 {
 		*batchSize = *workers
 	}
@@ -240,11 +331,16 @@ func main() {
 		brk = smartcrawl.NewBreaker(smartcrawl.BreakerConfig{FailureThreshold: *breakerN}).WithObs(o)
 	}
 	smartOpts := smartcrawl.SmartOptions{
-		Resume:      resume,
-		BatchSize:   *batchSize,
-		Workers:     *workers,
-		MaxAttempts: *maxAttempts,
-		Breaker:     brk,
+		Resume:        resume,
+		ResumePending: pending,
+		BatchSize:     *batchSize,
+		Workers:       *workers,
+		MaxAttempts:   *maxAttempts,
+		Breaker:       brk,
+		Context:       ctx,
+	}
+	if sink != nil {
+		smartOpts.Durability = sink
 	}
 
 	var (
@@ -266,14 +362,9 @@ func main() {
 		c, err = smartcrawl.NewNaiveCrawler(env, nil, *seed)
 	case "full":
 		c, err = smartcrawl.NewFullCrawler(env, smp)
-	default:
-		err = fmt.Errorf("unknown strategy %q", *strategy)
 	}
 	if err != nil {
 		fatal(err)
-	}
-	if *checkpoint != "" && (*strategy == "naive" || *strategy == "full") {
-		fatal(fmt.Errorf("-checkpoint supports the smart/simple/online strategies"))
 	}
 
 	// Pick enrichment columns.
@@ -306,6 +397,12 @@ func main() {
 	report, res, err := smartcrawl.Enrich(local, hiddenSchema, c, *budget, opts)
 	stopEnrich()
 	if err != nil {
+		if sink != nil {
+			// A failed crawl has no final state to compact, but the
+			// journal on disk still holds everything absorbed so far —
+			// close without truncating it.
+			sink.Close(nil)
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "crawl: %d queries issued, %d/%d records enriched (%.1f%%)\n",
@@ -313,18 +410,18 @@ func main() {
 	if res.Resilience != nil {
 		fmt.Fprintln(os.Stderr, res.Resilience.String())
 	}
-	if *checkpoint != "" {
-		f, err := os.Create(*checkpoint)
-		if err != nil {
+	if sink != nil {
+		if err := sink.Close(res); err != nil {
 			fatal(err)
 		}
-		if err := smartcrawl.SaveCheckpoint(f, res); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		f.Close()
-		o.Checkpoint(*checkpoint, res.CoveredCount, res.QueriesIssued)
 		fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", *checkpoint)
+	}
+	if ctx.Err() != nil {
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "interrupted: state saved — resumable with -checkpoint %s\n", *checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted: no -checkpoint set, crawl progress not saved")
+		}
 	}
 
 	// End-of-run observability: summary to stderr, trace flushed to disk.
@@ -355,6 +452,35 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+}
+
+// inspectCheckpoint prints what a checkpoint (and optional journal) pair
+// holds, in grep-friendly key=value lines, without crawling or modifying
+// either file.
+func inspectCheckpoint(snapshot, journal string) {
+	rec, err := smartcrawl.RecoverCrawl(snapshot, journal, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("snapshot=%s loaded=%t snapshot_seq=%d\n", snapshot, rec.SnapshotLoaded, rec.SnapshotSeq)
+	if journal != "" {
+		fmt.Printf("journal=%s records=%d last_seq=%d torn_tail=%t\n",
+			journal, rec.JournalRecords, rec.LastSeq, rec.TornTail)
+	}
+	if rec.Result == nil {
+		fmt.Println("state=empty")
+		return
+	}
+	res := rec.Result
+	fmt.Printf("queries_issued=%d covered_count=%d charged=%d local_len=%d steps=%d\n",
+		res.QueriesIssued, res.CoveredCount, rec.Charged, rec.LocalLen, len(res.Steps))
+	fmt.Printf("pending=%d\n", len(rec.Pending))
+	for _, p := range rec.Pending {
+		fmt.Printf("pending_query=%q benefit=%g\n", p.Query.Key(), p.Benefit)
+	}
+	if res.Resilience != nil {
+		fmt.Println(res.Resilience.String())
 	}
 }
 

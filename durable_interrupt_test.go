@@ -1,0 +1,126 @@
+// In-process graceful-shutdown coverage: a crawl interrupted through its
+// Context mid-run, checkpointed through the durability sink, and resumed
+// must be indistinguishable from one uninterrupted crawl with the same
+// budget. The CLI's SIGINT handler is exactly this cancel — the crashtest
+// harness exercises it through a real process (TestGracefulInterrupt);
+// this test keeps the same invariant inside `go test -race ./...`, where
+// the cross-goroutine cancel races against the crawl pipeline under the
+// detector.
+package smartcrawl_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"smartcrawl"
+)
+
+// interruptSink embeds the durability sink and fires an asynchronous
+// cancel — the in-process analogue of a SIGINT arriving on the signal
+// goroutine — once the crawl has absorbed `after` queries.
+type interruptSink struct {
+	*smartcrawl.Durability
+	cancel context.CancelFunc
+	after  int
+	steps  int
+	once   sync.Once
+}
+
+func (s *interruptSink) StepAbsorbed(res *smartcrawl.Result, step smartcrawl.Step, newlyCovered []int) error {
+	err := s.Durability.StepAbsorbed(res, step, newlyCovered)
+	s.steps++
+	if s.steps >= s.after {
+		s.once.Do(func() { go s.cancel() })
+	}
+	return err
+}
+
+// canonicalBytes serializes a result the way checkpoint comparison wants
+// it: through SaveCheckpoint, so journal sequence numbers and file-level
+// framing never enter the comparison.
+func canonicalBytes(tb testing.TB, res *smartcrawl.Result) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := smartcrawl.SaveCheckpoint(&buf, res); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestInterruptedCrawlResumesExactly(t *testing.T) {
+	const budget = 48
+	u := newSimUniverse(t)
+	u.env.Obs = nil
+	ref := canonicalBytes(t, u.crawlDurable(t, durableMode{name: "ref"}))
+
+	// The invariant holds wherever the cancel lands — early, mid-crawl,
+	// or so late the drain finishes the budget anyway — so the exact
+	// round boundary the asynchronous cancel races into is irrelevant.
+	for _, after := range []int{3, 17, 41} {
+		t.Run(fmt.Sprintf("cancel-after-%d", after), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := smartcrawl.DurabilityOptions{
+				Snapshot: filepath.Join(dir, "cp.bin"),
+				Journal:  filepath.Join(dir, "cp.wal"),
+				Every:    8,
+				LocalLen: u.env.Local.Len(),
+			}
+			sink, err := smartcrawl.OpenDurability(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			wrapped := &interruptSink{Durability: sink, cancel: cancel, after: after}
+			c, err := smartcrawl.NewSmartCrawler(u.env, smartcrawl.SmartOptions{
+				Sample: u.smp, BatchSize: 8, Context: ctx, Durability: wrapped,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			partial, err := c.Run(budget)
+			if err != nil {
+				t.Fatalf("interrupted crawl: %v", err)
+			}
+			if err := sink.Close(partial); err != nil {
+				t.Fatal(err)
+			}
+
+			sink, err = smartcrawl.OpenDurability(opts)
+			if err != nil {
+				t.Fatalf("reopening durability: %v", err)
+			}
+			rec := sink.Recovered()
+			if rec.Result == nil {
+				t.Fatal("nothing recovered from the interrupted crawl")
+			}
+			final := rec.Result
+			// A budget of zero means unlimited to the crawl layer, so a
+			// drain that already spent everything skips the resume leg.
+			if remaining := budget - rec.Charged; remaining > 0 {
+				c, err = smartcrawl.NewSmartCrawler(u.env, smartcrawl.SmartOptions{
+					Sample: u.smp, BatchSize: 8, Durability: sink,
+					Resume: rec.Result, ResumePending: rec.Pending,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				final, err = c.Run(remaining)
+				if err != nil {
+					t.Fatalf("resumed crawl: %v", err)
+				}
+			}
+			if err := sink.Close(final); err != nil {
+				t.Fatal(err)
+			}
+			if got := canonicalBytes(t, final); !bytes.Equal(got, ref) {
+				t.Errorf("interrupt after %d steps: resumed result differs from the uninterrupted crawl (%d covered vs reference)",
+					after, final.CoveredCount)
+			}
+		})
+	}
+}

@@ -1,10 +1,15 @@
 package crawler_test
 
 import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
 	"strings"
 	"testing"
 
 	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/relational"
 )
 
 // FuzzLoadResult ensures arbitrary (and adversarial) checkpoint bytes
@@ -18,13 +23,52 @@ func FuzzLoadResult(f *testing.F) {
 	f.Add(`not json at all`)
 	f.Add(`[]`)
 	f.Add(`{"version":1,"matches":[{"local":0,"hidden":7}]}`)
+	// v2 seeds: a genuine checkpoint (written by SaveResult, so the CRC
+	// and wrapper are exactly right), plus wrappers whose checksums are
+	// valid but whose payloads violate internal invariants — the shapes
+	// the structural validator, not the CRC, must reject.
+	res := &crawler.Result{
+		Covered: []bool{true, false}, CoveredCount: 1, QueriesIssued: 1,
+		Matches: map[int]*relational.Record{0: {ID: 5, Values: []string{"x"}}},
+		Crawled: map[int]*relational.Record{5: {ID: 5, Values: []string{"x"}}},
+		Steps: []crawler.Step{{Query: deepweb.Query{"a"}, NewlyCovered: 1,
+			CumulativeCovered: 1, ResultSize: 3, NewHidden: []int{5}}},
+	}
+	var buf bytes.Buffer
+	if err := crawler.SaveResult(&buf, res); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	v2 := func(payload string) string {
+		return fmt.Sprintf(`{"version":2,"journal_seq":7,"crc32":%d,"payload":%s}`,
+			crc32.ChecksumIEEE([]byte(payload)), payload)
+	}
+	f.Add(v2(`{"version":2,"covered_count":5,"covered":[true]}`))                                                                                       // popcount lie
+	f.Add(v2(`{"version":2,"queries_issued":0,"steps":[{"query":["a"]}]}`))                                                                             // more steps than queries
+	f.Add(v2(`{"version":1}`))                                                                                                                          // version mismatch inside wrapper
+	f.Add(v2(`{"version":2,"covered":[true],"covered_count":1,"queries_issued":1,"steps":[{"query":["a"],"newly_covered":1,"cumulative_covered":9}]}`)) // broken cumulative chain
+	f.Add(`{"version":2,"journal_seq":1,"crc32":12345,"payload":{"version":2}}`)                                                                        // wrong CRC
+	f.Add(`{"version":2,"payload":{"version":2}}`)                                                                                                      // missing CRC
 	f.Fuzz(func(t *testing.T, s string) {
 		res, err := crawler.LoadResult(strings.NewReader(s))
 		if err != nil {
 			return
 		}
 		// A successfully loaded checkpoint must be internally
-		// consistent: every match points at a crawled record.
+		// consistent: the coverage count matches the bitmap, and every
+		// match points at a crawled record.
+		pop := 0
+		for _, c := range res.Covered {
+			if c {
+				pop++
+			}
+		}
+		if pop != res.CoveredCount {
+			t.Fatalf("loaded CoveredCount %d but %d bits set", res.CoveredCount, pop)
+		}
+		if res.QueriesIssued < len(res.Steps) {
+			t.Fatalf("loaded %d steps but only %d queries issued", len(res.Steps), res.QueriesIssued)
+		}
 		for d, h := range res.Matches {
 			if h == nil {
 				t.Fatalf("match %d is nil", d)

@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -87,6 +88,26 @@ type SmartConfig struct {
 	// Result carries a Resilience report. 0 (the default) preserves the
 	// strict behavior: any interface error aborts the run.
 	MaxAttempts int
+	// Context, when non-nil, bounds the crawl for graceful shutdown: once
+	// it is cancelled no further rounds are selected, queries of the
+	// current round not yet handed to a dispatcher worker are skipped
+	// before they can be charged, and in-flight queries drain — their
+	// results are absorbed normally, so every charged query's outcome is
+	// kept. Run then returns the partial Result with err == nil; callers
+	// detect the interruption via ctx.Err(). The stop point is a round
+	// boundary plus drained stragglers, which is exactly a resumable
+	// checkpoint state.
+	Context context.Context
+	// Durability, when non-nil, receives synchronous accounting callbacks
+	// from the merge stage (see DurabilitySink) — the hook the WAL
+	// journal in internal/durable attaches to. A sink error aborts the
+	// run.
+	Durability DurabilitySink
+	// ResumePending re-issues the unresolved tail of a crashed session's
+	// last selection round, with the original benefits, before any new
+	// selection happens. Populated by durable.Recover from the round
+	// intent record; meaningful only together with Resume.
+	ResumePending []PendingQuery
 	// Breaker, when non-nil, gates selection rounds through a circuit
 	// breaker: interface failures feed it, and while it is open whole
 	// rounds are held (each held round advances the count-based
@@ -352,6 +373,13 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			}
 			st := states[q.ID]
 			st.issued = true
+			if !s.cfg.EagerSelection {
+				// The replayed query's heap entry was never popped; a clean
+				// entry would be re-issued without a rescore. (Usually its
+				// own covered records already invalidated it above, but a
+				// step that covered nothing new leaves the entry clean.)
+				heap.Invalidate(q.ID)
+			}
 			if step.ResultSize < k && !s.cfg.DisableDeltaDRemoval {
 				for _, d := range st.qD {
 					remove(d)
@@ -394,6 +422,17 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			rep = prev.Resilience.clone()
 		}
 		tripsBase = rep.BreakerTrips
+		// The live report rides inside the Result from the start, not
+		// only at return: the durability sink snapshots t.res mid-crawl,
+		// and a snapshot missing the failure accounting would under-count
+		// the settled charge on recovery (durable.Recover derives it as
+		// issued + requeued + forfeited − refunded).
+		t.res.Resilience = rep
+	} else if prev := s.cfg.Resume; prev != nil && prev.Resilience != nil {
+		// A non-resilient resumed run still carries the historical report
+		// forward, for the same recovery-accounting reason — and so the
+		// failures an earlier session absorbed stay reported.
+		t.res.Resilience = prev.Resilience.clone()
 	}
 	// requeue returns a failed query to the pool for another attempt. Its
 	// live statistics are recomputed from the considered set first:
@@ -401,7 +440,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	// queries are normally never reconsidered), so freqD/matchS are stale.
 	// Returns false — forfeit — when attempts are exhausted or nothing the
 	// query covers is still uncovered.
-	requeue := func(st *qstate) bool {
+	requeue := func(st *qstate, fromHeap bool) bool {
 		st.freqD, st.matchS = 0, 0
 		for _, d := range st.qD {
 			if !considered[d] {
@@ -415,19 +454,44 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 		st.issued = false
 		if !s.cfg.EagerSelection {
-			heap.Push(st.q.ID, benefitOf(st))
+			if fromHeap {
+				heap.Push(st.q.ID, benefitOf(st))
+			} else {
+				// The entry is still in the heap (resumed pending query,
+				// never popped); a Push would duplicate it. Invalidation
+				// forces a rescore with the recomputed statistics.
+				heap.Invalidate(st.q.ID)
+			}
 		}
 		return true
 	}
 
 	defer env.Obs.Phase("crawl_loop")()
 	type issue struct {
-		st      *qstate
+		st      *qstate // nil when a resumed pending query left the pool
+		q       deepweb.Query
 		benefit float64
-		recs    []*relational.Record
-		err     error
+		// fromHeap records that selection popped this query's heap entry.
+		// A resumed pending query is issued without popping — its entry is
+		// still in the heap (invalidated) — so returning it to the pool
+		// must not Push a duplicate entry.
+		fromHeap bool
+		recs     []*relational.Record
+		err      error
 	}
-	for !counting.Exhausted() && remaining > 0 {
+	ctx := s.cfg.Context
+	sink := s.cfg.Durability
+	sinkErr := func(err error) error {
+		return fmt.Errorf("crawler: durability sink: %w", err)
+	}
+	// pending is the unresolved tail of a crashed session's last round
+	// (see SmartConfig.ResumePending); it is re-issued with the original
+	// benefits before any fresh selection.
+	pending := append([]PendingQuery(nil), s.cfg.ResumePending...)
+	for !counting.Exhausted() && (remaining > 0 || len(pending) > 0) {
+		if ctx != nil && ctx.Err() != nil {
+			break // graceful shutdown: stop at the round boundary
+		}
 		// Circuit gate: while open, each held round advances the
 		// count-based cooldown; the round that half-opens the breaker
 		// proceeds as a single-query probe.
@@ -445,26 +509,68 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			n = r
 		}
 		var round []*issue
-		for len(round) < n {
-			var (
-				qid     int
-				benefit float64
-				ok      bool
-			)
-			if s.cfg.EagerSelection {
-				qid, benefit, ok = eagerArgmax(states, benefitOf)
-			} else {
-				qid, benefit, ok = heap.Pop(rescore)
+		if len(pending) > 0 {
+			// Replay the crashed round verbatim: same queries, same
+			// benefits, same order. The pool state may have drifted (a
+			// forfeited query whose records were since covered), so a
+			// missing qstate is tolerated — the query is still issued,
+			// only its live bookkeeping is skipped.
+			if n > len(pending) {
+				n = len(pending)
 			}
-			if !ok {
-				break // pool exhausted
+			for _, p := range pending[:n] {
+				is := &issue{q: p.Query, benefit: p.Benefit}
+				if q := pool.Find(p.Query); q != nil {
+					if st := states[q.ID]; st != nil && !st.issued {
+						st.issued = true
+						is.st = st
+						if !s.cfg.EagerSelection {
+							// The query was never popped this session —
+							// its heap entry is still live, and a clean
+							// entry would be re-issued without ever being
+							// rescored. Mark it stale so the issued
+							// filter retires it at the next pop.
+							heap.Invalidate(q.ID)
+						}
+					}
+				}
+				round = append(round, is)
 			}
-			st := states[qid]
-			st.issued = true
-			round = append(round, &issue{st: st, benefit: benefit})
+			pending = pending[n:]
+		} else {
+			for len(round) < n {
+				var (
+					qid     int
+					benefit float64
+					ok      bool
+				)
+				if s.cfg.EagerSelection {
+					qid, benefit, ok = eagerArgmax(states, benefitOf)
+				} else {
+					qid, benefit, ok = heap.Pop(rescore)
+				}
+				if !ok {
+					break // pool exhausted
+				}
+				st := states[qid]
+				st.issued = true
+				round = append(round, &issue{st: st, q: st.q.Keywords, benefit: benefit, fromHeap: true})
+			}
 		}
 		if len(round) == 0 {
 			break
+		}
+		if sink != nil {
+			// Write-ahead intent: journal the selected batch before any
+			// of it is dispatched, so a crash mid-round can re-issue
+			// exactly this batch instead of re-selecting a different one.
+			sel := make([]PendingQuery, len(round))
+			for i, is := range round {
+				sel[i] = PendingQuery{Query: is.q, Benefit: is.benefit}
+			}
+			if err := sink.RoundSelected(sel, t.res); err != nil {
+				return nil, sinkErr(err)
+			}
 		}
 		if o := env.Obs; o != nil {
 			o.Round(len(round), counting.Remaining())
@@ -472,12 +578,14 @@ func (s *Smart) Run(budget int) (*Result, error) {
 
 		// Issue the round through the worker pool. Outcomes come back
 		// index-aligned with the selection order regardless of which
-		// worker finished first.
+		// worker finished first. Under a cancelled context the
+		// dispatcher drains: started queries finish, unstarted ones
+		// come back with ctx.Err() before they could be charged.
 		qs := make([]deepweb.Query, len(round))
 		for i, is := range round {
-			qs[i] = is.st.q.Keywords
+			qs[i] = is.q
 		}
-		for i, o := range disp.Dispatch(qs) {
+		for i, o := range disp.DispatchCtx(ctx, qs) {
 			round[i].recs, round[i].err = o.Records, o.Err
 		}
 
@@ -487,10 +595,33 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		// feeding), which is why none of it happens on the workers.
 		for _, is := range round {
 			st := is.st
+			if ctx != nil && ctx.Err() != nil && errors.Is(is.err, ctx.Err()) {
+				// Shutdown drain skipped this query before it was
+				// issued: never executed, never charged, no journal
+				// record — it simply returns to the pool, and a resumed
+				// session will find it still pending in the round
+				// intent record.
+				if st != nil {
+					st.issued = false
+					if !s.cfg.EagerSelection {
+						if is.fromHeap {
+							heap.Push(st.q.ID, is.benefit)
+						} else {
+							heap.Invalidate(st.q.ID)
+						}
+					}
+				}
+				continue
+			}
 			if errors.Is(is.err, deepweb.ErrBudgetExhausted) {
 				if rep != nil {
 					rep.Dispatched++
 					rep.BudgetStops++
+				}
+				if sink != nil {
+					if err := sink.BudgetStopped(is.q, t.res); err != nil {
+						return nil, sinkErr(err)
+					}
 				}
 				continue
 			}
@@ -505,7 +636,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 				var te *deepweb.TruncatedError
 				switch {
 				case !resilient:
-					return nil, fmt.Errorf("crawler: issuing %q: %w", st.q.Keywords, is.err)
+					return nil, fmt.Errorf("crawler: issuing %q: %w", is.q, is.err)
 				case errors.As(is.err, &te):
 					// A cut page: absorb the partial records below, but
 					// judge solidity — and trace the step — on the true
@@ -513,35 +644,57 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					// the strength of a truncated result.
 					resultSize = te.Full
 					rep.Truncated++
-					env.Obs.Truncated(st.q.Keywords.Key(), te.Returned, te.Full)
+					env.Obs.Truncated(is.q.Key(), te.Returned, te.Full)
 				default:
-					if !deepweb.Charged(is.err) {
+					chargedFail := deepweb.Charged(is.err)
+					if !chargedFail {
 						// The interface never billed this failure (429,
 						// open circuit, cancellation) — a query that
 						// never executed must not consume budget.
 						counting.Refund()
 						rep.Refunded++
-						env.Obs.Refunded(st.q.Keywords.Key())
+						env.Obs.Refunded(is.q.Key())
 					}
-					st.attempts++
-					if requeue(st) {
+					attempts := maxAttempts
+					requeued := false
+					if st != nil {
+						st.attempts++
+						attempts = st.attempts
+						requeued = requeue(st, is.fromHeap)
+					}
+					if requeued {
 						rep.Requeued++
-						env.Obs.Requeued(st.q.Keywords.Key(), st.attempts, is.err)
+						env.Obs.Requeued(is.q.Key(), attempts, is.err)
+						if sink != nil {
+							if err := sink.QueryRequeued(is.q, attempts, chargedFail, t.res); err != nil {
+								return nil, sinkErr(err)
+							}
+						}
 					} else {
 						rep.Forfeited++
-						rep.ForfeitedQueries = append(rep.ForfeitedQueries, st.q.Keywords.Key())
-						env.Obs.Forfeited(st.q.Keywords.Key(), st.attempts, is.err)
+						rep.ForfeitedQueries = append(rep.ForfeitedQueries, is.q.Key())
+						env.Obs.Forfeited(is.q.Key(), attempts, is.err)
+						if sink != nil {
+							if err := sink.QueryForfeited(is.q, attempts, chargedFail, t.res); err != nil {
+								return nil, sinkErr(err)
+							}
+						}
 					}
 					continue
 				}
 			}
 			if rep != nil {
 				rep.Absorbed++
-				rep.dropForfeit(st.q.Keywords.Key())
+				rep.dropForfeit(is.q.Key())
 			}
-			newly := t.absorbSized(st.q.Keywords, is.benefit, is.recs, resultSize)
-			if s.cfg.OnlineCalibration && len(is.st.qD) > 0 {
-				bkt := bucketOf(len(is.st.qD))
+			newly := t.absorbSized(is.q, is.benefit, is.recs, resultSize)
+			if sink != nil {
+				if err := sink.StepAbsorbed(t.res, t.res.Steps[len(t.res.Steps)-1], newly); err != nil {
+					return nil, sinkErr(err)
+				}
+			}
+			if s.cfg.OnlineCalibration && st != nil && len(st.qD) > 0 {
+				bkt := bucketOf(len(st.qD))
 				old := calib[bkt]
 				calib[bkt].sum += float64(len(newly))
 				calib[bkt].count++
@@ -570,9 +723,16 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			// count even when the page was truncated.
 			solid := resultSize < k
 			if solid && !s.cfg.DisableDeltaDRemoval {
-				for _, d := range st.qD {
-					remove(d)
+				if st != nil {
+					for _, d := range st.qD {
+						remove(d)
+					}
 				}
+			}
+		}
+		if sink != nil {
+			if err := sink.RoundCompleted(t.res); err != nil {
+				return nil, sinkErr(err)
 			}
 		}
 	}

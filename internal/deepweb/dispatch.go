@@ -1,6 +1,7 @@
 package deepweb
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -64,9 +65,27 @@ func (d *Dispatcher) search(q Query) ([]*relational.Record, error) {
 // budget-exhaustion and transient failures are per-query decisions the
 // merge stage makes, not reasons to drop completed work.
 func (d *Dispatcher) Dispatch(qs []Query) []Outcome {
+	return d.DispatchCtx(nil, qs)
+}
+
+// DispatchCtx is Dispatch with drain semantics under cancellation: once
+// ctx is cancelled, queries not yet claimed by a worker fail fast with
+// ctx.Err() — before the searcher sees them, so a budget-counting wrapper
+// never charges them — while queries already in flight run to completion
+// and keep their results. DispatchCtx always returns the full outcome
+// slice; it never abandons started work, because a charged query whose
+// result is thrown away is a quota unit lost forever. A nil ctx behaves
+// exactly like Dispatch.
+func (d *Dispatcher) DispatchCtx(ctx context.Context, qs []Query) []Outcome {
 	out := make([]Outcome, len(qs))
 	if len(qs) == 0 {
 		return out
+	}
+	cancelled := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
 	}
 	workers := d.Workers
 	if workers > len(qs) {
@@ -74,6 +93,10 @@ func (d *Dispatcher) Dispatch(qs []Query) []Outcome {
 	}
 	if workers <= 1 {
 		for i, q := range qs {
+			if err := cancelled(); err != nil {
+				out[i] = Outcome{Index: i, Query: q, Err: err}
+				continue
+			}
 			recs, err := d.search(q)
 			out[i] = Outcome{Index: i, Query: q, Records: recs, Err: err}
 		}
@@ -88,6 +111,10 @@ func (d *Dispatcher) Dispatch(qs []Query) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if err := cancelled(); err != nil {
+					out[i] = Outcome{Index: i, Query: qs[i], Err: err}
+					continue
+				}
 				recs, err := d.search(qs[i])
 				out[i] = Outcome{Index: i, Query: qs[i], Records: recs, Err: err}
 			}

@@ -1,0 +1,71 @@
+// Package durable is the crash-safety subsystem of the crawl: a
+// checksummed write-ahead journal (one record per accounting-affecting
+// event of the Algorithm-4 merge stage), atomic snapshot writes, torn-
+// tail-tolerant recovery, and periodic journal→snapshot compaction. It
+// exists because the crawl's currency is charged quota units — a process
+// that dies at budget unit 24,999 of a 25,000-request quota window must
+// come back knowing everything those units bought.
+//
+// The contract, end to end: every query result that has been absorbed
+// (and therefore charged) is durable against SIGKILL the moment its
+// journal record's write() returns; a crash loses at most the single
+// record being written, and recovery replays every intact record,
+// discards the torn one, and hands back the unresolved tail of the last
+// selection round so a resumed run re-issues exactly what the dead one
+// had in flight. Durability against power loss is governed by the fsync
+// policy (Options.Sync); see docs/OPERATIONS.md.
+package durable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file so that path never holds a partial or
+// torn payload: the content goes to a temp file in the target directory,
+// the temp file is fsynced and renamed over path, and the directory is
+// fsynced so the rename itself survives power loss. Readers see either
+// the old complete file or the new complete file, never a mix — which is
+// what lets a crawl overwrite its only snapshot in place.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: creating temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("durable: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("durable: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("durable: closing temp file: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("durable: renaming into %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable.
+// Errors are ignored: some filesystems refuse directory fsync, and the
+// rename has already happened — the data is safe against process death
+// either way.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,67 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicCreatesAndOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	for _, content := range []string{"first version", "second, longer version"} {
+		err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Errorf("got %q, want %q", got, content)
+		}
+	}
+}
+
+// TestWriteFileAtomicFailureKeepsOldFile: a write callback that errors
+// mid-way must leave the previous file byte-identical and no temp debris
+// behind — the property that makes overwriting the only snapshot safe.
+func TestWriteFileAtomicFailureKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := os.WriteFile(path, []byte("precious state"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half a snap") // partial write, then failure
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped callback error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious state" {
+		t.Errorf("old file damaged: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("temp debris left behind: %v", names)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package crashtest
+
+// raceEnabled mirrors whether this test binary was built with the race
+// detector; the harness then builds the smartcrawl child binary with
+// -race too, so `make crashtest` puts the signal-handler and shutdown
+// paths of the real binary under the detector.
+const raceEnabled = true

@@ -1,0 +1,207 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"smartcrawl/internal/crawler"
+)
+
+// JournalFormatVersion is the on-disk journal format revision, encoded in
+// the file magic. Bump it when the record framing or the record payload
+// schema changes incompatibly.
+const JournalFormatVersion = 1
+
+// journalMagic is the 8-byte file header: format name + version digit +
+// newline, so `head -c8 crawl.wal` identifies the file.
+const journalMagic = "SCWAL01\n"
+
+// recordHeaderSize frames every record: a 4-byte little-endian payload
+// length followed by a 4-byte little-endian CRC32 (IEEE) of the payload.
+const recordHeaderSize = 8
+
+// maxRecordSize bounds a single record. A length field above it is
+// treated as corruption rather than an allocation request — a bit flip in
+// the length must not make recovery try to read 3 GiB.
+const maxRecordSize = 64 << 20
+
+// Record kinds. One journal record is appended per accounting-affecting
+// event of the merge stage, in merge order.
+const (
+	// KindBegin opens every (re-)initialized journal: it pins the local
+	// database size and the counters the journal's base state starts at.
+	KindBegin = "begin"
+	// KindRound is the write-ahead intent record: the full selection
+	// round, journaled before any of it is dispatched.
+	KindRound = "round"
+	// KindStep is one absorbed query result — the record that makes a
+	// charged query durable.
+	KindStep = "step"
+	// KindRequeue / KindForfeit / KindBudgetStop resolve a round entry
+	// without absorbing it; they keep the Resilience accounting exact
+	// and tell recovery the query is no longer in flight.
+	KindRequeue    = "requeue"
+	KindForfeit    = "forfeit"
+	KindBudgetStop = "budget_stop"
+)
+
+// StepRecord is the journal payload of one absorbed query step: the step
+// trace fields plus everything needed to rebuild the Result delta — the
+// hidden records first crawled by this query and the (local, hidden)
+// match pairs it newly covered.
+type StepRecord struct {
+	Query             []string     `json:"query"`
+	EstimatedBenefit  float64      `json:"est_benefit"`
+	NewlyCovered      int          `json:"newly_covered"`
+	CumulativeCovered int          `json:"cumulative_covered"`
+	ResultSize        int          `json:"result_size"`
+	NewRecords        []WireRecord `json:"new_records,omitempty"`
+	NewMatches        []WirePair   `json:"new_matches,omitempty"`
+}
+
+// WireRecord is a crawled hidden record on the wire.
+type WireRecord struct {
+	ID     int      `json:"id"`
+	Values []string `json:"values"`
+}
+
+// WirePair is one newly covered (local, hidden) match.
+type WirePair struct {
+	Local  int `json:"local"`
+	Hidden int `json:"hidden"`
+}
+
+// Record is one journal entry. Kind selects which optional fields are
+// meaningful; the accounting fields at the bottom are filled on every
+// record and double as replay cross-checks.
+type Record struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	// LocalLen (begin) pins the local database size.
+	LocalLen int `json:"local_len,omitempty"`
+	// Round (round) is the selected batch, in selection order.
+	Round []crawler.PendingQuery `json:"round,omitempty"`
+	// Step (step) is the absorbed result.
+	Step *StepRecord `json:"step,omitempty"`
+	// Query and Attempt (requeue/forfeit/budget_stop) identify the
+	// resolved round entry.
+	Query   string `json:"query,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// Accounting state after this record took effect.
+	QueriesIssued int `json:"queries_issued"`
+	CoveredCount  int `json:"covered_count"`
+	// Charged is the counting searcher's cumulative charge (refunds
+	// netted out) — what resuming sessions subtract from the quota.
+	Charged int `json:"charged"`
+	// Resilience snapshots the degradation report, when one is kept.
+	Resilience *crawler.Resilience `json:"resilience,omitempty"`
+}
+
+// encodeRecord frames rec as [len][crc32][json payload].
+func encodeRecord(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("durable: encoding journal record: %w", err)
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("durable: journal record of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderSize:], payload)
+	return buf, nil
+}
+
+// ReadJournal decodes a journal stream. It returns every intact record in
+// order and torn=true when the stream ends in a partial or checksum-
+// failing record — the expected shape of a crash mid-append, which
+// recovery handles by discarding the tail. Structural corruption that a
+// crash cannot produce (bad magic, a record following the torn point,
+// non-increasing sequence numbers, undecodable JSON under a valid CRC) is
+// an error instead: that file needs an operator, not silent repair.
+//
+// An empty stream (zero bytes, or a partial magic — a crash between
+// journal creation and the first write) is a valid empty journal.
+func ReadJournal(r io.Reader) (recs []Record, torn bool, err error) {
+	magic := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		switch err {
+		case io.EOF:
+			return nil, false, nil // empty file: created, never written
+		case io.ErrUnexpectedEOF:
+			return nil, true, nil // crash mid-magic: an empty journal with a torn tail
+		default:
+			return nil, false, fmt.Errorf("durable: reading journal magic: %w", err)
+		}
+	}
+	if string(magic) != journalMagic {
+		return nil, false, fmt.Errorf("durable: not a journal (magic %q, want %q)", magic, journalMagic)
+	}
+	var lastSeq uint64
+	header := make([]byte, recordHeaderSize)
+	for {
+		_, err := io.ReadFull(r, header)
+		if err == io.EOF {
+			return recs, torn, nil // clean end
+		}
+		if err == io.ErrUnexpectedEOF {
+			return recs, true, nil // torn header
+		}
+		if err != nil {
+			return recs, torn, fmt.Errorf("durable: reading journal record header: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxRecordSize {
+			// A length no writer produces: either a torn header whose
+			// tail happened to be followed by nothing, or a flipped bit.
+			// Both read as "the journal ends here, damaged".
+			return recs, true, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return recs, true, nil // torn payload
+			}
+			return recs, torn, fmt.Errorf("durable: reading journal record: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, true, nil // flipped bits or a torn overwrite: discard from here
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, torn, fmt.Errorf("durable: journal record %d undecodable under a valid checksum: %w",
+				len(recs), err)
+		}
+		if rec.Seq <= lastSeq && len(recs) > 0 {
+			return recs, torn, fmt.Errorf("durable: journal sequence regressed (%d after %d) — duplicated or spliced records",
+				rec.Seq, lastSeq)
+		}
+		lastSeq = rec.Seq
+		recs = append(recs, rec)
+	}
+}
+
+// readJournalFile is ReadJournal over a file; a missing file is a valid
+// empty journal.
+func readJournalFile(path string) (recs []Record, torn bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("durable: opening journal: %w", err)
+	}
+	defer f.Close()
+	recs, torn, err = ReadJournal(f)
+	if err != nil {
+		return recs, torn, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, torn, nil
+}

@@ -1,0 +1,221 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/deepweb"
+)
+
+// frame builds a journal byte stream: magic plus each record framed as
+// [len][crc][payload] — exactly what the sink writes.
+func frame(tb testing.TB, recs ...Record) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(journalMagic)
+	for i := range recs {
+		b, err := encodeRecord(&recs[i])
+		if err != nil {
+			tb.Fatalf("encoding record %d: %v", i, err)
+		}
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// rawFrame frames an arbitrary payload with a correct header, bypassing
+// the JSON encoder — for testing valid-checksum-bad-payload handling.
+func rawFrame(payload []byte) []byte {
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderSize:], payload)
+	return buf
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Seq: 1, Kind: KindBegin, LocalLen: 4},
+		{Seq: 2, Kind: KindRound, Round: []crawler.PendingQuery{
+			{Query: deepweb.Query{"thai"}, Benefit: 2.5},
+			{Query: deepweb.Query{"noodle"}, Benefit: 1.5},
+		}},
+		{Seq: 3, Kind: KindStep, Step: &StepRecord{
+			Query: []string{"thai"}, EstimatedBenefit: 2.5,
+			NewlyCovered: 1, CumulativeCovered: 1, ResultSize: 3,
+			NewRecords: []WireRecord{{ID: 10, Values: []string{"x", "1"}}},
+			NewMatches: []WirePair{{Local: 0, Hidden: 10}},
+		}, QueriesIssued: 1, CoveredCount: 1, Charged: 1},
+		{Seq: 4, Kind: KindRequeue, Query: "noodle", Attempt: 1,
+			QueriesIssued: 1, CoveredCount: 1, Charged: 2},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	recs, torn, err := ReadJournal(bytes.NewReader(frame(t, want...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("intact journal reported torn")
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i := range recs {
+		if recs[i].Seq != want[i].Seq || recs[i].Kind != want[i].Kind {
+			t.Errorf("record %d: got seq %d kind %q, want %d %q",
+				i, recs[i].Seq, recs[i].Kind, want[i].Seq, want[i].Kind)
+		}
+	}
+	if recs[2].Step == nil || recs[2].Step.NewMatches[0].Hidden != 10 {
+		t.Errorf("step payload did not round-trip: %+v", recs[2].Step)
+	}
+	if len(recs[1].Round) != 2 || recs[1].Round[0].Query.Key() != "thai" {
+		t.Errorf("round payload did not round-trip: %+v", recs[1].Round)
+	}
+}
+
+// TestJournalEveryTruncationIsTornNotCorrupt is the core crash-safety
+// property of the format: cutting the stream at ANY byte offset — the
+// only damage a crash mid-append can produce — must never be a hard
+// error. Recovery gets the intact prefix, with torn=true unless the cut
+// lands exactly on a record boundary.
+func TestJournalEveryTruncationIsTornNotCorrupt(t *testing.T) {
+	full := frame(t, sampleRecords()...)
+	// Record boundaries: offset 0, end of magic, and after each record.
+	boundaries := map[int]int{0: 0, len(journalMagic): 0}
+	off := len(journalMagic)
+	n := 0
+	for _, r := range sampleRecords() {
+		b, _ := encodeRecord(&r)
+		off += len(b)
+		n++
+		boundaries[off] = n
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		recs, torn, err := ReadJournal(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut at %d: hard error %v (must be torn, never corrupt)", cut, err)
+		}
+		wantRecs, atBoundary := boundaries[cut]
+		if atBoundary || cut == 0 {
+			if torn {
+				t.Errorf("cut at boundary %d: reported torn", cut)
+			}
+			if len(recs) != wantRecs {
+				t.Errorf("cut at boundary %d: %d records, want %d", cut, len(recs), wantRecs)
+			}
+			continue
+		}
+		if !torn {
+			t.Errorf("cut mid-record at %d: not reported torn", cut)
+		}
+		// The intact prefix: every record fully before the cut.
+		for i, r := range recs {
+			if want := sampleRecords()[i]; r.Seq != want.Seq || r.Kind != want.Kind {
+				t.Errorf("cut at %d: record %d is %d/%q, want %d/%q",
+					cut, i, r.Seq, r.Kind, want.Seq, want.Kind)
+			}
+		}
+	}
+}
+
+func TestJournalChecksumFlipDiscardsTail(t *testing.T) {
+	recs := sampleRecords()
+	full := frame(t, recs...)
+	// Flip one byte inside the THIRD record's payload: records 1–2 must
+	// survive, the rest reads as a torn tail.
+	off := len(journalMagic)
+	for i := 0; i < 2; i++ {
+		b, _ := encodeRecord(&recs[i])
+		off += len(b)
+	}
+	corrupt := append([]byte(nil), full...)
+	corrupt[off+recordHeaderSize+3] ^= 0x40
+	got, torn, err := ReadJournal(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatalf("checksum flip must read as torn, got error: %v", err)
+	}
+	if !torn || len(got) != 2 {
+		t.Errorf("got %d records torn=%t, want 2 records torn=true", len(got), torn)
+	}
+}
+
+func TestJournalInsaneLengthIsTorn(t *testing.T) {
+	for _, length := range []uint32{0, maxRecordSize + 1, 1 << 31} {
+		var buf bytes.Buffer
+		buf.WriteString(journalMagic)
+		b, _ := encodeRecord(&Record{Seq: 1, Kind: KindBegin, LocalLen: 4})
+		buf.Write(b)
+		header := make([]byte, recordHeaderSize)
+		binary.LittleEndian.PutUint32(header[0:4], length)
+		buf.Write(header)
+		got, torn, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("length %d: %v", length, err)
+		}
+		if !torn || len(got) != 1 {
+			t.Errorf("length %d: got %d records torn=%t, want 1/true", length, len(got), torn)
+		}
+	}
+}
+
+func TestJournalBadMagicRejected(t *testing.T) {
+	_, _, err := ReadJournal(strings.NewReader("NOTAWAL!" + "garbage"))
+	if err == nil || !strings.Contains(err.Error(), "not a journal") {
+		t.Errorf("bad magic: got %v, want 'not a journal' error", err)
+	}
+}
+
+func TestJournalSequenceRegressionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(journalMagic)
+	for _, seq := range []uint64{2, 2} {
+		b, err := encodeRecord(&Record{Seq: seq, Kind: KindBegin, LocalLen: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	_, _, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "sequence regressed") {
+		t.Errorf("duplicate seq: got %v, want sequence-regression error", err)
+	}
+}
+
+func TestJournalValidChecksumBadJSONRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(journalMagic)
+	buf.Write(rawFrame([]byte("not json at all")))
+	_, _, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "undecodable") {
+		t.Errorf("valid-CRC garbage: got %v, want undecodable error", err)
+	}
+}
+
+func TestJournalOversizedRecordRefused(t *testing.T) {
+	_, err := encodeRecord(&Record{Seq: 1, Kind: KindStep,
+		Query: strings.Repeat("x", maxRecordSize)})
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized record: got %v, want size-limit error", err)
+	}
+}
+
+// TestJournalEmptyStreams: zero bytes and a partial magic are both valid
+// empty journals (created-then-crashed), distinguished only by torn.
+func TestJournalEmptyStreams(t *testing.T) {
+	recs, torn, err := ReadJournal(bytes.NewReader(nil))
+	if err != nil || torn || len(recs) != 0 {
+		t.Errorf("empty stream: recs=%d torn=%t err=%v, want 0/false/nil", len(recs), torn, err)
+	}
+	recs, torn, err = ReadJournal(strings.NewReader(journalMagic[:3]))
+	if err != nil || !torn || len(recs) != 0 {
+		t.Errorf("partial magic: recs=%d torn=%t err=%v, want 0/true/nil", len(recs), torn, err)
+	}
+}

@@ -1,0 +1,270 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/relational"
+)
+
+// Recovered is the outcome of Recover: the crawl state rebuilt from the
+// snapshot plus the journal records appended after it.
+type Recovered struct {
+	// Result is the recovered crawl state, nil when neither a snapshot
+	// nor any journal state exists (a fresh start).
+	Result *crawler.Result
+	// Pending is the unresolved tail of the last journaled selection
+	// round: queries the dead session had charged-or-in-flight intent
+	// for. A resumed run re-issues them first, with the original
+	// benefits, via SmartConfig.ResumePending.
+	Pending []crawler.PendingQuery
+	// SnapshotLoaded reports whether a snapshot file contributed state;
+	// SnapshotSeq is the journal sequence it was current through.
+	SnapshotLoaded bool
+	SnapshotSeq    uint64
+	// JournalRecords counts records replayed on top of the snapshot
+	// (records the snapshot already covered are skipped, not counted).
+	JournalRecords int
+	// LastSeq is the highest journal sequence number seen — the point a
+	// new journal continues from.
+	LastSeq uint64
+	// TornTail reports that the journal ended in a partial or checksum-
+	// failing record, which recovery discarded. Expected after a crash
+	// mid-append; at most one record (the one being written) is lost.
+	TornTail bool
+	// Charged is the cumulative quota charge per the last journal record
+	// (refunds netted out), falling back to the snapshot's QueriesIssued.
+	// A resumed session's remaining budget is quota − Charged.
+	Charged int
+	// LocalLen is the local database size the recovered state is bound
+	// to, from the snapshot or the journal's begin record.
+	LocalLen int
+}
+
+// Recover rebuilds crawl state read-only: load the snapshot (if any),
+// verify its checksum, then replay every intact journal record with a
+// sequence number the snapshot does not already cover, validating each
+// against the accounting counters it carries. localLen pins the expected
+// local database size; 0 accepts whatever the files say (used by the
+// inspect tool, which has no database at hand).
+//
+// Recover never modifies the files — crashing during recovery is safe,
+// and the inspect path shares it.
+func Recover(snapshotPath, journalPath string, localLen int) (*Recovered, error) {
+	rec := &Recovered{LocalLen: localLen}
+	var res *crawler.Result
+	if snapshotPath != "" {
+		data, err := os.ReadFile(snapshotPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// no snapshot yet: a first session, or a crash before the
+			// first compaction — the journal alone carries the state.
+		case err != nil:
+			return nil, fmt.Errorf("durable: reading snapshot: %w", err)
+		default:
+			res, rec.SnapshotSeq, err = crawler.LoadResultSeq(bytes.NewReader(data))
+			if err != nil {
+				return nil, fmt.Errorf("durable: snapshot %s: %w", snapshotPath, err)
+			}
+			if localLen > 0 && len(res.Covered) != localLen {
+				return nil, fmt.Errorf("durable: snapshot covers %d records, local database has %d",
+					len(res.Covered), localLen)
+			}
+			rec.SnapshotLoaded = true
+			rec.LastSeq = rec.SnapshotSeq
+			rec.LocalLen = len(res.Covered)
+			// Settled charges: one per absorbed step, plus the failed
+			// attempts the interface billed (requeues and forfeits minus
+			// the refunded ones). Budget-stopped queries were never
+			// charged and in-flight charges are not settled — a resumed
+			// session re-issues and re-charges those.
+			rec.Charged = res.QueriesIssued
+			if rep := res.Resilience; rep != nil {
+				rec.Charged += rep.Requeued + rep.Forfeited - rep.Refunded
+			}
+		}
+	}
+	if journalPath != "" {
+		recs, torn, err := readJournalFile(journalPath)
+		if err != nil {
+			return nil, err
+		}
+		rec.TornTail = torn
+		if err := rec.replay(recs, &res); err != nil {
+			return nil, fmt.Errorf("durable: journal %s: %w", journalPath, err)
+		}
+	}
+	rec.Result = res
+	return rec, nil
+}
+
+// replay applies journal records newer than the snapshot to *res,
+// cross-checking every record's accounting fields. It tracks the open
+// selection round so the unresolved tail lands in rec.Pending.
+func (rec *Recovered) replay(recs []Record, res **crawler.Result) error {
+	var pending []crawler.PendingQuery
+	for i, r := range recs {
+		if r.Seq <= rec.SnapshotSeq {
+			// The snapshot already folds this record in — the leftover of
+			// a compaction that crashed between snapshot rename and
+			// journal reset.
+			continue
+		}
+		rec.LastSeq = r.Seq
+		switch r.Kind {
+		case KindBegin:
+			if rec.LocalLen == 0 {
+				rec.LocalLen = r.LocalLen
+			} else if r.LocalLen != rec.LocalLen {
+				return fmt.Errorf("record %d: begin pins local size %d, expected %d", i, r.LocalLen, rec.LocalLen)
+			}
+			if *res == nil {
+				if r.LocalLen <= 0 {
+					return fmt.Errorf("record %d: begin without a local size", i)
+				}
+				if r.QueriesIssued != 0 || r.CoveredCount != 0 {
+					return fmt.Errorf("record %d: journal begins at %d issued queries / %d covered — its base snapshot is required",
+						i, r.QueriesIssued, r.CoveredCount)
+				}
+				*res = &crawler.Result{
+					Covered: make([]bool, r.LocalLen),
+					Matches: make(map[int]*relational.Record),
+					Crawled: make(map[int]*relational.Record),
+				}
+			}
+		case KindRound:
+			if len(pending) > 0 {
+				return fmt.Errorf("record %d: round opened with %d entries of the previous round unresolved", i, len(pending))
+			}
+			pending = append([]crawler.PendingQuery(nil), r.Round...)
+		case KindStep:
+			if *res == nil {
+				return fmt.Errorf("record %d: step before any begin record or snapshot", i)
+			}
+			if r.Step == nil {
+				return fmt.Errorf("record %d: step record without a step payload", i)
+			}
+			var err error
+			pending, err = consumePending(pending, deepweb.Query(r.Step.Query).Key())
+			if err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+			if err := applyStep(*res, r.Step); err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+		case KindRequeue, KindForfeit, KindBudgetStop:
+			if *res == nil {
+				return fmt.Errorf("record %d: %s before any begin record or snapshot", i, r.Kind)
+			}
+			var err error
+			pending, err = consumePending(pending, r.Query)
+			if err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("record %d: unknown kind %q", i, r.Kind)
+		}
+		if *res != nil {
+			if r.QueriesIssued != (*res).QueriesIssued || r.CoveredCount != (*res).CoveredCount {
+				return fmt.Errorf("record %d (%s): accounting drift — record says %d issued/%d covered, replay has %d/%d",
+					i, r.Kind, r.QueriesIssued, r.CoveredCount, (*res).QueriesIssued, (*res).CoveredCount)
+			}
+			if r.Resilience != nil {
+				c := *r.Resilience
+				c.ForfeitedQueries = append([]string(nil), r.Resilience.ForfeitedQueries...)
+				(*res).Resilience = &c
+			}
+		}
+		// The settled-charge counter moves by exactly the event's own
+		// charge: +1 per absorbed step, +1 or +0 for a billed-or-refunded
+		// failure, +0 otherwise.
+		switch r.Kind {
+		case KindStep:
+			if r.Charged != rec.Charged+1 {
+				return fmt.Errorf("record %d (step): settled charge %d, expected %d", i, r.Charged, rec.Charged+1)
+			}
+		case KindRequeue, KindForfeit:
+			if r.Charged != rec.Charged && r.Charged != rec.Charged+1 {
+				return fmt.Errorf("record %d (%s): settled charge %d, expected %d or %d",
+					i, r.Kind, r.Charged, rec.Charged, rec.Charged+1)
+			}
+		default:
+			if r.Charged != rec.Charged {
+				return fmt.Errorf("record %d (%s): settled charge %d, expected %d", i, r.Kind, r.Charged, rec.Charged)
+			}
+		}
+		rec.Charged = r.Charged
+		rec.JournalRecords++
+	}
+	rec.Pending = pending
+	return nil
+}
+
+// consumePending resolves the head of the open round against the query a
+// record names. The merge stage handles outcomes strictly in selection
+// order, except that a graceful shutdown may skip (and so never journal)
+// queries that were never issued — those stay pending, so matching scans
+// forward past them instead of insisting on the head.
+func consumePending(pending []crawler.PendingQuery, key string) ([]crawler.PendingQuery, error) {
+	for i, p := range pending {
+		if p.Query.Key() == key {
+			return append(pending[:i:i], pending[i+1:]...), nil
+		}
+	}
+	return nil, fmt.Errorf("journal resolves %q, which no open round selected", key)
+}
+
+// applyStep replays one absorbed query into res, enforcing the step's own
+// arithmetic so a fabricated or spliced record fails loudly instead of
+// poisoning the resumed crawl.
+func applyStep(res *crawler.Result, sr *StepRecord) error {
+	if sr.NewlyCovered != len(sr.NewMatches) {
+		return fmt.Errorf("step %q claims %d newly covered but carries %d matches",
+			deepweb.Query(sr.Query), sr.NewlyCovered, len(sr.NewMatches))
+	}
+	newHidden := make([]int, 0, len(sr.NewRecords))
+	for _, wr := range sr.NewRecords {
+		if _, dup := res.Crawled[wr.ID]; dup {
+			return fmt.Errorf("step %q re-crawls hidden record %d", deepweb.Query(sr.Query), wr.ID)
+		}
+		res.Crawled[wr.ID] = &relational.Record{ID: wr.ID, Values: wr.Values}
+		newHidden = append(newHidden, wr.ID)
+	}
+	for _, p := range sr.NewMatches {
+		if p.Local < 0 || p.Local >= len(res.Covered) {
+			return fmt.Errorf("step %q covers local record %d outside [0,%d)",
+				deepweb.Query(sr.Query), p.Local, len(res.Covered))
+		}
+		if res.Covered[p.Local] {
+			return fmt.Errorf("step %q re-covers local record %d", deepweb.Query(sr.Query), p.Local)
+		}
+		h, ok := res.Crawled[p.Hidden]
+		if !ok {
+			return fmt.Errorf("step %q matches uncrawled hidden record %d", deepweb.Query(sr.Query), p.Hidden)
+		}
+		res.Covered[p.Local] = true
+		res.CoveredCount++
+		res.Matches[p.Local] = h
+	}
+	if sr.CumulativeCovered != res.CoveredCount {
+		return fmt.Errorf("step %q cumulative coverage %d, replay has %d",
+			deepweb.Query(sr.Query), sr.CumulativeCovered, res.CoveredCount)
+	}
+	res.QueriesIssued++
+	if len(newHidden) == 0 {
+		newHidden = nil
+	}
+	res.Steps = append(res.Steps, crawler.Step{
+		Query:             deepweb.Query(sr.Query),
+		EstimatedBenefit:  sr.EstimatedBenefit,
+		NewlyCovered:      sr.NewlyCovered,
+		CumulativeCovered: sr.CumulativeCovered,
+		ResultSize:        sr.ResultSize,
+		NewHidden:         newHidden,
+	})
+	return nil
+}

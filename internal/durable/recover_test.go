@@ -1,0 +1,323 @@
+package durable
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/relational"
+)
+
+func writeJournal(t *testing.T, dir string, recs ...Record) (snapshot, journal string) {
+	t.Helper()
+	journal = filepath.Join(dir, "cp.wal")
+	if err := os.WriteFile(journal, frame(t, recs...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "cp.bin"), journal // snapshot path intentionally absent
+}
+
+// canonical serializes a Result with journal seq 0 — the byte-comparable
+// form (raw snapshots differ in the seq they were compacted at).
+func canonical(t testing.TB, res *crawler.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := crawler.SaveResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// happyJournal is a consistent session: begin, a 3-query round, one
+// absorbed step, one charged requeue, one budget stop — then a second
+// round resolving the requeued query with an uncharged forfeit.
+func happyJournal() []Record {
+	round := []crawler.PendingQuery{
+		{Query: deepweb.Query{"a"}, Benefit: 2},
+		{Query: deepweb.Query{"b"}, Benefit: 1.5},
+		{Query: deepweb.Query{"c"}, Benefit: 1},
+	}
+	return []Record{
+		{Seq: 1, Kind: KindBegin, LocalLen: 4},
+		{Seq: 2, Kind: KindRound, Round: round},
+		{Seq: 3, Kind: KindStep, Step: &StepRecord{
+			Query: []string{"a"}, EstimatedBenefit: 2,
+			NewlyCovered: 1, CumulativeCovered: 1, ResultSize: 3,
+			NewRecords: []WireRecord{{ID: 10, Values: []string{"x", "1"}}},
+			NewMatches: []WirePair{{Local: 0, Hidden: 10}},
+		}, QueriesIssued: 1, CoveredCount: 1, Charged: 1},
+		// Billed failures always ride with the resilience report that
+		// accounts them — that is what lets a snapshot alone (after the
+		// journal is compacted away) still reconstruct the settled charge.
+		{Seq: 4, Kind: KindRequeue, Query: "b", Attempt: 1,
+			QueriesIssued: 1, CoveredCount: 1, Charged: 2,
+			Resilience: &crawler.Resilience{Requeued: 1}},
+		{Seq: 5, Kind: KindBudgetStop, Query: "c",
+			QueriesIssued: 1, CoveredCount: 1, Charged: 2,
+			Resilience: &crawler.Resilience{Requeued: 1}},
+		{Seq: 6, Kind: KindRound, Round: round[1:2],
+			QueriesIssued: 1, CoveredCount: 1, Charged: 2,
+			Resilience: &crawler.Resilience{Requeued: 1}},
+		{Seq: 7, Kind: KindForfeit, Query: "b", Attempt: 2,
+			QueriesIssued: 1, CoveredCount: 1, Charged: 2,
+			Resilience: &crawler.Resilience{Requeued: 1, Forfeited: 1, Refunded: 1,
+				ForfeitedQueries: []string{"b"}}},
+	}
+}
+
+func TestRecoverNothing(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := Recover(filepath.Join(dir, "cp.bin"), filepath.Join(dir, "cp.wal"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Result != nil || rec.SnapshotLoaded || rec.JournalRecords != 0 || rec.Charged != 0 {
+		t.Errorf("fresh start recovered state: %+v", rec)
+	}
+}
+
+func TestRecoverJournalOnly(t *testing.T) {
+	snap, wal := writeJournal(t, t.TempDir(), happyJournal()...)
+	rec, err := Recover(snap, wal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Result == nil {
+		t.Fatal("no result recovered")
+	}
+	res := rec.Result
+	if res.QueriesIssued != 1 || res.CoveredCount != 1 || len(res.Steps) != 1 {
+		t.Errorf("issued=%d covered=%d steps=%d, want 1/1/1",
+			res.QueriesIssued, res.CoveredCount, len(res.Steps))
+	}
+	if !res.Covered[0] || res.Matches[0] == nil || res.Matches[0].ID != 10 {
+		t.Errorf("coverage not replayed: covered=%v matches=%v", res.Covered, res.Matches)
+	}
+	if rec.Charged != 2 {
+		t.Errorf("charged=%d, want 2 (one step + one billed requeue)", rec.Charged)
+	}
+	if len(rec.Pending) != 0 {
+		t.Errorf("pending=%v, want none (every round entry resolved)", rec.Pending)
+	}
+	if rec.LastSeq != 7 || rec.JournalRecords != 7 || rec.TornTail {
+		t.Errorf("lastSeq=%d records=%d torn=%t, want 7/7/false",
+			rec.LastSeq, rec.JournalRecords, rec.TornTail)
+	}
+}
+
+func TestRecoverPendingTail(t *testing.T) {
+	// Crash after the step: the round's remaining entries are the
+	// in-flight intent a resumed session must re-issue.
+	snap, wal := writeJournal(t, t.TempDir(), happyJournal()[:3]...)
+	rec, err := Recover(snap, wal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 2 ||
+		rec.Pending[0].Query.Key() != "b" || rec.Pending[1].Query.Key() != "c" {
+		t.Fatalf("pending=%v, want [b c]", rec.Pending)
+	}
+	if rec.Pending[0].Benefit != 1.5 {
+		t.Errorf("pending benefit %g, want the original 1.5", rec.Pending[0].Benefit)
+	}
+	if rec.Charged != 1 {
+		t.Errorf("charged=%d, want 1", rec.Charged)
+	}
+}
+
+func TestRecoverTornTailKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	snap, wal := writeJournal(t, dir, happyJournal()...)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(snap, wal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.TornTail {
+		t.Error("truncated journal not reported torn")
+	}
+	if rec.JournalRecords != 6 || rec.LastSeq != 6 {
+		t.Errorf("records=%d lastSeq=%d, want the 6 intact records", rec.JournalRecords, rec.LastSeq)
+	}
+	// The forfeit was torn off, so "b" is back in flight.
+	if len(rec.Pending) != 1 || rec.Pending[0].Query.Key() != "b" {
+		t.Errorf("pending=%v, want [b]", rec.Pending)
+	}
+}
+
+func TestRecoverSnapshotPlusCoveredJournal(t *testing.T) {
+	// The crash-between-rename-and-reset window: the snapshot already
+	// folds every journal record in (its seq matches the last record), so
+	// replay must skip them all instead of double-applying.
+	dir := t.TempDir()
+	snap, wal := writeJournal(t, dir, happyJournal()...)
+	base, err := Recover(snap, wal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = WriteFileAtomic(snap, func(w io.Writer) error {
+		return crawler.SaveResultSeq(w, base.Result, base.LastSeq)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(snap, wal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.SnapshotLoaded || rec.SnapshotSeq != 7 {
+		t.Fatalf("snapshot not loaded at seq 7: %+v", rec)
+	}
+	if rec.JournalRecords != 0 {
+		t.Errorf("replayed %d records the snapshot already covers", rec.JournalRecords)
+	}
+	if rec.Charged != 2 {
+		t.Errorf("charged=%d, want 2 from the snapshot's resilience accounting", rec.Charged)
+	}
+	if !bytes.Equal(canonical(t, rec.Result), canonical(t, base.Result)) {
+		t.Error("snapshot-recovered state differs from journal-replayed state")
+	}
+}
+
+func TestRecoverSnapshotChargedIncludesFailures(t *testing.T) {
+	// Snapshot-only recovery derives the settled charge from the
+	// resilience report: issued steps plus billed failures minus refunds.
+	dir := t.TempDir()
+	res := &crawler.Result{
+		Covered: make([]bool, 4),
+		Matches: map[int]*relational.Record{},
+		Crawled: map[int]*relational.Record{},
+		Resilience: &crawler.Resilience{
+			Requeued: 3, Forfeited: 1, Refunded: 2,
+		},
+	}
+	snap := filepath.Join(dir, "cp.bin")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crawler.SaveResult(f, res); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rec, err := Recover(snap, "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Charged != 2 { // 0 issued + 3 requeued + 1 forfeited − 2 refunded
+		t.Errorf("charged=%d, want 2", rec.Charged)
+	}
+}
+
+func TestRecoverRejects(t *testing.T) {
+	j := happyJournal
+	cases := []struct {
+		name     string
+		localLen int
+		mutate   func([]Record) []Record
+		want     string
+	}{
+		{"local size mismatch", 5, func(r []Record) []Record { return r }, "local size"},
+		{"nonzero begin without snapshot", 4, func(r []Record) []Record {
+			r[0].QueriesIssued = 9
+			return r
+		}, "base snapshot is required"},
+		{"begin without local size", 0, func(r []Record) []Record {
+			r[0].LocalLen = 0
+			return r
+		}, "without a local size"},
+		{"step outside any round", 4, func(r []Record) []Record {
+			return []Record{r[0], r[2]}
+		}, "no open round selected"},
+		{"round over unresolved round", 4, func(r []Record) []Record {
+			r[4] = Record{Seq: 5, Kind: KindRound,
+				Round:         []crawler.PendingQuery{{Query: deepweb.Query{"z"}}},
+				QueriesIssued: 1, CoveredCount: 1, Charged: 2}
+			return r[:5]
+		}, "unresolved"},
+		{"step missing payload", 4, func(r []Record) []Record {
+			r[2].Step = nil
+			return r[:3]
+		}, "without a step payload"},
+		{"step charge jump", 4, func(r []Record) []Record {
+			r[2].Charged = 3
+			return r[:3]
+		}, "settled charge"},
+		{"begin carrying charge", 4, func(r []Record) []Record {
+			r[0].Charged = 1
+			return r[:1]
+		}, "settled charge"},
+		{"accounting drift", 4, func(r []Record) []Record {
+			r[2].QueriesIssued = 7
+			return r[:3]
+		}, "accounting drift"},
+		{"unknown kind", 4, func(r []Record) []Record {
+			r[1].Kind = "mystery"
+			return r[:2]
+		}, "unknown kind"},
+		{"step re-covers a record", 4, func(r []Record) []Record {
+			r[2].Step.NewMatches = []WirePair{{Local: 0, Hidden: 10}, {Local: 0, Hidden: 10}}
+			r[2].Step.NewlyCovered = 2
+			r[2].Step.CumulativeCovered = 2
+			r[2].CoveredCount = 2
+			return r[:3]
+		}, "re-covers"},
+		{"step matches uncrawled record", 4, func(r []Record) []Record {
+			r[2].Step.NewMatches[0].Hidden = 99
+			return r[:3]
+		}, "uncrawled"},
+		{"step match out of range", 4, func(r []Record) []Record {
+			r[2].Step.NewMatches[0].Local = 9
+			return r[:3]
+		}, "outside"},
+		{"step match count mismatch", 4, func(r []Record) []Record {
+			r[2].Step.NewlyCovered = 2
+			return r[:3]
+		}, "claims 2 newly covered"},
+		{"step cumulative mismatch", 4, func(r []Record) []Record {
+			r[2].Step.CumulativeCovered = 5
+			r[2].Step.NewlyCovered = 1
+			return r[:3]
+		}, "cumulative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, wal := writeJournal(t, t.TempDir(), tc.mutate(j())...)
+			_, err := Recover(snap, wal, tc.localLen)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRecoverStepReCrawlRejected: a spliced journal replaying the same
+// hidden record twice must fail, not silently double-count.
+func TestRecoverStepReCrawlRejected(t *testing.T) {
+	recs := happyJournal()[:3]
+	dup := recs[2]
+	dup.Seq = 4
+	dup.Step = &StepRecord{
+		Query: []string{"b"}, NewlyCovered: 0, CumulativeCovered: 1, ResultSize: 1,
+		NewRecords: []WireRecord{{ID: 10, Values: []string{"x", "1"}}},
+	}
+	dup.QueriesIssued = 2
+	dup.Charged = 2
+	recs = append(recs, dup)
+	snap, wal := writeJournal(t, t.TempDir(), recs...)
+	_, err := Recover(snap, wal, 4)
+	if err == nil || !strings.Contains(err.Error(), "re-crawls") {
+		t.Errorf("got %v, want re-crawl error", err)
+	}
+}

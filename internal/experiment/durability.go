@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/durable"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/obs"
+)
+
+// DurabilitySweep measures what crash safety costs and proves what it
+// buys. The same DBLP-sim crawl runs under each durability mode — none,
+// snapshot-only autosave, WAL journal with the default group-commit fsync
+// policy, and fsync-per-append — and the table reports coverage (which
+// must be identical: the sink observes the merge stage, it never decides),
+// journal traffic, and wall-clock. The final row interrupts the WAL crawl
+// at half budget, recovers from the snapshot + journal alone, resumes with
+// the remaining budget, and must land on the same coverage as the
+// uninterrupted runs — the recovery guarantee the crashtest harness
+// SIGKILLs its way through, demonstrated here at experiment scale.
+func DurabilitySweep(p Params) (*Table, error) {
+	s, err := NewDBLPSetup(p)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "smartcrawl-durability")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	t := &Table{
+		Title: fmt.Sprintf("Extension: durability sweep — crash-safety cost and recovery equivalence (b=%d)",
+			p.Budget),
+		Header: []string{"mode", "coverage", "queries", "wal-records", "wal-KB",
+			"fsyncs", "compactions", "wall-ms"},
+	}
+	// Compact often enough that the sweep exercises the journal→snapshot
+	// fold a handful of times per run, whatever the scale.
+	every := p.Budget / 8
+	if every < 1 {
+		every = 1
+	}
+
+	modes := []struct {
+		name    string
+		journal bool
+		sync    string
+	}{
+		{name: "none"},
+		{name: "snapshot"},
+		{name: "wal-compact", journal: true, sync: durable.SyncCompact},
+		{name: "wal-always", journal: true, sync: durable.SyncAlways},
+	}
+	baseline := -1
+	var baselineCheckpoint []byte
+	for i, mode := range modes {
+		o := obs.New()
+		var sink *durable.Sink
+		snapshot := filepath.Join(dir, fmt.Sprintf("%s.bin", mode.name))
+		if i > 0 {
+			dopts := durable.Options{Snapshot: snapshot, Every: every, Sync: mode.sync, Obs: o}
+			if mode.journal {
+				dopts.Journal = filepath.Join(dir, mode.name+".wal")
+				dopts.LocalLen = p.LocalSize
+			}
+			if sink, err = durable.Open(dopts); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		res, err := runDurable(s, sink, nil, p.Budget)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		compactions := 0
+		if sink != nil {
+			if err := sink.Close(res); err != nil {
+				return nil, err
+			}
+			compactions = sink.Compactions()
+		}
+		cov := s.TruthCoverage(res)
+		if baseline < 0 {
+			baseline = cov
+		} else if cov != baseline {
+			return nil, fmt.Errorf("experiment: %s coverage %d differs from baseline %d — durability changed the crawl",
+				mode.name, cov, baseline)
+		}
+		if i > 0 {
+			canon, err := canonicalCheckpoint(snapshot)
+			if err != nil {
+				return nil, err
+			}
+			if baselineCheckpoint == nil {
+				baselineCheckpoint = canon
+			} else if !bytes.Equal(canon, baselineCheckpoint) {
+				return nil, fmt.Errorf("experiment: %s checkpoint differs from the snapshot-only one", mode.name)
+			}
+		}
+		t.AddRow(mode.name, cov, res.QueriesIssued,
+			o.WalAppends.Value(), o.WalBytes.Value()/1024,
+			o.WalFsyncs.Value(), compactions,
+			fmt.Sprintf("%.0f", float64(wall)/float64(time.Millisecond)))
+	}
+
+	// Interrupted + resumed: first leg spends half the budget through the
+	// WAL sink, the second leg starts from recovery alone. The cut is
+	// aligned to the batch size: exact resume equivalence is a round-
+	// boundary property — a budget that dies mid-round reshuffles the
+	// round's unissued tail, which an uninterrupted crawl would have kept.
+	half := p.Budget / 2
+	half -= half % durabilityBatch
+	if half < durabilityBatch {
+		half = durabilityBatch
+	}
+	snapshot := filepath.Join(dir, "resumed.bin")
+	dopts := durable.Options{
+		Snapshot: snapshot, Journal: filepath.Join(dir, "resumed.wal"),
+		Every: every, Sync: durable.SyncCompact, LocalLen: p.LocalSize,
+	}
+	sink, err := durable.Open(dopts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := runDurable(s, sink, nil, half)
+	if err != nil {
+		return nil, err
+	}
+	if err := sink.Close(res); err != nil {
+		return nil, err
+	}
+	o := obs.New()
+	dopts.Obs = o
+	if sink, err = durable.Open(dopts); err != nil {
+		return nil, err
+	}
+	rec := sink.Recovered()
+	if rec.Result == nil {
+		return nil, fmt.Errorf("experiment: nothing recovered after the interrupted leg")
+	}
+	res, err = runDurable(s, sink, rec, p.Budget-rec.Charged)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	if err := sink.Close(res); err != nil {
+		return nil, err
+	}
+	cov := s.TruthCoverage(res)
+	if cov != baseline {
+		return nil, fmt.Errorf("experiment: resumed coverage %d differs from uninterrupted %d",
+			cov, baseline)
+	}
+	canon, err := canonicalCheckpoint(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(canon, baselineCheckpoint) {
+		return nil, fmt.Errorf("experiment: resumed checkpoint differs from the uninterrupted one")
+	}
+	t.AddRow(fmt.Sprintf("wal, resumed at %d", half), cov, res.QueriesIssued,
+		o.WalAppends.Value(), o.WalBytes.Value()/1024,
+		o.WalFsyncs.Value(), sink.Compactions(),
+		fmt.Sprintf("%.0f", float64(wall)/float64(time.Millisecond)))
+
+	t.Notes = append(t.Notes,
+		"coverage and the final checkpoint are byte-identical across every mode and across the interruption —",
+		"the sink journals the merge stage without steering it; wal-records/KB is the journal traffic,",
+		"fsyncs the price of the chosen policy (compact = group commit at compaction; always = one flush per record)")
+	return t, nil
+}
+
+// durabilityBatch is the sweep's selection batch size; the interruption
+// point must be a multiple of it (see DurabilitySweep).
+const durabilityBatch = 4
+
+// runDurable runs one smart crawl with the sink attached, optionally
+// resuming recovered state.
+func runDurable(s *Setup, sink *durable.Sink, rec *durable.Recovered, budget int) (*crawler.Result, error) {
+	cfg := crawler.SmartConfig{
+		Sample: s.Sample, Estimator: estimator.Biased{}, AlphaFallback: true,
+		BatchSize: durabilityBatch, Concurrency: durabilityBatch,
+	}
+	if sink != nil {
+		cfg.Durability = sink
+	}
+	if rec != nil {
+		cfg.Resume = rec.Result
+		cfg.ResumePending = rec.Pending
+	}
+	c, err := crawler.NewSmart(s.Env(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(budget)
+}
+
+// canonicalCheckpoint reduces a checkpoint file to comparable bytes:
+// decode, re-encode at journal sequence zero, so only crawl state — not
+// the autosave cadence the file happened to be written at — is compared.
+func canonicalCheckpoint(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := crawler.LoadResult(f)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := crawler.SaveResult(&buf, res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -213,6 +213,24 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestDurabilitySweep(t *testing.T) {
+	tbl, err := DurabilitySweep(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four modes plus the interrupted-and-resumed demonstration row; the
+	// sweep hard-fails internally if coverage or the final checkpoint
+	// diverges between any of them.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows[1:] {
+		if row[1] != tbl.Rows[0][1] {
+			t.Fatalf("coverage differs across modes: %v vs %v", row, tbl.Rows[0])
+		}
+	}
+}
+
 func TestOmegaSensitivity(t *testing.T) {
 	tbl := OmegaSensitivity()
 	if len(tbl.Rows) != 5 {

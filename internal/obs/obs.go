@@ -95,6 +95,17 @@ type Obs struct {
 	BreakerTrips   Counter // circuit-breaker transitions into open
 	BreakerState   Gauge   // current breaker position (0 closed, 1 open, 2 half-open)
 
+	// Durability counters (WAL journal and crash recovery).
+	WalAppends Counter // records appended to the write-ahead journal
+	WalBytes   Counter // journal bytes written (headers included)
+	WalFsyncs  Counter // journal fsync calls
+	Recoveries Counter // crash recoveries performed (snapshot and/or journal replayed)
+
+	// WalFsyncLatency observes one duration per journal fsync — the
+	// price of the chosen durability policy, separated from search
+	// latency so slow disks and slow interfaces don't blur together.
+	WalFsyncLatency Histogram
+
 	// Index construction.
 	IndexBuilds Counter
 	IndexShards Gauge // shard count of the most recent build
@@ -377,6 +388,43 @@ func (o *Obs) Checkpoint(path string, covered, queries int) {
 	}
 }
 
+// WalAppend records one record appended to the write-ahead journal: its
+// kind (begin/round/step/requeue/forfeit/budget_stop), its journal
+// sequence number, and its on-disk size including the length/CRC header.
+func (o *Obs) WalAppend(kind string, walSeq uint64, bytes int) {
+	if o == nil {
+		return
+	}
+	o.WalAppends.Inc()
+	o.WalBytes.Add(int64(bytes))
+	if t := o.tracer.Load(); t != nil {
+		t.walAppend(kind, walSeq, bytes)
+	}
+}
+
+// WalFsynced observes one journal fsync and its latency.
+func (o *Obs) WalFsynced(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.WalFsyncs.Inc()
+	o.WalFsyncLatency.Observe(d)
+}
+
+// Recovered records one crash recovery: the snapshot path, how many
+// journal records were replayed on top of it, the recovered coverage and
+// query counts, the last journal sequence number seen, and whether a torn
+// tail record was discarded.
+func (o *Obs) Recovered(path string, records, covered, queries int, walSeq uint64, torn bool) {
+	if o == nil {
+		return
+	}
+	o.Recoveries.Inc()
+	if t := o.tracer.Load(); t != nil {
+		t.recovered(path, records, covered, queries, walSeq, torn)
+	}
+}
+
 // EstimateComputed counts one estimator Benefit() call — the hottest hook
 // (heap rescoring), so it is a single atomic add.
 func (o *Obs) EstimateComputed() {
@@ -476,6 +524,23 @@ func (o *Obs) Snapshot() map[string]any {
 		}
 		m["resilience"] = res
 	}
+	if o.WalAppends.Value()+o.Recoveries.Value() > 0 {
+		dur := map[string]any{
+			"wal_appends": o.WalAppends.Value(),
+			"wal_bytes":   o.WalBytes.Value(),
+			"wal_fsyncs":  o.WalFsyncs.Value(),
+			"recoveries":  o.Recoveries.Value(),
+		}
+		if hs := o.WalFsyncLatency.Snapshot(); hs.Count > 0 {
+			dur["fsync_latency"] = map[string]any{
+				"count":   hs.Count,
+				"mean_ms": roundMs(hs.Mean),
+				"p95_ms":  roundMs(hs.P95),
+				"max_ms":  roundMs(hs.Max),
+			}
+		}
+		m["durability"] = dur
+	}
 	if hs := o.SearchLatency.Snapshot(); hs.Count > 0 {
 		m["search_latency"] = map[string]any{
 			"count":   hs.Count,
@@ -519,6 +584,14 @@ func (o *Obs) WriteSummary(w io.Writer) {
 		fmt.Fprintf(w, "obs: resilience: %d faults injected, %d truncated results, %d requeues, %d forfeits, %d budget refunds, breaker tripped %d times\n",
 			o.FaultsInjected.Value(), o.Truncations.Value(), o.Requeues.Value(),
 			o.Forfeits.Value(), o.Refunds.Value(), o.BreakerTrips.Value())
+	}
+	if o.WalAppends.Value()+o.Recoveries.Value() > 0 {
+		fmt.Fprintf(w, "obs: durability: %d journal records (%d bytes), %d fsyncs, %d recoveries\n",
+			o.WalAppends.Value(), o.WalBytes.Value(), o.WalFsyncs.Value(), o.Recoveries.Value())
+		if hs := o.WalFsyncLatency.Snapshot(); hs.Count > 0 {
+			fmt.Fprintf(w, "obs: journal fsync latency: mean %.2fms p95 %.2fms max %.2fms\n",
+				roundMs(hs.Mean), roundMs(hs.P95), roundMs(hs.Max))
+		}
 	}
 	if hs := o.SearchLatency.Snapshot(); hs.Count > 0 {
 		fmt.Fprintf(w, "obs: search latency: mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",

@@ -79,6 +79,8 @@ const (
 	EventBreaker    = "breaker"
 	EventRequeue    = "requeue"
 	EventForfeit    = "forfeit"
+	EventWalAppend  = "wal_append"
+	EventRecovered  = "recovered"
 )
 
 // Event is the union wire format of one trace line, for consumers reading
@@ -109,6 +111,11 @@ type Event struct {
 	From       string  `json:"from,omitempty"`
 	To         string  `json:"to,omitempty"`
 	Failures   int     `json:"failures,omitempty"`
+	Kind       string  `json:"kind,omitempty"`
+	WalSeq     uint64  `json:"wal_seq,omitempty"`
+	Bytes      int     `json:"bytes,omitempty"`
+	Records    int     `json:"records,omitempty"`
+	Torn       bool    `json:"torn,omitempty"`
 }
 
 // ParseEvents decodes a JSONL trace back into events — the consumer side
@@ -219,6 +226,30 @@ type requeueEvent struct {
 	Err     string `json:"err,omitempty"`
 }
 
+// walAppendEvent traces one record appended to the write-ahead journal.
+type walAppendEvent struct {
+	Seq    uint64 `json:"seq"`
+	TMs    int64  `json:"t_ms"`
+	Type   string `json:"type"`
+	Kind   string `json:"kind"`
+	WalSeq uint64 `json:"wal_seq"`
+	Bytes  int    `json:"bytes"`
+}
+
+// recoveredEvent traces one crash recovery: how much state came back from
+// the snapshot + journal, and whether a torn tail record was discarded.
+type recoveredEvent struct {
+	Seq     uint64 `json:"seq"`
+	TMs     int64  `json:"t_ms"`
+	Type    string `json:"type"`
+	Path    string `json:"path"`
+	Records int    `json:"records"`
+	Covered int    `json:"covered"`
+	Queries int    `json:"queries"`
+	WalSeq  uint64 `json:"wal_seq"`
+	Torn    bool   `json:"torn"`
+}
+
 func (t *Tracer) query(q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
 	t.emit(func(seq uint64, tms int64) any {
 		return queryEvent{seq, tms, EventQuery, q, est, resultSize, newCovered, cumCovered, solid}
@@ -276,6 +307,18 @@ func (t *Tracer) requeue(q string, attempt int, errMsg string) {
 func (t *Tracer) forfeit(q string, attempts int, errMsg string) {
 	t.emit(func(seq uint64, tms int64) any {
 		return requeueEvent{seq, tms, EventForfeit, q, attempts, errMsg}
+	})
+}
+
+func (t *Tracer) walAppend(kind string, walSeq uint64, bytes int) {
+	t.emit(func(seq uint64, tms int64) any {
+		return walAppendEvent{seq, tms, EventWalAppend, kind, walSeq, bytes}
+	})
+}
+
+func (t *Tracer) recovered(path string, records, covered, queries int, walSeq uint64, torn bool) {
+	t.emit(func(seq uint64, tms int64) any {
+		return recoveredEvent{seq, tms, EventRecovered, path, records, covered, queries, walSeq, torn}
 	})
 }
 

@@ -106,6 +106,9 @@ func TestObsOverheadUnderTwoPercent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
+	if raceDetectorOn {
+		t.Skip("timing budget is meaningless under the race detector")
+	}
 	u := newSimUniverse(t)
 	// Warm both paths (index sharding, page cache) before timing.
 	u.crawl(t, nil)

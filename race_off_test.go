@@ -1,0 +1,5 @@
+//go:build !race
+
+package smartcrawl_test
+
+const raceDetectorOn = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package smartcrawl_test
+
+// raceDetectorOn mirrors whether this test binary carries the race
+// detector. The wall-clock budget tests skip under it: the detector
+// multiplies every memory access several-fold and the suite runs
+// alongside heavyweight race-mode packages (the crashtest kill matrix),
+// so a 2% timing budget would measure the instrumentation, not the code.
+const raceDetectorOn = true

@@ -32,12 +32,14 @@
 package smartcrawl
 
 import (
+	"context"
 	"errors"
 	"io"
 	"time"
 
 	"smartcrawl/internal/crawler"
 	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/durable"
 	"smartcrawl/internal/enrich"
 	"smartcrawl/internal/estimator"
 	"smartcrawl/internal/hidden"
@@ -110,7 +112,40 @@ type (
 	// Resilience is the graceful-degradation report of a fault-tolerant
 	// crawl (Result.Resilience).
 	Resilience = crawler.Resilience
+	// PendingQuery is one journaled-but-unresolved selection-round entry;
+	// a recovered crawl re-issues them via SmartOptions.ResumePending.
+	PendingQuery = crawler.PendingQuery
+	// DurabilitySink receives per-event accounting callbacks from the
+	// crawl merge stage (SmartOptions.Durability).
+	DurabilitySink = crawler.DurabilitySink
+	// Durability is the crash-safety implementation of DurabilitySink: a
+	// checksummed WAL journal with atomic snapshot compaction. Construct
+	// with OpenDurability.
+	Durability = durable.Sink
+	// DurabilityOptions configures OpenDurability.
+	DurabilityOptions = durable.Options
+	// RecoveredCrawl is crawl state rebuilt from a snapshot + journal
+	// (see RecoverCrawl and Durability.Recovered).
+	RecoveredCrawl = durable.Recovered
 )
+
+// Journal fsync policies for DurabilityOptions.Sync. None of them is
+// needed to survive the process dying (a completed write lives in the
+// page cache); they guard against the machine dying — power loss, kernel
+// panic.
+const (
+	// SyncAlways fsyncs after every journal append.
+	SyncAlways = durable.SyncAlways
+	// SyncRound fsyncs once per completed selection round (group commit).
+	SyncRound = durable.SyncRound
+	// SyncCompact (the default) fsyncs only at compaction, open, and
+	// close.
+	SyncCompact = durable.SyncCompact
+)
+
+// DefaultAutosave is the default journal→snapshot compaction cadence, in
+// absorbed queries (DurabilityOptions.Every).
+const DefaultAutosave = durable.DefaultEvery
 
 // NewObs returns an enabled observability sink (see Env.Obs).
 func NewObs() *Obs { return obs.New() }
@@ -270,6 +305,19 @@ type SmartOptions struct {
 	// is misbehaving (implies MaxAttempts >= 1). Construct with
 	// NewBreaker.
 	Breaker *Breaker
+	// Context, when non-nil, lets the crawl be interrupted gracefully:
+	// cancellation stops selection at the next round boundary, drains
+	// in-flight queries, and returns the partial (resumable) Result with
+	// a nil error.
+	Context context.Context
+	// Durability, when non-nil, receives synchronous accounting
+	// callbacks from the merge stage — attach a Durability (WAL journal +
+	// snapshot compaction) from OpenDurability for crash-safe crawls.
+	Durability DurabilitySink
+	// ResumePending re-issues the unresolved tail of a crashed session's
+	// last selection round before any fresh selection; populate it from
+	// RecoveredCrawl.Pending together with Resume.
+	ResumePending []PendingQuery
 }
 
 // NewSmartCrawler builds the paper's SMARTCRAWL framework: query pool from
@@ -286,6 +334,9 @@ func NewSmartCrawler(env *Env, opts SmartOptions) (Crawler, error) {
 		OnlineCalibration: opts.Online,
 		MaxAttempts:       opts.MaxAttempts,
 		Breaker:           opts.Breaker,
+		Context:           opts.Context,
+		Durability:        opts.Durability,
+		ResumePending:     opts.ResumePending,
 	}
 	if opts.Sample != nil {
 		cfg.AlphaFallback = true
@@ -313,6 +364,31 @@ func SaveCheckpoint(w io.Writer, res *Result) error {
 // LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
 func LoadCheckpoint(r io.Reader) (*Result, error) {
 	return crawler.LoadResult(r)
+}
+
+// WriteCheckpointFile saves a checkpoint atomically: readers of path see
+// either the previous complete checkpoint or the new one, never a torn
+// write — safe to use for the only copy of a crawl's progress.
+func WriteCheckpointFile(path string, res *Result) error {
+	return durable.WriteFileAtomic(path, func(w io.Writer) error {
+		return crawler.SaveResult(w, res)
+	})
+}
+
+// OpenDurability recovers prior crawl state from a snapshot + WAL journal
+// and returns the live crash-safety sink: attach it (and the recovered
+// state) to SmartOptions and every charged query becomes durable the
+// moment it is absorbed. See docs/OPERATIONS.md "Durability & recovery".
+func OpenDurability(opts DurabilityOptions) (*Durability, error) {
+	return durable.Open(opts)
+}
+
+// RecoverCrawl rebuilds crawl state from a snapshot and/or journal
+// without modifying either file — the read-only half of OpenDurability,
+// for inspection tooling. localLen pins the expected local-table size; 0
+// accepts what the files record.
+func RecoverCrawl(snapshotPath, journalPath string, localLen int) (*RecoveredCrawl, error) {
+	return durable.Recover(snapshotPath, journalPath, localLen)
 }
 
 // NewRetryingSearcher wraps a Searcher so transient failures (network
