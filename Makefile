@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check chaos crashtest bench experiments examples fuzz cover clean
+.PHONY: all build vet test test-short race check allocguard chaos crashtest bench bench-hotpath experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -23,9 +23,15 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The pre-merge gate: vet, the full suite under the race detector, and the
+# The pre-merge gate: vet, the full suite under the race detector, the
+# allocation-regression guard (which -race would skip), and the
 # kill-anywhere crash-recovery matrix against the real binary.
-check: vet race crashtest
+check: vet race allocguard crashtest
+
+# Pin of the zero-allocation steady-state selection kernel; runs without
+# -race because the detector instruments allocations.
+allocguard:
+	$(GO) test -count=1 -run TestSteadyStateRemoveAllocFree ./internal/crawler/
 
 # Chaos drill (docs/OPERATIONS.md): the fault-injection and resilience
 # tests, ending with the graceful-degradation acceptance sweep — ≥90% of
@@ -50,6 +56,14 @@ bench:
 # Micro-benchmarks of the substrates.
 microbench:
 	$(GO) test -bench . -benchmem ./internal/...
+
+# Hot-path microbenchmarks behind BENCH_hotpath.json: pool build + stat
+# setup, the selection-loop drain, and the remove/rescore kernel, with
+# allocation counts. Raw output lands in bench_hotpath.txt; fold the
+# numbers into BENCH_hotpath.json when recording a before/after.
+bench-hotpath:
+	$(GO) test -bench 'BenchmarkPoolBuild|BenchmarkSelectionLoop|BenchmarkRemove' \
+		-benchmem -benchtime 5x -count 1 -run '^$$' ./internal/crawler/ | tee bench_hotpath.txt
 
 # Regenerate every paper table/figure at 10% scale into results_scale01.txt.
 experiments:

@@ -45,6 +45,7 @@ import (
 
 	"smartcrawl/internal/experiment"
 	"smartcrawl/internal/obs"
+	"smartcrawl/internal/profiling"
 )
 
 func main() {
@@ -55,6 +56,8 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", 0, "crawl pipeline worker-pool size (ablate-batch, parallel)")
 		latency = flag.Duration("latency", 5*time.Millisecond, "injected per-query latency (parallel)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -62,6 +65,13 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	p := experiment.Scaled(*scale)
 	p.Seed = *seed

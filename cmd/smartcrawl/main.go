@@ -45,6 +45,7 @@ import (
 	"smartcrawl/internal/deepweb/httpapi"
 	"smartcrawl/internal/durable"
 	"smartcrawl/internal/obs"
+	"smartcrawl/internal/profiling"
 	"smartcrawl/internal/relational"
 )
 
@@ -80,6 +81,8 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the injected fault schedule (with -faults)")
 		maxAttempts = flag.Int("max-attempts", 0, "failed queries are re-queued up to N times before being forfeited (0 = fail fast; defaults to 3 with -faults)")
 		breakerN    = flag.Int("breaker", -1, "circuit-breaker consecutive-failure threshold; 0 disables (default: 5 with -faults, else off)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -125,6 +128,12 @@ func main() {
 	if *autosave < 0 {
 		fatal(fmt.Errorf("-autosave must be >= 0"))
 	}
+
+	stopProfiles, profErr := profiling.Start(*cpuProfile, *memProfile)
+	if profErr != nil {
+		fatal(profErr)
+	}
+	defer stopProfiles()
 
 	// Observability: -trace records the session as JSONL, -metrics prints
 	// the end-of-run summary. Disabled (nil sink) when neither is set, so

@@ -1,0 +1,32 @@
+package crawler
+
+// Allocation-regression guard for the steady-state selection kernel. The
+// interning refactor took the per-iteration remove/rescore path to zero
+// heap allocations (BENCH_hotpath.json); this test pins that so a later
+// change can't quietly reintroduce per-iteration garbage. Wired into
+// `make check`.
+
+import "testing"
+
+func TestSteadyStateRemoveAllocFree(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("race detector instruments allocations; guard only meaningful without -race")
+	}
+	if testing.Short() {
+		t.Skip("builds the full benchmark universe")
+	}
+	u := newBenchUniverse(t)
+	st := newBenchSelState(u)
+	n := len(u.in.Local.Records)
+	d := 0
+	// remove() on an already-removed record is a no-op, so cycling d keeps
+	// every run on the steady-state path even after the table drains.
+	avg := testing.AllocsPerRun(500, func() {
+		st.remove(d)
+		st.rescoreOne()
+		d = (d + 1) % n
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state remove+rescore allocates %.2f allocs/op, want 0", avg)
+	}
+}

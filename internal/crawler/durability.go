@@ -34,7 +34,9 @@ type PendingQuery struct {
 // its progress must not keep charging quota.
 type DurabilitySink interface {
 	// RoundSelected fires after a selection round is chosen and before
-	// any of it is dispatched — the write-ahead intent record.
+	// any of it is dispatched — the write-ahead intent record. sel is a
+	// scratch slice the crawl loop reuses next round: implementations
+	// must copy anything they retain past the call.
 	RoundSelected(sel []PendingQuery, res *Result) error
 	// StepAbsorbed fires after a query result has been absorbed into res;
 	// step is the step just appended to res.Steps and newlyCovered lists

@@ -1,0 +1,124 @@
+package crawler
+
+// Hot-path microbenchmarks for the Algorithm-4 selection machinery
+// (BENCH_hotpath.json): pool build + stat setup, the steady-state
+// selection loop, and the remove/rescore kernel. The workload is a
+// simulated-DBLP instance large enough that per-iteration costs dominate
+// and a θ=5% sample so the match-statistic maintenance (the
+// countSatisfying path) is actually exercised.
+//
+// `make bench-hotpath` runs these and records ns/op + allocs/op; the
+// before/after table lives in BENCH_hotpath.json and the README perf
+// section.
+
+import (
+	"testing"
+
+	"smartcrawl/internal/dataset"
+	"smartcrawl/internal/match"
+	"smartcrawl/internal/querypool"
+	"smartcrawl/internal/sample"
+	"smartcrawl/internal/stats"
+	"smartcrawl/internal/tokenize"
+)
+
+// benchUniverse is the shared benchmark instance: local table, sample,
+// tokenizer, matcher — everything the selection machinery consumes.
+type benchUniverse struct {
+	in  *dataset.Instance
+	tk  *tokenize.Tokenizer
+	m   match.Matcher
+	smp *sample.Sample
+	k   int
+}
+
+func newBenchUniverse(b testing.TB) *benchUniverse {
+	b.Helper()
+	in, err := dataset.GenerateDBLP(dataset.DBLPConfig{
+		CorpusSize: 20000,
+		HiddenSize: 5000,
+		LocalSize:  1500,
+		Seed:       7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tk := tokenize.New()
+	smp := sample.Bernoulli(in.Hidden, 0.05, stats.NewRNG(7))
+	return &benchUniverse{
+		in:  in,
+		tk:  tk,
+		m:   match.NewExactOn(tk, in.LocalKey, in.HiddenKey),
+		smp: smp,
+		k:   100,
+	}
+}
+
+// BenchmarkPoolBuild measures the setup phase of Algorithm 4: query-pool
+// generation, inverted-index build, per-query q(D) resolution, and the
+// initial sample-match statistics.
+func BenchmarkPoolBuild(b *testing.B) {
+	u := newBenchUniverse(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := newBenchSelState(u)
+		if len(st.sel.states) == 0 {
+			b.Fatal("empty pool")
+		}
+	}
+}
+
+// BenchmarkSelectionLoop measures a full drain of the selection loop:
+// repeatedly pop the best query from the lazy queue and remove every
+// record it covers (the solid-query case, which exercises the forward
+// index, the stat updates, and the heap invalidations maximally).
+func BenchmarkSelectionLoop(b *testing.B) {
+	u := newBenchUniverse(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := newBenchSelState(u)
+		b.StartTimer()
+		drained := 0
+		for {
+			qid, _, ok := st.pop()
+			if !ok {
+				break
+			}
+			st.cover(qid)
+			drained++
+		}
+		if drained == 0 {
+			b.Fatal("selection loop drained nothing")
+		}
+	}
+}
+
+// BenchmarkRemove measures the per-record remove/rescore kernel in
+// isolation: dropping one covered record from consideration, updating
+// every affected query's statistics, and rescoring one invalidated query.
+func BenchmarkRemove(b *testing.B) {
+	u := newBenchUniverse(b)
+	st := newBenchSelState(u)
+	n := len(u.in.Local.Records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := i % n
+		if d == 0 && i > 0 {
+			b.StopTimer()
+			st = newBenchSelState(u)
+			b.StartTimer()
+		}
+		st.remove(d)
+		st.rescoreOne()
+	}
+}
+
+// querypool.Generate's cost is included in newBenchSelState; this pins the
+// pool at a stable size so the benches stay comparable across changes.
+func benchPoolConfig() querypool.Config {
+	return querypool.Config{MinSupport: 2, MaxQueryLen: 3}
+}

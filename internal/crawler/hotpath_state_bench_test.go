@@ -1,0 +1,76 @@
+package crawler
+
+// benchSelState materializes the Algorithm-4 selection state exactly as
+// Smart.Run builds it — via the production newSelection — with the
+// issue/absorb machinery stripped away, so the benchmarks in
+// hotpath_bench_test.go measure the selection kernels (pool resolution,
+// stat maintenance, remove/rescore) and nothing else.
+
+import (
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/match"
+	"smartcrawl/internal/querypool"
+)
+
+type benchSelState struct {
+	sel    *selection
+	theta  float64
+	k      int
+	est    estimator.Estimator
+	cursor int
+}
+
+func newBenchSelState(u *benchUniverse) *benchSelState {
+	pool := querypool.Generate(u.in.Local, u.tk, benchPoolConfig())
+	env := &Env{Local: u.in.Local, Tokenizer: u.tk, Matcher: u.m}
+	joiner := match.NewJoiner(u.in.Local.Records, u.tk, u.m)
+
+	s := &benchSelState{theta: u.smp.Theta, k: u.k, est: estimator.Biased{}}
+	s.sel = newSelection(env, pool, selectionStats{smp: u.smp, joiner: joiner}, 1, s.benefit)
+	return s
+}
+
+func (s *benchSelState) benefit(st *qstate) float64 {
+	return s.est.Benefit(estimator.Stats{
+		FreqD:       st.freqD,
+		FreqSample:  st.freqS,
+		MatchSample: st.matchS,
+		Theta:       s.theta,
+		K:           s.k,
+	})
+}
+
+func (s *benchSelState) rescore(qid int) (float64, bool) {
+	st := s.sel.states[qid]
+	if st == nil || st.issued || st.freqD <= 0 {
+		return 0, false
+	}
+	return s.benefit(st), true
+}
+
+func (s *benchSelState) pop() (int, float64, bool) {
+	return s.sel.heap.Pop(s.rescore)
+}
+
+// cover marks the query issued and removes every record it still covers —
+// the solid-query absorption path minus the searcher and the joiner.
+func (s *benchSelState) cover(qid int) {
+	st := s.sel.states[qid]
+	st.issued = true
+	for _, d := range st.qD {
+		s.sel.remove(int(d))
+	}
+}
+
+func (s *benchSelState) remove(d int) { s.sel.remove(d) }
+
+// rescoreOne rescores the next live query in round-robin order, modeling
+// the lazy queue revalidating an invalidated entry.
+func (s *benchSelState) rescoreOne() {
+	for i := 0; i < len(s.sel.states); i++ {
+		s.cursor = (s.cursor + 1) % len(s.sel.states)
+		if _, ok := s.rescore(s.cursor); ok {
+			return
+		}
+	}
+}

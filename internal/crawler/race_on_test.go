@@ -1,0 +1,7 @@
+//go:build race
+
+package crawler
+
+// The race detector instruments allocations, so alloc-count guards are
+// meaningless under -race.
+const raceDetectorOn = true

@@ -4,11 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/estimator"
-	"smartcrawl/internal/index"
-	"smartcrawl/internal/lazyheap"
 	"smartcrawl/internal/querypool"
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/sample"
@@ -170,9 +169,11 @@ func (s *Smart) Name() string {
 
 // qstate is the live selection state of one pool query.
 type qstate struct {
-	q     *querypool.Query
-	qD    []int // local record IDs satisfying q at generation time
-	freqD int   // |q(D)| over still-considered records
+	q *querypool.Query
+	// qD holds the local record IDs satisfying q at generation time,
+	// sorted ascending — the interned-index intersection result.
+	qD    []uint32
+	freqD int // |q(D)| over still-considered records
 	// matchS is |q(D) ∩̃ q(Hs)| over still-considered records.
 	matchS int
 	freqS  int // |q(Hs)|, static
@@ -209,41 +210,20 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	pool := querypool.Generate(env.Local, env.Tokenizer, poolCfg)
 	stopPool()
 	s.PoolSize = pool.Len()
-	invD := index.BuildInvertedNObs(env.Local.Records, env.Tokenizer, workers, env.Obs)
 
-	// Sample-side statics.
+	// Sample-derived estimator constants; the sample's interned indexes
+	// and match tables are built inside newSelection.
 	var (
 		theta float64
 		alpha float64
-		invS  *index.Inverted
-		// sampleMatches[d] lists sample positions matching local d.
-		sampleMatches map[int][]int
-		sampleTokens  []map[string]struct{}
 	)
 	if s.cfg.Sample != nil && s.cfg.Sample.Len() > 0 {
-		stopSample := env.Obs.Phase("sample_index")
 		theta = s.cfg.Sample.Theta
 		if s.cfg.AlphaFallback {
 			alpha = theta * float64(env.Local.Len()) / float64(s.cfg.Sample.Len())
 		}
-		invS = buildSampleIndex(s.cfg.Sample, env, workers)
-		sampleTokens = make([]map[string]struct{}, s.cfg.Sample.Len())
-		for i, r := range s.cfg.Sample.Records {
-			sampleTokens[i] = env.Tokenizer.Set(r.Document())
-		}
-		sampleMatches = make(map[int][]int)
-		for pos, r := range s.cfg.Sample.Records {
-			for _, d := range t.joiner.Matches(r) {
-				sampleMatches[d] = append(sampleMatches[d], pos)
-			}
-		}
-		stopSample()
 	}
 
-	// Per-query state, forward index, and initial priorities.
-	states := make([]*qstate, pool.Len())
-	fwd := index.NewForward()
-	heap := lazyheap.New()
 	// Online calibration state (§9 future work; see SmartConfig):
 	// per-bucket running means of realized benefit, keyed by
 	// bit-length of |q(D₀)|.
@@ -253,14 +233,9 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		count int
 	}
 	var calib [64]bucketStat
-	bucketOf := func(n int) int {
-		b := 0
-		for n > 0 {
-			n >>= 1
-			b++
-		}
-		return b
-	}
+	// bucketOf is the bit length of n (⌈log₂(n+1)⌉ for n ≥ 0) — the
+	// hardware leading-zero count instead of a shift loop.
+	bucketOf := func(n int) int { return bits.Len(uint(n)) }
 	// Estimator Benefit calls are the selection hot path; the instrumented
 	// wrapper adds one atomic count per call and nothing else, so the
 	// benefits — and therefore selection order — are bit-identical.
@@ -291,52 +266,13 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			Alpha:       alpha,
 		})
 	}
-	for _, q := range pool.Queries {
-		st := &qstate{q: q, qD: invD.Lookup(q.Keywords)}
-		st.freqD = len(st.qD)
-		if st.freqD == 0 {
-			continue // cannot cover anything; never issue
-		}
-		if invS != nil {
-			st.freqS = invS.Count(q.Keywords)
-			for _, d := range st.qD {
-				st.matchS += countSatisfying(sampleMatches[d], sampleTokens, q.Keywords)
-			}
-		}
-		states[q.ID] = st
-		for _, d := range st.qD {
-			fwd.Add(d, q.ID)
-		}
-		heap.Push(q.ID, benefitOf(st))
-	}
-
-	// considered[d] is false once d has been covered or predicted ∈ ΔD.
-	considered := make([]bool, env.Local.Len())
-	for i := range considered {
-		considered[i] = true
-	}
-	remaining := env.Local.Len()
-
-	// remove drops d from consideration and invalidates affected queries.
-	remove := func(d int) {
-		if !considered[d] {
-			return
-		}
-		considered[d] = false
-		remaining--
-		for _, qid := range fwd.Remove(d) {
-			st := states[qid]
-			if st == nil || st.issued {
-				continue
-			}
-			st.freqD--
-			st.matchS -= countSatisfying(sampleMatches[d], sampleTokens, st.q.Keywords)
-			heap.Invalidate(qid)
-		}
-	}
+	// Pool resolution, the interned inverted/forward indexes, the
+	// precomputed sample-match counts, and the initial priorities —
+	// Figure 3's index structures on token IDs (see selection.go).
+	sel := newSelection(env, pool, selectionStats{smp: s.cfg.Sample, joiner: t.joiner}, workers, benefitOf)
 
 	rescore := func(qid int) (float64, bool) {
-		st := states[qid]
+		st := sel.states[qid]
 		if st == nil || st.issued || st.freqD <= 0 {
 			return 0, false
 		}
@@ -363,26 +299,26 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		// Retire issued queries and replay record removals.
 		for d, covered := range prev.Covered {
 			if covered {
-				remove(d)
+				sel.remove(d)
 			}
 		}
 		for _, step := range prev.Steps {
 			q := pool.Find(step.Query)
-			if q == nil || states[q.ID] == nil {
+			if q == nil || sel.states[q.ID] == nil {
 				continue // pool drift; the query can no longer be selected anyway
 			}
-			st := states[q.ID]
+			st := sel.states[q.ID]
 			st.issued = true
 			if !s.cfg.EagerSelection {
 				// The replayed query's heap entry was never popped; a clean
 				// entry would be re-issued without a rescore. (Usually its
 				// own covered records already invalidated it above, but a
 				// step that covered nothing new leaves the entry clean.)
-				heap.Invalidate(q.ID)
+				sel.heap.Invalidate(q.ID)
 			}
 			if step.ResultSize < k && !s.cfg.DisableDeltaDRemoval {
 				for _, d := range st.qD {
-					remove(d)
+					sel.remove(int(d))
 				}
 			}
 			// Replay the calibration observations so a resumed online
@@ -394,7 +330,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			}
 		}
 		if s.cfg.OnlineCalibration {
-			heap.Reprioritize(rescore)
+			sel.heap.Reprioritize(rescore)
 		}
 	}
 
@@ -441,26 +377,19 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	// Returns false — forfeit — when attempts are exhausted or nothing the
 	// query covers is still uncovered.
 	requeue := func(st *qstate, fromHeap bool) bool {
-		st.freqD, st.matchS = 0, 0
-		for _, d := range st.qD {
-			if !considered[d] {
-				continue
-			}
-			st.freqD++
-			st.matchS += countSatisfying(sampleMatches[d], sampleTokens, st.q.Keywords)
-		}
+		sel.recompute(st)
 		if st.freqD <= 0 || st.attempts >= maxAttempts {
 			return false
 		}
 		st.issued = false
 		if !s.cfg.EagerSelection {
 			if fromHeap {
-				heap.Push(st.q.ID, benefitOf(st))
+				sel.heap.Push(st.q.ID, benefitOf(st))
 			} else {
 				// The entry is still in the heap (resumed pending query,
 				// never popped); a Push would duplicate it. Invalidation
 				// forces a rescore with the recomputed statistics.
-				heap.Invalidate(st.q.ID)
+				sel.heap.Invalidate(st.q.ID)
 			}
 		}
 		return true
@@ -488,7 +417,16 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	// (see SmartConfig.ResumePending); it is re-issued with the original
 	// benefits before any fresh selection.
 	pending := append([]PendingQuery(nil), s.cfg.ResumePending...)
-	for !counting.Exhausted() && (remaining > 0 || len(pending) > 0) {
+	// Round scratch, allocated once and reused every round: the selection
+	// loop runs thousands of rounds and the per-round make calls were
+	// measurable. Safe because every consumer finishes with the slice
+	// inside the round — the dispatcher reads its input before returning,
+	// and DurabilitySink.RoundSelected must copy what it retains.
+	issueBuf := make([]issue, batch)
+	round := make([]*issue, 0, batch)
+	intentScratch := make([]PendingQuery, 0, batch)
+	qsScratch := make([]deepweb.Query, 0, batch)
+	for !counting.Exhausted() && (sel.remaining > 0 || len(pending) > 0) {
 		if ctx != nil && ctx.Err() != nil {
 			break // graceful shutdown: stop at the round boundary
 		}
@@ -508,7 +446,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		if r := counting.Remaining(); r >= 0 && r < n {
 			n = r
 		}
-		var round []*issue
+		round = round[:0]
 		if len(pending) > 0 {
 			// Replay the crashed round verbatim: same queries, same
 			// benefits, same order. The pool state may have drifted (a
@@ -519,9 +457,10 @@ func (s *Smart) Run(budget int) (*Result, error) {
 				n = len(pending)
 			}
 			for _, p := range pending[:n] {
-				is := &issue{q: p.Query, benefit: p.Benefit}
+				is := &issueBuf[len(round)]
+				*is = issue{q: p.Query, benefit: p.Benefit}
 				if q := pool.Find(p.Query); q != nil {
-					if st := states[q.ID]; st != nil && !st.issued {
+					if st := sel.states[q.ID]; st != nil && !st.issued {
 						st.issued = true
 						is.st = st
 						if !s.cfg.EagerSelection {
@@ -530,7 +469,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 							// entry would be re-issued without ever being
 							// rescored. Mark it stale so the issued
 							// filter retires it at the next pop.
-							heap.Invalidate(q.ID)
+							sel.heap.Invalidate(q.ID)
 						}
 					}
 				}
@@ -545,16 +484,18 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					ok      bool
 				)
 				if s.cfg.EagerSelection {
-					qid, benefit, ok = eagerArgmax(states, benefitOf)
+					qid, benefit, ok = eagerArgmax(sel.states, benefitOf)
 				} else {
-					qid, benefit, ok = heap.Pop(rescore)
+					qid, benefit, ok = sel.heap.Pop(rescore)
 				}
 				if !ok {
 					break // pool exhausted
 				}
-				st := states[qid]
+				st := sel.states[qid]
 				st.issued = true
-				round = append(round, &issue{st: st, q: st.q.Keywords, benefit: benefit, fromHeap: true})
+				is := &issueBuf[len(round)]
+				*is = issue{st: st, q: st.q.Keywords, benefit: benefit, fromHeap: true}
+				round = append(round, is)
 			}
 		}
 		if len(round) == 0 {
@@ -564,11 +505,11 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			// Write-ahead intent: journal the selected batch before any
 			// of it is dispatched, so a crash mid-round can re-issue
 			// exactly this batch instead of re-selecting a different one.
-			sel := make([]PendingQuery, len(round))
-			for i, is := range round {
-				sel[i] = PendingQuery{Query: is.q, Benefit: is.benefit}
+			intentScratch = intentScratch[:0]
+			for _, is := range round {
+				intentScratch = append(intentScratch, PendingQuery{Query: is.q, Benefit: is.benefit})
 			}
-			if err := sink.RoundSelected(sel, t.res); err != nil {
+			if err := sink.RoundSelected(intentScratch, t.res); err != nil {
 				return nil, sinkErr(err)
 			}
 		}
@@ -581,11 +522,11 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		// worker finished first. Under a cancelled context the
 		// dispatcher drains: started queries finish, unstarted ones
 		// come back with ctx.Err() before they could be charged.
-		qs := make([]deepweb.Query, len(round))
-		for i, is := range round {
-			qs[i] = is.q
+		qsScratch = qsScratch[:0]
+		for _, is := range round {
+			qsScratch = append(qsScratch, is.q)
 		}
-		for i, o := range disp.DispatchCtx(ctx, qs) {
+		for i, o := range disp.DispatchCtx(ctx, qsScratch) {
 			round[i].recs, round[i].err = o.Records, o.Err
 		}
 
@@ -605,9 +546,9 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					st.issued = false
 					if !s.cfg.EagerSelection {
 						if is.fromHeap {
-							heap.Push(st.q.ID, is.benefit)
+							sel.heap.Push(st.q.ID, is.benefit)
 						} else {
-							heap.Invalidate(st.q.ID)
+							sel.heap.Invalidate(st.q.ID)
 						}
 					}
 				}
@@ -705,16 +646,16 @@ func (s *Smart) Run(budget int) (*Result, error) {
 				curMean := cur.sum / float64(cur.count)
 				switch {
 				case cur.count == calibMinObs:
-					heap.Reprioritize(rescore)
+					sel.heap.Reprioritize(rescore)
 				case old.count >= calibMinObs:
 					oldMean := old.sum / float64(old.count)
 					if curMean > 1.3*oldMean || curMean < 0.7*oldMean {
-						heap.Reprioritize(rescore)
+						sel.heap.Reprioritize(rescore)
 					}
 				}
 			}
 			for _, d := range newly {
-				remove(d)
+				sel.remove(d)
 			}
 			// §4.2 ΔD prediction: a solid query (result smaller than
 			// k) returns everything matching it, so any record of
@@ -725,7 +666,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			if solid && !s.cfg.DisableDeltaDRemoval {
 				if st != nil {
 					for _, d := range st.qD {
-						remove(d)
+						sel.remove(int(d))
 					}
 				}
 			}
@@ -737,7 +678,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 	}
 
-	s.HeapRepushes = heap.Repushes
+	s.HeapRepushes = sel.heap.Repushes
 	if rep != nil {
 		if br != nil {
 			rep.BreakerTrips = tripsBase + br.Trips()
@@ -748,7 +689,10 @@ func (s *Smart) Run(budget int) (*Result, error) {
 }
 
 // countSatisfying counts the sample positions (matching some local record)
-// whose token sets contain every query keyword.
+// whose token sets contain every query keyword. The production path runs
+// the interned kernel (countSatisfyingIDs over precomputed counts; see
+// selection.go); this string implementation is retained as the reference
+// the equivalence tests check the kernel against.
 func countSatisfying(positions []int, sampleTokens []map[string]struct{}, q deepweb.Query) int {
 	if len(positions) == 0 {
 		return 0
@@ -768,17 +712,6 @@ func countSatisfying(positions []int, sampleTokens []map[string]struct{}, q deep
 		}
 	}
 	return n
-}
-
-// buildSampleIndex builds an inverted index over the sample records,
-// re-identified to dense positions (sample records keep their hidden-table
-// IDs, which may be sparse relative to the sample).
-func buildSampleIndex(smp *sample.Sample, env *Env, workers int) *index.Inverted {
-	reIDed := make([]*relational.Record, len(smp.Records))
-	for i, r := range smp.Records {
-		reIDed[i] = &relational.Record{ID: i, Values: r.Values}
-	}
-	return index.BuildInvertedN(reIDed, env.Tokenizer, workers)
 }
 
 // eagerArgmax scans every live query state and returns the one with the

@@ -1,0 +1,123 @@
+package freqmine
+
+// Equivalence tests for the dense (slice-backed) preprocessing path
+// against the map reference path it replaced on the pool-build hot path.
+
+import (
+	"reflect"
+	"testing"
+
+	"smartcrawl/internal/stats"
+)
+
+// mineFrom mines a prebuilt tree and canonicalizes, mirroring the tail of
+// MineFPGrowth, so the two preprocessing paths can be compared end-to-end.
+func mineFrom(items []int, tree *fpTree, minSupport, maxLen int) []Itemset {
+	var out []Itemset
+	mineTree(tree, nil, minSupport, maxLen, &out)
+	for i := range out {
+		for j, r := range out[i].Items {
+			out[i].Items[j] = items[r]
+		}
+		sortInts(out[i].Items)
+	}
+	sortItemsets(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestDenseTreeMatchesMapTree mines random dense-ID corpora through both
+// preprocessing paths and requires identical itemsets — the ranked item
+// order is a total order (frequency desc, item asc), so the outputs must
+// agree exactly, not just up to reordering.
+func TestDenseTreeMatchesMapTree(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 40; trial++ {
+		nTx := 1 + rng.Intn(40)
+		nItems := 1 + rng.Intn(12)
+		txs := make([][]int, nTx)
+		for i := range txs {
+			k := rng.Intn(6)
+			tx := make([]int, k)
+			for j := range tx {
+				tx[j] = rng.Intn(nItems) // duplicates within a tx on purpose
+			}
+			txs[i] = tx
+		}
+		minSupport := 1 + rng.Intn(4)
+
+		maxItem, _, dense := denseItemSpace(txs)
+		hasItems := false
+		for _, tx := range txs {
+			if len(tx) > 0 {
+				hasItems = true
+				break
+			}
+		}
+		if hasItems && !dense {
+			t.Fatalf("trial %d: dense vocabulary-ID input classified sparse", trial)
+		}
+		if !hasItems {
+			continue
+		}
+		dItems, dTree := buildTreeDense(txs, minSupport, maxItem)
+		mItems, mTree := buildTreeMap(txs, minSupport)
+		if !reflect.DeepEqual(dItems, mItems) {
+			t.Fatalf("trial %d: ranked items differ: dense=%v map=%v", trial, dItems, mItems)
+		}
+		got := mineFrom(dItems, dTree, minSupport, 4)
+		want := mineFrom(mItems, mTree, minSupport, 4)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: mined itemsets differ\ndense: %v\nmap:   %v", trial, got, want)
+		}
+	}
+}
+
+// TestDenseItemSpaceClassification pins the fallback conditions: negative
+// IDs and ID spaces far larger than the data must take the map path;
+// vocabulary-shaped IDs must take the dense path.
+func TestDenseItemSpaceClassification(t *testing.T) {
+	if _, _, dense := denseItemSpace([][]int{{0, 1, 2}, {1, 2}}); !dense {
+		t.Fatal("small dense IDs classified sparse")
+	}
+	if _, _, dense := denseItemSpace([][]int{{0, -1}}); dense {
+		t.Fatal("negative ID classified dense")
+	}
+	if _, _, dense := denseItemSpace([][]int{{1 << 30}}); dense {
+		t.Fatal("single huge ID classified dense (would allocate 2^30 counters)")
+	}
+	if _, _, dense := denseItemSpace(nil); dense {
+		t.Fatal("empty input classified dense")
+	}
+	if _, _, dense := denseItemSpace([][]int{{}, {}}); dense {
+		t.Fatal("itemless input classified dense")
+	}
+}
+
+// TestMineFPGrowthSparseFallback runs the public miner on inputs that
+// force the map path (negative and huge IDs) and cross-checks against
+// Apriori, which shares no preprocessing code.
+func TestMineFPGrowthSparseFallback(t *testing.T) {
+	txs := [][]int{
+		{-5, 3, 1 << 29},
+		{-5, 3},
+		{3, 1 << 29},
+		{-5, 1 << 29, 3},
+	}
+	cfg := Config{MinSupport: 2, MaxLen: 3}
+	got := MineFPGrowth(txs, cfg)
+	want := MineApriori(txs, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sparse fallback: FP-Growth %v != Apriori %v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("sparse fallback mined nothing")
+	}
+}

@@ -2,27 +2,55 @@ package freqmine
 
 import "sort"
 
-// fpNode is one node of an FP-tree. Children are keyed by item rank.
+// fpNode is one node of an FP-tree. Children form a singly-linked list
+// (child points at the first child, sibling chains the rest): FP-tree
+// fan-out is small, so a linear scan beats a per-node map — and, more
+// importantly on the pool-build hot path, a node costs exactly one
+// allocation instead of node + map. Child order is irrelevant to the
+// mined output: mining walks the header chains, never the child lists.
 type fpNode struct {
-	rank     int // item rank; -1 for the root
-	count    int
-	parent   *fpNode
-	children map[int]*fpNode
-	next     *fpNode // header-table sibling link
+	rank    int // item rank; -1 for the root
+	count   int
+	parent  *fpNode
+	child   *fpNode // first child
+	sibling *fpNode // next child of parent
+	next    *fpNode // header-table sibling link
 }
 
 // fpTree holds the root and the header table (one chain of nodes per item
-// rank, used to walk all occurrences of an item bottom-up).
+// rank, used to walk all occurrences of an item bottom-up). Nodes are
+// allocated from chunked arenas: blocks are never reallocated once handed
+// out, so node pointers stay stable while cutting the per-node allocation
+// (the dominant pool-build cost — every conditional tree rebuilds nodes).
 type fpTree struct {
-	root   *fpNode
+	root   fpNode
 	header []*fpNode
+	arena  []fpNode
 }
 
 func newFPTree(nItems int) *fpTree {
 	return &fpTree{
-		root:   &fpNode{rank: -1, children: make(map[int]*fpNode)},
+		root:   fpNode{rank: -1},
 		header: make([]*fpNode, nItems),
 	}
+}
+
+// newNode hands out the next arena slot, growing by doubling blocks.
+// Old blocks are abandoned full — their nodes are reachable from the
+// tree, and addresses must not move.
+func (t *fpTree) newNode() *fpNode {
+	if len(t.arena) == cap(t.arena) {
+		n := 2 * cap(t.arena)
+		if n < 32 {
+			n = 32
+		}
+		if n > 4096 {
+			n = 4096
+		}
+		t.arena = make([]fpNode, 0, n)
+	}
+	t.arena = t.arena[:len(t.arena)+1]
+	return &t.arena[len(t.arena)-1]
 }
 
 // filterAndRank keeps the transaction's frequent items, translated to ranks
@@ -45,20 +73,31 @@ func filterAndRank(t []int, rank map[int]int) []int {
 	return out
 }
 
+// findChild returns node's child with the given rank, or nil.
+func (n *fpNode) findChild(r int) *fpNode {
+	for c := n.child; c != nil; c = c.sibling {
+		if c.rank == r {
+			return c
+		}
+	}
+	return nil
+}
+
 // insert adds a ranked transaction with the given count to the tree.
 func (t *fpTree) insert(ranked []int, count int) {
-	node := t.root
+	node := &t.root
 	for _, r := range ranked {
-		child, ok := node.children[r]
-		if !ok {
-			child = &fpNode{
-				rank:     r,
-				parent:   node,
-				children: make(map[int]*fpNode),
-				next:     t.header[r],
+		child := node.findChild(r)
+		if child == nil {
+			child = t.newNode()
+			*child = fpNode{
+				rank:    r,
+				parent:  node,
+				sibling: node.child,
+				next:    t.header[r],
 			}
 			t.header[r] = child
-			node.children[r] = child
+			node.child = child
 		}
 		child.count += count
 		node = child
@@ -101,11 +140,13 @@ func mineItem(tree *fpTree, r int, suffix []int, minSupport, maxLen int, out *[]
 	if len(itemset) >= maxLen {
 		return
 	}
-	// Conditional pattern base: prefix paths of every node of r.
+	// Conditional pattern base: prefix paths of every node of r. The path
+	// scratch is reused across nodes — insert reads it and retains nothing.
 	cond := newFPTree(r) // ranks < r only can appear above r
 	nonEmpty := false
+	var path []int
 	for n := tree.header[r]; n != nil; n = n.next {
-		var path []int
+		path = path[:0]
 		for p := n.parent; p != nil && p.rank >= 0; p = p.parent {
 			path = append(path, p.rank)
 		}

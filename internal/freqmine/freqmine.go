@@ -57,13 +57,132 @@ func MineFPGrowth(transactions [][]int, cfg Config) []Itemset {
 	if cfg.MinSupport < 1 {
 		cfg.MinSupport = 1
 	}
+	var (
+		items []int
+		tree  *fpTree
+	)
+	if maxItem, _, dense := denseItemSpace(transactions); dense {
+		items, tree = buildTreeDense(transactions, cfg.MinSupport, maxItem)
+	} else {
+		items, tree = buildTreeMap(transactions, cfg.MinSupport)
+	}
+
+	var out []Itemset
+	if cfg.Workers > 1 && len(items) > 1 {
+		out = mineParallel(tree, cfg.MinSupport, cfg.maxLen(), cfg.Workers)
+	} else {
+		mineTree(tree, nil, cfg.MinSupport, cfg.maxLen(), &out)
+	}
+
+	// Translate ranks back to item IDs and canonicalize.
+	for i := range out {
+		for j, r := range out[i].Items {
+			out[i].Items[j] = items[r]
+		}
+		sort.Ints(out[i].Items)
+	}
+	sortItemsets(out)
+	return out
+}
+
+// denseItemSpace reports whether the transactions' item IDs are dense
+// non-negative integers — the shape querypool produces (vocabulary
+// indices) — along with the maximum item and the total item count. Dense
+// inputs take the slice-backed preprocessing path; anything with negative
+// IDs or an ID space far larger than the data falls back to maps.
+func denseItemSpace(transactions [][]int) (maxItem, total int, dense bool) {
+	maxItem = -1
+	for _, t := range transactions {
+		for _, it := range t {
+			if it < 0 {
+				return 0, 0, false
+			}
+			if it > maxItem {
+				maxItem = it
+			}
+			total++
+		}
+	}
+	if maxItem < 0 {
+		return 0, 0, false // no items at all; map path handles trivially
+	}
+	return maxItem, total, maxItem <= 8*total+4096
+}
+
+// buildTreeDense is the allocation-light preprocessing path for dense
+// item IDs: counting, filtering, ranking, and per-transaction dedup all
+// run over flat slices with a generation-stamped scratch array, so the
+// whole corpus scan costs a handful of allocations instead of one map
+// (plus one sorted copy) per transaction. Output is identical to
+// buildTreeMap: the frequent-item order is a total order (frequency desc,
+// item asc), so the canonical ranks do not depend on iteration order.
+func buildTreeDense(transactions [][]int, minSupport, maxItem int) ([]int, *fpTree) {
+	freq := make([]int, maxItem+1)
+	stamp := make([]int, maxItem+1) // 1-based transaction generation
+	for g, t := range transactions {
+		gen := g + 1
+		for _, it := range t {
+			if stamp[it] != gen {
+				stamp[it] = gen
+				freq[it]++
+			}
+		}
+	}
+	var items []int
+	for it, f := range freq {
+		if f >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if freq[items[a]] != freq[items[b]] {
+			return freq[items[a]] > freq[items[b]]
+		}
+		return items[a] < items[b]
+	})
+	rank := make([]int, maxItem+1)
+	for i := range rank {
+		rank[i] = -1
+	}
+	for i, it := range items {
+		rank[it] = i
+	}
+
+	tree := newFPTree(len(items))
+	// Reuse the counting scratch: there are at most maxItem+1 frequent
+	// items, so the ranks fit in the same backing array.
+	rstamp := stamp[:len(items)]
+	for i := range rstamp {
+		rstamp[i] = -1
+	}
+	ranked := make([]int, 0, 64)
+	for g, t := range transactions {
+		ranked = ranked[:0]
+		for _, it := range t {
+			r := rank[it]
+			if r < 0 || rstamp[r] == g {
+				continue
+			}
+			rstamp[r] = g
+			ranked = append(ranked, r)
+		}
+		sort.Ints(ranked)
+		tree.insert(ranked, 1) // insert copies nothing it retains beyond counts
+	}
+	return items, tree
+}
+
+// buildTreeMap is the generic preprocessing path for arbitrary item IDs
+// (sparse or negative), retained for non-querypool callers and as the
+// reference the dense path is equivalence-tested against.
+func buildTreeMap(transactions [][]int, minSupport int) ([]int, *fpTree) {
 	freq := countItems(transactions)
 
 	// Frequent items ordered by descending frequency (ties: ascending
 	// ID), the canonical FP-tree insertion order.
 	var items []int
 	for it, f := range freq {
-		if f >= cfg.MinSupport {
+		if f >= minSupport {
 			items = append(items, it)
 		}
 	}
@@ -83,23 +202,7 @@ func MineFPGrowth(transactions [][]int, cfg Config) []Itemset {
 		filtered := filterAndRank(t, rank)
 		tree.insert(filtered, 1)
 	}
-
-	var out []Itemset
-	if cfg.Workers > 1 && len(items) > 1 {
-		out = mineParallel(tree, cfg.MinSupport, cfg.maxLen(), cfg.Workers)
-	} else {
-		mineTree(tree, nil, cfg.MinSupport, cfg.maxLen(), &out)
-	}
-
-	// Translate ranks back to item IDs and canonicalize.
-	for i := range out {
-		for j, r := range out[i].Items {
-			out[i].Items[j] = items[r]
-		}
-		sort.Ints(out[i].Items)
-	}
-	sortItemsets(out)
-	return out
+	return items, tree
 }
 
 // mineParallel fans the top-level items of the global FP-tree out over a

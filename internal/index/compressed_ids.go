@@ -1,0 +1,137 @@
+package index
+
+import (
+	"encoding/binary"
+
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+// CompressedInvertedIDs is CompressedInverted on the interned-token
+// kernel: posting lists are d-gap varint streams held in a dense slice
+// keyed by tokenize.Dict token ID, so a lookup costs one array index
+// instead of a string hash before the lazy decompression starts. Same
+// space behavior as the string variant — the storage is the gap stream
+// either way — with the map's per-entry overhead gone.
+type CompressedInvertedIDs struct {
+	postings []compressedList // token ID → gap-encoded record IDs
+	size     int
+}
+
+// BuildCompressedInvertedIDs indexes the records' tokens under dictionary
+// d with d-gap varint storage. Tokens outside the dictionary are not
+// indexed (they cannot appear in a pool query).
+func BuildCompressedInvertedIDs(recs []*relational.Record, tk *tokenize.Tokenizer, d *tokenize.Dict) *CompressedInvertedIDs {
+	// Gather plain lists first (IDs may arrive unsorted).
+	tmp := make([][]uint32, d.Len())
+	for _, r := range recs {
+		for _, w := range r.Tokens(tk) {
+			if id, ok := d.ID(w); ok {
+				tmp[id] = append(tmp[id], uint32(r.ID))
+			}
+		}
+	}
+	sortPostingsU32(tmp)
+	inv := &CompressedInvertedIDs{
+		postings: make([]compressedList, d.Len()),
+		size:     len(recs),
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for id, ids := range tmp {
+		if len(ids) == 0 {
+			continue
+		}
+		data := make([]byte, 0, len(ids)) // gaps are usually 1 byte
+		prev := uint32(0)
+		for i, rid := range ids {
+			gap := rid - prev
+			if i == 0 {
+				gap = rid
+			}
+			n := binary.PutUvarint(buf[:], uint64(gap))
+			data = append(data, buf[:n]...)
+			prev = rid
+		}
+		inv.postings[id] = compressedList{data: data, count: len(ids)}
+	}
+	return inv
+}
+
+// Size returns the number of indexed records.
+func (inv *CompressedInvertedIDs) Size() int { return inv.size }
+
+// DocFreq returns |I(w)| for token ID id without decompressing.
+func (inv *CompressedInvertedIDs) DocFreq(id uint32) int {
+	if int(id) >= len(inv.postings) {
+		return 0
+	}
+	return inv.postings[id].count
+}
+
+// Bytes returns the total compressed posting storage, for the
+// space-efficiency bench.
+func (inv *CompressedInvertedIDs) Bytes() int {
+	n := 0
+	for _, l := range inv.postings {
+		n += len(l.data)
+	}
+	return n
+}
+
+// Lookup returns the sorted record IDs satisfying the conjunctive token-ID
+// query q, identical in contract to InvertedIDs.Lookup. Lists decompress
+// lazily during the k-way merge, exactly like the string variant.
+func (inv *CompressedInvertedIDs) Lookup(q []uint32) []uint32 {
+	if len(q) == 0 {
+		return nil
+	}
+	lists := make([]compressedList, len(q))
+	for i, id := range q {
+		if int(id) >= len(inv.postings) {
+			return nil
+		}
+		l := inv.postings[id]
+		if l.count == 0 {
+			return nil
+		}
+		lists[i] = l
+	}
+	// Rarest first, as in the plain index (insertion sort: q is tiny).
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && lists[j].count < lists[j-1].count; j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
+
+	its := make([]*listIterator, len(lists))
+	for i, l := range lists {
+		its[i] = l.iterator()
+	}
+	var out []uint32
+	// k-way conjunctive merge: advance the lagging iterators toward the
+	// current candidate from the rarest list.
+	for !its[0].done {
+		candidate := its[0].cur
+		matched := true
+		for _, it := range its[1:] {
+			for !it.done && it.cur < candidate {
+				it.next()
+			}
+			if it.done {
+				return out
+			}
+			if it.cur != candidate {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			out = append(out, uint32(candidate))
+		}
+		its[0].next()
+	}
+	return out
+}
+
+// Count returns |q(D)| for the token-ID query q.
+func (inv *CompressedInvertedIDs) Count(q []uint32) int { return len(inv.Lookup(q)) }

@@ -6,15 +6,20 @@
 // of the heap — the delta-update index U of Algorithm 4. A popped query is
 // returned only when its priority is clean, which preserves argmax
 // correctness because priorities only ever decrease.
+//
+// The heap is hand-rolled rather than built on container/heap: the
+// selection loop performs a push or pop per invalidated query per
+// iteration, and the interface{} boxing of container/heap costs one
+// allocation per operation on exactly that hot path. The dirty set is a
+// dense []bool keyed by query ID (pool IDs are dense by construction), so
+// invalidation and the staleness check are array indexing, not map probes.
 package lazyheap
-
-import "container/heap"
 
 // Queue is a max-priority queue of query IDs with lazy revalidation.
 // It is not safe for concurrent use.
 type Queue struct {
-	h     entryHeap
-	dirty map[int]bool
+	h     []entry
+	dirty []bool
 
 	// Repushes counts lazy re-insertions — the `t` factor in the paper's
 	// Appendix B complexity analysis, reported by the ablation bench.
@@ -27,25 +32,42 @@ type entry struct {
 }
 
 // New returns an empty queue.
-func New() *Queue {
-	return &Queue{dirty: make(map[int]bool)}
+func New() *Queue { return &Queue{} }
+
+// NewN returns an empty queue pre-sized for IDs 0..n-1, avoiding both the
+// heap-array and dirty-set growth during the initial pool build.
+func NewN(n int) *Queue {
+	return &Queue{h: make([]entry, 0, n), dirty: make([]bool, n)}
 }
 
 // Push inserts a query with the given priority. Each query ID must be
 // pushed at most once; re-prioritization happens only through Invalidate +
 // lazy rescoring.
 func (q *Queue) Push(id int, priority float64) {
-	heap.Push(&q.h, entry{id: id, pri: priority})
+	q.h = append(q.h, entry{id: id, pri: priority})
+	q.up(len(q.h) - 1)
 }
 
 // Len returns the number of queries currently queued.
-func (q *Queue) Len() int { return q.h.Len() }
+func (q *Queue) Len() int { return len(q.h) }
 
 // Invalidate marks a query's cached priority as stale. The next time the
 // query reaches the top of the heap, rescore is consulted before it can be
 // returned. Invalidating an ID not in the queue is a harmless no-op (the
 // flag is cleared when the ID fails to appear).
-func (q *Queue) Invalidate(id int) { q.dirty[id] = true }
+func (q *Queue) Invalidate(id int) {
+	if id >= len(q.dirty) {
+		grown := make([]bool, id+1)
+		copy(grown, q.dirty)
+		q.dirty = grown
+	}
+	q.dirty[id] = true
+}
+
+// isDirty reports and clears nothing; bounds-checked dense lookup.
+func (q *Queue) isDirty(id int) bool {
+	return id < len(q.dirty) && q.dirty[id]
+}
 
 // Reprioritize rebuilds the whole queue by rescoring every entry — used
 // when a global parameter of the scoring function changes (e.g. an online
@@ -57,8 +79,8 @@ func (q *Queue) Reprioritize(rescore func(id int) (priority float64, keep bool))
 	old := q.h
 	q.h = q.h[:0]
 	for _, e := range old {
-		if q.dirty[e.id] {
-			delete(q.dirty, e.id)
+		if q.isDirty(e.id) {
+			q.dirty[e.id] = false
 		}
 		pri, keep := rescore(e.id)
 		if !keep {
@@ -66,7 +88,10 @@ func (q *Queue) Reprioritize(rescore func(id int) (priority float64, keep bool))
 		}
 		q.h = append(q.h, entry{id: e.id, pri: pri})
 	}
-	heap.Init(&q.h)
+	// Bottom-up heapify.
+	for i := len(q.h)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
 }
 
 // Pop returns the query with the largest up-to-date priority, removing it
@@ -80,39 +105,69 @@ func (q *Queue) Reprioritize(rescore func(id int) (priority float64, keep bool))
 // records can only shrink |q(D)|): a clean top entry therefore dominates
 // every stale entry's true priority.
 func (q *Queue) Pop(rescore func(id int) (priority float64, keep bool)) (id int, priority float64, ok bool) {
-	for q.h.Len() > 0 {
-		top := heap.Pop(&q.h).(entry)
-		if !q.dirty[top.id] {
+	for len(q.h) > 0 {
+		top := q.popTop()
+		if !q.isDirty(top.id) {
 			return top.id, top.pri, true
 		}
-		delete(q.dirty, top.id)
+		q.dirty[top.id] = false
 		pri, keep := rescore(top.id)
 		if !keep {
 			continue
 		}
 		q.Repushes++
-		heap.Push(&q.h, entry{id: top.id, pri: pri})
+		q.Push(top.id, pri)
 	}
 	return 0, 0, false
 }
 
-// entryHeap is a max-heap on priority with ties broken by smaller ID so
-// selection is fully deterministic.
-type entryHeap []entry
-
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].pri != h[j].pri {
-		return h[i].pri > h[j].pri
+// popTop removes and returns the root entry.
+func (q *Queue) popTop() entry {
+	n := len(q.h) - 1
+	top := q.h[0]
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
 	}
-	return h[i].id < h[j].id
+	return top
 }
-func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
-func (h *entryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// less orders entries max-first on priority with ties broken by smaller ID
+// so selection is fully deterministic.
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].pri != q.h[j].pri {
+		return q.h[i].pri > q.h[j].pri
+	}
+	return q.h[i].id < q.h[j].id
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		best := l
+		if r < n && q.less(r, l) {
+			best = r
+		}
+		if !q.less(best, i) {
+			return
+		}
+		q.h[i], q.h[best] = q.h[best], q.h[i]
+		i = best
+	}
 }

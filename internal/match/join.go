@@ -20,6 +20,10 @@ import (
 //     first |x| − ⌈τ·|x|⌉ + 1 tokens under a global token order), then
 //     threshold verification;
 //   - any other Matcher: full scan (correct for arbitrary black boxes).
+//
+// Probes reuse internal scratch (dedup stamps, the prefix sort buffer), so
+// a Joiner must not be probed from multiple goroutines concurrently; build
+// one Joiner per goroutine instead.
 type Joiner struct {
 	recs    []*relational.Record
 	tk      *tokenize.Tokenizer
@@ -39,6 +43,38 @@ type Joiner struct {
 	// verify holds BlockedAnd verification predicates applied to every
 	// index candidate.
 	verify []Matcher
+
+	// probe-side scratch, reused across sequential probes: candidate dedup
+	// within one probe (probeSeen), across one batch (batchSeen — separate
+	// because CoveredBy nests Matches), and the prefix sort buffer.
+	probeSeen denseSeen
+	batchSeen denseSeen
+	sortBuf   []string
+}
+
+// denseSeen is a generation-stamped membership set over dense indices:
+// reset is O(1), add is an array store — replacing the map[int]struct{}
+// the probe paths used to allocate per call.
+type denseSeen struct {
+	stamp []int
+	gen   int
+}
+
+func (s *denseSeen) reset(n int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]int, n)
+		s.gen = 0
+	}
+	s.gen++
+}
+
+// add inserts i and reports whether it was newly added.
+func (s *denseSeen) add(i int) bool {
+	if s.stamp[i] == s.gen {
+		return false
+	}
+	s.stamp[i] = s.gen
+	return true
 }
 
 // NewJoiner builds a join index over the local records for the given
@@ -98,13 +134,14 @@ func (j *Joiner) buildPrefixIndex() {
 
 // prefixTokens returns the first |x| − ⌈τ·|x|⌉ + 1 tokens of x under the
 // global order. Tokens unknown to the order (probe-side novelties) sort
-// last among themselves by text.
+// last among themselves by text. The result aliases a reused buffer and
+// is valid only until the next call.
 func (j *Joiner) prefixTokens(toks []string) []string {
 	if len(toks) == 0 {
 		return nil
 	}
-	sorted := make([]string, len(toks))
-	copy(sorted, toks)
+	sorted := append(j.sortBuf[:0], toks...)
+	j.sortBuf = sorted
 	sort.Slice(sorted, func(a, b int) bool {
 		oa, oka := j.order[sorted[a]]
 		ob, okb := j.order[sorted[b]]
@@ -167,14 +204,13 @@ func (j *Joiner) Matches(h *relational.Record) []int {
 
 func (j *Joiner) jaccardMatches(h *relational.Record) []int {
 	probe := projTokens(h, j.tk, j.hCols)
-	seen := make(map[int]struct{})
+	j.probeSeen.reset(len(j.recs))
 	var out []int
 	for _, w := range j.prefixTokens(probe) {
 		for _, i := range j.prefixInv[w] {
-			if _, dup := seen[i]; dup {
+			if !j.probeSeen.add(i) {
 				continue
 			}
-			seen[i] = struct{}{}
 			if JaccardSim(projTokens(j.recs[i], j.tk, j.dCols), probe) >= j.threshold {
 				out = append(out, i)
 			}
@@ -188,14 +224,13 @@ func (j *Joiner) jaccardMatches(h *relational.Record) []int {
 // in the batch (a query result), ascending — q(D)_cover for one issued
 // query.
 func (j *Joiner) CoveredBy(batch []*relational.Record) []int {
-	seen := make(map[int]struct{})
+	j.batchSeen.reset(len(j.recs))
 	var out []int
 	for _, h := range batch {
 		for _, i := range j.Matches(h) {
-			if _, dup := seen[i]; dup {
+			if !j.batchSeen.add(i) {
 				continue
 			}
-			seen[i] = struct{}{}
 			out = append(out, i)
 		}
 	}

@@ -1,0 +1,49 @@
+// Package profiling wires the -cpuprofile/-memprofile flags shared by the
+// commands: pprof capture around a run, for feeding `go tool pprof` when
+// hunting hot-path regressions (see docs/OPERATIONS.md, "Profiling").
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (when non-empty). Call stop on the normal exit path — profiles
+// are not written when the process leaves through os.Exit first. Either
+// path may be empty; with both empty, Start is a no-op.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+		}
+	}, nil
+}

@@ -22,6 +22,11 @@ import (
 type Query struct {
 	ID       int
 	Keywords deepweb.Query
+	// IDs is Keywords resolved once against the pool's Dict: sorted
+	// interned token IDs. Every hot-path lookup (inverted-index
+	// intersection, sample membership) runs on this slice instead of
+	// re-hashing the keyword strings.
+	IDs []uint32
 	// Naive marks per-record specific queries (principle 1 of §3.1).
 	// A query can be both naive and frequent; Naive stays true.
 	Naive bool
@@ -63,9 +68,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Pool is an immutable generated query pool.
+// Pool is an immutable generated query pool. Dict is the frozen token
+// dictionary built from the local corpus vocabulary during generation;
+// every Query.IDs slice is resolved under it, and the crawler builds its
+// interned indexes over the same dictionary.
 type Pool struct {
 	Queries []*Query
+	Dict    *tokenize.Dict
 	byKey   map[string]int
 }
 
@@ -117,7 +126,13 @@ func NaiveQuery(r *relational.Record, tk *tokenize.Tokenizer, cfg Config) deepwe
 // every record plus closed frequent itemsets with support ≥ t.
 func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool {
 	cfg = cfg.withDefaults()
-	p := &Pool{byKey: make(map[string]int)}
+
+	// The corpus scan comes first so the frozen dictionary exists before
+	// any query is added: every pool keyword — naive queries draw theirs
+	// from record documents, mined queries from the transaction items —
+	// is in the vocabulary, so resolution below can never fail.
+	dict, txs := tokenTransactions(local, tk)
+	p := &Pool{Dict: dict, byKey: make(map[string]int)}
 
 	add := func(q deepweb.Query, naive bool, src int) {
 		if len(q) == 0 {
@@ -131,10 +146,17 @@ func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool
 			}
 			return
 		}
+		ids, ok := dict.Resolve([]string(q))
+		if !ok {
+			// Unreachable for generated queries (see above); skipping is
+			// the safe degradation for a keyword outside the corpus.
+			return
+		}
 		p.byKey[key] = len(p.Queries)
 		p.Queries = append(p.Queries, &Query{
 			ID:           len(p.Queries),
 			Keywords:     q,
+			IDs:          ids,
 			Naive:        naive,
 			SourceRecord: src,
 		})
@@ -146,7 +168,6 @@ func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool
 	}
 
 	// Principle 2: frequent queries with |q(D)| ≥ t, dominance-pruned.
-	vocab, txs := tokenTransactions(local, tk)
 	mined := freqmine.MineFPGrowth(txs, freqmine.Config{
 		MinSupport: cfg.MinSupport,
 		MaxLen:     cfg.MaxQueryLen,
@@ -155,7 +176,7 @@ func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool
 	for _, s := range freqmine.FilterClosed(mined) {
 		words := make([]string, len(s.Items))
 		for i, it := range s.Items {
-			words[i] = vocab[it]
+			words[i] = dict.Word(uint32(it))
 		}
 		sort.Strings(words)
 		add(deepweb.Query(words), false, -1)
@@ -163,10 +184,11 @@ func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool
 	return p
 }
 
-// tokenTransactions maps the local records to integer-item transactions and
-// returns the id→token vocabulary. Token IDs are assigned in sorted token
-// order so generation is deterministic.
-func tokenTransactions(local *relational.Table, tk *tokenize.Tokenizer) ([]string, [][]int) {
+// tokenTransactions maps the local records to integer-item transactions
+// under a freshly built frozen dictionary. Token IDs are assigned in
+// sorted token order (tokenize.BuildDict over the sorted vocabulary), so
+// generation is deterministic and mined itemset items ARE dictionary IDs.
+func tokenTransactions(local *relational.Table, tk *tokenize.Tokenizer) (*tokenize.Dict, [][]int) {
 	seen := make(map[string]struct{})
 	for _, r := range local.Records {
 		for _, w := range r.Tokens(tk) {
@@ -178,18 +200,16 @@ func tokenTransactions(local *relational.Table, tk *tokenize.Tokenizer) ([]strin
 		vocab = append(vocab, w)
 	}
 	sort.Strings(vocab)
-	id := make(map[string]int, len(vocab))
-	for i, w := range vocab {
-		id[w] = i
-	}
+	dict := tokenize.BuildDict(vocab)
 	txs := make([][]int, len(local.Records))
 	for i, r := range local.Records {
 		toks := r.Tokens(tk)
 		t := make([]int, len(toks))
 		for j, w := range toks {
-			t[j] = id[w]
+			id, _ := dict.ID(w)
+			t[j] = int(id)
 		}
 		txs[i] = t
 	}
-	return vocab, txs
+	return dict, txs
 }

@@ -40,6 +40,19 @@ type Sample struct {
 // Len returns the number of sampled records.
 func (s *Sample) Len() int { return len(s.Records) }
 
+// TokenIDSets returns each sample record's distinct-token set interned
+// under d as a sorted []uint32 — the integer form the crawler's sample-
+// membership kernel (tokenize.ContainsAllSorted) consumes. Tokens outside
+// the dictionary are dropped: they come only from sample-side text and
+// can never appear in a pool query, so no membership test changes.
+func (s *Sample) TokenIDSets(tk *tokenize.Tokenizer, d *tokenize.Dict) [][]uint32 {
+	sets := make([][]uint32, len(s.Records))
+	for i, r := range s.Records {
+		sets[i] = d.SortedSet(r.Tokens(tk))
+	}
+	return sets
+}
+
 // Bernoulli draws a sample of hidden table h with per-record inclusion
 // probability theta. The returned Theta is the nominal ratio (what the
 // estimators are told), matching the simulated experimental setup.

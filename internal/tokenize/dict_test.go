@@ -1,0 +1,137 @@
+package tokenize
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictBuildAndResolve(t *testing.T) {
+	d := BuildDict([]string{"apple", "banana", "cherry", "date"})
+	if !d.Frozen() || d.Len() != 4 {
+		t.Fatalf("frozen=%v len=%d, want true/4", d.Frozen(), d.Len())
+	}
+	// Sorted vocab ⇒ IDs monotone in token order.
+	for i, w := range []string{"apple", "banana", "cherry", "date"} {
+		id, ok := d.ID(w)
+		if !ok || id != uint32(i) {
+			t.Fatalf("ID(%q) = %d,%v, want %d,true", w, id, ok, i)
+		}
+		if d.Word(id) != w {
+			t.Fatalf("Word(%d) = %q, want %q", id, d.Word(id), w)
+		}
+	}
+	// Resolve sorts the ID slice regardless of keyword order.
+	ids, ok := d.Resolve([]string{"date", "apple", "cherry"})
+	if !ok || !reflect.DeepEqual(ids, []uint32{0, 2, 3}) {
+		t.Fatalf("Resolve = %v,%v, want [0 2 3],true", ids, ok)
+	}
+	// Any unknown keyword fails the whole resolution.
+	if _, ok := d.Resolve([]string{"apple", "zzz"}); ok {
+		t.Fatal("Resolve with unknown keyword should fail")
+	}
+}
+
+func TestDictInternFrozenPanics(t *testing.T) {
+	d := BuildDict([]string{"a"})
+	// Re-interning a known word is fine even when frozen.
+	if d.Intern("a") != 0 {
+		t.Fatal("Intern of known word changed its ID")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intern of new word on frozen Dict should panic")
+		}
+	}()
+	d.Intern("b")
+}
+
+func TestSortedSetDropsUnknownAndDedups(t *testing.T) {
+	d := BuildDict([]string{"aa", "bb", "cc"})
+	got := d.SortedSet([]string{"cc", "unknown", "aa", "cc", "aa"})
+	if !reflect.DeepEqual(got, []uint32{0, 2}) {
+		t.Fatalf("SortedSet = %v, want [0 2]", got)
+	}
+	if got := d.SortedSet(nil); len(got) != 0 {
+		t.Fatalf("SortedSet(nil) = %v, want empty", got)
+	}
+}
+
+// ContainsAllSorted must agree with the naive map-based subset check for
+// arbitrary sorted inputs — this is the membership kernel countSatisfying
+// runs on, so the property test covers the merge-scan edge cases
+// (empty query, query past the end of the set, duplicates collapsed).
+func TestContainsAllSortedMatchesNaive(t *testing.T) {
+	f := func(setRaw, qRaw []uint8) bool {
+		set := sortedUniqueIDs(setRaw)
+		q := sortedUniqueIDs(qRaw)
+		in := make(map[uint32]bool, len(set))
+		for _, v := range set {
+			in[v] = true
+		}
+		want := true
+		for _, v := range q {
+			if !in[v] {
+				want = false
+				break
+			}
+		}
+		return ContainsAllSorted(set, q) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsAllSortedEdges(t *testing.T) {
+	set := []uint32{2, 5, 9}
+	cases := []struct {
+		q    []uint32
+		want bool
+	}{
+		{nil, true},
+		{[]uint32{}, true},
+		{[]uint32{2}, true},
+		{[]uint32{9}, true},
+		{[]uint32{2, 5, 9}, true},
+		{[]uint32{2, 9}, true},
+		{[]uint32{1}, false},
+		{[]uint32{10}, false},
+		{[]uint32{2, 6}, false},
+		{[]uint32{2, 5, 9, 11}, false},
+	}
+	for _, c := range cases {
+		if got := ContainsAllSorted(set, c.q); got != c.want {
+			t.Errorf("ContainsAllSorted(%v, %v) = %v, want %v", set, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSortU32BothRegimes(t *testing.T) {
+	// Small slices take the insertion-sort branch, long ones slices.Sort;
+	// both must fully sort.
+	for _, n := range []int{0, 1, 5, 16, 17, 100} {
+		s := make([]uint32, n)
+		for i := range s {
+			s[i] = uint32((i*7919 + 13) % 257) // deterministic scramble
+		}
+		sortU32(s)
+		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+			t.Fatalf("sortU32 left len-%d slice unsorted: %v", n, s)
+		}
+	}
+}
+
+func sortedUniqueIDs(raw []uint8) []uint32 {
+	m := map[uint32]bool{}
+	for _, v := range raw {
+		m[uint32(v)] = true
+	}
+	out := make([]uint32, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

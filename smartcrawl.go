@@ -62,6 +62,11 @@ type (
 	SchemaMapping = relational.SchemaMapping
 	// Tokenizer turns text into the keyword tokens everything agrees on.
 	Tokenizer = tokenize.Tokenizer
+	// Dict is the frozen token-interning dictionary: dense uint32 token
+	// IDs over a corpus vocabulary. The selection hot paths run on token
+	// IDs instead of strings (see DESIGN.md, "The interned hot path");
+	// querypool.Generate builds one per pool, exposed as Pool.Dict.
+	Dict = tokenize.Dict
 	// Query is a normalized conjunctive keyword query.
 	Query = deepweb.Query
 	// Searcher is the restricted interface to a hidden database.
@@ -159,6 +164,11 @@ func ParseTrace(r io.Reader) ([]TraceEvent, error) { return obs.ParseEvents(r) }
 
 // NewTokenizer returns the default tokenizer (English stop words).
 func NewTokenizer() *Tokenizer { return tokenize.New() }
+
+// BuildDict interns the given vocabulary in slice order and freezes the
+// dictionary. Pass a sorted, deduplicated vocabulary to make token IDs
+// monotone in token order, which keeps resolved keyword-ID slices sorted.
+func BuildDict(vocab []string) *Dict { return tokenize.BuildDict(vocab) }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema []string) *Table {
