@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check allocguard chaos crashtest bench bench-hotpath experiments examples fuzz cover clean
+.PHONY: all build vet test test-short race check allocguard chaos crashtest fedtest bench bench-hotpath experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -24,9 +24,9 @@ race:
 	$(GO) test -race ./...
 
 # The pre-merge gate: vet, the full suite under the race detector, the
-# allocation-regression guard (which -race would skip), and the
-# kill-anywhere crash-recovery matrix against the real binary.
-check: vet race allocguard crashtest
+# allocation-regression guard (which -race would skip), the kill-anywhere
+# crash-recovery matrix against the real binary, and the federation suite.
+check: vet race allocguard crashtest fedtest
 
 # Pin of the zero-allocation steady-state selection kernel; runs without
 # -race because the detector instruments allocations.
@@ -48,6 +48,14 @@ chaos:
 # handler and shutdown paths run under the detector too.
 crashtest:
 	$(GO) test -race -count=1 -v -run 'CrashRecovery|GracefulInterrupt' ./internal/durable/crashtest/
+
+# Federation drill (docs/OPERATIONS.md "Federated crawling"): the
+# determinism oracle over seeds × workers × interface counts, the n=1
+# single-interface byte-equivalence, the charge-sum budget identity, the
+# spec-grammar tests, and the two-hiddenserver e2e — all under the race
+# detector. The federated crash matrix runs with `make crashtest`.
+fedtest:
+	$(GO) test -race -count=1 -v ./internal/federate/
 
 # One pass over every per-figure bench, tables visible in the log.
 bench:

@@ -46,6 +46,7 @@ import (
 
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/deepweb/httpapi"
+	"smartcrawl/internal/federate"
 	"smartcrawl/internal/hidden"
 	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
@@ -66,10 +67,57 @@ func main() {
 			strings.Join(deepweb.FaultPresetNames(), "|")+") or a key=value spec, e.g. timeout=0.05,truncate=0.1")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed of the fault schedule (same seed+profile ⇒ same faults)")
 		faultLat  = flag.Duration("fault-latency", 0, "extra latency added to every faulted attempt")
+		profiles  = flag.String("profiles", "", "serve several interfaces from one process: specs separated by ';', key=value fields by ',' — "+
+			"e.g. \"name=a,hidden=h1.csv,k=10;name=b,hidden=h2.csv,k=50,faults=transient10,rate=5\"; each mounts under /<name>/")
 	)
 	flag.Parse()
-	if *tablePath == "" {
-		fatal(fmt.Errorf("-table is required"))
+	if (*tablePath == "") == (*profiles == "") {
+		fatal(fmt.Errorf("exactly one of -table and -profiles is required"))
+	}
+
+	tk := tokenize.New()
+	o := obs.New()
+
+	// Multi-profile mode: one process serves n independent interfaces,
+	// each with its own table, k, ranking, fault profile, and server-side
+	// rate limit, mounted under /<name>/ — the fixture a federated crawl
+	// points its url= specs at.
+	if *profiles != "" {
+		specs, err := federate.ParseSpecs(*profiles)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		for i, sp := range specs {
+			if sp.Name == "" {
+				sp.Name = fmt.Sprintf("h%d", i+1)
+			}
+			if sp.URL != "" {
+				fatal(fmt.Errorf("profile %q: url= makes no sense server-side; give hidden=", sp.Name))
+			}
+			backend, table, err := sp.BuildBackend(tk, o)
+			if err != nil {
+				fatal(err)
+			}
+			var limiter *httpapi.TokenBucket
+			if sp.Rate > 0 {
+				limiter = httpapi.NewTokenBucket(sp.Burst, sp.Rate)
+			}
+			psrv := httpapi.NewServer(backend, tk, limiter)
+			psrv.SetObs(o)
+			mux.Handle("/"+sp.Name+"/", http.StripPrefix("/"+sp.Name, psrv.Handler()))
+			fmt.Printf("profile %s: %d records (k=%d) at /%s/", sp.Name, table.Len(), sp.K, sp.Name)
+			if sp.Faults != "" {
+				fmt.Printf(" faults=%s seed=%d", sp.Faults, sp.FaultSeed)
+			}
+			fmt.Println()
+		}
+		serve(*addr, *debug, o, mux)
+		return
 	}
 
 	f, err := os.Open(*tablePath)
@@ -82,7 +130,6 @@ func main() {
 		fatal(err)
 	}
 
-	tk := tokenize.New()
 	rank := hidden.RankByHash(1)
 	if *rankCol >= 0 {
 		rank = hidden.RankByNumericColumn(*rankCol)
@@ -97,7 +144,6 @@ func main() {
 	if *rate > 0 {
 		limiter = httpapi.NewTokenBucket(*burst, *rate)
 	}
-	o := obs.New()
 	var searcher deepweb.Searcher = db
 	if *faultSpec != "" {
 		p, err := deepweb.ParseFaultProfile(*faultSpec)
@@ -112,8 +158,14 @@ func main() {
 	srv := httpapi.NewServer(searcher, tk, limiter)
 	srv.SetObs(o)
 
-	handler := srv.Handler()
-	if *debug {
+	fmt.Printf("serving %d records (k=%d) on %s\n", table.Len(), *k, *addr)
+	serve(*addr, *debug, o, srv.Handler())
+}
+
+// serve runs the HTTP server with the debug endpoints and graceful
+// shutdown, blocking until SIGINT/SIGTERM drains it.
+func serve(addr string, debug bool, o *obs.Obs, handler http.Handler) {
+	if debug {
 		// Live query counters under /debug/vars, CPU/heap/goroutine
 		// profiles under /debug/pprof/. Registered on an explicit mux —
 		// nothing leaks onto http.DefaultServeMux.
@@ -133,7 +185,7 @@ func main() {
 	// a garbage request cannot balloon memory. WriteTimeout leaves room
 	// for the slowest search plus injected fault latency.
 	hs := &http.Server{
-		Addr:           *addr,
+		Addr:           addr,
 		Handler:        handler,
 		ReadTimeout:    10 * time.Second,
 		WriteTimeout:   30 * time.Second,
@@ -155,7 +207,6 @@ func main() {
 		close(done)
 	}()
 
-	fmt.Printf("serving %d records (k=%d) on %s\n", table.Len(), *k, *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

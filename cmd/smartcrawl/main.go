@@ -54,6 +54,8 @@ func main() {
 		localPath  = flag.String("local", "", "local table CSV (required)")
 		hiddenPath = flag.String("hidden", "", "hidden table CSV (simulated interface)")
 		url        = flag.String("url", "", "hiddenserver base URL (remote interface)")
+		interfaces = flag.String("interfaces", "", "federated crawl over several interfaces sharing the budget: specs separated by ';', "+
+			"key=value fields by ',' — e.g. \"name=a,hidden=h1.csv,k=10;name=b,url=http://localhost:8081,faults=transient10,breaker=5\"")
 		budget     = flag.Int("budget", 100, "query budget b")
 		k          = flag.Int("k", 50, "top-k limit (simulated interface)")
 		rankCol    = flag.Int("rank-column", -1, "ranking column (simulated interface)")
@@ -102,7 +104,23 @@ func main() {
 	if *localPath == "" {
 		fatal(fmt.Errorf("-local is required"))
 	}
-	if (*hiddenPath == "") == (*url == "") {
+	var fedSpecs []smartcrawl.InterfaceSpec
+	if *interfaces != "" {
+		// Federated mode: every interface knob (backend, k, sample,
+		// faults, rate, retries, breaker) lives in the spec; the
+		// single-interface flags covering the same ground must stay unset.
+		if *hiddenPath != "" || *url != "" {
+			fatal(fmt.Errorf("-interfaces replaces -hidden/-url"))
+		}
+		if *faults != "" || *rate > 0 || *breakerN >= 0 {
+			fatal(fmt.Errorf("-interfaces crawls take faults/rate/breaker per interface (inside the spec)"))
+		}
+		var err error
+		fedSpecs, err = smartcrawl.ParseInterfaceSpecs(*interfaces)
+		if err != nil {
+			fatal(err)
+		}
+	} else if (*hiddenPath == "") == (*url == "") {
 		fatal(fmt.Errorf("exactly one of -hidden or -url is required"))
 	}
 	switch *strategy {
@@ -110,6 +128,9 @@ func main() {
 	case "naive", "full":
 		if *checkpoint != "" {
 			fatal(fmt.Errorf("-checkpoint supports the smart/simple/online strategies"))
+		}
+		if *interfaces != "" {
+			fatal(fmt.Errorf("-interfaces supports the smart/simple/online strategies"))
 		}
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
@@ -164,8 +185,24 @@ func main() {
 		smp          *smartcrawl.Sample
 		hiddenSchema []string
 		hiddenTable  *relational.Table
+		fed          *smartcrawl.Federation
 	)
-	if *hiddenPath != "" {
+	if fedSpecs != nil {
+		var err error
+		fed, err = smartcrawl.BuildInterfaces(fedSpecs, local, tk, o)
+		if err != nil {
+			fatal(err)
+		}
+		hiddenSchema = fed.HiddenSchema()
+		for _, t := range fed.Tables {
+			if t != nil {
+				hiddenTable = t
+				break
+			}
+		}
+		fmt.Fprintf(os.Stderr, "federation: %d interfaces (%s)\n",
+			len(fed.Ifaces), strings.Join(fed.Registry.Names(), ", "))
+	} else if *hiddenPath != "" {
 		hiddenTable = readTable(*hiddenPath, "hidden")
 		hiddenSchema = hiddenTable.Schema
 		searcher = smartcrawl.NewHiddenDatabase(hiddenTable, tk, smartcrawl.HiddenOptions{
@@ -326,7 +363,13 @@ func main() {
 	// Graceful degradation: with -faults on, failed queries are retried a
 	// few times then forfeited (instead of aborting the crawl), and a
 	// circuit breaker holds selection while the interface is down.
-	if *maxAttempts == 0 && *faults != "" {
+	anyFedFaults := false
+	for _, sp := range fedSpecs {
+		if sp.Faults != "" {
+			anyFedFaults = true
+		}
+	}
+	if *maxAttempts == 0 && (*faults != "" || anyFedFaults) {
 		*maxAttempts = 3
 	}
 	if *breakerN < 0 {
@@ -356,21 +399,13 @@ func main() {
 		c   smartcrawl.Crawler
 		err error
 	)
-	switch *strategy {
-	case "smart":
+	switch {
+	case fed != nil:
 		opts := smartOpts
-		opts.Sample = smp
-		c, err = smartcrawl.NewSmartCrawler(env, opts)
-	case "simple":
-		c, err = smartcrawl.NewSmartCrawler(env, smartOpts)
-	case "online":
-		opts := smartOpts
-		opts.Online = true
-		c, err = smartcrawl.NewSmartCrawler(env, opts)
-	case "naive":
-		c, err = smartcrawl.NewNaiveCrawler(env, nil, *seed)
-	case "full":
-		c, err = smartcrawl.NewFullCrawler(env, smp)
+		opts.Online = *strategy == "online"
+		c, err = smartcrawl.NewFederatedCrawler(env, opts, fed.Ifaces)
+	default:
+		c, err = buildSingle(*strategy, env, smp, smartOpts, *seed)
 	}
 	if err != nil {
 		fatal(err)
@@ -462,6 +497,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// buildSingle constructs the single-interface crawler for the strategy.
+func buildSingle(strategy string, env *smartcrawl.Env, smp *smartcrawl.Sample, smartOpts smartcrawl.SmartOptions, seed uint64) (smartcrawl.Crawler, error) {
+	switch strategy {
+	case "smart":
+		opts := smartOpts
+		opts.Sample = smp
+		return smartcrawl.NewSmartCrawler(env, opts)
+	case "simple":
+		return smartcrawl.NewSmartCrawler(env, smartOpts)
+	case "online":
+		opts := smartOpts
+		opts.Online = true
+		return smartcrawl.NewSmartCrawler(env, opts)
+	case "naive":
+		return smartcrawl.NewNaiveCrawler(env, nil, seed)
+	case "full":
+		return smartcrawl.NewFullCrawler(env, smp)
+	}
+	return nil, fmt.Errorf("unknown strategy %q", strategy)
 }
 
 // inspectCheckpoint prints what a checkpoint (and optional journal) pair

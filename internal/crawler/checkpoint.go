@@ -66,6 +66,9 @@ type checkpointStep struct {
 	CumulativeCovered int      `json:"cumulative_covered"`
 	ResultSize        int      `json:"result_size"`
 	NewHidden         []int    `json:"new_hidden,omitempty"`
+	// Iface tags the issuing interface of a federated crawl; omitted at
+	// zero so single-interface checkpoints keep their exact bytes.
+	Iface int `json:"iface,omitempty"`
 }
 
 type wireRecord struct {
@@ -104,6 +107,7 @@ func SaveResultSeq(w io.Writer, res *Result, journalSeq uint64) error {
 			CumulativeCovered: s.CumulativeCovered,
 			ResultSize:        s.ResultSize,
 			NewHidden:         s.NewHidden,
+			Iface:             s.Iface,
 		})
 	}
 	for id, r := range res.Crawled {
@@ -199,6 +203,7 @@ func LoadResultSeq(r io.Reader) (*Result, uint64, error) {
 			CumulativeCovered: s.CumulativeCovered,
 			ResultSize:        s.ResultSize,
 			NewHidden:         s.NewHidden,
+			Iface:             s.Iface,
 		})
 	}
 	for _, wr := range cf.Crawled {
@@ -234,7 +239,7 @@ func (cf *checkpointFile) validate() error {
 	}
 	cum := 0
 	for i, s := range cf.Steps {
-		if s.NewlyCovered < 0 || s.ResultSize < 0 {
+		if s.NewlyCovered < 0 || s.ResultSize < 0 || s.Iface < 0 {
 			return fmt.Errorf("crawler: checkpoint step %d has negative counts", i)
 		}
 		cum += s.NewlyCovered

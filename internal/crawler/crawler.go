@@ -50,13 +50,24 @@ type Env struct {
 }
 
 func (e *Env) validate() error {
+	if err := e.validateFederated(); err != nil {
+		return err
+	}
+	if e.Searcher == nil {
+		return errors.New("crawler: no searcher")
+	}
+	return nil
+}
+
+// validateFederated is validate without the searcher requirement: a
+// federated crawl carries its searchers per interface (see
+// NewFederatedSmart) and may leave Env.Searcher nil.
+func (e *Env) validateFederated() error {
 	switch {
 	case e == nil:
 		return errors.New("crawler: nil environment")
 	case e.Local == nil || e.Local.Len() == 0:
 		return errors.New("crawler: empty local database")
-	case e.Searcher == nil:
-		return errors.New("crawler: no searcher")
 	case e.Tokenizer == nil:
 		return errors.New("crawler: no tokenizer")
 	case e.Matcher == nil:
@@ -77,6 +88,11 @@ type Step struct {
 	// (≤ k entries), letting the harness rebuild coverage-vs-budget
 	// curves from a single run.
 	NewHidden []int
+	// Iface is the index of the interface this query was issued against —
+	// always 0 for single-interface crawls, the Interface slice index for
+	// federated ones (see NewFederatedSmart). It rides through checkpoints
+	// and the WAL so a federated crawl resumes and replays per interface.
+	Iface int
 }
 
 // Result is the outcome of a crawl run.
@@ -116,6 +132,14 @@ type tracker struct {
 	env    *Env
 	joiner *match.Joiner
 	res    *Result
+	// names holds the interface names of a federated crawl, indexed by
+	// interface index; nil for every single-interface framework, which
+	// keeps their obs output untagged and byte-identical to before
+	// federation existed.
+	names []string
+	// ifm holds the per-interface obs metric handles aligned with names;
+	// nil when obs is disabled or the crawl is not federated.
+	ifm []*obs.IfaceMetrics
 }
 
 func newTracker(env *Env) *tracker {
@@ -134,7 +158,7 @@ func newTracker(env *Env) *tracker {
 // absorb records a query result: returns the local record IDs newly
 // covered by it and logs the step.
 func (t *tracker) absorb(q deepweb.Query, benefit float64, recs []*relational.Record) []int {
-	return t.absorbSized(q, benefit, recs, len(recs))
+	return t.absorbSized(q, benefit, recs, len(recs), t.env.Searcher.K(), 0)
 }
 
 // absorbSized is absorb for results whose true size differs from the
@@ -142,7 +166,9 @@ func (t *tracker) absorb(q deepweb.Query, benefit float64, recs []*relational.Re
 // interface matched resultSize. The step trace and the solidity decision
 // (resultSize < k drives both the obs event and §4.2 ΔD replay on resume)
 // use the true size, so a cut page is never mistaken for a solid result.
-func (t *tracker) absorbSized(q deepweb.Query, benefit float64, recs []*relational.Record, resultSize int) []int {
+// k is the result limit of the interface that answered (interfaces of a
+// federated crawl differ in k) and iface its index (0 when single).
+func (t *tracker) absorbSized(q deepweb.Query, benefit float64, recs []*relational.Record, resultSize, k, iface int) []int {
 	var newly []int
 	var newHidden []int
 	for _, h := range recs {
@@ -168,11 +194,24 @@ func (t *tracker) absorbSized(q deepweb.Query, benefit float64, recs []*relation
 		CumulativeCovered: t.res.CoveredCount,
 		ResultSize:        resultSize,
 		NewHidden:         newHidden,
+		Iface:             iface,
 	}
 	t.res.Steps = append(t.res.Steps, step)
+	solid := resultSize < k
 	if o := t.env.Obs; o != nil {
-		o.Query(q.Key(), benefit, resultSize, len(newly), t.res.CoveredCount,
-			resultSize < t.env.Searcher.K())
+		name := ""
+		if iface < len(t.names) {
+			name = t.names[iface]
+		}
+		o.QueryIface(name, q.Key(), benefit, resultSize, len(newly), t.res.CoveredCount, solid)
+	}
+	if iface < len(t.ifm) && t.ifm[iface] != nil {
+		m := t.ifm[iface]
+		m.Queries.Inc()
+		m.Covered.Add(int64(len(newly)))
+		if solid {
+			m.Solid.Inc()
+		}
 	}
 	if t.env.OnStep != nil {
 		t.env.OnStep(step)

@@ -13,6 +13,11 @@ import "smartcrawl/internal/deepweb"
 type PendingQuery struct {
 	Query   deepweb.Query `json:"query"`
 	Benefit float64       `json:"benefit"`
+	// Iface is the interface index the round was allocated to (a round is
+	// always issued against a single interface, even federated). Omitted
+	// at zero, so single-interface journals are byte-identical to the
+	// pre-federation format.
+	Iface int `json:"iface,omitempty"`
 }
 
 // DurabilitySink receives synchronous callbacks from the Algorithm-4

@@ -8,6 +8,7 @@ import (
 
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/obs"
 	"smartcrawl/internal/querypool"
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/sample"
@@ -55,7 +56,8 @@ type SmartConfig struct {
 	// argmax rescan of the pool at every iteration — the naive
 	// implementation Appendix B compares against. Selection results are
 	// identical (same argmax, same tie-breaking); only cost differs.
-	// Exposed for the E10 ablation.
+	// Exposed for the E10 ablation. Incompatible with federation (the
+	// allocator ranks interfaces through their lazy queues).
 	EagerSelection bool
 	// BatchSize > 1 enables batch-greedy selection: the top-n queries
 	// are popped together and issued concurrently (the searcher must be
@@ -114,17 +116,26 @@ type SmartConfig struct {
 	// from the single-writer merge stage, so breaker transitions — like
 	// everything else — are deterministic for any Concurrency. Implies
 	// MaxAttempts=1 when MaxAttempts is unset. Attach obs via
-	// deepweb.(*Breaker).WithObs; Run does not rewire it.
+	// deepweb.(*Breaker).WithObs; Run does not rewire it. For a
+	// federated crawl, set breakers per interface (Interface.Breaker)
+	// instead.
 	Breaker *deepweb.Breaker
 }
 
-// Smart is the SMARTCRAWL framework (Algorithm 4).
+// Smart is the SMARTCRAWL framework (Algorithm 4), generalized over a set
+// of hidden-database interfaces: the single-interface crawl of the paper is
+// exactly the n=1 case of the federated loop (see NewFederatedSmart), so
+// there is no second code path to drift from the oracle-tested one.
 type Smart struct {
 	env *Env
 	cfg SmartConfig
+	// ifaces is the federated interface set; empty means single-interface
+	// (synthesized from env.Searcher at Run).
+	ifaces []Interface
 
 	// HeapRepushes is populated after Run with the lazy-queue repush
-	// count (the `t` factor of the Appendix B analysis).
+	// count (the `t` factor of the Appendix B analysis), summed over
+	// interfaces.
 	HeapRepushes int
 	// PoolSize is populated after Run with the generated pool size.
 	PoolSize int
@@ -158,6 +169,9 @@ func NewSmart(env *Env, cfg SmartConfig) (*Smart, error) {
 
 // Name implements Crawler.
 func (s *Smart) Name() string {
+	if len(s.ifaces) > 1 {
+		return fmt.Sprintf("smartcrawl-federated-%d", len(s.ifaces))
+	}
 	if s.cfg.OnlineCalibration {
 		return "smartcrawl-online"
 	}
@@ -167,7 +181,7 @@ func (s *Smart) Name() string {
 	return "smartcrawl-" + s.cfg.Estimator.Name()
 }
 
-// qstate is the live selection state of one pool query.
+// qstate is the live selection state of one pool query under one interface.
 type qstate struct {
 	q *querypool.Query
 	// qD holds the local record IDs satisfying q at generation time,
@@ -183,15 +197,84 @@ type qstate struct {
 	attempts int
 }
 
-// Run implements Crawler, executing Algorithm 4: generate the pool, build
-// the inverted/forward indexes and the lazy priority queue, then
-// iteratively pop the best query, issue it, cover and remove records, and
-// invalidate affected queries until the budget or the pool is exhausted.
+// calibMinObs is the observation count below which an online-calibration
+// bucket is considered unusable (see SmartConfig.OnlineCalibration).
+const calibMinObs = 3
+
+// bucketStat is one online-calibration bucket: the running sum and count of
+// realized benefits of queries whose |q(D₀)| falls in the bucket.
+type bucketStat struct {
+	sum   float64
+	count int
+}
+
+// bucketOf is the bit length of n (⌈log₂(n+1)⌉ for n ≥ 0) — the hardware
+// leading-zero count instead of a shift loop.
+func bucketOf(n int) int { return bits.Len(uint(n)) }
+
+// ifaceRun is the per-interface runtime of the generalized Algorithm-4
+// loop: the interface's own budget-metered searcher and dispatcher, its
+// circuit breaker, its selection state (per-query statistics, lazy queue,
+// considered set), its benefit function (per-interface k, θ, α, estimator),
+// and its online-calibration buckets. A single-interface crawl runs exactly
+// one of these.
+type ifaceRun struct {
+	idx  int
+	name string
+	k    int
+
+	counting *deepweb.Counting
+	disp     *deepweb.Dispatcher
+	br       *deepweb.Breaker
+
+	sel       *selection
+	benefitOf func(*qstate) float64
+	rescore   func(int) (float64, bool)
+
+	calib   [64]bucketStat
+	metrics *obs.IfaceMetrics
+}
+
+// ifaceCand is one allocator candidate: an interface and the clean benefit
+// at the top of its queue.
+type ifaceCand struct {
+	ir      *ifaceRun
+	benefit float64
+}
+
+// Run implements Crawler, executing Algorithm 4 generalized over the
+// interface set: generate the pool once, build per-interface selection
+// state, then round by round allocate the shared budget to the interface
+// whose best query promises the largest marginal benefit, issue the round
+// there, cover records globally, and replay §4.2 removals against the
+// issuing interface until the budget or every pool is exhausted.
 func (s *Smart) Run(budget int) (*Result, error) {
 	env := s.env
 	t := newTracker(env)
-	counting := deepweb.NewCounting(env.Searcher, budget)
-	k := env.Searcher.K()
+
+	// The interface set: explicit for a federated crawl, synthesized from
+	// the environment searcher otherwise. The single-interface path IS the
+	// n=1 federated loop.
+	ifaces := s.ifaces
+	if len(ifaces) == 0 {
+		ifaces = []Interface{{
+			Searcher:  env.Searcher,
+			Sample:    s.cfg.Sample,
+			Estimator: s.cfg.Estimator,
+			Breaker:   s.cfg.Breaker,
+		}}
+	}
+	nIf := len(ifaces)
+	federated := nIf > 1
+	if federated {
+		t.names = make([]string, nIf)
+		for i := range ifaces {
+			t.names[i] = ifaces[i].Name
+		}
+	}
+	// One meter, n charging wrappers: every interface spends the same
+	// global allowance.
+	meter := deepweb.NewBudget(budget)
 
 	batch := s.cfg.BatchSize
 	if batch < 1 {
@@ -211,72 +294,81 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	stopPool()
 	s.PoolSize = pool.Len()
 
-	// Sample-derived estimator constants; the sample's interned indexes
-	// and match tables are built inside newSelection.
-	var (
-		theta float64
-		alpha float64
-	)
-	if s.cfg.Sample != nil && s.cfg.Sample.Len() > 0 {
-		theta = s.cfg.Sample.Theta
-		if s.cfg.AlphaFallback {
-			alpha = theta * float64(env.Local.Len()) / float64(s.cfg.Sample.Len())
+	// Per-interface runtime state. Estimator Benefit calls are the
+	// selection hot path; the instrumented wrapper adds one atomic count
+	// per call and nothing else, so the benefits — and therefore selection
+	// order — are bit-identical.
+	runs := make([]*ifaceRun, nIf)
+	anyBreaker := false
+	for i := range ifaces {
+		h := &ifaces[i]
+		ir := &ifaceRun{idx: i, name: h.Name, br: h.Breaker, k: h.Searcher.K()}
+		ir.counting = deepweb.NewCountingOn(h.Searcher, meter)
+		ir.disp = &deepweb.Dispatcher{S: ir.counting, Workers: workers, Obs: env.Obs}
+		if h.Breaker != nil {
+			anyBreaker = true
 		}
-	}
-
-	// Online calibration state (§9 future work; see SmartConfig):
-	// per-bucket running means of realized benefit, keyed by
-	// bit-length of |q(D₀)|.
-	const calibMinObs = 3
-	type bucketStat struct {
-		sum   float64
-		count int
-	}
-	var calib [64]bucketStat
-	// bucketOf is the bit length of n (⌈log₂(n+1)⌉ for n ≥ 0) — the
-	// hardware leading-zero count instead of a shift loop.
-	bucketOf := func(n int) int { return bits.Len(uint(n)) }
-	// Estimator Benefit calls are the selection hot path; the instrumented
-	// wrapper adds one atomic count per call and nothing else, so the
-	// benefits — and therefore selection order — are bit-identical.
-	est := s.cfg.Estimator
-	if env.Obs.Enabled() {
-		est = estimator.Instrumented{E: est, Obs: env.Obs}
-	}
-	benefitOf := func(st *qstate) float64 {
-		if s.cfg.OnlineCalibration {
-			b := calib[bucketOf(len(st.qD))]
-			if b.count >= calibMinObs {
-				// Bucket mean, scaled by the still-uncovered
-				// fraction of this query's records.
-				return (b.sum / float64(b.count)) *
-					float64(st.freqD) / float64(len(st.qD))
+		// Sample-derived estimator constants; the sample's interned
+		// indexes and match tables are built inside newSelection.
+		var theta, alpha float64
+		if h.Sample != nil && h.Sample.Len() > 0 {
+			theta = h.Sample.Theta
+			if s.cfg.AlphaFallback {
+				alpha = theta * float64(env.Local.Len()) / float64(h.Sample.Len())
 			}
-			if f := float64(st.freqD); f < float64(k) {
-				return f
+		}
+		est := h.Estimator
+		if est == nil {
+			est = estimator.Frequency{}
+		}
+		if env.Obs.Enabled() {
+			est = estimator.Instrumented{E: est, Obs: env.Obs}
+		}
+		k := ir.k
+		ir.benefitOf = func(st *qstate) float64 {
+			if s.cfg.OnlineCalibration {
+				b := ir.calib[bucketOf(len(st.qD))]
+				if b.count >= calibMinObs {
+					// Bucket mean, scaled by the still-uncovered
+					// fraction of this query's records.
+					return (b.sum / float64(b.count)) *
+						float64(st.freqD) / float64(len(st.qD))
+				}
+				if f := float64(st.freqD); f < float64(k) {
+					return f
+				}
+				return float64(k) // uncalibrated: QSel-Simple capped at k
 			}
-			return float64(k) // uncalibrated: QSel-Simple capped at k
+			return est.Benefit(estimator.Stats{
+				FreqD:       st.freqD,
+				FreqSample:  st.freqS,
+				MatchSample: st.matchS,
+				Theta:       theta,
+				K:           k,
+				Alpha:       alpha,
+			})
 		}
-		return est.Benefit(estimator.Stats{
-			FreqD:       st.freqD,
-			FreqSample:  st.freqS,
-			MatchSample: st.matchS,
-			Theta:       theta,
-			K:           k,
-			Alpha:       alpha,
-		})
+		// Pool resolution, the interned inverted/forward indexes, the
+		// precomputed sample-match counts, and the initial priorities —
+		// Figure 3's index structures on token IDs (see selection.go).
+		ir.sel = newSelection(env, pool, selectionStats{smp: h.Sample, joiner: t.joiner}, workers, ir.benefitOf)
+		ir.rescore = func(qid int) (float64, bool) {
+			st := ir.sel.states[qid]
+			if st == nil || st.issued || st.freqD <= 0 {
+				return 0, false
+			}
+			return ir.benefitOf(st), true
+		}
+		if federated && env.Obs.Enabled() {
+			ir.metrics = env.Obs.Iface(ir.name)
+		}
+		runs[i] = ir
 	}
-	// Pool resolution, the interned inverted/forward indexes, the
-	// precomputed sample-match counts, and the initial priorities —
-	// Figure 3's index structures on token IDs (see selection.go).
-	sel := newSelection(env, pool, selectionStats{smp: s.cfg.Sample, joiner: t.joiner}, workers, benefitOf)
-
-	rescore := func(qid int) (float64, bool) {
-		st := sel.states[qid]
-		if st == nil || st.issued || st.freqD <= 0 {
-			return 0, false
+	if federated {
+		t.ifm = make([]*obs.IfaceMetrics, nIf)
+		for i, ir := range runs {
+			t.ifm[i] = ir.metrics
 		}
-		return benefitOf(st), true
 	}
 
 	// Resume: replay a previous session's effects before selecting.
@@ -296,57 +388,60 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		for d, h := range prev.Matches {
 			t.res.Matches[d] = h
 		}
-		// Retire issued queries and replay record removals.
+		// Replay coverage removals against every interface, then retire
+		// each step's query — and replay its §4.2 removals — against the
+		// interface that issued it.
 		for d, covered := range prev.Covered {
 			if covered {
-				sel.remove(d)
+				for _, ir := range runs {
+					ir.sel.remove(d)
+				}
 			}
 		}
 		for _, step := range prev.Steps {
+			if step.Iface < 0 || step.Iface >= nIf {
+				return nil, fmt.Errorf("crawler: resume step is tagged interface %d; run has %d interfaces",
+					step.Iface, nIf)
+			}
+			ir := runs[step.Iface]
 			q := pool.Find(step.Query)
-			if q == nil || sel.states[q.ID] == nil {
+			if q == nil || ir.sel.states[q.ID] == nil {
 				continue // pool drift; the query can no longer be selected anyway
 			}
-			st := sel.states[q.ID]
+			st := ir.sel.states[q.ID]
 			st.issued = true
 			if !s.cfg.EagerSelection {
 				// The replayed query's heap entry was never popped; a clean
 				// entry would be re-issued without a rescore. (Usually its
 				// own covered records already invalidated it above, but a
 				// step that covered nothing new leaves the entry clean.)
-				sel.heap.Invalidate(q.ID)
+				ir.sel.heap.Invalidate(q.ID)
 			}
-			if step.ResultSize < k && !s.cfg.DisableDeltaDRemoval {
+			if step.ResultSize < ir.k && !s.cfg.DisableDeltaDRemoval {
 				for _, d := range st.qD {
-					sel.remove(int(d))
+					ir.sel.remove(int(d))
 				}
 			}
 			// Replay the calibration observations so a resumed online
 			// crawl selects exactly as an uninterrupted one.
 			if s.cfg.OnlineCalibration && len(st.qD) > 0 {
 				bkt := bucketOf(len(st.qD))
-				calib[bkt].sum += float64(step.NewlyCovered)
-				calib[bkt].count++
+				ir.calib[bkt].sum += float64(step.NewlyCovered)
+				ir.calib[bkt].count++
 			}
 		}
 		if s.cfg.OnlineCalibration {
-			sel.heap.Reprioritize(rescore)
+			for _, ir := range runs {
+				ir.sel.heap.Reprioritize(ir.rescore)
+			}
 		}
 	}
-
-	// The crawl pipeline: selection (producer, this goroutine) feeds the
-	// dispatcher's worker pool, whose in-order outcomes feed the merge
-	// stage (single writer, this goroutine again). The heap, forward
-	// index, considered set, and calibration buckets are touched only by
-	// the merge stage, so no crawl state is ever shared across goroutines.
-	disp := &deepweb.Dispatcher{S: counting, Workers: workers, Obs: env.Obs}
 
 	// Graceful degradation (see SmartConfig.MaxAttempts/Breaker): failed
 	// queries are requeued or forfeited instead of aborting the run, and
 	// the report below accounts for every dispatched query.
-	br := s.cfg.Breaker
 	maxAttempts := s.cfg.MaxAttempts
-	if maxAttempts < 1 && br != nil {
+	if maxAttempts < 1 && anyBreaker {
 		maxAttempts = 1
 	}
 	resilient := maxAttempts > 0
@@ -370,26 +465,26 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		// failures an earlier session absorbed stay reported.
 		t.res.Resilience = prev.Resilience.clone()
 	}
-	// requeue returns a failed query to the pool for another attempt. Its
-	// live statistics are recomputed from the considered set first:
-	// removals during the in-flight window skipped this query (issued
-	// queries are normally never reconsidered), so freqD/matchS are stale.
-	// Returns false — forfeit — when attempts are exhausted or nothing the
-	// query covers is still uncovered.
-	requeue := func(st *qstate, fromHeap bool) bool {
-		sel.recompute(st)
+	// requeue returns a failed query to its interface's pool for another
+	// attempt. Its live statistics are recomputed from the considered set
+	// first: removals during the in-flight window skipped this query
+	// (issued queries are normally never reconsidered), so freqD/matchS are
+	// stale. Returns false — forfeit — when attempts are exhausted or
+	// nothing the query covers is still uncovered.
+	requeue := func(ir *ifaceRun, st *qstate, fromHeap bool) bool {
+		ir.sel.recompute(st)
 		if st.freqD <= 0 || st.attempts >= maxAttempts {
 			return false
 		}
 		st.issued = false
 		if !s.cfg.EagerSelection {
 			if fromHeap {
-				sel.heap.Push(st.q.ID, benefitOf(st))
+				ir.sel.heap.Push(st.q.ID, ir.benefitOf(st))
 			} else {
 				// The entry is still in the heap (resumed pending query,
 				// never popped); a Push would duplicate it. Invalidation
 				// forces a rescore with the recomputed statistics.
-				sel.heap.Invalidate(st.q.ID)
+				ir.sel.heap.Invalidate(st.q.ID)
 			}
 		}
 		return true
@@ -413,9 +508,18 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	sinkErr := func(err error) error {
 		return fmt.Errorf("crawler: durability sink: %w", err)
 	}
+	anyRemaining := func() bool {
+		for _, ir := range runs {
+			if ir.sel.remaining > 0 {
+				return true
+			}
+		}
+		return false
+	}
 	// pending is the unresolved tail of a crashed session's last round
 	// (see SmartConfig.ResumePending); it is re-issued with the original
-	// benefits before any fresh selection.
+	// benefits — against the original interface — before any fresh
+	// selection.
 	pending := append([]PendingQuery(nil), s.cfg.ResumePending...)
 	// Round scratch, allocated once and reused every round: the selection
 	// loop runs thousands of rounds and the per-round make calls were
@@ -426,41 +530,119 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	round := make([]*issue, 0, batch)
 	intentScratch := make([]PendingQuery, 0, batch)
 	qsScratch := make([]deepweb.Query, 0, batch)
-	for !counting.Exhausted() && (sel.remaining > 0 || len(pending) > 0) {
+	cands := make([]ifaceCand, 0, nIf)
+	for !meter.Exhausted() && (anyRemaining() || len(pending) > 0) {
 		if ctx != nil && ctx.Err() != nil {
 			break // graceful shutdown: stop at the round boundary
 		}
-		// Circuit gate: while open, each held round advances the
-		// count-based cooldown; the round that half-opens the breaker
-		// proceeds as a single-query probe.
-		if br != nil && !br.Allow() {
-			rep.BreakerHolds++
-			continue
+		// Allocate the round to an interface. A replayed crashed round
+		// goes back to the interface that owned it; a single-interface
+		// crawl has no choice to make (and skips the allocator entirely,
+		// preserving the pre-federation loop byte for byte); a federated
+		// round goes to the live interface whose best clean query
+		// promises the largest marginal benefit, ties broken by smaller
+		// interface index so allocation is deterministic.
+		var ir *ifaceRun
+		if len(pending) > 0 {
+			pi := pending[0].Iface
+			if pi < 0 || pi >= nIf {
+				return nil, fmt.Errorf("crawler: recovered pending round is tagged interface %d; run has %d interfaces", pi, nIf)
+			}
+			ir = runs[pi]
+			// Circuit gate: while open, each held round advances the
+			// count-based cooldown; the round that half-opens the breaker
+			// proceeds as a single-query probe.
+			if ir.br != nil && !ir.br.Allow() {
+				rep.BreakerHolds++
+				if ir.metrics != nil {
+					ir.metrics.Holds.Inc()
+				}
+				continue
+			}
+		} else if nIf == 1 {
+			ir = runs[0]
+			if ir.br != nil && !ir.br.Allow() {
+				rep.BreakerHolds++
+				continue
+			}
+		} else {
+			// Rank live interfaces by the clean benefit at the top of
+			// their queues (Peek performs exactly the lazy cleaning a Pop
+			// would, so ranking does no throwaway work), then grant the
+			// round to the best-ranked one whose breaker admits traffic.
+			// Consulting breakers in rank order keeps an open circuit on
+			// the best interface from starving the healthy ones; if every
+			// live interface is held, the round is skipped and each hold
+			// advances its breaker's cooldown.
+			cands = cands[:0]
+			for _, c := range runs {
+				if _, b, ok := c.sel.heap.Peek(c.rescore); ok {
+					cands = append(cands, ifaceCand{c, b})
+				}
+			}
+			held := false
+			allocBenefit := 0.0
+			for len(cands) > 0 {
+				best := 0
+				for j := 1; j < len(cands); j++ {
+					if cands[j].benefit > cands[best].benefit {
+						best = j
+					}
+				}
+				c := cands[best]
+				cands = append(cands[:best], cands[best+1:]...)
+				if c.ir.br != nil && !c.ir.br.Allow() {
+					rep.BreakerHolds++
+					if c.ir.metrics != nil {
+						c.ir.metrics.Holds.Inc()
+					}
+					held = true
+					continue
+				}
+				ir, allocBenefit = c.ir, c.benefit
+				break
+			}
+			if ir == nil {
+				if held {
+					continue
+				}
+				break // every interface's pool is exhausted
+			}
+			env.Obs.Alloc(ir.name, allocBenefit, meter.Remaining())
+			if ir.metrics != nil {
+				ir.metrics.Allocs.Inc()
+			}
 		}
 		// Pop up to `batch` queries (bounded by the remaining budget so
 		// concurrent issues never overshoot b).
 		n := batch
-		if br != nil && br.State() == deepweb.BreakerHalfOpen {
+		if ir.br != nil && ir.br.State() == deepweb.BreakerHalfOpen {
 			n = 1
 		}
-		if r := counting.Remaining(); r >= 0 && r < n {
+		if r := meter.Remaining(); r >= 0 && r < n {
 			n = r
 		}
 		round = round[:0]
 		if len(pending) > 0 {
 			// Replay the crashed round verbatim: same queries, same
-			// benefits, same order. The pool state may have drifted (a
-			// forfeited query whose records were since covered), so a
-			// missing qstate is tolerated — the query is still issued,
-			// only its live bookkeeping is skipped.
-			if n > len(pending) {
-				n = len(pending)
+			// benefits, same interface, same order. The pool state may
+			// have drifted (a forfeited query whose records were since
+			// covered), so a missing qstate is tolerated — the query is
+			// still issued, only its live bookkeeping is skipped. A round
+			// is journaled as one single-interface intent record, so the
+			// pending tail is interface-homogeneous; trim defensively.
+			m := 0
+			for m < len(pending) && pending[m].Iface == ir.idx {
+				m++
+			}
+			if n > m {
+				n = m
 			}
 			for _, p := range pending[:n] {
 				is := &issueBuf[len(round)]
 				*is = issue{q: p.Query, benefit: p.Benefit}
 				if q := pool.Find(p.Query); q != nil {
-					if st := sel.states[q.ID]; st != nil && !st.issued {
+					if st := ir.sel.states[q.ID]; st != nil && !st.issued {
 						st.issued = true
 						is.st = st
 						if !s.cfg.EagerSelection {
@@ -469,7 +651,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 							// entry would be re-issued without ever being
 							// rescored. Mark it stale so the issued
 							// filter retires it at the next pop.
-							sel.heap.Invalidate(q.ID)
+							ir.sel.heap.Invalidate(q.ID)
 						}
 					}
 				}
@@ -484,14 +666,14 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					ok      bool
 				)
 				if s.cfg.EagerSelection {
-					qid, benefit, ok = eagerArgmax(sel.states, benefitOf)
+					qid, benefit, ok = eagerArgmax(ir.sel.states, ir.benefitOf)
 				} else {
-					qid, benefit, ok = sel.heap.Pop(rescore)
+					qid, benefit, ok = ir.sel.heap.Pop(ir.rescore)
 				}
 				if !ok {
 					break // pool exhausted
 				}
-				st := sel.states[qid]
+				st := ir.sel.states[qid]
 				st.issued = true
 				is := &issueBuf[len(round)]
 				*is = issue{st: st, q: st.q.Keywords, benefit: benefit, fromHeap: true}
@@ -507,26 +689,26 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			// exactly this batch instead of re-selecting a different one.
 			intentScratch = intentScratch[:0]
 			for _, is := range round {
-				intentScratch = append(intentScratch, PendingQuery{Query: is.q, Benefit: is.benefit})
+				intentScratch = append(intentScratch, PendingQuery{Query: is.q, Benefit: is.benefit, Iface: ir.idx})
 			}
 			if err := sink.RoundSelected(intentScratch, t.res); err != nil {
 				return nil, sinkErr(err)
 			}
 		}
 		if o := env.Obs; o != nil {
-			o.Round(len(round), counting.Remaining())
+			o.Round(len(round), meter.Remaining())
 		}
 
-		// Issue the round through the worker pool. Outcomes come back
-		// index-aligned with the selection order regardless of which
-		// worker finished first. Under a cancelled context the
+		// Issue the round through the interface's worker pool. Outcomes
+		// come back index-aligned with the selection order regardless of
+		// which worker finished first. Under a cancelled context the
 		// dispatcher drains: started queries finish, unstarted ones
 		// come back with ctx.Err() before they could be charged.
 		qsScratch = qsScratch[:0]
 		for _, is := range round {
 			qsScratch = append(qsScratch, is.q)
 		}
-		for i, o := range disp.DispatchCtx(ctx, qsScratch) {
+		for i, o := range ir.disp.DispatchCtx(ctx, qsScratch) {
 			round[i].recs, round[i].err = o.Records, o.Err
 		}
 
@@ -546,9 +728,9 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					st.issued = false
 					if !s.cfg.EagerSelection {
 						if is.fromHeap {
-							sel.heap.Push(st.q.ID, is.benefit)
+							ir.sel.heap.Push(st.q.ID, is.benefit)
 						} else {
-							sel.heap.Invalidate(st.q.ID)
+							ir.sel.heap.Invalidate(st.q.ID)
 						}
 					}
 				}
@@ -569,8 +751,8 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			if rep != nil {
 				rep.Dispatched++
 			}
-			if br != nil {
-				br.Record(is.err)
+			if ir.br != nil {
+				ir.br.Record(is.err)
 			}
 			resultSize := len(is.recs)
 			if is.err != nil {
@@ -587,12 +769,15 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					rep.Truncated++
 					env.Obs.Truncated(is.q.Key(), te.Returned, te.Full)
 				default:
+					if ir.metrics != nil {
+						ir.metrics.Errors.Inc()
+					}
 					chargedFail := deepweb.Charged(is.err)
 					if !chargedFail {
 						// The interface never billed this failure (429,
 						// open circuit, cancellation) — a query that
 						// never executed must not consume budget.
-						counting.Refund()
+						ir.counting.Refund()
 						rep.Refunded++
 						env.Obs.Refunded(is.q.Key())
 					}
@@ -601,11 +786,14 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					if st != nil {
 						st.attempts++
 						attempts = st.attempts
-						requeued = requeue(st, is.fromHeap)
+						requeued = requeue(ir, st, is.fromHeap)
 					}
 					if requeued {
 						rep.Requeued++
 						env.Obs.Requeued(is.q.Key(), attempts, is.err)
+						if ir.metrics != nil {
+							ir.metrics.Requeues.Inc()
+						}
 						if sink != nil {
 							if err := sink.QueryRequeued(is.q, attempts, chargedFail, t.res); err != nil {
 								return nil, sinkErr(err)
@@ -615,6 +803,9 @@ func (s *Smart) Run(budget int) (*Result, error) {
 						rep.Forfeited++
 						rep.ForfeitedQueries = append(rep.ForfeitedQueries, is.q.Key())
 						env.Obs.Forfeited(is.q.Key(), attempts, is.err)
+						if ir.metrics != nil {
+							ir.metrics.Forfeits.Inc()
+						}
 						if sink != nil {
 							if err := sink.QueryForfeited(is.q, attempts, chargedFail, t.res); err != nil {
 								return nil, sinkErr(err)
@@ -628,7 +819,24 @@ func (s *Smart) Run(budget int) (*Result, error) {
 				rep.Absorbed++
 				rep.dropForfeit(is.q.Key())
 			}
-			newly := t.absorbSized(is.q, is.benefit, is.recs, resultSize)
+			recs := is.recs
+			if federated && len(recs) > 0 {
+				// Hidden IDs are namespaced per source: distinct
+				// interfaces may assign the same ID to different entities,
+				// and Result.Crawled is keyed by ID. The records are
+				// cloned rather than retagged in place — the searcher may
+				// share result slices across calls (Faulty's stale-page
+				// cache does). Entity-level dedupe across interfaces
+				// still happens downstream: the Joiner matches on values,
+				// and first-match-wins coverage keeps one match per local
+				// record no matter how many interfaces return the entity.
+				remapped := make([]*relational.Record, len(recs))
+				for j, h := range recs {
+					remapped[j] = &relational.Record{ID: h.ID*nIf + ir.idx, Values: h.Values}
+				}
+				recs = remapped
+			}
+			newly := t.absorbSized(is.q, is.benefit, recs, resultSize, ir.k, ir.idx)
 			if sink != nil {
 				if err := sink.StepAbsorbed(t.res, t.res.Steps[len(t.res.Steps)-1], newly); err != nil {
 					return nil, sinkErr(err)
@@ -636,37 +844,43 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			}
 			if s.cfg.OnlineCalibration && st != nil && len(st.qD) > 0 {
 				bkt := bucketOf(len(st.qD))
-				old := calib[bkt]
-				calib[bkt].sum += float64(len(newly))
-				calib[bkt].count++
+				old := ir.calib[bkt]
+				ir.calib[bkt].sum += float64(len(newly))
+				ir.calib[bkt].count++
 				// Rebuild priorities when a bucket first becomes
 				// usable or its mean moves materially; rare once
 				// calibrated.
-				cur := calib[bkt]
+				cur := ir.calib[bkt]
 				curMean := cur.sum / float64(cur.count)
 				switch {
 				case cur.count == calibMinObs:
-					sel.heap.Reprioritize(rescore)
+					ir.sel.heap.Reprioritize(ir.rescore)
 				case old.count >= calibMinObs:
 					oldMean := old.sum / float64(old.count)
 					if curMean > 1.3*oldMean || curMean < 0.7*oldMean {
-						sel.heap.Reprioritize(rescore)
+						ir.sel.heap.Reprioritize(ir.rescore)
 					}
 				}
 			}
+			// Coverage is global: a record covered through any interface
+			// leaves every interface's consideration set.
 			for _, d := range newly {
-				sel.remove(d)
+				for _, r2 := range runs {
+					r2.sel.remove(d)
+				}
 			}
 			// §4.2 ΔD prediction: a solid query (result smaller than
 			// k) returns everything matching it, so any record of
 			// q(D) it did not cover cannot be in H — drop it from
 			// consideration. resultSize is the interface's true match
-			// count even when the page was truncated.
-			solid := resultSize < k
+			// count even when the page was truncated. Solidity — and
+			// the removal — are strictly per issuing interface: a
+			// record absent from H_i may well be in H_j.
+			solid := resultSize < ir.k
 			if solid && !s.cfg.DisableDeltaDRemoval {
 				if st != nil {
 					for _, d := range st.qD {
-						sel.remove(int(d))
+						ir.sel.remove(int(d))
 					}
 				}
 			}
@@ -678,10 +892,19 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 	}
 
-	s.HeapRepushes = sel.heap.Repushes
+	s.HeapRepushes = 0
+	for _, ir := range runs {
+		s.HeapRepushes += ir.sel.heap.Repushes
+	}
 	if rep != nil {
-		if br != nil {
-			rep.BreakerTrips = tripsBase + br.Trips()
+		if anyBreaker {
+			trips := tripsBase
+			for _, ir := range runs {
+				if ir.br != nil {
+					trips += ir.br.Trips()
+				}
+			}
+			rep.BreakerTrips = trips
 		}
 		t.res.Resilience = rep
 	}

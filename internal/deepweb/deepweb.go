@@ -51,33 +51,96 @@ type Searcher interface {
 // query budget has been spent.
 var ErrBudgetExhausted = errors.New("deepweb: query budget exhausted")
 
-// Counting wraps a Searcher with budget accounting. Every Search call —
-// successful or not — consumes one unit, matching how web APIs meter
-// requests. A Budget of zero or negative means unlimited. Counting is safe
-// for concurrent use (batch crawling issues queries from multiple
-// goroutines); the wrapped Searcher must be too.
-type Counting struct {
-	S      Searcher
-	Budget int
-
+// Budget is a shared query-quota meter. A single-interface crawl owns one
+// implicitly through NewCounting; a federated crawl creates one Budget and
+// attaches a Counting per interface to it (NewCountingOn), so every
+// interface charges the SAME global allowance — the paper's b is a total
+// across sources, not per source. A limit of zero or negative means
+// unlimited. Safe for concurrent use.
+type Budget struct {
 	mu     sync.Mutex
+	limit  int
 	issued int
 }
 
-// NewCounting wraps s with a budget of b queries (b <= 0 = unlimited).
+// NewBudget returns a meter with a limit of b queries (b <= 0 = unlimited).
+func NewBudget(b int) *Budget { return &Budget{limit: b} }
+
+// Charge consumes one unit, reporting false (and consuming nothing) once
+// the limit is spent.
+func (b *Budget) Charge() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limit > 0 && b.issued >= b.limit {
+		return false
+	}
+	b.issued++
+	return true
+}
+
+// Refund returns one previously charged unit (floor at zero).
+func (b *Budget) Refund() {
+	b.mu.Lock()
+	if b.issued > 0 {
+		b.issued--
+	}
+	b.mu.Unlock()
+}
+
+// Issued returns the number of units charged so far.
+func (b *Budget) Issued() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.issued
+}
+
+// Limit returns the configured limit (<= 0 = unlimited).
+func (b *Budget) Limit() int { return b.limit }
+
+// Remaining returns how many units are left, or -1 if unlimited.
+func (b *Budget) Remaining() int {
+	if b.limit <= 0 {
+		return -1
+	}
+	r := b.limit - b.Issued()
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Exhausted reports whether the limit has been fully spent.
+func (b *Budget) Exhausted() bool {
+	return b.limit > 0 && b.Issued() >= b.limit
+}
+
+// Counting wraps a Searcher with budget accounting. Every Search call —
+// successful or not — consumes one unit, matching how web APIs meter
+// requests. The meter may be private (NewCounting) or shared across several
+// Counting wrappers (NewCountingOn), which is how a federated crawl spends
+// one global budget through n interfaces. Counting is safe for concurrent
+// use (batch crawling issues queries from multiple goroutines); the wrapped
+// Searcher must be too.
+type Counting struct {
+	S Searcher
+	B *Budget
+}
+
+// NewCounting wraps s with its own budget of b queries (b <= 0 = unlimited).
 func NewCounting(s Searcher, b int) *Counting {
-	return &Counting{S: s, Budget: b}
+	return &Counting{S: s, B: NewBudget(b)}
+}
+
+// NewCountingOn wraps s charging against the shared meter b.
+func NewCountingOn(s Searcher, b *Budget) *Counting {
+	return &Counting{S: s, B: b}
 }
 
 // Search issues q through the wrapped searcher, charging one query.
 func (c *Counting) Search(q Query) ([]*relational.Record, error) {
-	c.mu.Lock()
-	if c.Budget > 0 && c.issued >= c.Budget {
-		c.mu.Unlock()
+	if !c.B.Charge() {
 		return nil, ErrBudgetExhausted
 	}
-	c.issued++
-	c.mu.Unlock()
 	return c.S.Search(q)
 }
 
@@ -89,37 +152,16 @@ func (c *Counting) K() int { return c.S.K() }
 // never billed — a client-side token-bucket denial, an open circuit, a
 // 429 rejection, a context cancellation before dispatch (see Charged).
 // A query that never executed must not consume budget.
-func (c *Counting) Refund() {
-	c.mu.Lock()
-	if c.issued > 0 {
-		c.issued--
-	}
-	c.mu.Unlock()
-}
+func (c *Counting) Refund() { c.B.Refund() }
 
-// Issued returns the number of queries charged so far.
-func (c *Counting) Issued() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.issued
-}
+// Issued returns the number of queries charged so far on the meter.
+func (c *Counting) Issued() int { return c.B.Issued() }
 
 // Remaining returns how many queries are left, or -1 if unlimited.
-func (c *Counting) Remaining() int {
-	if c.Budget <= 0 {
-		return -1
-	}
-	r := c.Budget - c.Issued()
-	if r < 0 {
-		r = 0
-	}
-	return r
-}
+func (c *Counting) Remaining() int { return c.B.Remaining() }
 
 // Exhausted reports whether the budget has been fully spent.
-func (c *Counting) Exhausted() bool {
-	return c.Budget > 0 && c.Issued() >= c.Budget
-}
+func (c *Counting) Exhausted() bool { return c.B.Exhausted() }
 
 // Cache memoizes Search results by query key. Query processing is
 // deterministic (§2), so re-issuing a query wastes budget for no new

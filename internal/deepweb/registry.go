@@ -1,0 +1,60 @@
+package deepweb
+
+import "fmt"
+
+// Registry is an ordered, name-unique set of searcher handles — the
+// federation layer's view of "which interfaces exist". Order is the
+// interface index used everywhere downstream (WAL tags, composite hidden
+// IDs, allocation tie-breaks), so registration order must be deterministic;
+// a map would not do. Not safe for concurrent mutation; build it up front,
+// then treat it as read-only.
+type Registry struct {
+	names    []string
+	searcher []Searcher
+	byName   map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// Add registers s under name at the next index, which it returns. Names
+// must be unique and non-empty.
+func (r *Registry) Add(name string, s Searcher) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("deepweb: registry: empty interface name")
+	}
+	if s == nil {
+		return 0, fmt.Errorf("deepweb: registry: nil searcher for %q", name)
+	}
+	if _, dup := r.byName[name]; dup {
+		return 0, fmt.Errorf("deepweb: registry: duplicate interface name %q", name)
+	}
+	idx := len(r.names)
+	r.byName[name] = idx
+	r.names = append(r.names, name)
+	r.searcher = append(r.searcher, s)
+	return idx, nil
+}
+
+// Len returns the number of registered interfaces.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Name returns the name registered at index i.
+func (r *Registry) Name(i int) string { return r.names[i] }
+
+// Searcher returns the handle registered at index i.
+func (r *Registry) Searcher(i int) Searcher { return r.searcher[i] }
+
+// Index returns the index registered under name, or -1.
+func (r *Registry) Index(name string) int {
+	if i, ok := r.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns the registration-ordered name list (shared slice; do not
+// mutate).
+func (r *Registry) Names() []string { return r.names }

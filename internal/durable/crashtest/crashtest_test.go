@@ -28,6 +28,7 @@ import (
 
 	"smartcrawl/internal/crawler"
 	"smartcrawl/internal/dataset"
+	"smartcrawl/internal/relational"
 )
 
 const (
@@ -39,6 +40,9 @@ var (
 	binPath  string // smartcrawl binary, built once in TestMain
 	localCSV string
 	hidCSV   string
+	hidACSV  string // overlapping hidden subsets for the federated cells
+	hidBCSV  string
+	rankCol  int
 )
 
 func TestMain(m *testing.M) {
@@ -66,11 +70,28 @@ func TestMain(m *testing.M) {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		// The federated cells crawl two overlapping subsets of the hidden
+		// database — the middle third is reachable through both interfaces.
+		rankCol = in.RankColumn
+		n := in.Hidden.Len()
+		subset := func(name string, lo, hi int) *relational.Table {
+			t := relational.NewTable(name, in.Hidden.Schema)
+			for _, r := range in.Hidden.Records[lo:hi] {
+				t.Append(r.Values...)
+			}
+			return t
+		}
+		hidA := subset("hidden-a", 0, n*2/3)
+		hidB := subset("hidden-b", n/3, n)
 		localCSV = filepath.Join(tmp, "local.csv")
 		hidCSV = filepath.Join(tmp, "hidden.csv")
+		hidACSV = filepath.Join(tmp, "hidden-a.csv")
+		hidBCSV = filepath.Join(tmp, "hidden-b.csv")
 		for path, write := range map[string]func(*os.File) error{
 			localCSV: func(f *os.File) error { return in.Local.WriteCSV(f) },
 			hidCSV:   func(f *os.File) error { return in.Hidden.WriteCSV(f) },
+			hidACSV:  func(f *os.File) error { return hidA.WriteCSV(f) },
+			hidBCSV:  func(f *os.File) error { return hidB.WriteCSV(f) },
 		} {
 			f, err := os.Create(path)
 			if err != nil {

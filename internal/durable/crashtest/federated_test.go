@@ -1,0 +1,137 @@
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// The federated half of the kill-anywhere harness: a crawl over two
+// interfaces sharing one budget is SIGKILLed at interface-tagged WAL
+// points (kind@iface:n — the nth record of that kind allocated to that
+// interface), then resumed from snapshot + journal. The combined run must
+// be byte-identical to one that was never interrupted: the WAL tags every
+// round and step with its interface ID, so recovery re-seats pending
+// queries on the right interface and the allocator continues exactly
+// where the dead session stopped.
+
+// fedConfig is one cell of the federated crash matrix.
+type fedConfig struct {
+	seed    int
+	workers int
+}
+
+// spec builds the -interfaces grammar for the cell: two overlapping
+// CSV-backed interfaces with different k, both sampled, seeded from the
+// cell seed so every cell exercises a distinct allocation schedule.
+func (c fedConfig) spec() string {
+	return fmt.Sprintf(
+		"name=a,hidden=%s,k=30,rank-column=%d,theta=0.03,seed=%d;"+
+			"name=b,hidden=%s,k=15,rank-column=%d,theta=0.03,seed=%d",
+		hidACSV, rankCol, c.seed, hidBCSV, rankCol, c.seed+100)
+}
+
+func (c fedConfig) args(dir string, budget int) []string {
+	return []string{
+		"-local", localCSV,
+		"-interfaces", c.spec(),
+		"-budget", strconv.Itoa(budget), "-batch", "4",
+		"-workers", strconv.Itoa(c.workers),
+		"-checkpoint", filepath.Join(dir, "cp.bin"),
+		"-wal", filepath.Join(dir, "cp.wal"),
+		"-autosave", strconv.Itoa(autosave),
+		"-out", filepath.Join(dir, "out.csv"),
+	}
+}
+
+// fedReference runs the uninterrupted federated crawl for a cell.
+func fedReference(t *testing.T, c fedConfig) (out, cp []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	r := run(t, "", c.args(dir, budget)...)
+	if r.killed || r.exit != 0 {
+		t.Fatalf("federated reference run failed (exit %d):\n%s", r.exit, r.stderr)
+	}
+	return readOut(t, dir), canonicalCheckpoint(t, dir)
+}
+
+// fedResumeAndCompare resumes a federated crash site with the leftover
+// budget and asserts byte-identity with the uninterrupted reference.
+func fedResumeAndCompare(t *testing.T, c fedConfig, dir string, refOut, refCP []byte) {
+	t.Helper()
+	charged, _ := inspect(t, dir)
+	if charged > budget {
+		t.Fatalf("crash site shows %d charged, above the %d budget", charged, budget)
+	}
+	if remaining := budget - charged; remaining > 0 {
+		r := run(t, "", c.args(dir, remaining)...)
+		if r.killed || r.exit != 0 {
+			t.Fatalf("federated resume failed (exit %d):\n%s", r.exit, r.stderr)
+		}
+		if !bytes.Equal(readOut(t, dir), refOut) {
+			t.Errorf("resumed federated output CSV differs from the uninterrupted run")
+		}
+	}
+	if !bytes.Equal(canonicalCheckpoint(t, dir), refCP) {
+		t.Errorf("resumed federated checkpoint differs from the uninterrupted run")
+	}
+}
+
+// TestFederatedCrashRecovery is the federated acceptance sweep: seeds ×
+// worker counts × interface-tagged injection points. Untagged points
+// count records globally (exactly as before federation); tagged points
+// fire on the nth record of that kind belonging to one interface,
+// landing kills inside a specific interface's round or step stream —
+// torn-tail variants included.
+func TestFederatedCrashRecovery(t *testing.T) {
+	seeds := []int{1, 2}
+	workers := []int{1, 4}
+	points := []string{
+		"begin:1",          // before anything — resume from scratch
+		"round@0:1",        // first round allocated to interface a
+		"round@1:1:torn:6", // first round for interface b, torn mid-intent
+		"step@0:2",         // second step absorbed from interface a
+		"step@1:2",         // second step absorbed from interface b
+		"step@1:1:torn:20", // torn mid-step in interface b's stream
+		"step:7",           // untagged: global record counting still works
+		"compact:1",        // snapshot renamed, journal not yet reset
+	}
+	if testing.Short() {
+		seeds = []int{1}
+		workers = []int{4}
+		points = []string{"round@1:1:torn:6", "step@1:2", "compact:1"}
+	}
+	for _, seed := range seeds {
+		for _, w := range workers {
+			c := fedConfig{seed: seed, workers: w}
+			t.Run(fmt.Sprintf("seed=%d,workers=%d", seed, w), func(t *testing.T) {
+				refOut, refCP := fedReference(t, c)
+				for _, point := range points {
+					t.Run(point, func(t *testing.T) {
+						dir := t.TempDir()
+						r := run(t, point, c.args(dir, budget)...)
+						if !r.killed {
+							t.Fatalf("crash point %s never fired (exit %d):\n%s",
+								point, r.exit, r.stderr)
+						}
+						fedResumeAndCompare(t, c, dir, refOut, refCP)
+					})
+				}
+			})
+		}
+	}
+}
+
+// TestFederatedCompactRejectsIfaceTag pins the crash grammar boundary:
+// compaction is global, so a compact@iface spec must be rejected by the
+// binary rather than silently never firing.
+func TestFederatedCompactRejectsIfaceTag(t *testing.T) {
+	dir := t.TempDir()
+	c := fedConfig{seed: 1, workers: 1}
+	r := run(t, "compact@1:1", c.args(dir, budget)...)
+	if r.killed || r.exit == 0 {
+		t.Fatalf("compact@1:1 accepted (killed=%t exit=%d)", r.killed, r.exit)
+	}
+}

@@ -55,13 +55,17 @@ const (
 // hidden records first crawled by this query and the (local, hidden)
 // match pairs it newly covered.
 type StepRecord struct {
-	Query             []string     `json:"query"`
-	EstimatedBenefit  float64      `json:"est_benefit"`
-	NewlyCovered      int          `json:"newly_covered"`
-	CumulativeCovered int          `json:"cumulative_covered"`
-	ResultSize        int          `json:"result_size"`
-	NewRecords        []WireRecord `json:"new_records,omitempty"`
-	NewMatches        []WirePair   `json:"new_matches,omitempty"`
+	Query             []string `json:"query"`
+	EstimatedBenefit  float64  `json:"est_benefit"`
+	NewlyCovered      int      `json:"newly_covered"`
+	CumulativeCovered int      `json:"cumulative_covered"`
+	ResultSize        int      `json:"result_size"`
+	// Iface is the interface the query was issued against (crawler.Step.Iface);
+	// omitted at zero, so single-interface journals are byte-identical to the
+	// pre-federation format.
+	Iface      int          `json:"iface,omitempty"`
+	NewRecords []WireRecord `json:"new_records,omitempty"`
+	NewMatches []WirePair   `json:"new_matches,omitempty"`
 }
 
 // WireRecord is a crawled hidden record on the wire.
@@ -92,6 +96,11 @@ type Record struct {
 	// resolved round entry.
 	Query   string `json:"query,omitempty"`
 	Attempt int    `json:"attempt,omitempty"`
+	// Iface tags the interface of a federated crawl's round, step, and
+	// resolution records (the Interface slice index). Rounds are
+	// interface-homogeneous, so one tag per record suffices. Always omitted
+	// in single-interface crawls, keeping their journals byte-identical.
+	Iface int `json:"iface,omitempty"`
 	// Accounting state after this record took effect.
 	QueriesIssued int `json:"queries_issued"`
 	CoveredCount  int `json:"covered_count"`

@@ -140,6 +140,12 @@ func (rec *Recovered) replay(recs []Record, res **crawler.Result) error {
 			if len(pending) > 0 {
 				return fmt.Errorf("record %d: round opened with %d entries of the previous round unresolved", i, len(pending))
 			}
+			for _, p := range r.Round {
+				if p.Iface != r.Iface {
+					return fmt.Errorf("record %d: round tagged interface %d selects %q on interface %d — rounds are interface-homogeneous",
+						i, r.Iface, p.Query, p.Iface)
+				}
+			}
 			pending = append([]crawler.PendingQuery(nil), r.Round...)
 		case KindStep:
 			if *res == nil {
@@ -265,6 +271,7 @@ func applyStep(res *crawler.Result, sr *StepRecord) error {
 		CumulativeCovered: sr.CumulativeCovered,
 		ResultSize:        sr.ResultSize,
 		NewHidden:         newHidden,
+		Iface:             sr.Iface,
 	})
 	return nil
 }

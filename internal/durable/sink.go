@@ -77,11 +77,15 @@ type Sink struct {
 	// re-journaled, and every journal reset re-writes what remains, so
 	// the intent survives even a crash-recover-crash sequence.
 	pendingIntent []crawler.PendingQuery
-	counts        map[string]int // records appended by kind (crash matching)
-	compacts      int
-	sinceCompact  int
-	closed        bool
-	crash         crashPoint
+	// openIface is the interface the currently open round was allocated to
+	// (rounds are interface-homogeneous); resolution records inherit it.
+	// Always 0 in single-interface crawls.
+	openIface    int
+	counts       map[string]int // records appended by kind (crash matching)
+	compacts     int
+	sinceCompact int
+	closed       bool
+	crash        crashPoint
 }
 
 // Open recovers prior state from Options.Snapshot + Options.Journal and
@@ -123,6 +127,9 @@ func Open(opts Options) (*Sink, error) {
 		pendingIntent: append([]crawler.PendingQuery(nil), rec.Pending...),
 		counts:        make(map[string]int),
 		crash:         crash,
+	}
+	if len(rec.Pending) > 0 {
+		s.openIface = rec.Pending[0].Iface
 	}
 	if opts.Journal != "" {
 		f, err := os.OpenFile(opts.Journal, os.O_RDWR|os.O_CREATE, 0o644)
@@ -174,14 +181,25 @@ func (s *Sink) RoundSelected(sel []crawler.PendingQuery, res *crawler.Result) er
 				return fmt.Errorf("durable: resumed round re-selects %q where the journal expects %q",
 					p.Query, s.pendingIntent[i].Query)
 			}
+			if p.Iface != s.pendingIntent[i].Iface {
+				return fmt.Errorf("durable: resumed round re-selects %q on interface %d where the journal expects interface %d",
+					p.Query, p.Iface, s.pendingIntent[i].Iface)
+			}
+		}
+		if len(sel) > 0 {
+			s.openIface = sel[0].Iface
 		}
 		s.pendingIntent = s.pendingIntent[len(sel):]
 		return nil
+	}
+	if len(sel) > 0 {
+		s.openIface = sel[0].Iface
 	}
 	if s.f == nil {
 		return nil
 	}
 	rec := s.newRecord(KindRound, res)
+	rec.Iface = s.openIface
 	rec.Round = append([]crawler.PendingQuery(nil), sel...)
 	if err := s.append(rec); err != nil {
 		return err
@@ -201,6 +219,7 @@ func (s *Sink) StepAbsorbed(res *crawler.Result, step crawler.Step, newlyCovered
 		return nil
 	}
 	rec := s.newRecord(KindStep, res)
+	rec.Iface = step.Iface
 	rec.Step = buildStepRecord(res, step, newlyCovered)
 	if err := s.append(rec); err != nil {
 		return err
@@ -236,6 +255,7 @@ func (s *Sink) resolution(kind string, q deepweb.Query, attempt int, charged boo
 		return nil
 	}
 	rec := s.newRecord(kind, res)
+	rec.Iface = s.openIface
 	rec.Query = q.Key()
 	rec.Attempt = attempt
 	if err := s.append(rec); err != nil {
@@ -271,7 +291,7 @@ func (s *Sink) compact(res *crawler.Result) error {
 		return err
 	}
 	s.compacts++
-	if s.crash.active("compact", s.compacts) {
+	if s.crash.active("compact", 0, s.compacts) {
 		// The nastiest window: snapshot renamed, journal not yet reset.
 		// Recovery handles it by skipping records the snapshot's
 		// sequence number already covers.
@@ -350,6 +370,7 @@ func (s *Sink) resetJournal(res *crawler.Result) error {
 	}
 	if len(s.pendingIntent) > 0 {
 		round := s.newRecord(KindRound, res)
+		round.Iface = s.pendingIntent[0].Iface
 		round.Round = append([]crawler.PendingQuery(nil), s.pendingIntent...)
 		if err := s.append(round); err != nil {
 			return err
@@ -382,8 +403,15 @@ func (s *Sink) append(rec *Record) error {
 	if err != nil {
 		return err
 	}
-	s.counts[rec.Kind]++
-	crash := s.crash.active(rec.Kind, s.counts[rec.Kind])
+	// Crash points count globally per kind, or per (kind, interface) when
+	// the spec is interface-tagged — "step@1:2" means the 2nd step record
+	// of interface 1, however many other interfaces stepped in between.
+	key := rec.Kind
+	if s.crash.iface >= 0 {
+		key = fmt.Sprintf("%s@%d", rec.Kind, rec.Iface)
+	}
+	s.counts[key]++
+	crash := s.crash.active(rec.Kind, rec.Iface, s.counts[key])
 	if crash && s.crash.torn >= 0 && s.crash.torn < len(buf) {
 		s.f.Write(buf[:s.crash.torn])
 		die()
@@ -421,6 +449,7 @@ func buildStepRecord(res *crawler.Result, step crawler.Step, newlyCovered []int)
 		NewlyCovered:      step.NewlyCovered,
 		CumulativeCovered: step.CumulativeCovered,
 		ResultSize:        step.ResultSize,
+		Iface:             step.Iface,
 	}
 	for _, id := range step.NewHidden {
 		if h := res.Crawled[id]; h != nil {

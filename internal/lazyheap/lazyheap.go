@@ -121,6 +121,31 @@ func (q *Queue) Pop(rescore func(id int) (priority float64, keep bool)) (id int,
 	return 0, 0, false
 }
 
+// Peek returns the query a Pop would return, without removing it: stale
+// top entries are rescored and re-inserted exactly as Pop would (including
+// the Repushes accounting), so a Peek followed by a Pop with the same
+// rescore performs no additional cleaning work. The federation allocator
+// uses Peek to rank interfaces by their best clean benefit before
+// committing the round to one of them. Peek returns ok=false when the
+// queue is (or cleans down to) empty.
+func (q *Queue) Peek(rescore func(id int) (priority float64, keep bool)) (id int, priority float64, ok bool) {
+	for len(q.h) > 0 {
+		top := q.h[0]
+		if !q.isDirty(top.id) {
+			return top.id, top.pri, true
+		}
+		q.popTop()
+		q.dirty[top.id] = false
+		pri, keep := rescore(top.id)
+		if !keep {
+			continue
+		}
+		q.Repushes++
+		q.Push(top.id, pri)
+	}
+	return 0, 0, false
+}
+
 // popTop removes and returns the root entry.
 func (q *Queue) popTop() entry {
 	n := len(q.h) - 1

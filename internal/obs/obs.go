@@ -78,6 +78,7 @@ type Obs struct {
 	Rounds         Counter // selection rounds (batches popped)
 	Dispatched     Counter // queries handed to the worker pool
 	EstimateCalls  Counter // estimator Benefit() invocations
+	Allocs         Counter // federated budget allocations (rounds granted to an interface)
 
 	// Interface-pressure counters (worker pool, many writers).
 	SearchErrors Counter // failed searches (budget exhaustion excluded)
@@ -137,6 +138,57 @@ type Obs struct {
 
 	faultMu sync.Mutex
 	faultBy map[string]int64 // injected-fault counts by class
+
+	ifaceMu  sync.Mutex
+	ifaceBy  map[string]*IfaceMetrics // per-interface metrics of a federated crawl
+	ifaceSeq []string                 // registration order, for stable summaries
+}
+
+// IfaceMetrics aggregates the per-interface counters of a federated crawl:
+// which interface the shared budget was spent on and what it bought. Handles
+// are obtained through Obs.Iface and registered once per interface name;
+// single-interface crawls never register any, so their snapshots and
+// summaries carry no interface section and stay byte-identical.
+type IfaceMetrics struct {
+	Queries  Counter // queries absorbed from this interface
+	Covered  Counter // local records this interface's results newly covered
+	Solid    Counter // absorbed queries solid under this interface's k
+	Allocs   Counter // rounds the allocator granted this interface
+	Errors   Counter // failed dispatches recorded against this interface
+	Requeues Counter // failed selections requeued after failing here
+	Forfeits Counter // selections forfeited after failing here
+	Holds    Counter // rounds held by this interface's circuit breaker
+}
+
+// Iface returns (registering on first use) the metrics handle for the named
+// interface. Returns nil on a nil sink or an empty name, and every
+// IfaceMetrics update site must tolerate a nil handle.
+func (o *Obs) Iface(name string) *IfaceMetrics {
+	if o == nil || name == "" {
+		return nil
+	}
+	o.ifaceMu.Lock()
+	defer o.ifaceMu.Unlock()
+	if o.ifaceBy == nil {
+		o.ifaceBy = make(map[string]*IfaceMetrics)
+	}
+	m, ok := o.ifaceBy[name]
+	if !ok {
+		m = &IfaceMetrics{}
+		o.ifaceBy[name] = m
+		o.ifaceSeq = append(o.ifaceSeq, name)
+	}
+	return m
+}
+
+// IfaceNames returns the registered interface names in registration order.
+func (o *Obs) IfaceNames() []string {
+	if o == nil {
+		return nil
+	}
+	o.ifaceMu.Lock()
+	defer o.ifaceMu.Unlock()
+	return append([]string(nil), o.ifaceSeq...)
 }
 
 // New returns an empty, enabled sink. The zero value &Obs{} is equivalent.
@@ -181,6 +233,13 @@ func (o *Obs) clock() time.Time {
 // benefit pair, and a trace event. Called by the merge stage (single
 // goroutine) after every issued query, for every crawl framework.
 func (o *Obs) Query(q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
+	o.QueryIface("", q, est, resultSize, newCovered, cumCovered, solid)
+}
+
+// QueryIface is Query tagged with the issuing interface of a federated
+// crawl. An empty iface is the single-interface path: the trace line is
+// emitted untagged, byte-identical to the pre-federation format.
+func (o *Obs) QueryIface(iface, q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
 	if o == nil {
 		return
 	}
@@ -194,7 +253,24 @@ func (o *Obs) Query(q string, est float64, resultSize, newCovered, cumCovered in
 	o.BenefitReal.Add(float64(newCovered))
 	o.BenefitAbsErr.Add(math.Abs(est - float64(newCovered)))
 	if t := o.tracer.Load(); t != nil {
-		t.query(q, est, resultSize, newCovered, cumCovered, solid)
+		if iface == "" {
+			t.query(q, est, resultSize, newCovered, cumCovered, solid)
+		} else {
+			t.queryIface(iface, q, est, resultSize, newCovered, cumCovered, solid)
+		}
+	}
+}
+
+// Alloc records one federated budget allocation: the named interface won
+// the round with the given top estimated benefit, with budgetLeft queries
+// remaining (-1 = unlimited) before the round is sized.
+func (o *Obs) Alloc(iface string, benefit float64, budgetLeft int) {
+	if o == nil {
+		return
+	}
+	o.Allocs.Inc()
+	if t := o.tracer.Load(); t != nil {
+		t.alloc(iface, benefit, budgetLeft)
 	}
 }
 
@@ -524,6 +600,24 @@ func (o *Obs) Snapshot() map[string]any {
 		}
 		m["resilience"] = res
 	}
+	if names := o.IfaceNames(); len(names) > 0 {
+		ifs := make(map[string]any, len(names))
+		for _, name := range names {
+			im := o.Iface(name)
+			ifs[name] = map[string]any{
+				"queries_issued":  im.Queries.Value(),
+				"records_covered": im.Covered.Value(),
+				"solid_queries":   im.Solid.Value(),
+				"allocs":          im.Allocs.Value(),
+				"search_errors":   im.Errors.Value(),
+				"requeues":        im.Requeues.Value(),
+				"forfeits":        im.Forfeits.Value(),
+				"breaker_holds":   im.Holds.Value(),
+			}
+		}
+		m["interfaces"] = ifs
+		m["allocs"] = o.Allocs.Value()
+	}
 	if o.WalAppends.Value()+o.Recoveries.Value() > 0 {
 		dur := map[string]any{
 			"wal_appends": o.WalAppends.Value(),
@@ -584,6 +678,12 @@ func (o *Obs) WriteSummary(w io.Writer) {
 		fmt.Fprintf(w, "obs: resilience: %d faults injected, %d truncated results, %d requeues, %d forfeits, %d budget refunds, breaker tripped %d times\n",
 			o.FaultsInjected.Value(), o.Truncations.Value(), o.Requeues.Value(),
 			o.Forfeits.Value(), o.Refunds.Value(), o.BreakerTrips.Value())
+	}
+	for _, name := range o.IfaceNames() {
+		im := o.Iface(name)
+		fmt.Fprintf(w, "obs: interface %-12s %d allocs, %d queries, %d covered, %d solid, %d errors, %d requeues, %d forfeits, %d breaker holds\n",
+			name, im.Allocs.Value(), im.Queries.Value(), im.Covered.Value(), im.Solid.Value(),
+			im.Errors.Value(), im.Requeues.Value(), im.Forfeits.Value(), im.Holds.Value())
 	}
 	if o.WalAppends.Value()+o.Recoveries.Value() > 0 {
 		fmt.Fprintf(w, "obs: durability: %d journal records (%d bytes), %d fsyncs, %d recoveries\n",

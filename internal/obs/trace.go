@@ -81,6 +81,7 @@ const (
 	EventForfeit    = "forfeit"
 	EventWalAppend  = "wal_append"
 	EventRecovered  = "recovered"
+	EventAlloc      = "alloc"
 )
 
 // Event is the union wire format of one trace line, for consumers reading
@@ -116,6 +117,7 @@ type Event struct {
 	Bytes      int     `json:"bytes,omitempty"`
 	Records    int     `json:"records,omitempty"`
 	Torn       bool    `json:"torn,omitempty"`
+	Iface      string  `json:"iface,omitempty"`
 }
 
 // ParseEvents decodes a JSONL trace back into events — the consumer side
@@ -250,9 +252,48 @@ type recoveredEvent struct {
 	Torn    bool   `json:"torn"`
 }
 
+// queryIfaceEvent is queryEvent tagged with the issuing interface of a
+// federated crawl; untagged single-interface traces keep the queryEvent
+// shape byte-for-byte.
+type queryIfaceEvent struct {
+	Seq        uint64  `json:"seq"`
+	TMs        int64   `json:"t_ms"`
+	Type       string  `json:"type"`
+	Query      string  `json:"query"`
+	EstBenefit float64 `json:"est_benefit"`
+	ResultSize int     `json:"result_size"`
+	NewCovered int     `json:"new_covered"`
+	CumCovered int     `json:"cum_covered"`
+	Solid      bool    `json:"solid"`
+	Iface      string  `json:"iface"`
+}
+
+// allocEvent traces one federated budget allocation: which interface won
+// the round and under what top estimated benefit.
+type allocEvent struct {
+	Seq        uint64  `json:"seq"`
+	TMs        int64   `json:"t_ms"`
+	Type       string  `json:"type"`
+	Iface      string  `json:"iface"`
+	EstBenefit float64 `json:"est_benefit"`
+	BudgetLeft int     `json:"budget_left"`
+}
+
 func (t *Tracer) query(q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
 	t.emit(func(seq uint64, tms int64) any {
 		return queryEvent{seq, tms, EventQuery, q, est, resultSize, newCovered, cumCovered, solid}
+	})
+}
+
+func (t *Tracer) queryIface(iface, q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
+	t.emit(func(seq uint64, tms int64) any {
+		return queryIfaceEvent{seq, tms, EventQuery, q, est, resultSize, newCovered, cumCovered, solid, iface}
+	})
+}
+
+func (t *Tracer) alloc(iface string, benefit float64, budgetLeft int) {
+	t.emit(func(seq uint64, tms int64) any {
+		return allocEvent{seq, tms, EventAlloc, iface, benefit, budgetLeft}
 	})
 }
 

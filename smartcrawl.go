@@ -42,6 +42,7 @@ import (
 	"smartcrawl/internal/durable"
 	"smartcrawl/internal/enrich"
 	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/federate"
 	"smartcrawl/internal/hidden"
 	"smartcrawl/internal/match"
 	"smartcrawl/internal/obs"
@@ -132,6 +133,16 @@ type (
 	// RecoveredCrawl is crawl state rebuilt from a snapshot + journal
 	// (see RecoverCrawl and Durability.Recovered).
 	RecoveredCrawl = durable.Recovered
+	// FederatedInterface is one interface of a federated crawl: its
+	// searcher, sample, estimator, and circuit breaker. The slice index
+	// passed to NewFederatedCrawler is the interface's ID in steps,
+	// checkpoints, and the WAL.
+	FederatedInterface = crawler.Interface
+	// InterfaceSpec is the parsed CLI description of one federated
+	// interface (see ParseInterfaceSpecs).
+	InterfaceSpec = federate.Spec
+	// Federation is a materialized interface set (see BuildInterfaces).
+	Federation = federate.Federation
 )
 
 // Journal fsync policies for DurabilityOptions.Sync. None of them is
@@ -362,6 +373,61 @@ func NewSmartCrawler(env *Env, opts SmartOptions) (Crawler, error) {
 		}
 	}
 	return crawler.NewSmart(env, cfg)
+}
+
+// ParseInterfaceSpecs parses the -interfaces CLI grammar — specs
+// separated by ';', key=value fields separated by ',' — into one
+// InterfaceSpec per federated interface. See internal/federate for the
+// full key list.
+func ParseInterfaceSpecs(s string) ([]InterfaceSpec, error) {
+	return federate.ParseSpecs(s)
+}
+
+// BuildInterfaces materializes interface specs into live handles:
+// simulated or HTTP backends, fault injection, client-side rate
+// limiting, retries, per-interface samples and breakers. local seeds the
+// keyword sampler of remote interfaces; o may be nil.
+func BuildInterfaces(specs []InterfaceSpec, local *Table, tk *Tokenizer, o *Obs) (*Federation, error) {
+	return federate.BuildAll(specs, local, tk, o)
+}
+
+// NewFederatedCrawler builds SMARTCRAWL over a set of interfaces H1..Hn
+// sharing one global budget: each selection round goes to the interface
+// whose best unissued query promises the largest marginal estimated
+// benefit (deterministic tie-break by interface index), and results
+// merge into one coverage set with cross-interface entity dedupe. With a
+// single interface the crawl is byte-identical to NewSmartCrawler over
+// that interface's searcher.
+//
+// Per-interface knobs (sample, estimator, breaker) live on each
+// FederatedInterface; the options' Sample, Unbiased, Omega, and Breaker
+// fields must be unset.
+func NewFederatedCrawler(env *Env, opts SmartOptions, ifaces []FederatedInterface) (Crawler, error) {
+	if opts.Sample != nil || opts.Unbiased || opts.Omega != 0 || opts.Breaker != nil {
+		return nil, errors.New("smartcrawl: federated crawls take Sample/Estimator/Breaker per interface")
+	}
+	cfg := crawler.SmartConfig{
+		PoolConfig:        opts.Pool,
+		BatchSize:         opts.BatchSize,
+		Concurrency:       opts.Workers,
+		Resume:            opts.Resume,
+		OnlineCalibration: opts.Online,
+		MaxAttempts:       opts.MaxAttempts,
+		Context:           opts.Context,
+		Durability:        opts.Durability,
+		ResumePending:     opts.ResumePending,
+	}
+	// Mirror NewSmartCrawler: sampled interfaces get the §6.2
+	// inadequate-sample fallback (α is computed per interface from its
+	// own sample), so the n=1 federation estimates exactly like the
+	// single-interface construction.
+	for _, h := range ifaces {
+		if h.Sample != nil {
+			cfg.AlphaFallback = true
+			break
+		}
+	}
+	return crawler.NewFederatedSmart(env, cfg, ifaces)
 }
 
 // SaveCheckpoint serializes a crawl result so a later session can resume
