@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check allocguard chaos crashtest fedtest bench bench-hotpath experiments examples fuzz cover clean
+.PHONY: all build vet test test-short race check allocguard chaos crashtest fedtest crawldtest bench bench-hotpath experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -25,8 +25,9 @@ race:
 
 # The pre-merge gate: vet, the full suite under the race detector, the
 # allocation-regression guard (which -race would skip), the kill-anywhere
-# crash-recovery matrix against the real binary, and the federation suite.
-check: vet race allocguard crashtest fedtest
+# crash-recovery matrix against the real binaries (smartcrawl and crawld),
+# the federation suite, and the crawld service suite.
+check: vet race allocguard crashtest fedtest crawldtest
 
 # Pin of the zero-allocation steady-state selection kernel; runs without
 # -race because the detector instruments allocations.
@@ -48,6 +49,15 @@ chaos:
 # handler and shutdown paths run under the detector too.
 crashtest:
 	$(GO) test -race -count=1 -v -run 'CrashRecovery|GracefulInterrupt' ./internal/durable/crashtest/
+
+# Service drill (docs/OPERATIONS.md "Running crawld"): the jobs
+# orchestrator under the race detector — lifecycle, events streaming,
+# admission control, drain semantics, concurrent-jobs determinism, and the
+# cross-surface e2e that proves a daemon job is byte-identical to the same
+# crawl through the smartcrawl CLI. The daemon SIGKILL-recovery cell runs
+# with `make crashtest`.
+crawldtest:
+	$(GO) test -race -count=1 -v ./internal/jobs/
 
 # Federation drill (docs/OPERATIONS.md "Federated crawling"): the
 # determinism oracle over seeds × workers × interface counts, the n=1

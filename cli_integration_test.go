@@ -1,8 +1,9 @@
 package smartcrawl_test
 
 import (
+	"bufio"
 	"fmt"
-	"net"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -188,17 +189,15 @@ func TestCLIRemoteCrawl(t *testing.T) {
 		t.Fatalf("gendata: %v\n%s", err, out)
 	}
 
-	// Pick a free port, then hand it to the server.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// The server binds :0 itself and announces the bound address — no
+	// pick-then-rebind race.
+	server := exec.Command(serverBin,
+		"-table", filepath.Join(dir, "yelp_hidden.csv"),
+		"-k", "50", "-rank-column", "3", "-addr", "127.0.0.1:0")
+	stdout, err := server.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr := ln.Addr().String()
-	ln.Close()
-
-	server := exec.Command(serverBin,
-		"-table", filepath.Join(dir, "yelp_hidden.csv"),
-		"-k", "50", "-rank-column", "3", "-addr", addr)
 	if err := server.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -206,8 +205,21 @@ func TestCLIRemoteCrawl(t *testing.T) {
 		_ = server.Process.Signal(os.Interrupt)
 		_, _ = server.Process.Wait()
 	}()
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("hiddenserver never announced its address")
+	}
+	go io.Copy(io.Discard, stdout)
 
-	// Wait for readiness.
+	// The announce happens after Listen, so the port is already open —
+	// one readiness probe confirms the handler is serving.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		resp, err := http.Get("http://" + addr + "/healthz")

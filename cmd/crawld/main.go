@@ -1,0 +1,175 @@
+// Command crawld is the enrichment service: a long-running daemon that
+// accepts crawl jobs over HTTP and runs many Algorithm-4 crawls
+// concurrently over one durable engine.
+//
+// Usage:
+//
+//	crawld -data /var/lib/crawld -addr :9090 -workers 4 \
+//	       -queue-cap 64 -tenant-budget 10000 -tenant-rate 5
+//
+// A job is a smartcrawl invocation submitted as JSON: the local table
+// (inline CSV, or a server path with -allow-local-backends), a target
+// interface (url=, or hidden=/interfaces= with -allow-local-backends),
+// a lifetime budget, and the usual knobs. Clients poll GET /jobs/{id},
+// stream progress from /jobs/{id}/events (JSONL), and fetch the enriched
+// table from /jobs/{id}/result. See docs/OPERATIONS.md ("Running
+// crawld") for the full API and lifecycle.
+//
+// Every job owns a WAL + snapshot pair under -data, so the daemon
+// survives any crash — including SIGKILL mid-crawl — without losing an
+// accepted job: the startup recovery scan re-queues unfinished jobs and
+// each crawl resumes from its journal, completing byte-identical to an
+// uninterrupted run. SIGTERM drains gracefully: no new jobs are
+// admitted, running crawls checkpoint at their next round boundary, and
+// interrupted jobs are handed to the next start. A second signal aborts
+// hard (exit 130).
+//
+// Per-job crawl metrics, queue gauges, and tenant accounting are
+// published at /debug/vars; /debug/pprof serves profiles. Disable both
+// with -debug=false on exposed deployments.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smartcrawl/internal/durable"
+	"smartcrawl/internal/jobs"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":9090", "listen address (:0 picks a free port, printed at startup)")
+		dataDir      = flag.String("data", "", "data directory: job specs, WALs, checkpoints, results (required)")
+		workers      = flag.Int("workers", 2, "concurrent crawl jobs")
+		queueCap     = flag.Int("queue-cap", 64, "max accepted-but-unfinished jobs; beyond it submissions get 429 + Retry-After")
+		tenantBudget = flag.Int("tenant-budget", 0, "lifetime query budget per tenant across all its jobs (0 = unlimited)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "job submissions per second per tenant (0 = unpaced)")
+		tenantBurst  = flag.Int("tenant-burst", 5, "per-tenant submission burst (with -tenant-rate)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on transient 429s")
+		allowLocal   = flag.Bool("allow-local-backends", false, "permit job specs that read server-side files (local_path, hidden= backends)")
+		debug        = flag.Bool("debug", true, "serve /debug/vars (expvar) and /debug/pprof endpoints")
+	)
+	flag.Parse()
+
+	// Validate every flag before touching the filesystem.
+	if *dataDir == "" {
+		fatal(errors.New("-data is required"))
+	}
+	if *workers < 1 {
+		fatal(errors.New("-workers must be >= 1"))
+	}
+	if *queueCap < 1 {
+		fatal(errors.New("-queue-cap must be >= 1"))
+	}
+	if *tenantBudget < 0 {
+		fatal(errors.New("-tenant-budget must be >= 0"))
+	}
+	if *tenantRate < 0 {
+		fatal(errors.New("-tenant-rate must be >= 0"))
+	}
+	if *tenantBurst < 1 {
+		fatal(errors.New("-tenant-burst must be >= 1"))
+	}
+	if *retryAfter < 0 {
+		fatal(errors.New("-retry-after must be >= 0"))
+	}
+	if cp := os.Getenv(durable.CrashEnv); cp != "" {
+		if _, err := durable.ParseCrashPoint(cp); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Bind before opening the job store: a port conflict must fail fast,
+	// not after the recovery scan has re-queued work. With -addr :0 the
+	// printed line is how callers learn the port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	mgr, err := jobs.Open(jobs.Config{
+		Dir:          *dataDir,
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		TenantBudget: *tenantBudget,
+		TenantRate:   *tenantRate,
+		TenantBurst:  *tenantBurst,
+		RetryAfter:   *retryAfter,
+		AllowLocal:   *allowLocal,
+		Log:          os.Stderr,
+		CrashPoint:   os.Getenv(durable.CrashEnv),
+	})
+	if err != nil {
+		ln.Close()
+		fatal(err)
+	}
+
+	handler := jobs.NewServer(mgr).Handler()
+	if *debug {
+		expvar.Publish("crawld", expvar.Func(func() any { return mgr.MetricsSnapshot() }))
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	// No WriteTimeout: /jobs/{id}/events legitimately streams for the
+	// whole life of a job. Read/idle/header limits still bound abuse.
+	hs := &http.Server{
+		Handler:        handler,
+		ReadTimeout:    30 * time.Second,
+		IdleTimeout:    2 * time.Minute,
+		MaxHeaderBytes: 1 << 20,
+	}
+	fmt.Printf("crawld listening on %s\n", ln.Addr())
+
+	// Shutdown ordering: mark the manager draining first (submissions get
+	// 503 immediately), interrupt and park every crawl (their state is
+	// checkpointed and interrupted jobs re-queued on disk), and only then
+	// shut the HTTP server down — Drain also releases any /events
+	// streamers that would otherwise hold Shutdown open. A second signal
+	// aborts hard.
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "crawld: draining (repeat signal to abort)")
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "crawld: aborted")
+			os.Exit(130)
+		}()
+		mgr.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(done)
+	}()
+
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+	fmt.Fprintln(os.Stderr, "crawld: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crawld:", err)
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -73,6 +74,15 @@ func main() {
 	flag.Parse()
 	if (*tablePath == "") == (*profiles == "") {
 		fatal(fmt.Errorf("exactly one of -table and -profiles is required"))
+	}
+	if *k <= 0 {
+		fatal(fmt.Errorf("-k must be >= 1"))
+	}
+	if *rate < 0 {
+		fatal(fmt.Errorf("-rate must be >= 0"))
+	}
+	if *burst <= 0 {
+		fatal(fmt.Errorf("-burst must be >= 1"))
 	}
 
 	tk := tokenize.New()
@@ -158,7 +168,7 @@ func main() {
 	srv := httpapi.NewServer(searcher, tk, limiter)
 	srv.SetObs(o)
 
-	fmt.Printf("serving %d records (k=%d) on %s\n", table.Len(), *k, *addr)
+	fmt.Printf("serving %d records (k=%d)\n", table.Len(), *k)
 	serve(*addr, *debug, o, srv.Handler())
 }
 
@@ -185,13 +195,22 @@ func serve(addr string, debug bool, o *obs.Obs, handler http.Handler) {
 	// a garbage request cannot balloon memory. WriteTimeout leaves room
 	// for the slowest search plus injected fault latency.
 	hs := &http.Server{
-		Addr:           addr,
 		Handler:        handler,
 		ReadTimeout:    10 * time.Second,
 		WriteTimeout:   30 * time.Second,
 		IdleTimeout:    2 * time.Minute,
 		MaxHeaderBytes: 1 << 20,
 	}
+
+	// Bind explicitly before announcing readiness, and print the bound
+	// address: with -addr :0 the kernel picks a free port and callers
+	// (tests, scripts) read it from this line instead of racing to
+	// reserve one themselves.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
 	// in-flight searches, then exit.
@@ -207,7 +226,7 @@ func serve(addr string, debug bool, o *obs.Obs, handler http.Handler) {
 		close(done)
 	}()
 
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 	<-done

@@ -27,6 +27,11 @@
 // -checkpoint-inspect prints what a checkpoint + journal pair holds
 // without crawling. docs/OPERATIONS.md is the operator runbook for all of
 // it.
+//
+// The crawl itself — interface assembly, politeness stack, durability,
+// enrichment — lives in internal/engine, shared with the crawld daemon:
+// a job submitted to crawld and a smartcrawl invocation with the same
+// inputs produce byte-identical outputs.
 package main
 
 import (
@@ -38,15 +43,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
-	"time"
 
 	"smartcrawl"
 	"smartcrawl/internal/deepweb"
-	"smartcrawl/internal/deepweb/httpapi"
 	"smartcrawl/internal/durable"
+	"smartcrawl/internal/engine"
 	"smartcrawl/internal/obs"
 	"smartcrawl/internal/profiling"
-	"smartcrawl/internal/relational"
 )
 
 func main() {
@@ -104,50 +107,44 @@ func main() {
 	if *localPath == "" {
 		fatal(fmt.Errorf("-local is required"))
 	}
-	var fedSpecs []smartcrawl.InterfaceSpec
-	if *interfaces != "" {
-		// Federated mode: every interface knob (backend, k, sample,
-		// faults, rate, retries, breaker) lives in the spec; the
-		// single-interface flags covering the same ground must stay unset.
-		if *hiddenPath != "" || *url != "" {
-			fatal(fmt.Errorf("-interfaces replaces -hidden/-url"))
-		}
-		if *faults != "" || *rate > 0 || *breakerN >= 0 {
-			fatal(fmt.Errorf("-interfaces crawls take faults/rate/breaker per interface (inside the spec)"))
-		}
-		var err error
-		fedSpecs, err = smartcrawl.ParseInterfaceSpecs(*interfaces)
-		if err != nil {
-			fatal(err)
-		}
-	} else if (*hiddenPath == "") == (*url == "") {
-		fatal(fmt.Errorf("exactly one of -hidden or -url is required"))
+	req := &engine.Request{
+		Hidden:       *hiddenPath,
+		URL:          *url,
+		Interfaces:   *interfaces,
+		Budget:       *budget,
+		K:            *k,
+		RankColumn:   *rankCol,
+		Theta:        *theta,
+		SampleTarget: *sampleTgt,
+		Strategy:     *strategy,
+		Fuzzy:        *fuzzy,
+		Checkpoint:   *checkpoint,
+		WAL:          *wal,
+		Autosave:     *autosave,
+		WALSync:      *walSync,
+		Workers:      *workers,
+		Batch:        *batchSize,
+		Seed:         *seed,
+		Rate:         *rate,
+		Burst:        *burst,
+		Retries:      *retries,
+		Faults:       *faults,
+		FaultSeed:    *faultSeed,
+		MaxAttempts:  *maxAttempts,
+		Breaker:      *breakerN,
+		Log:          os.Stderr,
+		CrashPoint:   os.Getenv(durable.CrashEnv),
 	}
-	switch *strategy {
-	case "smart", "simple", "online":
-	case "naive", "full":
-		if *checkpoint != "" {
-			fatal(fmt.Errorf("-checkpoint supports the smart/simple/online strategies"))
-		}
-		if *interfaces != "" {
-			fatal(fmt.Errorf("-interfaces supports the smart/simple/online strategies"))
-		}
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	if *enrichCols != "" {
+		req.EnrichColumns = strings.Split(*enrichCols, ",")
 	}
-	if *workers < 1 {
-		fatal(fmt.Errorf("-workers must be >= 1"))
+	local, err := engine.LoadTable(*localPath, "local")
+	if err != nil {
+		fatal(err)
 	}
-	if *wal != "" && *checkpoint == "" {
-		fatal(fmt.Errorf("-wal requires -checkpoint (the journal compacts into it)"))
-	}
-	switch *walSync {
-	case durable.SyncAlways, durable.SyncRound, durable.SyncCompact:
-	default:
-		fatal(fmt.Errorf("-wal-sync must be %s, %s, or %s", durable.SyncAlways, durable.SyncRound, durable.SyncCompact))
-	}
-	if *autosave < 0 {
-		fatal(fmt.Errorf("-autosave must be >= 0"))
+	req.Local = local
+	if err := req.Validate(); err != nil {
+		fatal(cliError(err))
 	}
 
 	stopProfiles, profErr := profiling.Start(*cpuProfile, *memProfile)
@@ -159,12 +156,9 @@ func main() {
 	// Observability: -trace records the session as JSONL, -metrics prints
 	// the end-of-run summary. Disabled (nil sink) when neither is set, so
 	// the default path pays one branch per hook.
-	var (
-		o      *obs.Obs
-		tracer *obs.Tracer
-	)
+	var tracer *obs.Tracer
 	if *tracePath != "" || *metrics {
-		o = obs.New()
+		req.Obs = obs.New()
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
 			if err != nil {
@@ -172,137 +166,16 @@ func main() {
 			}
 			defer f.Close()
 			tracer = obs.NewTracer(bufio.NewWriter(f))
-			o.SetTracer(tracer)
+			req.Obs.SetTracer(tracer)
 		}
 	}
-
-	tk := smartcrawl.NewTokenizer()
-	local := readTable(*localPath, "local")
-
-	// Assemble the search interface, the sample, and the hidden schema.
-	var (
-		searcher     smartcrawl.Searcher
-		smp          *smartcrawl.Sample
-		hiddenSchema []string
-		hiddenTable  *relational.Table
-		fed          *smartcrawl.Federation
-	)
-	if fedSpecs != nil {
-		var err error
-		fed, err = smartcrawl.BuildInterfaces(fedSpecs, local, tk, o)
-		if err != nil {
-			fatal(err)
-		}
-		hiddenSchema = fed.HiddenSchema()
-		for _, t := range fed.Tables {
-			if t != nil {
-				hiddenTable = t
-				break
-			}
-		}
-		fmt.Fprintf(os.Stderr, "federation: %d interfaces (%s)\n",
-			len(fed.Ifaces), strings.Join(fed.Registry.Names(), ", "))
-	} else if *hiddenPath != "" {
-		hiddenTable = readTable(*hiddenPath, "hidden")
-		hiddenSchema = hiddenTable.Schema
-		searcher = smartcrawl.NewHiddenDatabase(hiddenTable, tk, smartcrawl.HiddenOptions{
-			K: *k, RankColumn: *rankCol,
-		})
-		smp = smartcrawl.BernoulliSample(hiddenTable, *theta, *seed)
-	} else {
-		client := &httpapi.Client{BaseURL: *url, Retries: 5}
-		pool := smartcrawl.SingleKeywordPool(local, tk)
-		if len(pool) == 0 {
-			fatal(fmt.Errorf("local table has no indexable keywords"))
-		}
-		if err := client.Probe(pool[0]); err != nil {
-			fatal(fmt.Errorf("probing %s: %w", *url, err))
-		}
-		stopSample := o.Phase("keyword_sample")
-		var err error
-		smp, err = smartcrawl.KeywordSample(client, pool, tk, smartcrawl.KeywordSampleConfig{
-			Target: *sampleTgt, Seed: *seed,
-		})
-		stopSample()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "warning: sampling incomplete: %v\n", err)
-		}
-		fmt.Fprintf(os.Stderr, "sample: %d records, θ̂=%.4f%%, %d queries spent\n",
-			smp.Len(), 100*smp.Theta, smp.QueriesSpent)
-		searcher = client
-		if smp.Len() > 0 {
-			hiddenSchema = make([]string, len(smp.Records[0].Values))
-			for i := range hiddenSchema {
-				hiddenSchema[i] = fmt.Sprintf("col%d", i)
-			}
-		}
-	}
-
-	// Chaos drill: -faults injects deterministic misbehaviour (timeouts,
-	// 5xx, 429 bursts, truncation, staleness) into the search path so the
-	// degradation machinery below can be exercised and replayed from its
-	// seed. Injected inside the politeness stack, where a real flaky
-	// interface would sit.
-	if *faults != "" {
-		p, err := deepweb.ParseFaultProfile(*faults)
-		if err != nil {
-			fatal(err)
-		}
-		p.Seed = *faultSeed
-		searcher = deepweb.NewFaulty(searcher, p).WithObs(o)
-	}
-
-	// Client-side politeness: a token bucket paces the whole crawl below
-	// -rate regardless of -workers, and a retrying layer outside it waits
-	// transient failures out with exponential backoff (so a denial or an
-	// injected blip costs a wait, not the crawl). All layers report into
-	// the observability sink.
-	if *rate > 0 {
-		searcher = &deepweb.Limited{
-			S:   searcher,
-			B:   deepweb.NewBucket(*burst, *rate),
-			Obs: o,
-		}
-	}
-	if *retries > 0 && (*rate > 0 || *faults != "") {
-		searcher = &deepweb.Retrying{
-			S:       searcher,
-			Retries: *retries,
-			Backoff: deepweb.ExponentialBackoff(200*time.Millisecond, 5*time.Second),
-			Obs:     o,
-		}
-	}
-
-	// Entity matching compares the schema-aligned columns: hidden rows
-	// carry enrichment attributes the local side lacks, so full-document
-	// comparison would never match.
-	var localCols, hiddenCols []int
-	if hiddenTable != nil {
-		m := smartcrawl.MatchSchemas(local, hiddenTable, tk)
-		for i, j := range m.LocalToHidden {
-			if j >= 0 {
-				localCols = append(localCols, i)
-				hiddenCols = append(hiddenCols, j)
-			}
-		}
-		if len(localCols) == 0 {
-			fatal(fmt.Errorf("no columns could be aligned between %v and %v",
-				local.Schema, hiddenTable.Schema))
-		}
-	}
-	var matcher smartcrawl.Matcher
-	if *fuzzy > 0 {
-		matcher = smartcrawl.NewJaccardMatcherOn(tk, *fuzzy, localCols, hiddenCols)
-	} else {
-		matcher = smartcrawl.NewExactMatcherOn(tk, localCols, hiddenCols)
-	}
-	env := &smartcrawl.Env{Local: local, Searcher: searcher, Tokenizer: tk, Matcher: matcher, Obs: o}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops selection at the
 	// next round boundary and drains in-flight queries — every charged
 	// query's outcome is kept and saved; a second signal aborts hard.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	req.Context = ctx
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -314,153 +187,11 @@ func main() {
 		os.Exit(130)
 	}()
 
-	// Durability: with -checkpoint, prior state (snapshot + journal) is
-	// recovered through the durable sink, which also journals this run.
-	var (
-		resume  *smartcrawl.Result
-		pending []smartcrawl.PendingQuery
-		sink    *smartcrawl.Durability
-	)
-	if *checkpoint != "" {
-		var err error
-		sink, err = smartcrawl.OpenDurability(smartcrawl.DurabilityOptions{
-			Snapshot:   *checkpoint,
-			Journal:    *wal,
-			Every:      *autosave,
-			Sync:       *walSync,
-			LocalLen:   local.Len(),
-			Obs:        o,
-			CrashPoint: os.Getenv(durable.CrashEnv),
-		})
-		if err != nil {
-			fatal(err)
-		}
-		rec := sink.Recovered()
-		if rec.JournalRecords > 0 || rec.TornTail {
-			covered, queries := 0, 0
-			if rec.Result != nil {
-				covered, queries = rec.Result.CoveredCount, rec.Result.QueriesIssued
-			}
-			o.Recovered(*wal, rec.JournalRecords, covered, queries, rec.LastSeq, rec.TornTail)
-			fmt.Fprintf(os.Stderr, "recovered: %d journal records replayed (torn tail: %t, %d queries pending)\n",
-				rec.JournalRecords, rec.TornTail, len(rec.Pending))
-		}
-		if rec.Result != nil {
-			resume = rec.Result
-			pending = rec.Pending
-			fmt.Fprintf(os.Stderr, "resuming: %d records covered, %d queries spent previously\n",
-				resume.CoveredCount, resume.QueriesIssued)
-		}
-	}
-
-	// A worker pool without a batch to chew through is idle: default the
-	// selection batch to the worker count so -workers alone overlaps
-	// round-trips (results stay identical for any -workers at a fixed
-	// -batch; only -batch affects selection quality).
-	if *batchSize == 0 {
-		*batchSize = *workers
-	}
-	// Graceful degradation: with -faults on, failed queries are retried a
-	// few times then forfeited (instead of aborting the crawl), and a
-	// circuit breaker holds selection while the interface is down.
-	anyFedFaults := false
-	for _, sp := range fedSpecs {
-		if sp.Faults != "" {
-			anyFedFaults = true
-		}
-	}
-	if *maxAttempts == 0 && (*faults != "" || anyFedFaults) {
-		*maxAttempts = 3
-	}
-	if *breakerN < 0 {
-		*breakerN = 0
-		if *faults != "" {
-			*breakerN = 5
-		}
-	}
-	var brk *smartcrawl.Breaker
-	if *breakerN > 0 {
-		brk = smartcrawl.NewBreaker(smartcrawl.BreakerConfig{FailureThreshold: *breakerN}).WithObs(o)
-	}
-	smartOpts := smartcrawl.SmartOptions{
-		Resume:        resume,
-		ResumePending: pending,
-		BatchSize:     *batchSize,
-		Workers:       *workers,
-		MaxAttempts:   *maxAttempts,
-		Breaker:       brk,
-		Context:       ctx,
-	}
-	if sink != nil {
-		smartOpts.Durability = sink
-	}
-
-	var (
-		c   smartcrawl.Crawler
-		err error
-	)
-	switch {
-	case fed != nil:
-		opts := smartOpts
-		opts.Online = *strategy == "online"
-		c, err = smartcrawl.NewFederatedCrawler(env, opts, fed.Ifaces)
-	default:
-		c, err = buildSingle(*strategy, env, smp, smartOpts, *seed)
-	}
+	out, err := engine.Run(req)
 	if err != nil {
-		fatal(err)
+		fatal(cliError(err))
 	}
-
-	// Pick enrichment columns.
-	var cols []int
-	if *enrichCols != "" {
-		for _, name := range strings.Split(*enrichCols, ",") {
-			idx := -1
-			for j, s := range hiddenSchema {
-				if strings.EqualFold(strings.TrimSpace(name), s) {
-					idx = j
-					break
-				}
-			}
-			if idx == -1 {
-				fatal(fmt.Errorf("hidden schema %v has no column %q", hiddenSchema, name))
-			}
-			cols = append(cols, idx)
-		}
-	}
-
-	opts := smartcrawl.EnrichOptions{Columns: cols}
-	if len(cols) == 0 {
-		if hiddenTable == nil {
-			fatal(fmt.Errorf("-enrich is required with -url (no hidden schema to auto-map)"))
-		}
-		mapping := smartcrawl.MatchSchemas(local, hiddenTable, tk)
-		opts.Mapping = &mapping
-	}
-	stopEnrich := o.Phase("crawl_and_enrich")
-	report, res, err := smartcrawl.Enrich(local, hiddenSchema, c, *budget, opts)
-	stopEnrich()
-	if err != nil {
-		if sink != nil {
-			// A failed crawl has no final state to compact, but the
-			// journal on disk still holds everything absorbed so far —
-			// close without truncating it.
-			sink.Close(nil)
-		}
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "crawl: %d queries issued, %d/%d records enriched (%.1f%%)\n",
-		report.QueriesIssued, report.Enriched, local.Len(), 100*report.Coverage)
-	if res.Resilience != nil {
-		fmt.Fprintln(os.Stderr, res.Resilience.String())
-	}
-	if sink != nil {
-		if err := sink.Close(res); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", *checkpoint)
-	}
-	if ctx.Err() != nil {
+	if out.Interrupted {
 		if *checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "interrupted: state saved — resumable with -checkpoint %s\n", *checkpoint)
 		} else {
@@ -469,8 +200,8 @@ func main() {
 	}
 
 	// End-of-run observability: summary to stderr, trace flushed to disk.
-	if o != nil {
-		o.WriteSummary(os.Stderr)
+	if req.Obs != nil {
+		req.Obs.WriteSummary(os.Stderr)
 	}
 	if tracer != nil {
 		if err := tracer.Flush(); err != nil {
@@ -480,44 +211,44 @@ func main() {
 		}
 	}
 
-	out := os.Stdout
+	dst := os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		out = f
+		dst = f
 	}
-	if *outPath != "" && strings.HasSuffix(*outPath, ".jsonl") {
-		err = local.WriteJSONL(out)
-	} else {
-		err = local.WriteCSV(out)
-	}
-	if err != nil {
+	if err := engine.WriteTable(dst, out.Local, strings.HasSuffix(*outPath, ".jsonl")); err != nil {
 		fatal(err)
 	}
 }
 
-// buildSingle constructs the single-interface crawler for the strategy.
-func buildSingle(strategy string, env *smartcrawl.Env, smp *smartcrawl.Sample, smartOpts smartcrawl.SmartOptions, seed uint64) (smartcrawl.Crawler, error) {
-	switch strategy {
-	case "smart":
-		opts := smartOpts
-		opts.Sample = smp
-		return smartcrawl.NewSmartCrawler(env, opts)
-	case "simple":
-		return smartcrawl.NewSmartCrawler(env, smartOpts)
-	case "online":
-		opts := smartOpts
-		opts.Online = true
-		return smartcrawl.NewSmartCrawler(env, opts)
-	case "naive":
-		return smartcrawl.NewNaiveCrawler(env, nil, seed)
-	case "full":
-		return smartcrawl.NewFullCrawler(env, smp)
+// cliError rewrites engine-level misuse messages in terms of the flags
+// the user actually typed.
+func cliError(err error) error {
+	msg := err.Error()
+	for _, r := range [][2]string{
+		{"engine: exactly one of Hidden and URL is required", "exactly one of -hidden or -url is required"},
+		{"engine: Interfaces replaces Hidden/URL", "-interfaces replaces -hidden/-url"},
+		{"engine: federated crawls take faults/rate/breaker per interface (inside the spec)", "-interfaces crawls take faults/rate/breaker per interface (inside the spec)"},
+		{"engine: checkpoints support the smart/simple/online strategies", "-checkpoint supports the smart/simple/online strategies"},
+		{"engine: federation supports the smart/simple/online strategies", "-interfaces supports the smart/simple/online strategies"},
+		{"engine: Workers must be >= 1", "-workers must be >= 1"},
+		{"engine: Batch must be >= 0", "-batch must be >= 0"},
+		{"engine: Budget must be >= 0", "-budget must be >= 0"},
+		{"engine: Retries must be >= 0", "-retries must be >= 0"},
+		{"engine: Rate must be >= 0", "-rate must be >= 0"},
+		{"engine: WAL requires Checkpoint (the journal compacts into it)", "-wal requires -checkpoint (the journal compacts into it)"},
+		{"engine: WALSync must be", "-wal-sync must be"},
+		{"engine: Autosave must be >= 0", "-autosave must be >= 0"},
+	} {
+		if strings.HasPrefix(msg, r[0]) {
+			return fmt.Errorf("%s%s", r[1], strings.TrimPrefix(msg, r[0]))
+		}
 	}
-	return nil, fmt.Errorf("unknown strategy %q", strategy)
+	return err
 }
 
 // inspectCheckpoint prints what a checkpoint (and optional journal) pair
@@ -547,25 +278,6 @@ func inspectCheckpoint(snapshot, journal string) {
 	if res.Resilience != nil {
 		fmt.Println(res.Resilience.String())
 	}
-}
-
-// readTable loads CSV or, for .jsonl paths, JSON Lines.
-func readTable(path, name string) *relational.Table {
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	var t *relational.Table
-	if strings.HasSuffix(path, ".jsonl") {
-		t, err = relational.ReadJSONL(name, f)
-	} else {
-		t, err = relational.ReadCSV(name, f)
-	}
-	if err != nil {
-		fatal(fmt.Errorf("reading %s: %w", path, err))
-	}
-	return t
 }
 
 func fatal(err error) {

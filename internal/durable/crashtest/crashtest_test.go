@@ -37,12 +37,13 @@ const (
 )
 
 var (
-	binPath  string // smartcrawl binary, built once in TestMain
-	localCSV string
-	hidCSV   string
-	hidACSV  string // overlapping hidden subsets for the federated cells
-	hidBCSV  string
-	rankCol  int
+	binPath    string // smartcrawl binary, built once in TestMain
+	crawldPath string // crawld daemon binary, for the service crash cells
+	localCSV   string
+	hidCSV     string
+	hidACSV    string // overlapping hidden subsets for the federated cells
+	hidBCSV    string
+	rankCol    int
 )
 
 func TestMain(m *testing.M) {
@@ -54,14 +55,20 @@ func TestMain(m *testing.M) {
 	code := func() int {
 		defer os.RemoveAll(tmp)
 		binPath = filepath.Join(tmp, "smartcrawl")
-		buildArgs := []string{"build", "-o", binPath}
-		if raceEnabled {
-			buildArgs = append(buildArgs, "-race")
-		}
-		buildArgs = append(buildArgs, "smartcrawl/cmd/smartcrawl")
-		if out, err := exec.Command("go", buildArgs...).CombinedOutput(); err != nil {
-			fmt.Fprintf(os.Stderr, "building smartcrawl: %v\n%s", err, out)
-			return 1
+		crawldPath = filepath.Join(tmp, "crawld")
+		for pkg, bin := range map[string]string{
+			"smartcrawl/cmd/smartcrawl": binPath,
+			"smartcrawl/cmd/crawld":     crawldPath,
+		} {
+			buildArgs := []string{"build", "-o", bin}
+			if raceEnabled {
+				buildArgs = append(buildArgs, "-race")
+			}
+			buildArgs = append(buildArgs, pkg)
+			if out, err := exec.Command("go", buildArgs...).CombinedOutput(); err != nil {
+				fmt.Fprintf(os.Stderr, "building %s: %v\n%s", pkg, err, out)
+				return 1
+			}
 		}
 		in, err := dataset.GenerateDBLP(dataset.DBLPConfig{
 			CorpusSize: 2400, HiddenSize: 600, LocalSize: 150, Seed: 7,

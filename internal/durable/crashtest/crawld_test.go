@@ -1,0 +1,227 @@
+package crashtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// daemon is one live crawld process under test.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	stderr *bytes.Buffer
+}
+
+// startCrawld launches the crawld binary over dir on a free port, arms
+// the crash point via the environment, and waits for the daemon to
+// announce its address.
+func startCrawld(t *testing.T, dir, crashAt string) *daemon {
+	t.Helper()
+	cmd := exec.Command(crawldPath,
+		"-data", dir, "-addr", "127.0.0.1:0",
+		"-workers", "2", "-allow-local-backends")
+	cmd.Env = append(os.Environ(), "SMARTCRAWL_CRASH_AT="+crashAt)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "crawld listening on "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("crawld never announced its address:\n%s", stderr.String())
+	}
+	go io.Copy(io.Discard, stdout)
+	return &daemon{cmd: cmd, base: "http://" + addr, stderr: &stderr}
+}
+
+// stop drains the daemon with SIGTERM and expects a clean exit.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	if err := d.cmd.Wait(); err != nil {
+		t.Errorf("crawld did not drain cleanly: %v\n%s", err, d.stderr.String())
+	}
+}
+
+// waitKilled blocks until the daemon exits and asserts the cause was the
+// injected SIGKILL, not a clean shutdown or a different failure.
+func (d *daemon) waitKilled(t *testing.T) {
+	t.Helper()
+	err := d.cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("crawld exited without the injected SIGKILL (err %v):\n%s", err, d.stderr.String())
+	}
+	if ws := ee.Sys().(syscall.WaitStatus); !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("crawld died of %v, want SIGKILL:\n%s", ee, d.stderr.String())
+	}
+}
+
+// submitJob posts one job spec and returns the assigned ID.
+func submitJob(t *testing.T, base string, spec map[string]any) string {
+	t.Helper()
+	buf, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit: status %d, job %+v", resp.StatusCode, job)
+	}
+	return job.ID
+}
+
+// pollJob polls GET /jobs/{id} until the job settles.
+func pollJob(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch j["state"] {
+		case "done", "failed", "canceled":
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %v", id, j["state"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// readJobRecord reads a job.json straight off the data directory — the
+// state the daemon had durably persisted at the moment it died.
+func readJobRecord(t *testing.T, dir, id string) map[string]any {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join(dir, "jobs", id, "job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j map[string]any
+	if err := json.Unmarshal(buf, &j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestCrawldCrashRecovery is the daemon-level kill-anywhere contract: a
+// crawld with two jobs mid-crawl is SIGKILLed from inside the durability
+// path; a fresh daemon over the same data directory must recover every
+// job and complete each one byte-identical to the run the smartcrawl CLI
+// produces uninterrupted. Paced crawls (one query per ~20ms) guarantee
+// both jobs are genuinely in flight when the kill lands.
+func TestCrawldCrashRecovery(t *testing.T) {
+	// The two jobs differ in seed and per-crawl pipeline width so their
+	// schedules interleave heterogeneously under the daemon's two workers.
+	pace := []string{"-rate", "50", "-burst", "1"}
+	cfgs := []config{
+		{seed: 1, workers: 1, extra: pace},
+		{seed: 2, workers: 4, extra: pace},
+	}
+	type ref struct{ out, cp []byte }
+	refs := make([]ref, len(cfgs))
+	for i, c := range cfgs {
+		refs[i].out, refs[i].cp = reference(t, c)
+	}
+
+	points := []string{
+		"step:12",   // deep in the crawl, both jobs past their first steps
+		"compact:1", // snapshot renamed, journal not yet reset
+	}
+	if testing.Short() {
+		points = points[:1]
+	}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			d := startCrawld(t, dir, point)
+			ids := make([]string, len(cfgs))
+			for i, c := range cfgs {
+				ids[i] = submitJob(t, d.base, map[string]any{
+					"local_path": localCSV, "hidden": hidCSV,
+					"budget": budget, "batch": 4, "theta": 0.03,
+					"workers": c.workers, "seed": c.seed,
+					"rate": 50, "burst": 1, "autosave": autosave,
+				})
+			}
+			// The first job to reach the crash point SIGKILLs the whole
+			// daemon — no drain, no checkpoint-on-exit.
+			d.waitKilled(t)
+
+			// Both jobs were durably recorded as running when it died:
+			// the recovery obligation covers at least two in-flight crawls.
+			for _, id := range ids {
+				if rec := readJobRecord(t, dir, id); rec["state"] != "running" {
+					t.Fatalf("job %s persisted as %v at kill time, want running", id, rec["state"])
+				}
+			}
+
+			// A fresh daemon over the same directory re-queues and resumes
+			// every job from its journal.
+			d2 := startCrawld(t, dir, "")
+			defer d2.stop(t)
+			for i, id := range ids {
+				j := pollJob(t, d2.base, id)
+				if j["state"] != "done" {
+					t.Fatalf("job %s after restart: %v (%v)", id, j["state"], j["error"])
+				}
+				if j["restarts"] != float64(1) {
+					t.Errorf("job %s restarts = %v, want 1", id, j["restarts"])
+				}
+				jobDir := filepath.Join(dir, "jobs", id)
+				out, err := os.ReadFile(filepath.Join(jobDir, "out.csv"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(out, refs[i].out) {
+					t.Errorf("job %s (seed %d): recovered output differs from the uninterrupted CLI run", id, cfgs[i].seed)
+				}
+				if !bytes.Equal(canonicalCheckpoint(t, jobDir), refs[i].cp) {
+					t.Errorf("job %s (seed %d): recovered checkpoint differs from the uninterrupted CLI run", id, cfgs[i].seed)
+				}
+				if charged := int(j["charged"].(float64)); charged > budget {
+					t.Errorf("job %s charged %d across restarts, above the %d budget", id, charged, budget)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,291 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pacedSpec returns a job slow enough (~20ms/query) to still be live
+// while the test exercises admission against it.
+func pacedSpec(seed uint64) Spec {
+	sp := baseSpec(seed)
+	sp.Rate, sp.Burst = 50, 1
+	return sp
+}
+
+// TestAdmissionControl is the table-driven admission matrix: queue caps,
+// per-tenant budget exhaustion, per-tenant submission rate, and the
+// draining gate, each with its settlement/recovery behaviour.
+func TestAdmissionControl(t *testing.T) {
+	fixtures(t)
+
+	t.Run("queue cap", func(t *testing.T) {
+		m, err := Open(Config{Dir: t.TempDir(), Workers: 1, QueueCap: 2, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Drain()
+		a, err := m.Submit(pacedSpec(1)) // running, slow
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Submit(baseSpec(2)); err != nil { // queued
+			t.Fatal(err)
+		}
+		if _, err := m.Submit(baseSpec(3)); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("third submit err = %v, want ErrQueueFull", err)
+		}
+		// Settled jobs free their slots.
+		m.Cancel(a.ID)
+		waitState(t, m, a.ID)
+		if _, err := m.Submit(baseSpec(3)); err != nil {
+			t.Fatalf("submit after settle: %v", err)
+		}
+	})
+
+	t.Run("tenant budget", func(t *testing.T) {
+		m, err := Open(Config{Dir: t.TempDir(), Workers: 1, TenantBudget: 50, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Drain()
+		sp := pacedSpec(1) // budget 24, reserved in full while live
+		a, err := m.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Submit(baseSpec(2)); err != nil { // 24+24 = 48 ≤ 50
+			t.Fatal(err)
+		}
+		if _, err := m.Submit(baseSpec(3)); !errors.Is(err, ErrTenantBudget) {
+			t.Fatalf("over-budget submit err = %v, want ErrTenantBudget", err)
+		}
+		// A different tenant has its own allowance.
+		other := baseSpec(3)
+		other.Tenant = "other"
+		if _, err := m.Submit(other); err != nil {
+			t.Fatalf("other tenant rejected: %v", err)
+		}
+		// Settlement releases the unspent reservation: cancel the paced
+		// job early, let everything settle, and the freed budget admits a
+		// job that would not have fit before.
+		m.Cancel(a.ID)
+		done := waitState(t, m, a.ID)
+		if done.Charged >= 24 {
+			t.Fatalf("canceled job charged %d, expected partial spend", done.Charged)
+		}
+		for _, j := range m.List() {
+			if j.Tenant == "default" {
+				waitState(t, m, j.ID)
+			}
+		}
+		small := baseSpec(4)
+		small.Budget = 2
+		if _, err := m.Submit(small); err != nil {
+			t.Fatalf("submit after settlement: %v", err)
+		}
+	})
+
+	t.Run("tenant rate", func(t *testing.T) {
+		m, err := Open(Config{Dir: t.TempDir(), Workers: 1, TenantRate: 0.001, TenantBurst: 1, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Drain()
+		if _, err := m.Submit(baseSpec(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Submit(baseSpec(2)); !errors.Is(err, ErrTenantRate) {
+			t.Fatalf("burst-exceeding submit err = %v, want ErrTenantRate", err)
+		}
+		// Rate limiting is per tenant, not global.
+		other := baseSpec(2)
+		other.Tenant = "other"
+		if _, err := m.Submit(other); err != nil {
+			t.Fatalf("other tenant throttled: %v", err)
+		}
+	})
+}
+
+// TestDrainSemantics is the drain-on-SIGTERM contract: no new job is
+// admitted once draining, and no accepted job is lost — running crawls
+// checkpoint and re-queue, queued jobs stay queued, and the next start
+// completes all of them with the same results an undisturbed manager
+// produces.
+func TestDrainSemantics(t *testing.T) {
+	fixtures(t)
+
+	// References from an undisturbed manager.
+	refDir := t.TempDir()
+	rm, err := Open(Config{Dir: refDir, Workers: 1, AllowLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := make(map[uint64][]byte)
+	for seed := uint64(1); seed <= 2; seed++ {
+		job, err := rm.Submit(baseSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := waitState(t, rm, job.ID); got.State != StateDone {
+			t.Fatalf("reference job %s: %s", job.ID, got.Error)
+		}
+		refOut[seed] = readJobFile(t, refDir, job.ID, "out.csv")
+	}
+	rm.Drain()
+
+	dir := t.TempDir()
+	m, err := Open(Config{Dir: dir, Workers: 1, AllowLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := pacedSpec(1)
+	running, err := m.Submit(sp) // slow: will be mid-crawl at drain
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(baseSpec(2)) // never starts before drain
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job is actually crawling, then drain.
+	if _, st, ok := m.Steps(running.ID, 1); !ok || st.Terminal() {
+		t.Fatalf("paced job settled early (%s)", st)
+	}
+	m.Drain()
+
+	if !m.Draining() {
+		t.Error("Draining() false after Drain")
+	}
+	if _, err := m.Submit(baseSpec(3)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit err = %v, want ErrDraining", err)
+	}
+	// Both jobs survived as queued — none lost, none still running.
+	for _, id := range []string{running.ID, queued.ID} {
+		if j := m.Get(id); j.State != StateQueued {
+			t.Fatalf("job %s state after drain = %s, want queued", id, j.State)
+		}
+	}
+	// The interrupted job checkpointed its partial progress.
+	if got := m.Get(running.ID); got.Restarts != 0 {
+		t.Errorf("drained job counts %d restarts before any restart", got.Restarts)
+	}
+	cp := filepath.Join(dir, "jobs", running.ID, "cp.bin")
+	if len(canonicalCP(t, cp)) == 0 {
+		t.Error("drained job has no checkpoint")
+	}
+
+	// Next start: both jobs resume and finish identical to undisturbed runs.
+	m2, err := Open(Config{Dir: dir, Workers: 2, AllowLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Drain()
+	for seed, id := range map[uint64]string{1: running.ID, 2: queued.ID} {
+		if got := waitState(t, m2, id); got.State != StateDone {
+			t.Fatalf("job %s after restart: %s (%s)", id, got.State, got.Error)
+		}
+		if !bytes.Equal(readJobFile(t, dir, id, "out.csv"), refOut[seed]) {
+			t.Errorf("job %s (seed %d): drained+resumed output differs from undisturbed run", id, seed)
+		}
+	}
+}
+
+// TestHTTPAdmissionStatus maps the admission errors onto wire semantics:
+// 429 with Retry-After for transient pressure, 429 without it for budget
+// exhaustion, 503 while draining, 400 for misuse.
+func TestHTTPAdmissionStatus(t *testing.T) {
+	fixtures(t)
+	m, err := Open(Config{
+		Dir: t.TempDir(), Workers: 1, QueueCap: 1,
+		TenantBudget: 30, RetryAfter: 7 * time.Second, AllowLocal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer srv.Close()
+	defer m.Drain()
+
+	post := func(sp Spec) *http.Response {
+		t.Helper()
+		buf, _ := json.Marshal(sp)
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post(pacedSpec(1)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d, want 202", resp.StatusCode)
+	}
+	// Queue full → 429 with the configured Retry-After.
+	resp := post(baseSpec(2))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("queue-full Retry-After %q, want 7", got)
+	}
+	// Malformed → 400.
+	if resp := post(Spec{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty spec status %d, want 400", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/jobs", strings.NewReader(`{"nope":1}`))
+	req.Header.Set("Content-Type", "application/json")
+	raw, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown-field spec status %d, want 400", raw.StatusCode)
+	}
+
+	// Budget exhaustion → 429 without a Retry-After hint. A fresh manager
+	// (cap no longer binding) with a tiny tenant allowance.
+	m2, err := Open(Config{Dir: t.TempDir(), Workers: 1, TenantBudget: 10, AllowLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(NewServer(m2).Handler())
+	defer srv2.Close()
+	defer m2.Drain()
+	buf, _ := json.Marshal(baseSpec(1)) // budget 24 > 10
+	resp2, err := http.Post(srv2.URL+"/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("budget status %d, want 429", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("Retry-After"); got != "" {
+		t.Errorf("budget rejection carries Retry-After %q", got)
+	}
+
+	// Draining → 503, and /healthz reports it.
+	m.Drain()
+	if resp := post(baseSpec(3)); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining status %d, want 503", resp.StatusCode)
+	}
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var health map[string]string
+	json.NewDecoder(hz.Body).Decode(&health)
+	if health["status"] != "draining" {
+		t.Errorf("healthz status %q, want draining", health["status"])
+	}
+}

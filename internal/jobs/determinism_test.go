@@ -1,0 +1,78 @@
+package jobs
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestConcurrentJobsDeterminism is the scheduler-isolation oracle: N jobs
+// with distinct seeds (and distinct per-crawl worker/batch shapes)
+// running simultaneously under the shared worker pool must produce
+// exactly the per-job outputs and canonical checkpoints they produce when
+// run alone — for any scheduler worker count, i.e. any interleaving.
+func TestConcurrentJobsDeterminism(t *testing.T) {
+	fixtures(t)
+	specs := []Spec{}
+	for seed := uint64(1); seed <= 5; seed++ {
+		sp := baseSpec(seed)
+		// Vary the crawl shape so jobs interleave heterogeneously.
+		sp.Workers = int(seed%3) + 1
+		sp.Batch = int(seed%2) * 3
+		specs = append(specs, sp)
+	}
+
+	// Solo references: each job alone in its own single-worker manager.
+	type ref struct{ out, cp []byte }
+	refs := make([]ref, len(specs))
+	for i, sp := range specs {
+		dir := t.TempDir()
+		m, err := Open(Config{Dir: dir, Workers: 1, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := m.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := waitState(t, m, job.ID); got.State != StateDone {
+			t.Fatalf("solo job %d finished %s (%s)", i, got.State, got.Error)
+		}
+		refs[i] = ref{
+			out: readJobFile(t, dir, job.ID, "out.csv"),
+			cp:  canonicalCP(t, filepath.Join(dir, "jobs", job.ID, "cp.bin")),
+		}
+		m.Drain()
+	}
+
+	for _, poolWorkers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("pool=%d", poolWorkers), func(t *testing.T) {
+			dir := t.TempDir()
+			m, err := Open(Config{Dir: dir, Workers: poolWorkers, AllowLocal: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Drain()
+			ids := make([]string, len(specs))
+			for i, sp := range specs {
+				job, err := m.Submit(sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids[i] = job.ID
+			}
+			for i, id := range ids {
+				if got := waitState(t, m, id); got.State != StateDone {
+					t.Fatalf("job %d finished %s (%s)", i, got.State, got.Error)
+				}
+				if !bytes.Equal(readJobFile(t, dir, id, "out.csv"), refs[i].out) {
+					t.Errorf("job %d (seed %d): concurrent output differs from solo run", i, i+1)
+				}
+				if !bytes.Equal(canonicalCP(t, filepath.Join(dir, "jobs", id, "cp.bin")), refs[i].cp) {
+					t.Errorf("job %d (seed %d): concurrent checkpoint differs from solo run", i, i+1)
+				}
+			}
+		})
+	}
+}

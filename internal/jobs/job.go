@@ -1,0 +1,268 @@
+// Package jobs is the crawld daemon's orchestration layer: a durable job
+// registry, a bounded worker scheduler running many Algorithm-4 crawls
+// concurrently, per-tenant budget/rate accounting with admission control,
+// and the HTTP API that exposes it all.
+//
+// Every job owns a directory under <data>/jobs/<id>/ holding its wire
+// spec + state (job.json), its input table (local.csv), its durability
+// pair (cp.bin + cp.wal via internal/durable), and its enriched output
+// (out.csv). Because the job record and the WAL are both on disk before a
+// query is charged, a daemon crash — even SIGKILL — loses nothing: the
+// recovery scan at startup re-queues every unfinished job and the engine
+// resumes each one from its journal, producing output byte-identical to
+// an uninterrupted run.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"smartcrawl/internal/durable"
+	"smartcrawl/internal/engine"
+	"smartcrawl/internal/relational"
+)
+
+// State is a job's lifecycle state. Transitions:
+//
+//	queued → running → done | failed | canceled
+//	running → queued          (daemon stopped mid-crawl; resumed at restart)
+//	queued → canceled         (canceled before a worker picked it up)
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Spec is the wire form of a job submission (POST /jobs). It mirrors the
+// smartcrawl CLI flags; zero fields take the same defaults the CLI has,
+// so a job spec and a CLI invocation with matching inputs produce
+// byte-identical results. The job's budget is its lifetime allowance:
+// queries charged before a daemon restart stay charged after it.
+type Spec struct {
+	// Tenant attributes the job for budget/rate accounting. Defaults to
+	// "default".
+	Tenant string `json:"tenant,omitempty"`
+
+	// LocalCSV is the local table, inline (CSV text). Exactly one of
+	// LocalCSV and LocalPath is required.
+	LocalCSV string `json:"local_csv,omitempty"`
+	// LocalPath reads the local table from a server-side path instead;
+	// requires the daemon's -allow-local-backends flag.
+	LocalPath string `json:"local_path,omitempty"`
+
+	// Hidden serves a server-side CSV through the in-process simulator;
+	// requires -allow-local-backends. Exactly one of Hidden, URL, and
+	// Interfaces selects the search interface.
+	Hidden string `json:"hidden,omitempty"`
+	// URL is a hiddenserver base URL.
+	URL string `json:"url,omitempty"`
+	// Interfaces is a federated spec (federate.ParseSpecs grammar);
+	// hidden= backends inside it also require -allow-local-backends.
+	Interfaces string `json:"interfaces,omitempty"`
+
+	Budget       int     `json:"budget,omitempty"`
+	K            int     `json:"k,omitempty"`
+	RankColumn   *int    `json:"rank_column,omitempty"`
+	Theta        float64 `json:"theta,omitempty"`
+	SampleTarget int     `json:"sample_target,omitempty"`
+	Strategy     string  `json:"strategy,omitempty"`
+	Fuzzy        float64 `json:"fuzzy,omitempty"`
+	Enrich       string  `json:"enrich,omitempty"` // comma-separated hidden columns
+
+	Workers int     `json:"workers,omitempty"` // per-crawl pipeline workers
+	Batch   int     `json:"batch,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	Burst   int     `json:"burst,omitempty"`
+	Retries int     `json:"retries,omitempty"`
+
+	Faults      string `json:"faults,omitempty"`
+	FaultSeed   uint64 `json:"fault_seed,omitempty"`
+	MaxAttempts int    `json:"max_attempts,omitempty"`
+	Breaker     *int   `json:"breaker,omitempty"`
+
+	Autosave *int   `json:"autosave,omitempty"`
+	WALSync  string `json:"wal_sync,omitempty"`
+}
+
+// Request converts the spec into an engine request over the given local
+// table, with the job's durability files rooted at dir. Zero spec fields
+// inherit the CLI defaults; the budget is always a lifetime budget.
+func (sp *Spec) Request(local *relational.Table, dir string) *engine.Request {
+	d := engine.Defaults()
+	req := &d
+	req.Local = local
+	req.Hidden = sp.Hidden
+	req.URL = sp.URL
+	req.Interfaces = sp.Interfaces
+	req.TotalBudget = true
+	req.Checkpoint = filepath.Join(dir, "cp.bin")
+	req.WAL = filepath.Join(dir, "cp.wal")
+	if sp.Budget != 0 {
+		req.Budget = sp.Budget
+	}
+	if sp.K != 0 {
+		req.K = sp.K
+	}
+	if sp.RankColumn != nil {
+		req.RankColumn = *sp.RankColumn
+	}
+	if sp.Theta != 0 {
+		req.Theta = sp.Theta
+	}
+	if sp.SampleTarget != 0 {
+		req.SampleTarget = sp.SampleTarget
+	}
+	if sp.Strategy != "" {
+		req.Strategy = sp.Strategy
+	}
+	req.Fuzzy = sp.Fuzzy
+	if sp.Enrich != "" {
+		req.EnrichColumns = strings.Split(sp.Enrich, ",")
+	}
+	if sp.Workers != 0 {
+		req.Workers = sp.Workers
+	}
+	req.Batch = sp.Batch
+	if sp.Seed != 0 {
+		req.Seed = sp.Seed
+	}
+	req.Rate = sp.Rate
+	if sp.Burst != 0 {
+		req.Burst = sp.Burst
+	}
+	if sp.Retries != 0 {
+		req.Retries = sp.Retries
+	}
+	req.Faults = sp.Faults
+	if sp.FaultSeed != 0 {
+		req.FaultSeed = sp.FaultSeed
+	}
+	req.MaxAttempts = sp.MaxAttempts
+	if sp.Breaker != nil {
+		req.Breaker = *sp.Breaker
+	}
+	if sp.Autosave != nil {
+		req.Autosave = *sp.Autosave
+	}
+	if sp.WALSync != "" {
+		req.WALSync = sp.WALSync
+	}
+	return req
+}
+
+// budget returns the spec's effective lifetime budget (the CLI default
+// when unset) — the amount reserved against the tenant at admission.
+func (sp *Spec) budget() int {
+	if sp.Budget != 0 {
+		return sp.Budget
+	}
+	return engine.Defaults().Budget
+}
+
+// usesLocalBackends reports whether the spec reaches into the daemon's
+// filesystem: a server-side local table, a simulated hidden CSV, or a
+// federated spec with hidden= members. Gated by Config.AllowLocal so a
+// wire client cannot read arbitrary server paths by default.
+func (sp *Spec) usesLocalBackends() bool {
+	if sp.LocalPath != "" || sp.Hidden != "" {
+		return true
+	}
+	// A cheap syntactic check is all the gate needs: hidden= only ever
+	// introduces a filesystem path in the federate grammar.
+	return strings.Contains(sp.Interfaces, "hidden=")
+}
+
+// Job is one enrichment job: the submitted spec plus its lifecycle state,
+// persisted as job.json in the job's directory after every transition.
+type Job struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Spec   Spec   `json:"spec"`
+	State  State  `json:"state"`
+	// Error holds the failure cause for StateFailed.
+	Error string `json:"error,omitempty"`
+
+	// Charged is the settled query spend so far — written when the job
+	// finishes (or is drained mid-run) so tenant accounting survives
+	// restarts without replaying journals.
+	Charged int `json:"charged,omitempty"`
+	// Enriched/LocalLen/Coverage summarize a done job's report.
+	Enriched int     `json:"enriched,omitempty"`
+	LocalLen int     `json:"local_len,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Restarts counts daemon restarts that re-queued this job mid-run.
+	Restarts int `json:"restarts,omitempty"`
+}
+
+// dir returns the job's directory under root.
+func jobDir(root, id string) string { return filepath.Join(root, "jobs", id) }
+
+// save persists the job record atomically (temp + fsync + rename), so a
+// crash never leaves a torn job.json.
+func (j *Job) save(root string) error {
+	buf, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return err
+	}
+	return durable.WriteFileAtomic(filepath.Join(jobDir(root, j.ID), "job.json"), func(w io.Writer) error {
+		_, err := w.Write(buf)
+		return err
+	})
+}
+
+// loadJob reads one persisted job record.
+func loadJob(root, id string) (*Job, error) {
+	buf, err := os.ReadFile(filepath.Join(jobDir(root, id), "job.json"))
+	if err != nil {
+		return nil, err
+	}
+	var j Job
+	if err := json.Unmarshal(buf, &j); err != nil {
+		return nil, fmt.Errorf("jobs: corrupt job.json for %s: %w", id, err)
+	}
+	if j.ID != id {
+		return nil, fmt.Errorf("jobs: job.json for %s names id %q", id, j.ID)
+	}
+	return &j, nil
+}
+
+// scanJobs lists persisted job IDs in lexical order. IDs are zero-padded
+// sequence numbers, so lexical order is submission order — the recovery
+// scan re-queues jobs exactly as they were admitted.
+func scanJobs(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "jobs"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "j") {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,200 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Server exposes a Manager over HTTP — the crawld wire API.
+//
+//	POST   /jobs                 submit a job (JSON Spec)      → 202 Job
+//	GET    /jobs                 list jobs                     → 200 []Job
+//	GET    /jobs/{id}            job status                    → 200 Job
+//	GET    /jobs/{id}/result     enriched table                → 200 text/csv
+//	GET    /jobs/{id}/checkpoint raw checkpoint bytes          → 200 octet-stream
+//	GET    /jobs/{id}/events     progress stream (JSONL)       → 200 application/x-ndjson
+//	DELETE /jobs/{id}            cancel                        → 200 Job
+//	GET    /healthz              liveness                      → 200
+//
+// Admission rejections map to 429 (+ Retry-After for transient causes)
+// and 503 while draining; malformed submissions are 400.
+type Server struct {
+	mgr *Manager
+}
+
+// NewServer wraps mgr.
+func NewServer(mgr *Manager) *Server { return &Server{mgr: mgr} }
+
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		status := "ok"
+		if s.mgr.Draining() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	})
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var sp Spec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sp); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("decoding spec: %w", err)))
+			return
+		}
+		job, err := s.mgr.Submit(sp)
+		if err != nil {
+			s.writeAdmissionError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.mgr.List())
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody(errors.New("GET or POST")))
+	}
+}
+
+// writeAdmissionError maps manager admission errors onto wire semantics:
+// transient pressure (queue, rate) is 429 with a Retry-After hint, budget
+// exhaustion 429 without one (it clears only when jobs settle), draining
+// 503, anything else a 400 misuse error.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantRate):
+		secs := int(s.mgr.RetryAfter().Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorBody(err))
+	case errors.Is(err, ErrTenantBudget):
+		writeJSON(w, http.StatusTooManyRequests, errorBody(err))
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody(err))
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody(err))
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeJSON(w, http.StatusNotFound, errorBody(errors.New("job id required")))
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		if job := s.mgr.Get(id); job != nil {
+			writeJSON(w, http.StatusOK, job)
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorBody(fmt.Errorf("no job %s", id)))
+	case sub == "" && r.Method == http.MethodDelete:
+		if !s.mgr.Cancel(id) {
+			writeJSON(w, http.StatusConflict, errorBody(fmt.Errorf("job %s unknown or already finished", id)))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.mgr.Get(id))
+	case sub == "result" && r.Method == http.MethodGet:
+		s.serveFile(w, id, s.mgr.ResultPath(id), "text/csv", "job not done")
+	case sub == "checkpoint" && r.Method == http.MethodGet:
+		s.serveFile(w, id, s.mgr.CheckpointPath(id), "application/octet-stream", "no checkpoint yet")
+	case sub == "events" && r.Method == http.MethodGet:
+		s.streamEvents(w, r, id)
+	default:
+		writeJSON(w, http.StatusNotFound, errorBody(fmt.Errorf("no such endpoint: %s", r.URL.Path)))
+	}
+}
+
+func (s *Server) serveFile(w http.ResponseWriter, id, path, contentType, missing string) {
+	if s.mgr.Get(id) == nil {
+		writeJSON(w, http.StatusNotFound, errorBody(fmt.Errorf("no job %s", id)))
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if path == "" || err != nil {
+		writeJSON(w, http.StatusConflict, errorBody(fmt.Errorf("job %s: %s", id, missing)))
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(buf)
+}
+
+// streamEvents writes the job's progress as JSON Lines: one step object
+// per issued query from the requested ?from= sequence (default 1), then
+// a final state line when no further events will arrive in this process.
+// The stream also ends when the daemon drains (state "queued"): the
+// client re-attaches after restart and replays from its last seq.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, id string) {
+	from := 1
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("bad from: %q", v)))
+			return
+		}
+		from = n
+	}
+	if s.mgr.Get(id) == nil {
+		writeJSON(w, http.StatusNotFound, errorBody(fmt.Errorf("no job %s", id)))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		evs, st, ok := s.mgr.Steps(id, from)
+		if !ok {
+			return
+		}
+		for _, ev := range evs {
+			enc.Encode(struct {
+				Type string `json:"type"`
+				StepEvent
+			}{"step", ev})
+			from = ev.Seq + 1
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.Terminal() || st == StateQueued {
+			enc.Encode(struct {
+				Type  string `json:"type"`
+				State State  `json:"state"`
+			}{"state", st})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		// Not terminal and no new events means Steps returned because the
+		// client asked from a future seq; block again for more.
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func errorBody(err error) map[string]string { return map[string]string{"error": err.Error()} }

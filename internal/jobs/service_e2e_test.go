@@ -1,0 +1,159 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"smartcrawl/internal/deepweb/httpapi"
+	"smartcrawl/internal/hidden"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+// TestServiceEndToEnd is the cross-surface acceptance test: a crawld
+// service stack (jobs.Manager + jobs.Server) and a hiddenserver API run
+// in-process; a job is submitted over HTTP against the hidden interface,
+// polled to completion, and its enriched result and canonical checkpoint
+// must be byte-identical to the same crawl run through the cmd/smartcrawl
+// binary — for seeds 1-3. One engine, two surfaces, zero divergence.
+func TestServiceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the smartcrawl binary; skipped in -short")
+	}
+	fixtures(t)
+
+	// The smartcrawl CLI, built once.
+	binDir := t.TempDir()
+	bin := filepath.Join(binDir, "smartcrawl")
+	if out, err := exec.Command("go", "build", "-o", bin, "smartcrawl/cmd/smartcrawl").CombinedOutput(); err != nil {
+		t.Fatalf("building smartcrawl: %v\n%s", err, out)
+	}
+
+	// The hidden database behind a real HTTP interface, shared by both
+	// surfaces. Stateless (no rate limit, no faults), so the two crawls
+	// see identical responses.
+	tk := tokenize.New()
+	hf, err := os.Open(hiddenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiddenTable, err := relational.ReadCSV("hidden", hf)
+	hf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := hidden.New(hiddenTable, tk, 50, hidden.RankByNumericColumn(fixRankCol), hidden.ModeConjunctive)
+	hsrv := httptest.NewServer(httpapi.NewServer(db, tk, nil).Handler())
+	defer hsrv.Close()
+
+	// The crawld service stack, in-process.
+	dataDir := t.TempDir()
+	m, err := Open(Config{Dir: dataDir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Drain()
+	csrv := httptest.NewServer(NewServer(m).Handler())
+	defer csrv.Close()
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Surface 1: the service. Submit over HTTP, poll, fetch.
+			sp := Spec{
+				LocalCSV:     localCSVStr,
+				URL:          hsrv.URL,
+				Budget:       30,
+				SampleTarget: 40,
+				Seed:         seed,
+				Fuzzy:        0.6,
+				Enrich:       "col2,col3",
+				Batch:        4,
+				Workers:      2,
+			}
+			buf, _ := json.Marshal(sp)
+			resp, err := http.Post(csrv.URL+"/jobs", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var job Job
+			if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit status %d", resp.StatusCode)
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				r, err := http.Get(csrv.URL + "/jobs/" + job.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+					t.Fatal(err)
+				}
+				r.Body.Close()
+				if job.State.Terminal() {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("job stuck in %s", job.State)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if job.State != StateDone {
+				t.Fatalf("job finished %s: %s", job.State, job.Error)
+			}
+			r, err := http.Get(csrv.URL + "/jobs/" + job.ID + "/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			serviceOut, err := io.ReadAll(r.Body)
+			r.Body.Close()
+			if err != nil || r.StatusCode != http.StatusOK {
+				t.Fatalf("result fetch: status %d, err %v", r.StatusCode, err)
+			}
+			serviceCP := canonicalCP(t, filepath.Join(dataDir, "jobs", job.ID, "cp.bin"))
+
+			// Surface 2: the CLI, same inputs, same interface.
+			cliDir := t.TempDir()
+			cmd := exec.Command(bin,
+				"-local", localPath,
+				"-url", hsrv.URL,
+				"-budget", "30", "-sample-target", "40",
+				"-seed", strconv.FormatUint(seed, 10),
+				"-fuzzy", "0.6", "-enrich", "col2,col3",
+				"-batch", "4", "-workers", "2",
+				"-checkpoint", filepath.Join(cliDir, "cp.bin"),
+				"-wal", filepath.Join(cliDir, "cp.wal"),
+				"-out", filepath.Join(cliDir, "out.csv"))
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("smartcrawl: %v\n%s", err, out)
+			}
+			cliOut, err := os.ReadFile(filepath.Join(cliDir, "out.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(serviceOut, cliOut) {
+				t.Errorf("service result differs from the smartcrawl CLI output")
+			}
+			if !bytes.Equal(serviceCP, canonicalCP(t, filepath.Join(cliDir, "cp.bin"))) {
+				t.Errorf("service checkpoint differs from the smartcrawl CLI checkpoint")
+			}
+			if job.Charged <= 0 || job.Charged > 30 {
+				t.Errorf("charged %d, want in (0, 30]", job.Charged)
+			}
+		})
+	}
+}

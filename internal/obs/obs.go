@@ -663,6 +663,24 @@ func (o *Obs) Snapshot() map[string]any {
 	return m
 }
 
+// SnapshotBrief renders the handful of counters worth watching per job
+// on a multi-crawl daemon's /debug/vars — progress, pressure, and WAL
+// activity — without the full Snapshot payload, so a crawld serving many
+// concurrent jobs keeps its metrics page readable.
+func (o *Obs) SnapshotBrief() map[string]any {
+	if o == nil {
+		return nil
+	}
+	return map[string]any{
+		"queries_issued":  o.QueriesIssued.Value(),
+		"records_covered": o.RecordsCovered.Value(),
+		"rounds":          o.Rounds.Value(),
+		"search_errors":   o.SearchErrors.Value(),
+		"rate_limited":    o.RateLimited.Value(),
+		"wal_appends":     o.WalAppends.Value(),
+	}
+}
+
 // WriteSummary prints a human-readable end-of-run metrics summary.
 func (o *Obs) WriteSummary(w io.Writer) {
 	if o == nil {

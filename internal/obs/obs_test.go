@@ -182,3 +182,38 @@ func TestSnapshotAndSummary(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotBrief(t *testing.T) {
+	// The nil receiver is the disabled path: a daemon publishing per-job
+	// metrics must be able to render jobs that carry no Obs.
+	var disabled *Obs
+	if got := disabled.SnapshotBrief(); got != nil {
+		t.Fatalf("nil SnapshotBrief = %v, want nil", got)
+	}
+
+	o := New()
+	o.Query("a", 4, 50, 4, 4, false)
+	o.Query("b", 2, 50, 2, 6, false)
+	o.SearchDone(time.Millisecond, true)
+	o.RateLimitDenied("a", 0)
+	o.WalAppend("step", 1, 32)
+
+	brief := o.SnapshotBrief()
+	want := map[string]int64{
+		"queries_issued":  2,
+		"records_covered": 6,
+		"search_errors":   1,
+		"rate_limited":    1,
+		"wal_appends":     1,
+	}
+	for key, n := range want {
+		if got, ok := brief[key]; !ok || got != n {
+			t.Errorf("brief[%q] = %v (present %v), want %d", key, got, ok, n)
+		}
+	}
+	// Brief is a strict subset of the watch-worthy counters: no histogram
+	// or per-phase payloads that would bloat a many-job /debug/vars page.
+	if len(brief) != 6 {
+		t.Errorf("brief has %d keys (%v), want 6", len(brief), sortedKeys(brief))
+	}
+}

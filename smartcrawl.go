@@ -40,6 +40,7 @@ import (
 	"smartcrawl/internal/crawler"
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/durable"
+	"smartcrawl/internal/engine"
 	"smartcrawl/internal/enrich"
 	"smartcrawl/internal/estimator"
 	"smartcrawl/internal/federate"
@@ -542,4 +543,25 @@ func MatchSchemas(local, hiddenTable *Table, tk *Tokenizer) SchemaMapping {
 // attributes to the local table in place.
 func Enrich(local *Table, hiddenSchema []string, c Crawler, budget int, opts EnrichOptions) (*EnrichReport, *Result, error) {
 	return enrich.Enrich(local, hiddenSchema, c, budget, opts)
+}
+
+// EnrichmentRequest describes one end-to-end enrichment crawl — the
+// engine-level form shared by the smartcrawl CLI and crawld daemon jobs.
+// Build one (start from DefaultEnrichmentRequest), then RunEnrichment.
+type EnrichmentRequest = engine.Request
+
+// EnrichmentOutcome is the result of RunEnrichment.
+type EnrichmentOutcome = engine.Outcome
+
+// DefaultEnrichmentRequest returns a request carrying the smartcrawl CLI
+// flag defaults.
+func DefaultEnrichmentRequest() EnrichmentRequest { return engine.Defaults() }
+
+// RunEnrichment executes the request end to end: load/assemble the
+// interface, recover durable state, crawl, enrich the local table in
+// place, and persist the checkpoint. Both user-facing surfaces (the CLI
+// and crawld) run exactly this, so equal requests produce byte-identical
+// results whichever surface submitted them.
+func RunEnrichment(req *EnrichmentRequest) (*EnrichmentOutcome, error) {
+	return engine.Run(req)
 }
