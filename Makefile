@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check allocguard chaos crashtest fedtest crawldtest bench bench-hotpath experiments examples fuzz cover clean
+.PHONY: all build vet test test-short race check allocguard chaos crashtest fedtest crawldtest tracetest bench bench-hotpath experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -26,8 +26,9 @@ race:
 # The pre-merge gate: vet, the full suite under the race detector, the
 # allocation-regression guard (which -race would skip), the kill-anywhere
 # crash-recovery matrix against the real binaries (smartcrawl and crawld),
-# the federation suite, and the crawld service suite.
-check: vet race allocguard crashtest fedtest crawldtest
+# the federation suite, the crawld service suite, and the trace-tooling
+# suite.
+check: vet race allocguard crashtest fedtest crawldtest tracetest
 
 # Pin of the zero-allocation steady-state selection kernel; runs without
 # -race because the detector instruments allocations.
@@ -67,6 +68,14 @@ crawldtest:
 fedtest:
 	$(GO) test -race -count=1 -v ./internal/federate/
 
+# Trace-tooling drill (docs/OPERATIONS.md "Analyzing a trace with
+# tracetool"): the internal/trace parser round-tripped against every
+# schema event type, tracetool's golden-file CLI outputs, and the
+# clean-vs-transient10 diff e2e on real crawls. Goldens regenerate with
+# `go test ./cmd/tracetool/ -update`.
+tracetest:
+	$(GO) test -race -count=1 -v ./internal/trace/ ./cmd/tracetool/
+
 # One pass over every per-figure bench, tables visible in the log.
 bench:
 	$(GO) test -bench . -benchtime 1x -v .
@@ -101,6 +110,7 @@ fuzz:
 	$(GO) test -fuzz FuzzLoadResult -fuzztime 30s ./internal/crawler/
 	$(GO) test -fuzz FuzzLoadCSV -fuzztime 30s ./internal/relational/
 	$(GO) test -fuzz FuzzJournalRecover -fuzztime 30s ./internal/durable/
+	$(GO) test -fuzz FuzzParseTrace -fuzztime 30s ./internal/trace/
 
 # Line-coverage report; per-package baseline numbers are recorded in
 # DESIGN.md ("Observability" section) — regenerate them with this target

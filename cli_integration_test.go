@@ -252,4 +252,93 @@ func TestCLIRemoteCrawl(t *testing.T) {
 		t.Fatalf("remote crawl enriched nothing:\n%s", out)
 	}
 	t.Logf("remote crawl enriched %d/200 records", n)
+
+	// The crawl drove real traffic through the server, so its Prometheus
+	// endpoint must now expose nonzero serving counters.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	if !strings.Contains(metrics, "# TYPE smartcrawl_queries_issued_total counter") {
+		t.Errorf("/metrics missing queries_issued family:\n%.400s", metrics)
+	}
+	if strings.Contains(metrics, "smartcrawl_queries_issued_total 0\n") {
+		t.Errorf("/metrics shows zero served queries after a crawl:\n%.400s", metrics)
+	}
+	if !strings.Contains(metrics, "smartcrawl_search_latency_seconds_bucket{le=\"+Inf\"}") {
+		t.Errorf("/metrics missing latency histogram:\n%.400s", metrics)
+	}
+}
+
+// TestCrawldMetricsEndpoint boots the real crawld binary and scrapes
+// GET /metrics: the daemon families must render in Prometheus text
+// format even before any job is submitted.
+func TestCrawldMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	crawld := buildTool(t, dir, "crawld")
+
+	daemon := exec.Command(crawld, "-data", filepath.Join(dir, "data"), "-addr", "127.0.0.1:0")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = daemon.Process.Signal(os.Interrupt)
+		_, _ = daemon.Process.Wait()
+	}()
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "crawld listening on "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("crawld never announced its address")
+	}
+	go io.Copy(io.Discard, stdout)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == 200 {
+				metrics := string(body)
+				for _, want := range []string{
+					"# TYPE crawld_jobs gauge",
+					`crawld_jobs{state="queued"} 0`,
+					`crawld_jobs{state="running"} 0`,
+					"crawld_draining 0",
+					"crawld_tenant_budget_cap_queries 0",
+				} {
+					if !strings.Contains(metrics, want) {
+						t.Errorf("/metrics missing %q in:\n%.600s", want, metrics)
+					}
+				}
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("crawld /metrics never became ready")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }

@@ -25,8 +25,9 @@
 // hard (exit 130).
 //
 // Per-job crawl metrics, queue gauges, and tenant accounting are
-// published at /debug/vars; /debug/pprof serves profiles. Disable both
-// with -debug=false on exposed deployments.
+// published at /debug/vars (expvar JSON) and GET /metrics (Prometheus
+// text format — see docs/METRICS.md); /debug/pprof serves profiles.
+// Disable all three with -debug=false on exposed deployments.
 package main
 
 import (
@@ -45,6 +46,7 @@ import (
 
 	"smartcrawl/internal/durable"
 	"smartcrawl/internal/jobs"
+	"smartcrawl/internal/obs/promexport"
 )
 
 func main() {
@@ -120,6 +122,7 @@ func main() {
 		expvar.Publish("crawld", expvar.Func(func() any { return mgr.MetricsSnapshot() }))
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
+		mux.Handle("/metrics", promexport.Handler(mgr.CollectProm))
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -13,6 +13,7 @@
 //	GET /search?q=thai+noodle    top-k results as JSON
 //	GET /healthz                 liveness
 //	GET /stats                   request counters (legacy summary)
+//	GET /metrics                 Prometheus text format (docs/METRICS.md)
 //	GET /debug/vars              expvar: live query counters, latency
 //	                             percentiles, memstats (JSON)
 //	GET /debug/pprof/            pprof profiles (CPU, heap, goroutine, …)
@@ -50,6 +51,7 @@ import (
 	"smartcrawl/internal/federate"
 	"smartcrawl/internal/hidden"
 	"smartcrawl/internal/obs"
+	"smartcrawl/internal/obs/promexport"
 	"smartcrawl/internal/relational"
 	"smartcrawl/internal/tokenize"
 )
@@ -182,6 +184,7 @@ func serve(addr string, debug bool, o *obs.Obs, handler http.Handler) {
 		expvar.Publish("hiddenserver", expvar.Func(func() any { return o.Snapshot() }))
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
+		mux.Handle("/metrics", promexport.Handler(func(c *promexport.Collection) { c.CollectObs(o) }))
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,392 @@
+// Command tracetool analyzes JSONL session traces (docs/TRACE_SCHEMA.md)
+// written by smartcrawl -trace and the crawld daemon: summary statistics,
+// round-by-round replay, event filtering, top-query rankings, and
+// two-trace divergence diffs.
+//
+// Batch mode runs one command and exits:
+//
+//	tracetool crawl.trace summary
+//	tracetool crawl.trace filter type=fault,breaker rounds=3-8
+//	tracetool clean.trace diff faulty.trace
+//
+// With a trace but no command, tracetool reads commands from stdin as a
+// REPL (the prompt goes to stderr, so stdout stays pipeable):
+//
+//	$ tracetool crawl.trace
+//	tracetool> summary
+//	tracetool> top error 5
+//	tracetool> quit
+//
+// Commands:
+//
+//	load <file>            switch to another trace
+//	summary                one-screen session overview
+//	filter [type=a,b] [iface=NAME] [rounds=N|N-M] [q=SUBSTR]
+//	                       print matching events as raw JSONL (pipeable)
+//	top [realized|error] [N]
+//	                       rank queries by realized benefit or |est−real|
+//	replay                 step through rounds: budget and coverage deltas
+//	diff <file>            compare against another trace of the same crawl
+//	help                   this list
+//	quit                   leave the REPL
+//
+// -stable suppresses wall-clock-derived output (wall span, phase
+// durations), so two runs of the same seeded crawl print byte-identical
+// analyses — the property the golden e2e tests pin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smartcrawl/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// session is the REPL/batch state: one loaded trace.
+type session struct {
+	stable bool
+	path   string
+	events []trace.Event
+	stdout io.Writer
+	stderr io.Writer
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracetool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	stable := fs.Bool("stable", false, "suppress wall-clock-derived output (byte-stable across reruns)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tracetool [-stable] [trace.jsonl [command [args...]]]\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "commands: load summary filter top replay diff help quit\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	s := &session{stable: *stable, stdout: stdout, stderr: stderr}
+	rest := fs.Args()
+	if len(rest) > 0 {
+		if err := s.load(rest[0]); err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+		rest = rest[1:]
+	}
+	if len(rest) > 0 { // batch: one command, then exit
+		if err := s.exec(rest); err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+		return 0
+	}
+
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for {
+		fmt.Fprint(stderr, "tracetool> ")
+		if !sc.Scan() {
+			break
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "quit" || fields[0] == "exit" {
+			break
+		}
+		if err := s.exec(fields); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+		}
+	}
+	return 0
+}
+
+// exec dispatches one command line.
+func (s *session) exec(fields []string) error {
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "load":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: load <file>")
+		}
+		if err := s.load(args[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.stdout, "loaded %s: %d events\n", s.path, len(s.events))
+		return nil
+	case "help":
+		fmt.Fprintln(s.stdout, "commands: load <file> | summary | filter [type=a,b] [iface=N] [rounds=N-M] [q=S] | top [realized|error] [N] | replay | diff <file> | quit")
+		return nil
+	}
+	if s.events == nil {
+		return fmt.Errorf("no trace loaded (use: load <file>)")
+	}
+	switch cmd {
+	case "summary":
+		return s.summary()
+	case "filter":
+		return s.filter(args)
+	case "top":
+		return s.top(args)
+	case "replay":
+		return s.replay()
+	case "diff":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: diff <file>")
+		}
+		return s.diff(args[0])
+	}
+	return fmt.Errorf("unknown command %q (try: help)", cmd)
+}
+
+// load reads and parses a trace. A torn tail — the normal end of a
+// crash-interrupted session — is reported as a warning, not a failure.
+func (s *session) load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.Parse(f)
+	if err != nil {
+		if len(events) == 0 {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(s.stderr, "warning: %s: %v (keeping %d events before it)\n", path, err, len(events))
+	}
+	s.path, s.events = path, events
+	return nil
+}
+
+func (s *session) summary() error {
+	sum := trace.Summarize(s.events)
+	w := s.stdout
+	fmt.Fprintf(w, "trace: %s (%d events", s.path, sum.Events)
+	if sum.Unknown > 0 {
+		fmt.Fprintf(w, ", %d of unknown type", sum.Unknown)
+	}
+	fmt.Fprintf(w, ")\n")
+	fmt.Fprintf(w, "queries:   %d (%d solid)\n", sum.Queries, sum.Solid)
+	fmt.Fprintf(w, "covered:   %d\n", sum.Covered)
+	if sum.HasBudget {
+		left := "unlimited"
+		if sum.FinalBudget >= 0 {
+			left = strconv.Itoa(sum.FinalBudget)
+		}
+		fmt.Fprintf(w, "rounds:    %d (budget left at last round: %s)\n", sum.Rounds, left)
+	} else {
+		fmt.Fprintf(w, "rounds:    %d\n", sum.Rounds)
+	}
+	if sum.Queries > 0 {
+		fmt.Fprintf(w, "benefit:   est %.2f, realized %.0f, MAE %.3f\n", sum.EstSum, sum.RealSum, sum.MAE())
+	}
+	if len(sum.Ifaces) > 0 {
+		fmt.Fprintf(w, "ifaces:    %s\n", strings.Join(sum.Ifaces, ", "))
+	}
+	if sum.Faults > 0 {
+		classes := make([]string, 0, len(sum.FaultClasses))
+		for c := range sum.FaultClasses {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		parts := make([]string, len(classes))
+		for i, c := range classes {
+			parts[i] = fmt.Sprintf("%s %d", c, sum.FaultClasses[c])
+		}
+		fmt.Fprintf(w, "faults:    %d (%s)\n", sum.Faults, strings.Join(parts, ", "))
+	}
+	if sum.Retries+sum.RateLimited > 0 {
+		fmt.Fprintf(w, "retries:   %d (%d rate-limited)\n", sum.Retries, sum.RateLimited)
+	}
+	if sum.Requeues+sum.Forfeits > 0 {
+		fmt.Fprintf(w, "requeues:  %d (%d forfeited)\n", sum.Requeues, sum.Forfeits)
+	}
+	if sum.BreakerOpens > 0 {
+		fmt.Fprintf(w, "breaker:   opened %d times\n", sum.BreakerOpens)
+	}
+	if sum.Checkpoints+sum.Recoveries+sum.WalAppends > 0 {
+		fmt.Fprintf(w, "durable:   %d checkpoints, %d recoveries, %d wal appends\n",
+			sum.Checkpoints, sum.Recoveries, sum.WalAppends)
+	}
+	if !s.stable {
+		if len(sum.PhaseMs) > 0 {
+			names := make([]string, 0, len(sum.PhaseMs))
+			for n := range sum.PhaseMs {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			parts := make([]string, len(names))
+			for i, n := range names {
+				parts[i] = fmt.Sprintf("%s %dms", n, sum.PhaseMs[n])
+			}
+			fmt.Fprintf(w, "phases:    %s\n", strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(w, "wall:      %dms\n", sum.WallMs)
+	}
+	return nil
+}
+
+// filter parses key=value selectors and prints matching raw lines.
+func (s *session) filter(args []string) error {
+	var f trace.Filter
+	for _, a := range args {
+		key, val, ok := strings.Cut(a, "=")
+		if !ok {
+			return fmt.Errorf("filter selectors are key=value (got %q)", a)
+		}
+		switch key {
+		case "type":
+			f.Types = strings.Split(val, ",")
+		case "iface":
+			f.Iface = val
+		case "q":
+			f.QuerySub = val
+		case "rounds":
+			lo, hi, ranged := strings.Cut(val, "-")
+			var err error
+			if f.RoundMin, err = strconv.Atoi(lo); err != nil {
+				return fmt.Errorf("rounds=%s: %v", val, err)
+			}
+			f.RoundMax = f.RoundMin
+			if ranged {
+				if f.RoundMax, err = strconv.Atoi(hi); err != nil {
+					return fmt.Errorf("rounds=%s: %v", val, err)
+				}
+			}
+		default:
+			return fmt.Errorf("unknown selector %q (type, iface, rounds, q)", key)
+		}
+	}
+	matched := f.Apply(s.events)
+	for i := range matched {
+		fmt.Fprintln(s.stdout, matched[i].Raw)
+	}
+	fmt.Fprintf(s.stderr, "%d/%d events matched\n", len(matched), len(s.events))
+	return nil
+}
+
+func (s *session) top(args []string) error {
+	by, n := trace.ByRealized, 10
+	for _, a := range args {
+		switch a {
+		case "realized":
+			by = trace.ByRealized
+		case "error":
+			by = trace.ByEstimateError
+		default:
+			v, err := strconv.Atoi(a)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("usage: top [realized|error] [N]")
+			}
+			n = v
+		}
+	}
+	ranked := trace.Top(s.events, by, n)
+	if len(ranked) == 0 {
+		fmt.Fprintln(s.stdout, "no query events in trace")
+		return nil
+	}
+	crit := "realized benefit"
+	if by == trace.ByEstimateError {
+		crit = "estimate error |est-real|"
+	}
+	fmt.Fprintf(s.stdout, "top %d queries by %s:\n", len(ranked), crit)
+	for i, q := range ranked {
+		line := fmt.Sprintf("%3d. new=%-4d est=%-8.2f err=%-7.2f", i+1, q.Realized, q.Est, q.AbsErr)
+		if q.Solid {
+			line += " solid"
+		}
+		if q.Iface != "" {
+			line += " iface=" + q.Iface
+		}
+		fmt.Fprintf(s.stdout, "%s  %q\n", line, q.Query)
+	}
+	return nil
+}
+
+func (s *session) replay() error {
+	rounds := trace.Rounds(s.events)
+	covered, budgetKnown := 0, false
+	for _, r := range rounds {
+		if r.Index == 0 {
+			fmt.Fprintf(s.stdout, "pre-crawl: %d events\n", len(r.Events))
+			continue
+		}
+		budgetKnown = true
+		budget := "unlimited"
+		if r.BudgetLeft >= 0 {
+			budget = strconv.Itoa(r.BudgetLeft)
+		}
+		line := fmt.Sprintf("round %3d: size=%d budget_left=%s queries=%d new=+%d cum=%d",
+			r.Index, r.Size, budget, r.Queries, r.NewCovered, r.CumEnd)
+		var notes []string
+		if r.Solid > 0 {
+			notes = append(notes, fmt.Sprintf("%d solid", r.Solid))
+		}
+		if r.Faults > 0 {
+			notes = append(notes, fmt.Sprintf("%d faults", r.Faults))
+		}
+		if r.Requeues > 0 {
+			notes = append(notes, fmt.Sprintf("%d requeued", r.Requeues))
+		}
+		if r.Forfeits > 0 {
+			notes = append(notes, fmt.Sprintf("%d forfeited", r.Forfeits))
+		}
+		if len(notes) > 0 {
+			line += " (" + strings.Join(notes, ", ") + ")"
+		}
+		fmt.Fprintln(s.stdout, line)
+		covered = r.CumEnd
+	}
+	if budgetKnown {
+		fmt.Fprintf(s.stdout, "final: covered=%d\n", covered)
+	}
+	return nil
+}
+
+func (s *session) diff(otherPath string) error {
+	other := &session{stable: s.stable, stdout: s.stdout, stderr: s.stderr}
+	if err := other.load(otherPath); err != nil {
+		return err
+	}
+	d := trace.Diff(s.events, other.events)
+	w := s.stdout
+	fmt.Fprintf(w, "A: %s (%d events, covered %d)\n", s.path, d.EventsA, d.CoveredA)
+	fmt.Fprintf(w, "B: %s (%d events, covered %d)\n", other.path, d.EventsB, d.CoveredB)
+	if d.Identical() {
+		fmt.Fprintln(w, "traces are identical (modulo timestamps)")
+		return nil
+	}
+	if d.FirstDiverge >= 0 {
+		fmt.Fprintf(w, "first differing event: index %d\n", d.FirstDiverge)
+		fmt.Fprintf(w, "  A: %s\n", d.CanonicalA)
+		fmt.Fprintf(w, "  B: %s\n", d.CanonicalB)
+	}
+	if len(d.Rounds) > 0 {
+		fmt.Fprintln(w, "per-round coverage:")
+		for _, r := range d.Rounds {
+			mark := ""
+			if r.Round == d.FirstRoundDiverge {
+				mark = "  <- first divergence"
+			}
+			line := fmt.Sprintf("  round %3d: A=%-5d B=%-5d%s", r.Round, r.CumA, r.CumB, mark)
+			fmt.Fprintln(w, strings.TrimRight(line, " "))
+		}
+	}
+	if d.FirstRoundDiverge > 0 {
+		fmt.Fprintf(w, "coverage diverges at round %d\n", d.FirstRoundDiverge)
+	} else {
+		fmt.Fprintln(w, "per-round coverage never diverges")
+	}
+	return nil
+}

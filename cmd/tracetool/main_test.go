@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/dataset"
+	"smartcrawl/internal/engine"
+	"smartcrawl/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runTool invokes the CLI in-process.
+func runTool(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting it
+// under -update. goldenDir pins the testdata path before any t.Chdir.
+var goldenDir = func() string {
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}()
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join(goldenDir, name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s.golden (run with -update if intended)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+const sample = "testdata/sample.trace"
+
+func TestSummaryGolden(t *testing.T) {
+	out, _, code := runTool(t, "", sample, "summary")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "summary", out)
+}
+
+func TestFilterGolden(t *testing.T) {
+	out, stderr, code := runTool(t, "", sample, "filter", "type=fault,breaker", "rounds=2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stderr, "3/18 events matched") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	checkGolden(t, "filter", out)
+}
+
+func TestFilterByQueryAndIface(t *testing.T) {
+	out, _, code := runTool(t, "", sample, "filter", "q=keyword")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if got := strings.Count(out, "\n"); got != 4 { // rate_limit, fault, retry, query
+		t.Errorf("q= filter matched %d lines:\n%s", got, out)
+	}
+	out, _, code = runTool(t, "", sample, "filter", "iface=dblp")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if got := strings.Count(out, "\n"); got != 1 {
+		t.Errorf("iface= filter matched %d lines:\n%s", got, out)
+	}
+}
+
+func TestTopGolden(t *testing.T) {
+	out, _, code := runTool(t, "", sample, "top", "error", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "top", out)
+}
+
+func TestReplayGolden(t *testing.T) {
+	out, _, code := runTool(t, "", sample, "replay")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "replay", out)
+}
+
+// TestREPL drives the interactive loop: prompts go to stderr, command
+// output to stdout, quit ends it.
+func TestREPL(t *testing.T) {
+	script := "summary\ntop realized 1\nbogus\nquit\n"
+	out, stderr, code := runTool(t, script, "-stable", sample)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stderr, "tracetool> ") {
+		t.Errorf("no prompt on stderr: %q", stderr)
+	}
+	if !strings.Contains(stderr, `unknown command "bogus"`) {
+		t.Errorf("unknown command not reported: %q", stderr)
+	}
+	checkGolden(t, "repl", out)
+}
+
+func TestREPLLoad(t *testing.T) {
+	script := "summary\nload " + sample + "\nsummary\n"
+	out, stderr, code := runTool(t, script, "-stable")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stderr, "no trace loaded") {
+		t.Errorf("bare summary did not complain: %q", stderr)
+	}
+	if !strings.Contains(out, "loaded testdata/sample.trace: 18 events") {
+		t.Errorf("load output missing: %q", out)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if _, _, code := runTool(t, "", "testdata/absent.trace", "summary"); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	if _, _, code := runTool(t, "", sample, "filter", "weird"); code != 1 {
+		t.Errorf("bad selector: exit %d", code)
+	}
+	if _, _, code := runTool(t, "", "-nope"); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}
+
+// genTrace runs a real seeded crawl in-process through the engine and
+// writes its trace — the same wiring the smartcrawl CLI uses for -trace.
+func genTrace(t *testing.T, dir, name, faults string) string {
+	t.Helper()
+	in, err := dataset.GenerateDBLP(dataset.DBLPConfig{
+		CorpusSize: 4000, HiddenSize: 1200, LocalSize: 250, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiddenPath := filepath.Join(dir, name+"_hidden.csv")
+	hf, err := os.Create(hiddenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Hidden.WriteCSV(hf); err != nil {
+		t.Fatal(err)
+	}
+	if err := hf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath := filepath.Join(dir, name+".trace")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(tf)
+	o := obs.New()
+	tr := obs.NewTracer(bw)
+	o.SetTracer(tr)
+
+	req := engine.Defaults()
+	req.Local = in.Local
+	req.Hidden = hiddenPath
+	req.Budget = 48
+	req.K = 50
+	req.RankColumn = in.RankColumn
+	req.Theta = 0.03
+	req.Batch = 8
+	req.Workers = 1
+	req.Seed = 42
+	req.Faults = faults
+	req.FaultSeed = 5
+	req.Retries = 1
+	req.Obs = o
+	if _, err := engine.Run(&req); err != nil {
+		t.Fatalf("engine.Run(%s): %v", name, err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tracePath
+}
+
+// TestE2ECleanVsTransient10 is the executable form of the Resilience
+// report's drill: the same seeded crawl, clean and under the transient10
+// fault profile, diffed — tracetool must pinpoint where the degraded run
+// falls behind. Golden-tested byte-for-byte under -stable.
+func TestE2ECleanVsTransient10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two real crawls; skipped in -short")
+	}
+	dir := t.TempDir()
+	genTrace(t, dir, "clean", "")
+	genTrace(t, dir, "transient10", "transient10")
+	t.Chdir(dir) // keep paths in golden output relative and stable
+
+	sumClean, _, code := runTool(t, "", "-stable", "clean.trace", "summary")
+	if code != 0 {
+		t.Fatalf("summary clean: exit %d", code)
+	}
+	checkGolden(t, "e2e_summary_clean", sumClean)
+
+	sumFaulty, _, code := runTool(t, "", "-stable", "transient10.trace", "summary")
+	if code != 0 {
+		t.Fatalf("summary transient10: exit %d", code)
+	}
+	checkGolden(t, "e2e_summary_transient10", sumFaulty)
+	if !strings.Contains(sumFaulty, "faults:") {
+		t.Errorf("faulty summary shows no faults:\n%s", sumFaulty)
+	}
+
+	diffOut, _, code := runTool(t, "", "-stable", "clean.trace", "diff", "transient10.trace")
+	if code != 0 {
+		t.Fatalf("diff: exit %d", code)
+	}
+	checkGolden(t, "e2e_diff", diffOut)
+	if !strings.Contains(diffOut, "first differing event") {
+		t.Errorf("diff found no divergence:\n%s", diffOut)
+	}
+	if !strings.Contains(diffOut, "<- first divergence") {
+		t.Errorf("diff did not pinpoint the first divergent round:\n%s", diffOut)
+	}
+
+	// Replay of both runs must agree with the diff's per-round story.
+	replayOut, _, code := runTool(t, "", "-stable", "transient10.trace", "replay")
+	if code != 0 {
+		t.Fatalf("replay: exit %d", code)
+	}
+	checkGolden(t, "e2e_replay_transient10", replayOut)
+
+	// Determinism: regenerating the faulty trace yields an identical
+	// canonical stream (the diff oracle the goldens rest on).
+	again := genTrace(t, t.TempDir(), "transient10b", "transient10")
+	rerun, _, code := runTool(t, "", "-stable", "transient10.trace", "diff", again)
+	if code != 0 {
+		t.Fatalf("determinism diff: exit %d", code)
+	}
+	if !strings.Contains(rerun, "traces are identical (modulo timestamps)") {
+		t.Errorf("regenerated trace diverges from itself:\n%s", rerun)
+	}
+}

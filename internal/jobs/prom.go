@@ -1,0 +1,52 @@
+package jobs
+
+import (
+	"smartcrawl/internal/obs"
+	"smartcrawl/internal/obs/promexport"
+)
+
+// CollectProm snapshots the daemon into a Prometheus scrape: the
+// daemon-level families (job counts by state, draining flag, per-tenant
+// committed budget, the tenant cap) plus the full per-job metric set of
+// every running crawl, labeled job="<id>",tenant="<tenant>". Sample
+// cardinality is bounded by the worker count — only running jobs carry a
+// live obs sink. cmd/crawld mounts this as GET /metrics.
+func (m *Manager) CollectProm(c *promexport.Collection) {
+	m.mu.Lock()
+	counts := map[State]int{}
+	type runningJob struct {
+		id, tenant string
+		o          *obs.Obs
+	}
+	var running []runningJob
+	for _, id := range m.order {
+		j := m.jobs[id]
+		counts[j.State]++
+		if j.State == StateRunning && j.obs != nil {
+			running = append(running, runningJob{j.ID, j.Tenant, j.obs})
+		}
+	}
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		c.Add("crawld_jobs", float64(counts[st]), promexport.Label{Name: "state", Value: string(st)})
+	}
+	var draining float64
+	if m.draining {
+		draining = 1
+	}
+	c.Add("crawld_draining", draining)
+	for name, t := range m.tenants {
+		c.Add("crawld_tenant_reserved_queries", float64(t.reserved),
+			promexport.Label{Name: "tenant", Value: name})
+	}
+	c.Add("crawld_tenant_budget_cap_queries", float64(m.cfg.TenantBudget))
+	m.mu.Unlock()
+
+	// Per-job collection happens outside m.mu: it reads only the sinks'
+	// atomics, and a job that finishes mid-scrape just reports its final
+	// counters.
+	for _, rj := range running {
+		c.CollectObs(rj.o,
+			promexport.Label{Name: "job", Value: rj.id},
+			promexport.Label{Name: "tenant", Value: rj.tenant})
+	}
+}

@@ -1,0 +1,112 @@
+package jobs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"smartcrawl/internal/obs"
+	"smartcrawl/internal/obs/promexport"
+)
+
+// scrape renders one CollectProm pass to text, as GET /metrics would.
+func scrape(t *testing.T, m *Manager) string {
+	t.Helper()
+	c := promexport.NewCollection()
+	m.CollectProm(c)
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestCollectProm runs one job to completion and checks the rendered
+// daemon families: state counts, draining flag, tenant accounting.
+func TestCollectProm(t *testing.T) {
+	fixtures(t)
+	dir := t.TempDir()
+	m, err := Open(Config{Dir: dir, Workers: 1, AllowLocal: true, TenantBudget: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Drain()
+
+	job, err := m.Submit(baseSpec(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, job.ID)
+	if done.State != StateDone {
+		t.Fatalf("job finished %s (%s)", done.State, done.Error)
+	}
+
+	out := scrape(t, m)
+	for _, want := range []string{
+		`crawld_jobs{state="done"} 1`,
+		`crawld_jobs{state="queued"} 0`,
+		`crawld_jobs{state="running"} 0`,
+		`crawld_jobs{state="failed"} 0`,
+		`crawld_jobs{state="canceled"} 0`,
+		`crawld_draining 0`,
+		`crawld_tenant_budget_cap_queries 500`,
+		fmt.Sprintf(`crawld_tenant_reserved_queries{tenant="default"} %d`, done.Charged),
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+	// A settled job carries no live obs sink: no per-job families leak.
+	if strings.Contains(out, "smartcrawl_") {
+		t.Errorf("scrape has per-job families after settle:\n%s", out)
+	}
+
+	m.Drain()
+	if out := scrape(t, m); !strings.Contains(out, "crawld_draining 1\n") {
+		t.Errorf("draining gauge not set after Drain:\n%s", out)
+	}
+}
+
+// TestCollectPromRunningJob asserts the per-job metric set appears with
+// job/tenant labels while a job runs. The running job is injected
+// directly into the registry (white-box) so the test does not race the
+// crawl's own lifetime.
+func TestCollectPromRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Drain()
+
+	sink := obs.New()
+	sink.Query("deep web", 2.0, 10, 3, 3, false)
+	sink.Round(1, 9)
+	m.mu.Lock()
+	m.jobs["j-synthetic"] = &job{
+		Job: Job{ID: "j-synthetic", Tenant: "acme", State: StateRunning},
+		obs: sink,
+	}
+	m.order = append(m.order, "j-synthetic")
+	m.mu.Unlock()
+
+	out := scrape(t, m)
+	for _, want := range []string{
+		`crawld_jobs{state="running"} 1`,
+		`smartcrawl_queries_issued_total{job="j-synthetic",tenant="acme"} 1`,
+		`smartcrawl_records_covered_total{job="j-synthetic",tenant="acme"} 3`,
+		`smartcrawl_rounds_total{job="j-synthetic",tenant="acme"} 1`,
+		`smartcrawl_search_latency_seconds_count{job="j-synthetic",tenant="acme"} 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Remove the synthetic job so Drain does not try to settle it.
+	m.mu.Lock()
+	delete(m.jobs, "j-synthetic")
+	m.order = m.order[:len(m.order)-1]
+	m.mu.Unlock()
+}

@@ -53,6 +53,7 @@ func (h *Histogram) Observe(d time.Duration) {
 // HistogramSnapshot is a point-in-time read of a Histogram.
 type HistogramSnapshot struct {
 	Count         int64
+	Sum           time.Duration // exact sum of observations (µs resolution)
 	Mean          time.Duration
 	P50, P95, P99 time.Duration
 	Max           time.Duration
@@ -82,6 +83,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if total == 0 {
 		return s
 	}
+	s.Sum = time.Duration(h.sumUs.Load()) * time.Microsecond
 	s.Mean = time.Duration(h.sumUs.Load()/total) * time.Microsecond
 	s.Max = time.Duration(h.maxUs.Load()) * time.Microsecond
 	s.P50 = h.quantile(s.Buckets, total, 0.50)

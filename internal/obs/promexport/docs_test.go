@@ -1,0 +1,90 @@
+package promexport
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMetricsDocMatchesRegistry diffs docs/METRICS.md row-for-row against
+// Registry(): every exported family must be documented with the exact
+// name, type, labels, help text, and serving binary, in declaration
+// order, and the doc may not list families that do not exist. Adding,
+// renaming, or re-labeling a metric therefore forces a doc update in the
+// same commit.
+func TestMetricsDocMatchesRegistry(t *testing.T) {
+	raw, err := os.ReadFile("../../../docs/METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Desc
+	for _, line := range strings.Split(string(raw), "\n") {
+		d, ok := parseDocRow(line)
+		if !ok {
+			continue
+		}
+		rows = append(rows, d)
+	}
+
+	reg := Registry()
+	if len(rows) != len(reg) {
+		t.Errorf("docs/METRICS.md documents %d families, registry exports %d", len(rows), len(reg))
+	}
+	for i := 0; i < len(rows) && i < len(reg); i++ {
+		doc, want := rows[i], reg[i]
+		if doc.Name != want.Name {
+			t.Errorf("row %d: doc %q, registry %q (rows must follow registry order)", i, doc.Name, want.Name)
+			continue
+		}
+		if doc.Kind != want.Kind {
+			t.Errorf("%s: doc type %q, registry %q", want.Name, doc.Kind, want.Kind)
+		}
+		if strings.Join(doc.Labels, ",") != strings.Join(want.Labels, ",") {
+			t.Errorf("%s: doc labels %v, registry %v", want.Name, doc.Labels, want.Labels)
+		}
+		if doc.Help != want.Help {
+			t.Errorf("%s: doc meaning %q, registry help %q", want.Name, doc.Help, want.Help)
+		}
+		if doc.Binary != want.Binary {
+			t.Errorf("%s: doc binary %q, registry %q", want.Name, doc.Binary, want.Binary)
+		}
+	}
+}
+
+// parseDocRow reads one METRICS.md table row of the form
+// | `name` | type | labels | meaning | served by |
+// returning ok=false for non-row lines (prose, headers, separators).
+func parseDocRow(line string) (Desc, bool) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "| `") {
+		return Desc{}, false
+	}
+	// Cells are pipe-separated; literal pipes inside a cell are escaped
+	// as \| in markdown.
+	parts := strings.Split(line, "|")
+	var cells []string
+	for i := 0; i < len(parts); i++ {
+		p := parts[i]
+		for strings.HasSuffix(p, `\`) && i+1 < len(parts) {
+			i++
+			p = p[:len(p)-1] + "|" + parts[i]
+		}
+		cells = append(cells, strings.TrimSpace(p))
+	}
+	// Leading and trailing empty cells from the outer pipes.
+	if len(cells) != 7 || cells[0] != "" || cells[6] != "" {
+		return Desc{}, false
+	}
+	d := Desc{
+		Name:   strings.Trim(cells[1], "`"),
+		Kind:   Kind(cells[2]),
+		Help:   cells[4],
+		Binary: cells[5],
+	}
+	if cells[3] != "—" {
+		for _, l := range strings.Split(cells[3], ",") {
+			d.Labels = append(d.Labels, strings.Trim(strings.TrimSpace(l), "`"))
+		}
+	}
+	return d, true
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseLines is a test helper over literal JSONL.
+func parseLines(t *testing.T, lines ...string) []Event {
+	t.Helper()
+	events, err := Parse(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// twoRoundTrace is a minimal crawl: two rounds, three queries, one fault
+// with a retry, a checkpoint.
+func twoRoundTrace(t *testing.T) []Event {
+	return parseLines(t,
+		`{"seq":0,"t_ms":10,"type":"phase","phase":"sample","dur_ms":5}`,
+		`{"seq":1,"t_ms":11,"type":"round","size":2,"budget_left":10}`,
+		`{"seq":2,"t_ms":12,"type":"query","query":"alpha","est_benefit":4,"result_size":9,"new_covered":3,"cum_covered":3,"solid":true}`,
+		`{"seq":3,"t_ms":13,"type":"fault","query":"beta","class":"timeout","attempt":1}`,
+		`{"seq":4,"t_ms":14,"type":"retry","query":"beta","attempt":1,"wait_ms":10,"err":"http 504"}`,
+		`{"seq":5,"t_ms":15,"type":"query","query":"beta","est_benefit":1,"result_size":10,"new_covered":4,"cum_covered":7}`,
+		`{"seq":6,"t_ms":16,"type":"round","size":1,"budget_left":8}`,
+		`{"seq":7,"t_ms":17,"type":"query","query":"gamma","est_benefit":2,"result_size":10,"new_covered":1,"cum_covered":8}`,
+		`{"seq":8,"t_ms":18,"type":"checkpoint","path":"cp","covered":8,"queries":3}`,
+	)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(twoRoundTrace(t))
+	if s.Queries != 3 || s.Solid != 1 || s.Covered != 8 || s.Rounds != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.FinalBudget != 8 || !s.HasBudget {
+		t.Errorf("final budget = %d", s.FinalBudget)
+	}
+	if s.Faults != 1 || s.FaultClasses["timeout"] != 1 || s.Retries != 1 || s.Checkpoints != 1 {
+		t.Errorf("degradation counts = %+v", s)
+	}
+	if s.EstSum != 7 || s.RealSum != 8 {
+		t.Errorf("benefit sums est=%v real=%v", s.EstSum, s.RealSum)
+	}
+	// |4-3| + |1-4| + |2-1| = 5 over 3 queries.
+	if got := s.MAE(); got < 1.66 || got > 1.67 {
+		t.Errorf("MAE = %v", got)
+	}
+	if s.WallMs != 8 {
+		t.Errorf("wall span = %d", s.WallMs)
+	}
+	if s.PhaseMs["sample"] != 5 {
+		t.Errorf("phase ms = %+v", s.PhaseMs)
+	}
+}
+
+func TestRounds(t *testing.T) {
+	rounds := Rounds(twoRoundTrace(t))
+	if len(rounds) != 3 { // round 0 (phase) + two markers
+		t.Fatalf("got %d rounds", len(rounds))
+	}
+	if rounds[0].Index != 0 || len(rounds[0].Events) != 1 {
+		t.Errorf("round 0 = %+v", rounds[0])
+	}
+	r1 := rounds[1]
+	if r1.Size != 2 || r1.BudgetLeft != 10 || r1.Queries != 2 || r1.NewCovered != 7 ||
+		r1.CumEnd != 7 || r1.Solid != 1 || r1.Faults != 1 {
+		t.Errorf("round 1 = %+v", r1)
+	}
+	r2 := rounds[2]
+	if r2.Queries != 1 || r2.CumEnd != 8 || r2.NewCovered != 1 {
+		t.Errorf("round 2 = %+v", r2)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	events := twoRoundTrace(t)
+	if got := (Filter{Types: []string{"query"}}).Apply(events); len(got) != 3 {
+		t.Errorf("type filter: %d events", len(got))
+	}
+	if got := (Filter{RoundMin: 2}).Apply(events); len(got) != 3 {
+		t.Errorf("round>=2 filter: %d events", len(got))
+	}
+	if got := (Filter{RoundMax: 1}).Apply(events); len(got) != 6 {
+		t.Errorf("round<=1 filter: %d events", len(got))
+	}
+	got := (Filter{QuerySub: "beta"}).Apply(events)
+	if len(got) != 3 { // fault, retry, query
+		t.Errorf("query substring filter: %d events", len(got))
+	}
+	if got := (Filter{Types: []string{"query"}, RoundMin: 1, RoundMax: 1}).Apply(events); len(got) != 2 {
+		t.Errorf("combined filter: %d events", len(got))
+	}
+}
+
+func TestFilterIface(t *testing.T) {
+	events := parseLines(t,
+		`{"seq":0,"t_ms":1,"type":"alloc","iface":"acm","est_benefit":2,"budget_left":9}`,
+		`{"seq":1,"t_ms":2,"type":"query","query":"a","est_benefit":2,"result_size":5,"new_covered":2,"cum_covered":2,"iface":"acm"}`,
+		`{"seq":2,"t_ms":3,"type":"query","query":"b","est_benefit":1,"result_size":5,"new_covered":1,"cum_covered":3,"iface":"dblp"}`,
+	)
+	got := (Filter{Iface: "acm"}).Apply(events)
+	if len(got) != 2 {
+		t.Fatalf("iface filter: %d events", len(got))
+	}
+	s := Summarize(events)
+	if len(s.Ifaces) != 2 || s.Ifaces[0] != "acm" || s.Ifaces[1] != "dblp" {
+		t.Errorf("summary ifaces = %v", s.Ifaces)
+	}
+}
+
+func TestTop(t *testing.T) {
+	events := twoRoundTrace(t)
+	byReal := Top(events, ByRealized, 2)
+	if len(byReal) != 2 || byReal[0].Query != "beta" || byReal[1].Query != "alpha" {
+		t.Errorf("top by realized = %+v", byReal)
+	}
+	byErr := Top(events, ByEstimateError, 0)
+	if len(byErr) != 3 || byErr[0].Query != "beta" || byErr[0].AbsErr != 3 {
+		t.Errorf("top by error = %+v", byErr)
+	}
+	// Deterministic tie-break by seq: gamma (err 1) behind alpha (err 1)?
+	// alpha |4-3|=1 seq 2, gamma |2-1|=1 seq 7 — alpha first.
+	if byErr[1].Query != "alpha" || byErr[2].Query != "gamma" {
+		t.Errorf("tie-break order = %+v", byErr)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a, b := twoRoundTrace(t), twoRoundTrace(t)
+	// Perturb only timestamps: canonical comparison must ignore them.
+	for i := range b {
+		b[i].TMs += 1000
+	}
+	d := Diff(a, b)
+	if !d.Identical() || d.FirstRoundDiverge != 0 {
+		t.Errorf("diff of time-shifted identical traces = %+v", d)
+	}
+}
+
+func TestDiffDivergence(t *testing.T) {
+	a := twoRoundTrace(t)
+	b := parseLines(t,
+		`{"seq":0,"t_ms":10,"type":"phase","phase":"sample","dur_ms":5}`,
+		`{"seq":1,"t_ms":11,"type":"round","size":2,"budget_left":10}`,
+		`{"seq":2,"t_ms":12,"type":"query","query":"alpha","est_benefit":4,"result_size":9,"new_covered":3,"cum_covered":3,"solid":true}`,
+		// beta's fault escalates to a forfeit here: coverage diverges.
+		`{"seq":3,"t_ms":13,"type":"fault","query":"beta","class":"timeout","attempt":1}`,
+		`{"seq":4,"t_ms":14,"type":"forfeit","query":"beta","attempt":3,"err":"http 504"}`,
+		`{"seq":5,"t_ms":16,"type":"round","size":1,"budget_left":8}`,
+		`{"seq":6,"t_ms":17,"type":"query","query":"gamma","est_benefit":2,"result_size":10,"new_covered":1,"cum_covered":4,"cum":4}`,
+	)
+	d := Diff(a, b)
+	if d.Identical() {
+		t.Fatal("divergent traces diff as identical")
+	}
+	if d.FirstDiverge != 4 { // a: retry(beta), b: forfeit(beta)
+		t.Errorf("first diverging event index = %d", d.FirstDiverge)
+	}
+	if !strings.HasPrefix(d.CanonicalA, "retry") || !strings.HasPrefix(d.CanonicalB, "forfeit") {
+		t.Errorf("diverging canonicals %q / %q", d.CanonicalA, d.CanonicalB)
+	}
+	if d.FirstRoundDiverge != 1 {
+		t.Errorf("first divergent round = %d", d.FirstRoundDiverge)
+	}
+	if d.CoveredA != 8 || d.CoveredB != 4 {
+		t.Errorf("final coverage %d / %d", d.CoveredA, d.CoveredB)
+	}
+	if len(d.Rounds) != 2 || d.Rounds[0].CumA != 7 || d.Rounds[0].CumB != 3 {
+		t.Errorf("round deltas = %+v", d.Rounds)
+	}
+}
+
+func TestDiffPrefix(t *testing.T) {
+	a := twoRoundTrace(t)
+	d := Diff(a, a[:5])
+	if d.Identical() || d.FirstDiverge != 5 || d.CanonicalB != "<end of trace>" {
+		t.Errorf("prefix diff = %+v", d)
+	}
+}

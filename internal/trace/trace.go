@@ -1,0 +1,269 @@
+// Package trace loads JSONL session traces (docs/TRACE_SCHEMA.md) into
+// typed records and computes the analyses behind cmd/tracetool: summary
+// statistics, round-by-round replay, event filtering, top-query
+// rankings, and two-trace divergence diffs.
+//
+// The parser accepts every event type the obs Tracer emits — a
+// round-trip test drives all thirteen through the public obs hooks and
+// a schema test diffs KnownTypes against the doc's headings, so the
+// tracer, the schema document, and this parser cannot drift apart
+// silently. Unknown event types survive parsing as Unknown records
+// (forward compatibility: an old tracetool can still summarize a newer
+// trace), and a torn final line — the normal tail of a crash-interrupted
+// session — returns the events before it alongside the error.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smartcrawl/internal/obs"
+)
+
+// Meta is the envelope every trace event carries.
+type Meta struct {
+	Seq  uint64 // per-session ordinal, dense from 0
+	TMs  int64  // Unix milliseconds at emit
+	Type string // event type tag
+}
+
+// Typed payloads, one per documented event type. Field names follow the
+// schema's wire names.
+
+// Query is one issued (and absorbed) query. Iface is empty on
+// single-interface traces.
+type Query struct {
+	Query      string
+	EstBenefit float64
+	ResultSize int
+	NewCovered int
+	CumCovered int
+	Solid      bool
+	Iface      string
+}
+
+// Round is one selection-round dispatch.
+type Round struct {
+	Size       int
+	BudgetLeft int // -1 = unlimited
+}
+
+// Alloc is one federated budget allocation.
+type Alloc struct {
+	Iface      string
+	EstBenefit float64
+	BudgetLeft int
+}
+
+// Retry is one backoff re-attempt.
+type Retry struct {
+	Query   string
+	Attempt int
+	WaitMs  int64
+	Err     string
+}
+
+// RateLimit is one client-side token-bucket denial.
+type RateLimit struct {
+	Query  string
+	Tokens float64
+}
+
+// Checkpoint is one checkpoint write.
+type Checkpoint struct {
+	Path    string
+	Covered int
+	Queries int
+}
+
+// Phase is one completed lifecycle phase.
+type Phase struct {
+	Phase string
+	DurMs int64
+}
+
+// Fault is one injected fault.
+type Fault struct {
+	Query   string
+	Class   string
+	Attempt int
+}
+
+// Breaker is one circuit-breaker transition.
+type Breaker struct {
+	From     string
+	To       string
+	Failures int
+}
+
+// Requeue is one failed selection pushed back into the pool.
+type Requeue struct {
+	Query   string
+	Attempt int
+	Err     string
+}
+
+// Forfeit is one selection given up after its attempt cap.
+type Forfeit struct {
+	Query    string
+	Attempts int
+	Err      string
+}
+
+// WalAppend is one record appended to the write-ahead journal.
+type WalAppend struct {
+	Kind   string
+	WalSeq uint64
+	Bytes  int
+}
+
+// Recovered is one crash recovery.
+type Recovered struct {
+	Path    string
+	Records int
+	Covered int
+	Queries int
+	WalSeq  uint64
+	Torn    bool
+}
+
+// Event is one parsed trace line: the envelope, the original line (for
+// lossless filtering), and the typed payload — a pointer to one of the
+// payload structs above, or nil for an event type this parser does not
+// know (Unknown reports that case).
+type Event struct {
+	Meta
+	Raw  string
+	Data any
+}
+
+// Unknown reports whether the event's type is outside the documented
+// schema (the payload is then nil and only the envelope is usable).
+func (e *Event) Unknown() bool { return e.Data == nil }
+
+// KnownTypes returns the documented event types in schema order — the
+// exact set docs/TRACE_SCHEMA.md has a section for.
+func KnownTypes() []string {
+	return []string{
+		obs.EventQuery, obs.EventRound, obs.EventAlloc, obs.EventRetry,
+		obs.EventRateLimit, obs.EventCheckpoint, obs.EventPhase,
+		obs.EventFault, obs.EventBreaker, obs.EventRequeue,
+		obs.EventForfeit, obs.EventWalAppend, obs.EventRecovered,
+	}
+}
+
+// Parse decodes a JSONL trace. On a malformed line it returns the events
+// parsed so far together with a line-numbered error — the torn tail of a
+// crash-interrupted session is data, not a reason to drop the session.
+func Parse(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var u obs.Event
+		if err := json.Unmarshal([]byte(line), &u); err != nil {
+			return events, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		events = append(events, project(u, line))
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("line %d: %w", lineNo+1, err)
+	}
+	return events, nil
+}
+
+// project maps the union wire struct onto the typed payload.
+func project(u obs.Event, raw string) Event {
+	e := Event{Meta: Meta{Seq: u.Seq, TMs: u.TMs, Type: u.Type}, Raw: raw}
+	switch u.Type {
+	case obs.EventQuery:
+		e.Data = &Query{u.Query, u.EstBenefit, u.ResultSize, u.NewCovered, u.CumCovered, u.Solid, u.Iface}
+	case obs.EventRound:
+		e.Data = &Round{u.Size, u.BudgetLeft}
+	case obs.EventAlloc:
+		e.Data = &Alloc{u.Iface, u.EstBenefit, u.BudgetLeft}
+	case obs.EventRetry:
+		e.Data = &Retry{u.Query, u.Attempt, u.WaitMs, u.Err}
+	case obs.EventRateLimit:
+		e.Data = &RateLimit{u.Query, u.Tokens}
+	case obs.EventCheckpoint:
+		e.Data = &Checkpoint{u.Path, u.Covered, u.Queries}
+	case obs.EventPhase:
+		e.Data = &Phase{u.Phase, u.DurMs}
+	case obs.EventFault:
+		e.Data = &Fault{u.Query, u.Class, u.Attempt}
+	case obs.EventBreaker:
+		e.Data = &Breaker{u.From, u.To, u.Failures}
+	case obs.EventRequeue:
+		e.Data = &Requeue{u.Query, u.Attempt, u.Err}
+	case obs.EventForfeit:
+		e.Data = &Forfeit{u.Query, u.Attempt, u.Err}
+	case obs.EventWalAppend:
+		e.Data = &WalAppend{u.Kind, u.WalSeq, u.Bytes}
+	case obs.EventRecovered:
+		e.Data = &Recovered{u.Path, u.Records, u.Covered, u.Queries, u.WalSeq, u.Torn}
+	}
+	return e
+}
+
+// Canonical renders the event without its timestamp: two runs of the
+// same seeded crawl differ only in t_ms (and phase durations), so diff
+// compares canonical forms. Phase events canonicalize without dur_ms
+// for the same reason.
+func (e *Event) Canonical() string {
+	var b strings.Builder
+	b.WriteString(e.Type)
+	switch d := e.Data.(type) {
+	case *Query:
+		fmt.Fprintf(&b, " q=%q est=%s k=%d new=%d cum=%d solid=%t",
+			d.Query, ftoa(d.EstBenefit), d.ResultSize, d.NewCovered, d.CumCovered, d.Solid)
+		if d.Iface != "" {
+			fmt.Fprintf(&b, " iface=%s", d.Iface)
+		}
+	case *Round:
+		fmt.Fprintf(&b, " size=%d budget_left=%d", d.Size, d.BudgetLeft)
+	case *Alloc:
+		fmt.Fprintf(&b, " iface=%s est=%s budget_left=%d", d.Iface, ftoa(d.EstBenefit), d.BudgetLeft)
+	case *Retry:
+		fmt.Fprintf(&b, " q=%q attempt=%d wait_ms=%d err=%q", d.Query, d.Attempt, d.WaitMs, d.Err)
+	case *RateLimit:
+		fmt.Fprintf(&b, " q=%q tokens=%s", d.Query, ftoa(d.Tokens))
+	case *Checkpoint:
+		fmt.Fprintf(&b, " path=%q covered=%d queries=%d", d.Path, d.Covered, d.Queries)
+	case *Phase:
+		fmt.Fprintf(&b, " phase=%s", d.Phase)
+	case *Fault:
+		fmt.Fprintf(&b, " q=%q class=%s attempt=%d", d.Query, d.Class, d.Attempt)
+	case *Breaker:
+		fmt.Fprintf(&b, " from=%s to=%s failures=%d", d.From, d.To, d.Failures)
+	case *Requeue:
+		fmt.Fprintf(&b, " q=%q attempt=%d err=%q", d.Query, d.Attempt, d.Err)
+	case *Forfeit:
+		fmt.Fprintf(&b, " q=%q attempts=%d err=%q", d.Query, d.Attempts, d.Err)
+	case *WalAppend:
+		fmt.Fprintf(&b, " kind=%s wal_seq=%d bytes=%d", d.Kind, d.WalSeq, d.Bytes)
+	case *Recovered:
+		fmt.Fprintf(&b, " path=%q records=%d covered=%d queries=%d wal_seq=%d torn=%t",
+			d.Path, d.Records, d.Covered, d.Queries, d.WalSeq, d.Torn)
+	default:
+		fmt.Fprintf(&b, " (unknown)")
+	}
+	return b.String()
+}
+
+// ftoa renders a float compactly and losslessly.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sortStrings is a tiny local alias so analyze.go reads cleanly.
+func sortStrings(s []string) { sort.Strings(s) }
