@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check allocguard chaos crashtest fedtest crawldtest tracetest bench bench-hotpath experiments examples fuzz cover clean
+.PHONY: all build vet test test-short race check lint allocguard chaos crashtest fedtest crawldtest tracetest bench bench-hotpath experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -23,12 +23,24 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The pre-merge gate: vet, the full suite under the race detector, the
-# allocation-regression guard (which -race would skip), the kill-anywhere
-# crash-recovery matrix against the real binaries (smartcrawl and crawld),
-# the federation suite, the crawld service suite, and the trace-tooling
-# suite.
-check: vet race allocguard crashtest fedtest crawldtest tracetest
+# The pre-merge gate: lint (vet + gofmt, staticcheck when installed), the
+# full suite under the race detector, the allocation-regression guard
+# (which -race would skip), the kill-anywhere crash-recovery matrix
+# against the real binaries (smartcrawl and crawld), the federation
+# suite, the crawld service suite, and the trace-tooling suite.
+check: lint race allocguard crashtest fedtest crawldtest tracetest
+
+# Static analysis: go vet, a gofmt cleanliness gate, and staticcheck when
+# the binary is on PATH (it is optional — the repo builds with the
+# standard toolchain only).
+lint: vet
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping"; \
+	fi
 
 # Pin of the zero-allocation steady-state selection kernel; runs without
 # -race because the detector instruments allocations.
@@ -111,6 +123,8 @@ fuzz:
 	$(GO) test -fuzz FuzzLoadCSV -fuzztime 30s ./internal/relational/
 	$(GO) test -fuzz FuzzJournalRecover -fuzztime 30s ./internal/durable/
 	$(GO) test -fuzz FuzzParseTrace -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzParseFaultProfile -fuzztime 30s ./internal/deepweb/
+	$(GO) test -fuzz FuzzParseSpecs -fuzztime 30s ./internal/federate/
 
 # Line-coverage report; per-package baseline numbers are recorded in
 # DESIGN.md ("Observability" section) — regenerate them with this target

@@ -59,6 +59,8 @@ func main() {
 		tenantRate   = flag.Float64("tenant-rate", 0, "job submissions per second per tenant (0 = unpaced)")
 		tenantBurst  = flag.Int("tenant-burst", 5, "per-tenant submission burst (with -tenant-rate)")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on transient 429s")
+		minDiskFree  = flag.Int64("min-disk-free", 0, "shed submissions (503 + Retry-After) while the data filesystem has fewer free bytes than this (0 = no check)")
+		eventBuffer  = flag.Int("event-buffer", 0, "max buffered step events per job before the oldest are evicted (0 = default 8192, negative = unbounded)")
 		allowLocal   = flag.Bool("allow-local-backends", false, "permit job specs that read server-side files (local_path, hidden= backends)")
 		debug        = flag.Bool("debug", true, "serve /debug/vars (expvar) and /debug/pprof endpoints")
 	)
@@ -86,6 +88,9 @@ func main() {
 	if *retryAfter < 0 {
 		fatal(errors.New("-retry-after must be >= 0"))
 	}
+	if *minDiskFree < 0 {
+		fatal(errors.New("-min-disk-free must be >= 0"))
+	}
 	if cp := os.Getenv(durable.CrashEnv); cp != "" {
 		if _, err := durable.ParseCrashPoint(cp); err != nil {
 			fatal(err)
@@ -108,6 +113,8 @@ func main() {
 		TenantRate:   *tenantRate,
 		TenantBurst:  *tenantBurst,
 		RetryAfter:   *retryAfter,
+		MinDiskFree:  *minDiskFree,
+		EventBuffer:  *eventBuffer,
 		AllowLocal:   *allowLocal,
 		Log:          os.Stderr,
 		CrashPoint:   os.Getenv(durable.CrashEnv),

@@ -28,6 +28,7 @@
 //	omega         §5.3 ω=1 sensitivity analysis
 //	faults        fault sweep: coverage retained under interface misbehaviour (extension)
 //	federated     two-source federation with marginal-benefit budget allocation (extension)
+//	health        health-scored allocation vs breaker-only under a sustained fault (extension)
 //	durability    durability sweep: crash-safety cost and recovery equivalence (extension)
 //	headline      multi-seed coverage comparison with speedup factors
 //	all           everything above
@@ -105,6 +106,7 @@ func main() {
 		"omega":      one(func() (*experiment.Table, error) { return experiment.OmegaSensitivity(), nil }),
 		"faults":     one(func() (*experiment.Table, error) { return experiment.FaultSweep(p) }),
 		"federated":  one(func() (*experiment.Table, error) { return experiment.Federated(p) }),
+		"health":     one(func() (*experiment.Table, error) { return experiment.HealthSweep(p) }),
 		"durability": one(func() (*experiment.Table, error) { return experiment.DurabilitySweep(p) }),
 		"headline":   one(func() (*experiment.Table, error) { return experiment.Headline(p, *seeds) }),
 	}
@@ -114,7 +116,7 @@ func main() {
 		names = []string{"headline", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"bound", "estimators", "ablate-alpha", "ablate-deltad", "ablate-heap",
 			"ablate-batch", "parallel", "ablate-stem", "online", "form", "ranks", "omega",
-			"faults", "federated", "durability"}
+			"faults", "federated", "health", "durability"}
 	}
 	// Per-phase wall-clock: each subcommand is one obs phase, so `all`
 	// ends with a table showing where the regeneration time went.

@@ -86,6 +86,10 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the injected fault schedule (with -faults)")
 		maxAttempts = flag.Int("max-attempts", 0, "failed queries are re-queued up to N times before being forfeited (0 = fail fast; defaults to 3 with -faults)")
 		breakerN    = flag.Int("breaker", -1, "circuit-breaker consecutive-failure threshold; 0 disables (default: 5 with -faults, else off)")
+		deadline    = flag.Duration("deadline", 0, "end-to-end wall-clock budget for the crawl: selection stops when it expires, interrupted queries are forfeited with their budget refunded (0 = none)")
+		queryTO     = flag.Duration("query-timeout", 0, "per-attempt timeout on each dispatched search (0 = none)")
+		retryBudget = flag.Float64("retry-budget", 0, "cap requeues at this ratio of dispatches — a Finagle-style retry token bucket prevents retry storms (0 = uncapped)")
+		health      = flag.Bool("health", false, "score each -interfaces member by EWMA success health, scale allocation bids by it, and probe degraded interfaces for recovery")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
@@ -132,6 +136,10 @@ func main() {
 		FaultSeed:    *faultSeed,
 		MaxAttempts:  *maxAttempts,
 		Breaker:      *breakerN,
+		Deadline:     *deadline,
+		QueryTimeout: *queryTO,
+		RetryBudget:  *retryBudget,
+		Health:       *health,
 		Log:          os.Stderr,
 		CrashPoint:   os.Getenv(durable.CrashEnv),
 	}
@@ -243,6 +251,10 @@ func cliError(err error) error {
 		{"engine: WAL requires Checkpoint (the journal compacts into it)", "-wal requires -checkpoint (the journal compacts into it)"},
 		{"engine: WALSync must be", "-wal-sync must be"},
 		{"engine: Autosave must be >= 0", "-autosave must be >= 0"},
+		{"engine: Deadline must be >= 0", "-deadline must be >= 0"},
+		{"engine: QueryTimeout must be >= 0", "-query-timeout must be >= 0"},
+		{"engine: RetryBudget must be >= 0", "-retry-budget must be >= 0"},
+		{"engine: Health scoring requires a federated crawl (Interfaces)", "-health requires -interfaces"},
 	} {
 		if strings.HasPrefix(msg, r[0]) {
 			return fmt.Errorf("%s%s", r[1], strings.TrimPrefix(msg, r[0]))

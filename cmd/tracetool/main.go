@@ -27,6 +27,10 @@
 //	                       rank queries by realized benefit or |est−real|
 //	replay                 step through rounds: budget and coverage deltas
 //	diff <file>            compare against another trace of the same crawl
+//	export events [selectors...]
+//	                       filtered events as raw JSONL (filter's selectors)
+//	export summary         session summary as metric,value CSV
+//	export rounds          round-by-round replay as CSV
 //	help                   this list
 //	quit                   leave the REPL
 //
@@ -37,6 +41,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
@@ -125,7 +130,7 @@ func (s *session) exec(fields []string) error {
 		fmt.Fprintf(s.stdout, "loaded %s: %d events\n", s.path, len(s.events))
 		return nil
 	case "help":
-		fmt.Fprintln(s.stdout, "commands: load <file> | summary | filter [type=a,b] [iface=N] [rounds=N-M] [q=S] | top [realized|error] [N] | replay | diff <file> | quit")
+		fmt.Fprintln(s.stdout, "commands: load <file> | summary | filter [type=a,b] [iface=N] [rounds=N-M] [q=S] | top [realized|error] [N] | replay | export events|summary|rounds | diff <file> | quit")
 		return nil
 	}
 	if s.events == nil {
@@ -140,6 +145,8 @@ func (s *session) exec(fields []string) error {
 		return s.top(args)
 	case "replay":
 		return s.replay()
+	case "export":
+		return s.export(args)
 	case "diff":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: diff <file>")
@@ -236,13 +243,14 @@ func (s *session) summary() error {
 	return nil
 }
 
-// filter parses key=value selectors and prints matching raw lines.
-func (s *session) filter(args []string) error {
+// parseFilter parses the key=value event selectors shared by filter and
+// export events.
+func parseFilter(args []string) (trace.Filter, error) {
 	var f trace.Filter
 	for _, a := range args {
 		key, val, ok := strings.Cut(a, "=")
 		if !ok {
-			return fmt.Errorf("filter selectors are key=value (got %q)", a)
+			return f, fmt.Errorf("filter selectors are key=value (got %q)", a)
 		}
 		switch key {
 		case "type":
@@ -255,17 +263,26 @@ func (s *session) filter(args []string) error {
 			lo, hi, ranged := strings.Cut(val, "-")
 			var err error
 			if f.RoundMin, err = strconv.Atoi(lo); err != nil {
-				return fmt.Errorf("rounds=%s: %v", val, err)
+				return f, fmt.Errorf("rounds=%s: %v", val, err)
 			}
 			f.RoundMax = f.RoundMin
 			if ranged {
 				if f.RoundMax, err = strconv.Atoi(hi); err != nil {
-					return fmt.Errorf("rounds=%s: %v", val, err)
+					return f, fmt.Errorf("rounds=%s: %v", val, err)
 				}
 			}
 		default:
-			return fmt.Errorf("unknown selector %q (type, iface, rounds, q)", key)
+			return f, fmt.Errorf("unknown selector %q (type, iface, rounds, q)", key)
 		}
+	}
+	return f, nil
+}
+
+// filter parses key=value selectors and prints matching raw lines.
+func (s *session) filter(args []string) error {
+	f, err := parseFilter(args)
+	if err != nil {
+		return err
 	}
 	matched := f.Apply(s.events)
 	for i := range matched {
@@ -352,6 +369,113 @@ func (s *session) replay() error {
 		fmt.Fprintf(s.stdout, "final: covered=%d\n", covered)
 	}
 	return nil
+}
+
+// export renders machine-readable views of the loaded trace on stdout:
+// filtered events as raw JSONL (for jq pipelines and archival), or the
+// summary / round replay as CSV (for spreadsheets and plotting scripts).
+func (s *session) export(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: export events [selectors...] | export summary | export rounds")
+	}
+	switch args[0] {
+	case "events":
+		f, err := parseFilter(args[1:])
+		if err != nil {
+			return err
+		}
+		matched := f.Apply(s.events)
+		for i := range matched {
+			fmt.Fprintln(s.stdout, matched[i].Raw)
+		}
+		fmt.Fprintf(s.stderr, "%d/%d events exported\n", len(matched), len(s.events))
+		return nil
+	case "summary":
+		return s.exportSummary()
+	case "rounds":
+		return s.exportRounds()
+	}
+	return fmt.Errorf("unknown export target %q (events, summary, rounds)", args[0])
+}
+
+// exportSummary writes the session summary as metric,value CSV rows, one
+// metric per line in a fixed order. Wall-clock-derived rows (phases,
+// wall span) are suppressed under -stable, mirroring the summary command.
+func (s *session) exportSummary() error {
+	sum := trace.Summarize(s.events)
+	w := csv.NewWriter(s.stdout)
+	row := func(k string, v any) { w.Write([]string{k, fmt.Sprint(v)}) }
+	w.Write([]string{"metric", "value"})
+	row("events", sum.Events)
+	row("unknown_events", sum.Unknown)
+	row("queries", sum.Queries)
+	row("solid", sum.Solid)
+	row("covered", sum.Covered)
+	row("rounds", sum.Rounds)
+	if sum.HasBudget {
+		row("final_budget_left", sum.FinalBudget)
+	}
+	if sum.Queries > 0 {
+		row("benefit_estimated", fmt.Sprintf("%.3f", sum.EstSum))
+		row("benefit_realized", fmt.Sprintf("%.0f", sum.RealSum))
+		row("benefit_mae", fmt.Sprintf("%.4f", sum.MAE()))
+	}
+	if len(sum.Ifaces) > 0 {
+		row("ifaces", strings.Join(sum.Ifaces, ";"))
+	}
+	row("faults", sum.Faults)
+	classes := make([]string, 0, len(sum.FaultClasses))
+	for c := range sum.FaultClasses {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		row("faults_"+c, sum.FaultClasses[c])
+	}
+	row("retries", sum.Retries)
+	row("rate_limited", sum.RateLimited)
+	row("requeues", sum.Requeues)
+	row("forfeits", sum.Forfeits)
+	row("breaker_opens", sum.BreakerOpens)
+	row("checkpoints", sum.Checkpoints)
+	row("recoveries", sum.Recoveries)
+	row("wal_appends", sum.WalAppends)
+	if !s.stable {
+		names := make([]string, 0, len(sum.PhaseMs))
+		for n := range sum.PhaseMs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			row("phase_ms_"+n, sum.PhaseMs[n])
+		}
+		row("wall_ms", sum.WallMs)
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// exportRounds writes the round-by-round replay as CSV, one selection
+// round per row (the pre-crawl pseudo-round 0 is omitted).
+func (s *session) exportRounds() error {
+	w := csv.NewWriter(s.stdout)
+	w.Write([]string{"round", "size", "budget_left", "queries", "new_covered", "cum_covered", "solid", "faults", "requeues", "forfeits"})
+	for _, r := range trace.Rounds(s.events) {
+		if r.Index == 0 {
+			continue
+		}
+		budget := ""
+		if r.BudgetLeft >= 0 {
+			budget = strconv.Itoa(r.BudgetLeft)
+		}
+		w.Write([]string{
+			strconv.Itoa(r.Index), strconv.Itoa(r.Size), budget,
+			strconv.Itoa(r.Queries), strconv.Itoa(r.NewCovered), strconv.Itoa(r.CumEnd),
+			strconv.Itoa(r.Solid), strconv.Itoa(r.Faults), strconv.Itoa(r.Requeues), strconv.Itoa(r.Forfeits),
+		})
+	}
+	w.Flush()
+	return w.Error()
 }
 
 func (s *session) diff(otherPath string) error {

@@ -105,6 +105,54 @@ func TestReplayGolden(t *testing.T) {
 	checkGolden(t, "replay", out)
 }
 
+// TestExportSummaryGolden pins the CSV shape of export summary (-stable,
+// so wall-clock rows are suppressed and the bytes are deterministic).
+func TestExportSummaryGolden(t *testing.T) {
+	out, _, code := runTool(t, "", "-stable", sample, "export", "summary")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "export_summary", out)
+}
+
+// TestExportRoundsGolden pins the per-round CSV.
+func TestExportRoundsGolden(t *testing.T) {
+	out, _, code := runTool(t, "", sample, "export", "rounds")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "export_rounds", out)
+	if !strings.HasPrefix(out, "round,size,budget_left,") {
+		t.Errorf("missing CSV header: %q", out)
+	}
+}
+
+// TestExportEvents checks that export events applies filter's selectors
+// and emits raw JSONL identical to the source lines.
+func TestExportEvents(t *testing.T) {
+	out, stderr, code := runTool(t, "", sample, "export", "events", "type=fault,breaker", "rounds=2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stderr, "3/18 events exported") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	raw, err := os.ReadFile(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(string(raw), line) {
+			t.Errorf("exported line not verbatim from trace: %q", line)
+		}
+	}
+
+	_, stderr, code = runTool(t, "", sample, "export", "bogus")
+	if code != 1 || !strings.Contains(stderr, "unknown export target") {
+		t.Errorf("export bogus: code %d, stderr %q", code, stderr)
+	}
+}
+
 // TestREPL drives the interactive loop: prompts go to stderr, command
 // output to stdout, quit ends it.
 func TestREPL(t *testing.T) {

@@ -1,0 +1,92 @@
+package crawler
+
+// HealthConfig shapes the per-interface health scorer of a federated crawl
+// (SmartConfig.Health). The score is a deterministic EWMA over outcome
+// counts — never wall-clock — so a crawl with health scoring enabled is as
+// reproducible as one without: same seed, same outcomes, same scores, same
+// allocation, at any worker count (every update happens in the single-writer
+// merge stage, in selection order).
+type HealthConfig struct {
+	// Alpha is the EWMA smoothing factor: a success moves the score
+	// toward 1 by Alpha·(1−score), a failure multiplies it by (1−Alpha).
+	// Default 0.2.
+	Alpha float64
+	// MinScore floors the score so a sick interface's bids never reach
+	// exactly zero — it stays rankable and can recover. Default 0.05.
+	MinScore float64
+	// ProbeEvery is how many allocation rounds a degraded interface
+	// (score < 1) may lose consecutively before it is granted one round
+	// as a recovery probe regardless of its scaled bid. Default 16.
+	ProbeEvery int
+}
+
+// DefaultHealthConfig returns the tuning the experiments use.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{Alpha: 0.2, MinScore: 0.05, ProbeEvery: 16}
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.MinScore <= 0 {
+		c.MinScore = 0.05
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 16
+	}
+	return c
+}
+
+// healthState is the live health tracker of a federated run: one score and
+// one probe counter per interface. It is driven exclusively from the merge
+// stage and the allocator — both on the crawl loop's goroutine — so it
+// needs no locking and its evolution is deterministic.
+//
+// A healthy interface's score is exactly 1.0, and the allocator multiplies
+// candidate benefits by the score, so a clean run ranks by benefit·1.0 —
+// bit-identical to the health-disabled ranking. Scores only move, and
+// health trace events only appear, once an interface actually fails.
+type healthState struct {
+	cfg        HealthConfig
+	score      []float64
+	sinceProbe []int
+}
+
+func newHealthState(cfg HealthConfig, n int) *healthState {
+	h := &healthState{cfg: cfg.withDefaults(), score: make([]float64, n), sinceProbe: make([]int, n)}
+	for i := range h.score {
+		h.score[i] = 1.0
+	}
+	return h
+}
+
+// onSuccess moves the interface's score toward 1. A score already at 1
+// stays exactly 1 (no float drift on clean runs).
+func (h *healthState) onSuccess(i int) {
+	if h.score[i] >= 1 {
+		return
+	}
+	h.score[i] += h.cfg.Alpha * (1 - h.score[i])
+	if h.score[i] > 1 {
+		h.score[i] = 1
+	}
+}
+
+// onFailure decays the interface's score multiplicatively, floored at
+// MinScore.
+func (h *healthState) onFailure(i int) {
+	h.score[i] *= 1 - h.cfg.Alpha
+	if h.score[i] < h.cfg.MinScore {
+		h.score[i] = h.cfg.MinScore
+	}
+}
+
+// degraded reports whether the interface's score has moved off 1.
+func (h *healthState) degraded(i int) bool { return h.score[i] < 1 }
+
+// probeDue reports whether the interface has lost enough consecutive
+// allocation rounds to deserve a recovery probe.
+func (h *healthState) probeDue(i int) bool {
+	return h.degraded(i) && h.sinceProbe[i] >= h.cfg.ProbeEvery
+}

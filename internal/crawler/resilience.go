@@ -39,6 +39,17 @@ type Resilience struct {
 	// BudgetStops counts outcomes that hit ErrBudgetExhausted: selected,
 	// never executed, never charged.
 	BudgetStops int `json:"budget_stops"`
+	// DeadlineExhausted counts the subset of Forfeited whose query the
+	// crawl deadline (SmartConfig.Deadline) interrupted mid-search: no
+	// time left to retry, budget unit refunded. Cause attribution only —
+	// dropForfeit does not decrement it when a resumed session later
+	// absorbs the query.
+	DeadlineExhausted int `json:"deadline_exhausted,omitempty"`
+	// RetryBudgetDenied counts the subset of Forfeited whose requeue the
+	// retry budget (SmartConfig.RetryBudget) refused: the bucket was dry,
+	// so retrying would have multiplied load on a failing interface.
+	// Cause attribution only, like DeadlineExhausted.
+	RetryBudgetDenied int `json:"retry_budget_denied,omitempty"`
 	// BreakerTrips is how many times the circuit opened during the run
 	// (cumulative across resumed sessions).
 	BreakerTrips int `json:"breaker_trips"`
@@ -61,6 +72,12 @@ func (r *Resilience) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "resilience: dispatched=%d absorbed=%d truncated=%d requeued=%d forfeited=%d refunded=%d budget_stops=%d",
 		r.Dispatched, r.Absorbed, r.Truncated, r.Requeued, r.Forfeited, r.Refunded, r.BudgetStops)
+	if r.DeadlineExhausted > 0 {
+		fmt.Fprintf(&b, " deadline_exhausted=%d", r.DeadlineExhausted)
+	}
+	if r.RetryBudgetDenied > 0 {
+		fmt.Fprintf(&b, " retry_budget_denied=%d", r.RetryBudgetDenied)
+	}
 	if r.BreakerTrips > 0 || r.BreakerHolds > 0 {
 		fmt.Fprintf(&b, " breaker_trips=%d breaker_holds=%d", r.BreakerTrips, r.BreakerHolds)
 	}

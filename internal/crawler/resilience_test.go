@@ -316,3 +316,116 @@ func TestNonResilientRunHasNoReport(t *testing.T) {
 		t.Fatalf("non-resilient run attached a report: %+v", res.Resilience)
 	}
 }
+
+// stormDBLPRun is faultyDBLPRun with the in-line retry layer removed and
+// the retry budget exposed: every transient failure must come back
+// through the merge stage's requeue path, so the budget is the only thing
+// standing between a long outage and a retry storm.
+func stormDBLPRun(t *testing.T, seed uint64, budget, maxAttempts int, retryBudget float64, profile deepweb.FaultProfile) *crawler.Result {
+	t.Helper()
+	env, in, _ := dblpEnv(t, dataset.DBLPConfig{
+		CorpusSize: 8000, HiddenSize: 2000, LocalSize: 400, Seed: seed,
+	}, 50, nil)
+	env.Searcher = deepweb.NewFaulty(env.Searcher, profile)
+	smp := sample.Bernoulli(in.Hidden, 0.03, stats.NewRNG(seed+100))
+	c, err := crawler.NewSmart(env, crawler.SmartConfig{
+		Sample:      smp,
+		Estimator:   estimator.Biased{},
+		BatchSize:   8,
+		Concurrency: 4,
+		MaxAttempts: maxAttempts,
+		RetryBudget: retryBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRetryBudgetCapsStorm is the retry-storm acceptance bar, in two
+// halves.
+//
+// Under the transient10 acceptance profile, the bucket invariant must
+// hold — requeues never exceed ratio·absorbed plus the burst allowance —
+// while the crawl still retains ≥90% of clean coverage: the budget
+// cannot be so tight it costs the graceful-degradation guarantee.
+// (transient10's short outages amplify dispatches by only ~1.2×, inside
+// the allowance, so nothing is denied here; the hard cap is half 2.)
+//
+// Under a sustained outage (35% timeouts lasting 9 attempts, attempt cap
+// 9 — a config whose unbudgeted retries genuinely storm), the bucket
+// must drain and start denying: the budgeted run stays under the same
+// 1.15× amplification bound that the unbudgeted control breaks.
+func TestRetryBudgetCapsStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full DBLP crawls; skipped in -short")
+	}
+	const seed = 1
+	amplification := func(rep *crawler.Resilience) float64 {
+		useful := rep.Dispatched - rep.Requeued
+		if useful <= 0 {
+			t.Fatalf("no useful dispatches: %s", rep)
+		}
+		return float64(rep.Dispatched) / float64(useful)
+	}
+
+	// Half 1: transient10, budget on, against the clean baseline.
+	clean := stormDBLPRun(t, seed, 60, 1, 0, deepweb.FaultProfile{})
+	if clean.CoveredCount == 0 {
+		t.Fatal("clean run covered nothing")
+	}
+	profile, err := deepweb.ParseFaultProfile("transient10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile.Seed = seed
+	faulted := stormDBLPRun(t, seed, 60, 3, 0.1, profile)
+	rep := faulted.Resilience
+	if rep == nil || !rep.Accounted() {
+		t.Fatalf("budgeted transient10 run unaccounted: %+v", rep)
+	}
+	if allowance := 0.1*float64(rep.Absorbed) + deepweb.DefaultRetryBurst; float64(rep.Requeued) > allowance {
+		t.Errorf("transient10 requeues %d exceed the bucket allowance %.1f (%s)", rep.Requeued, allowance, rep)
+	}
+	if ratio := float64(faulted.CoveredCount) / float64(clean.CoveredCount); ratio < 0.9 {
+		t.Errorf("budgeted coverage %d is %.1f%% of clean %d, want >= 90%%",
+			faulted.CoveredCount, 100*ratio, clean.CoveredCount)
+	}
+
+	// Half 2: sustained outage. The unbudgeted control actually storms
+	// (amplification past the bound), the budgeted run does not, and the
+	// denial counter proves the bucket, not luck, is what capped it.
+	outage, err := deepweb.ParseFaultProfile("timeout=0.35,attempts=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outage.Seed = seed
+	control := stormDBLPRun(t, seed, 150, 9, 0, outage)
+	if control.Resilience == nil || !control.Resilience.Accounted() {
+		t.Fatalf("control run unaccounted: %+v", control.Resilience)
+	}
+	budgeted := stormDBLPRun(t, seed, 150, 9, 0.05, outage)
+	brep := budgeted.Resilience
+	if brep == nil || !brep.Accounted() {
+		t.Fatalf("budgeted outage run unaccounted: %+v", brep)
+	}
+	campl, bampl := amplification(control.Resilience), amplification(brep)
+	t.Logf("outage amplification: control %.3f (%s) vs budgeted %.3f (%s)",
+		campl, control.Resilience, bampl, brep)
+	if campl <= 1.15 {
+		t.Errorf("control amplification %.3f never stormed; the fixture is too gentle to prove anything", campl)
+	}
+	if bampl > 1.15 {
+		t.Errorf("outage amplification %.3f > 1.15 with retry budget on (%s)", bampl, brep)
+	}
+	if brep.RetryBudgetDenied == 0 {
+		t.Error("retry budget never denied a requeue under a sustained outage")
+	}
+	if brep.RetryBudgetDenied > brep.Forfeited {
+		t.Errorf("RetryBudgetDenied %d exceeds Forfeited %d: denial must be a forfeit subset", brep.RetryBudgetDenied, brep.Forfeited)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/estimator"
@@ -120,6 +121,47 @@ type SmartConfig struct {
 	// federated crawl, set breakers per interface (Interface.Breaker)
 	// instead.
 	Breaker *deepweb.Breaker
+	// Deadline, when positive, is the crawl's end-to-end wall-clock
+	// budget. It is threaded into every search as a context deadline —
+	// deliberately separate from Context, whose cancellation means
+	// "drain gracefully": an expired deadline aborts in-flight searches
+	// too. Queries the deadline catches before a worker claims them
+	// return to the pool unpenalized (never charged); a query it
+	// interrupts mid-search is forfeited with its budget unit refunded
+	// and counted in Resilience.DeadlineExhausted; and the crawl loop
+	// stops at the next round boundary. Implies MaxAttempts=1 when
+	// MaxAttempts is unset, so interrupted queries degrade instead of
+	// aborting the run.
+	Deadline time.Duration
+	// QueryTimeout, when positive, bounds each individual search with its
+	// own context deadline, so one hung round-trip cannot consume the
+	// whole crawl Deadline. A query that times out while the crawl
+	// deadline is still live is an ordinary transient failure: it is
+	// requeued (subject to MaxAttempts and the retry budget), not
+	// deadline-forfeited.
+	QueryTimeout time.Duration
+	// RetryBudget, when positive, caps requeues at roughly this fraction
+	// of successful dispatches (Finagle-style token bucket: every
+	// absorbed query deposits RetryBudget tokens, every requeue withdraws
+	// one, and the bucket starts with a small burst). Under a sustained
+	// outage retries stop once the budget drains — the query is forfeited
+	// and counted in Resilience.RetryBudgetDenied — so a retry storm
+	// cannot multiply load on an interface that is already down. The
+	// bucket is driven from the single-writer merge stage in selection
+	// order, keeping runs deterministic at any Concurrency. 0.1 means
+	// "retries may add 10% extra load".
+	RetryBudget float64
+	// Health, when non-nil, enables per-interface health scoring in a
+	// federated crawl: each interface carries a deterministic EWMA score
+	// over its outcomes (successes recover it toward 1, failures and
+	// breaker holds decay it), and the allocator multiplies each
+	// interface's marginal-benefit bid by its score — so a sick interface
+	// gradually loses rounds to healthy ones instead of burning charged
+	// queries at full rate until its breaker trips. A degraded interface
+	// that has lost ProbeEvery consecutive rounds is granted one round as
+	// a recovery probe. Ignored for single-interface crawls (there is no
+	// allocation choice to steer).
+	Health *HealthConfig
 }
 
 // Smart is the SMARTCRAWL framework (Algorithm 4), generalized over a set
@@ -235,11 +277,14 @@ type ifaceRun struct {
 	metrics *obs.IfaceMetrics
 }
 
-// ifaceCand is one allocator candidate: an interface and the clean benefit
-// at the top of its queue.
+// ifaceCand is one allocator candidate: an interface, the clean benefit at
+// the top of its queue, and the health-scaled rank the allocator orders by
+// (rank == benefit when health scoring is off or the interface is healthy —
+// multiplying by a score of exactly 1.0 is bit-identical).
 type ifaceCand struct {
 	ir      *ifaceRun
 	benefit float64
+	rank    float64
 }
 
 // Run implements Crawler, executing Algorithm 4 generalized over the
@@ -276,6 +321,17 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	// global allowance.
 	meter := deepweb.NewBudget(budget)
 
+	// The crawl's wall-clock budget. searchCtx carries ONLY the deadline:
+	// user cancellation (s.cfg.Context) deliberately stays out of it so
+	// graceful shutdown keeps its drain semantics — in-flight queries
+	// finish and are absorbed — while deadline expiry aborts them.
+	var searchCtx context.Context
+	if s.cfg.Deadline > 0 {
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.Deadline)
+		defer cancel()
+		searchCtx = dctx
+	}
+
 	batch := s.cfg.BatchSize
 	if batch < 1 {
 		batch = 1
@@ -304,7 +360,13 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		h := &ifaces[i]
 		ir := &ifaceRun{idx: i, name: h.Name, br: h.Breaker, k: h.Searcher.K()}
 		ir.counting = deepweb.NewCountingOn(h.Searcher, meter)
-		ir.disp = &deepweb.Dispatcher{S: ir.counting, Workers: workers, Obs: env.Obs}
+		ir.disp = &deepweb.Dispatcher{
+			S:             ir.counting,
+			Workers:       workers,
+			SearchContext: searchCtx,
+			Timeout:       s.cfg.QueryTimeout,
+			Obs:           env.Obs,
+		}
 		if h.Breaker != nil {
 			anyBreaker = true
 		}
@@ -441,7 +503,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 	// queries are requeued or forfeited instead of aborting the run, and
 	// the report below accounts for every dispatched query.
 	maxAttempts := s.cfg.MaxAttempts
-	if maxAttempts < 1 && anyBreaker {
+	if maxAttempts < 1 && (anyBreaker || s.cfg.Deadline > 0) {
 		maxAttempts = 1
 	}
 	resilient := maxAttempts > 0
@@ -465,15 +527,50 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		// failures an earlier session absorbed stay reported.
 		t.res.Resilience = prev.Resilience.clone()
 	}
+	// Retry budget (see SmartConfig.RetryBudget): deposits and withdrawals
+	// happen only here on the crawl loop's goroutine, in selection order.
+	var retryBudget *deepweb.RetryBudget
+	if resilient && s.cfg.RetryBudget > 0 {
+		retryBudget = deepweb.NewRetryBudget(s.cfg.RetryBudget, 0)
+	}
+	// Health scoring (see SmartConfig.Health): federated only — with one
+	// interface there is no allocation choice to steer.
+	var health *healthState
+	if federated && s.cfg.Health != nil {
+		health = newHealthState(*s.cfg.Health, nIf)
+		for _, hr := range runs {
+			if hr.metrics != nil {
+				hr.metrics.HealthScore.Set(1000)
+			}
+		}
+	}
+	// noteHealth publishes an interface's score after it moved: the obs
+	// gauge (milli-units) and a health trace event. Clean runs never call
+	// it — scores stay exactly 1.0 — so traces stay byte-identical.
+	noteHealth := func(ir *ifaceRun) {
+		sc := health.score[ir.idx]
+		if ir.metrics != nil {
+			ir.metrics.HealthScore.Set(int64(sc*1000 + 0.5))
+		}
+		env.Obs.Health(ir.name, sc, false)
+	}
 	// requeue returns a failed query to its interface's pool for another
 	// attempt. Its live statistics are recomputed from the considered set
 	// first: removals during the in-flight window skipped this query
 	// (issued queries are normally never reconsidered), so freqD/matchS are
-	// stale. Returns false — forfeit — when attempts are exhausted or
-	// nothing the query covers is still uncovered.
+	// stale. Returns false — forfeit — when attempts are exhausted, nothing
+	// the query covers is still uncovered, or the retry budget is dry (the
+	// cheap checks run first so a guaranteed forfeit never burns a token).
 	requeue := func(ir *ifaceRun, st *qstate, fromHeap bool) bool {
 		ir.sel.recompute(st)
 		if st.freqD <= 0 || st.attempts >= maxAttempts {
+			return false
+		}
+		if retryBudget != nil && !retryBudget.Withdraw() {
+			// The budget is dry: forfeiting here is what caps total
+			// attempts near (1+ratio)·dispatches under a sustained outage.
+			rep.RetryBudgetDenied++
+			env.Obs.RetryDenied(st.q.Keywords.Key())
 			return false
 		}
 		st.issued = false
@@ -502,6 +599,10 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		fromHeap bool
 		recs     []*relational.Record
 		err      error
+		// undispatched mirrors deepweb.Outcome.Undispatched: the searcher
+		// never saw this query (shutdown drain or deadline expiry caught it
+		// before a worker claimed it), so it was never charged.
+		undispatched bool
 	}
 	ctx := s.cfg.Context
 	sink := s.cfg.Durability
@@ -535,6 +636,9 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		if ctx != nil && ctx.Err() != nil {
 			break // graceful shutdown: stop at the round boundary
 		}
+		if searchCtx != nil && searchCtx.Err() != nil {
+			break // the crawl deadline is spent
+		}
 		// Allocate the round to an interface. A replayed crashed round
 		// goes back to the interface that owned it; a single-interface
 		// crawl has no choice to make (and skips the allocator entirely,
@@ -557,6 +661,10 @@ func (s *Smart) Run(budget int) (*Result, error) {
 				if ir.metrics != nil {
 					ir.metrics.Holds.Inc()
 				}
+				if health != nil {
+					health.onFailure(ir.idx)
+					noteHealth(ir)
+				}
 				continue
 			}
 		} else if nIf == 1 {
@@ -577,15 +685,49 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			cands = cands[:0]
 			for _, c := range runs {
 				if _, b, ok := c.sel.heap.Peek(c.rescore); ok {
-					cands = append(cands, ifaceCand{c, b})
+					rank := b
+					if health != nil {
+						rank = b * health.score[c.idx]
+					}
+					cands = append(cands, ifaceCand{c, b, rank})
 				}
 			}
 			held := false
 			allocBenefit := 0.0
-			for len(cands) > 0 {
+			probe := false
+			if health != nil {
+				// Recovery probe: a degraded interface that has lost
+				// ProbeEvery consecutive rounds force-wins this one (lowest
+				// interface index among those due), breaker permitting —
+				// the score only recovers through successes, and successes
+				// need traffic.
+				pi := -1
+				for j, c := range cands {
+					if health.probeDue(c.ir.idx) && (pi == -1 || c.ir.idx < cands[pi].ir.idx) {
+						pi = j
+					}
+				}
+				if pi >= 0 {
+					c := cands[pi]
+					cands = append(cands[:pi], cands[pi+1:]...)
+					if c.ir.br != nil && !c.ir.br.Allow() {
+						rep.BreakerHolds++
+						if c.ir.metrics != nil {
+							c.ir.metrics.Holds.Inc()
+						}
+						health.onFailure(c.ir.idx)
+						noteHealth(c.ir)
+						held = true
+					} else {
+						ir, allocBenefit, probe = c.ir, c.benefit, true
+						health.sinceProbe[c.ir.idx] = 0
+					}
+				}
+			}
+			for ir == nil && len(cands) > 0 {
 				best := 0
 				for j := 1; j < len(cands); j++ {
-					if cands[j].benefit > cands[best].benefit {
+					if cands[j].rank > cands[best].rank {
 						best = j
 					}
 				}
@@ -595,6 +737,10 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					rep.BreakerHolds++
 					if c.ir.metrics != nil {
 						c.ir.metrics.Holds.Inc()
+					}
+					if health != nil {
+						health.onFailure(c.ir.idx)
+						noteHealth(c.ir)
 					}
 					held = true
 					continue
@@ -607,6 +753,21 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					continue
 				}
 				break // every interface's pool is exhausted
+			}
+			if health != nil {
+				// Degraded interfaces that lost this round age toward their
+				// recovery probe.
+				for _, c := range cands {
+					if c.ir != ir && health.degraded(c.ir.idx) {
+						health.sinceProbe[c.ir.idx]++
+					}
+				}
+				if probe {
+					if ir.metrics != nil {
+						ir.metrics.Probes.Inc()
+					}
+					env.Obs.Health(ir.name, health.score[ir.idx], true)
+				}
 			}
 			env.Obs.Alloc(ir.name, allocBenefit, meter.Remaining())
 			if ir.metrics != nil {
@@ -710,6 +871,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 		for i, o := range ir.disp.DispatchCtx(ctx, qsScratch) {
 			round[i].recs, round[i].err = o.Records, o.Err
+			round[i].undispatched = o.Undispatched
 		}
 
 		// Merge stage: absorb in selection order so runs stay
@@ -718,12 +880,13 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		// feeding), which is why none of it happens on the workers.
 		for _, is := range round {
 			st := is.st
-			if ctx != nil && ctx.Err() != nil && errors.Is(is.err, ctx.Err()) {
-				// Shutdown drain skipped this query before it was
-				// issued: never executed, never charged, no journal
-				// record — it simply returns to the pool, and a resumed
-				// session will find it still pending in the round
-				// intent record.
+			if is.undispatched {
+				// Shutdown drain or deadline expiry skipped this query
+				// before it was issued: never executed, never charged, no
+				// journal record — it simply returns to the pool, and a
+				// resumed session will find it still pending in the round
+				// intent record. (A deadline-skipped query is NOT a
+				// deadline forfeit: nothing was spent on it.)
 				if st != nil {
 					st.issued = false
 					if !s.cfg.EagerSelection {
@@ -768,9 +931,44 @@ func (s *Smart) Run(budget int) (*Result, error) {
 					resultSize = te.Full
 					rep.Truncated++
 					env.Obs.Truncated(is.q.Key(), te.Returned, te.Full)
+				case searchCtx != nil && searchCtx.Err() != nil &&
+					errors.Is(is.err, context.DeadlineExceeded):
+					// The crawl deadline caught this query mid-search.
+					// There is no time left to retry it, so it is
+					// forfeited and attributed to the deadline; the
+					// interface never billed the aborted attempt
+					// (deepweb.Charged), so the budget unit is refunded.
+					// Not an interface-health signal: the clock ran out,
+					// the backend did nothing wrong.
+					attempts := maxAttempts
+					if st != nil {
+						st.attempts++
+						attempts = st.attempts
+					}
+					ir.counting.Refund()
+					rep.Refunded++
+					env.Obs.Refunded(is.q.Key())
+					rep.Forfeited++
+					rep.DeadlineExhausted++
+					rep.ForfeitedQueries = append(rep.ForfeitedQueries, is.q.Key())
+					env.Obs.Forfeited(is.q.Key(), attempts, is.err)
+					env.Obs.DeadlineForfeited(is.q.Key(), attempts)
+					if ir.metrics != nil {
+						ir.metrics.Forfeits.Inc()
+					}
+					if sink != nil {
+						if err := sink.QueryForfeited(is.q, attempts, false, t.res); err != nil {
+							return nil, sinkErr(err)
+						}
+					}
+					continue
 				default:
 					if ir.metrics != nil {
 						ir.metrics.Errors.Inc()
+					}
+					if health != nil {
+						health.onFailure(ir.idx)
+						noteHealth(ir)
 					}
 					chargedFail := deepweb.Charged(is.err)
 					if !chargedFail {
@@ -818,6 +1016,13 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			if rep != nil {
 				rep.Absorbed++
 				rep.dropForfeit(is.q.Key())
+			}
+			if retryBudget != nil {
+				retryBudget.Deposit()
+			}
+			if health != nil && health.degraded(ir.idx) {
+				health.onSuccess(ir.idx)
+				noteHealth(ir)
 			}
 			recs := is.recs
 			if federated && len(recs) > 0 {

@@ -211,10 +211,15 @@ type Guarded struct {
 
 // Search implements Searcher.
 func (g *Guarded) Search(q Query) ([]*relational.Record, error) {
+	return g.SearchCtx(nil, q)
+}
+
+// SearchCtx is Search with a request context forwarded past the breaker.
+func (g *Guarded) SearchCtx(ctx context.Context, q Query) ([]*relational.Record, error) {
 	if !g.B.Allow() {
 		return nil, ErrCircuitOpen
 	}
-	recs, err := g.S.Search(q)
+	recs, err := SearchWith(ctx, g.S, q)
 	g.B.Record(err)
 	return recs, err
 }

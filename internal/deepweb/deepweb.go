@@ -15,10 +15,12 @@
 package deepweb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"smartcrawl/internal/relational"
 )
@@ -50,6 +52,46 @@ type Searcher interface {
 // ErrBudgetExhausted is returned by Counting.Search once the configured
 // query budget has been spent.
 var ErrBudgetExhausted = errors.New("deepweb: query budget exhausted")
+
+// ContextSearcher is implemented by searchers that can honor a request
+// context — deadline budgets and per-query timeouts propagate through
+// the wrapper stack (Counting, Limited, Retrying, Guarded, Faulty,
+// httpapi.Client) via this interface. Wrappers forward the context with
+// SearchWith, so a stack with a context-blind layer in the middle simply
+// degrades to Search below that point.
+type ContextSearcher interface {
+	Searcher
+	SearchCtx(ctx context.Context, q Query) ([]*relational.Record, error)
+}
+
+// SearchWith issues q through s, using SearchCtx when s supports it and
+// ctx is non-nil. This is how every wrapper forwards its context without
+// caring what sits below it.
+func SearchWith(ctx context.Context, s Searcher, q Query) ([]*relational.Record, error) {
+	if ctx != nil {
+		if cs, ok := s.(ContextSearcher); ok {
+			return cs.SearchCtx(ctx, q)
+		}
+	}
+	return s.Search(q)
+}
+
+// RetryAfterError wraps a retryable failure with a server-provided
+// backoff hint (an HTTP 429's Retry-After header, surfaced by
+// httpapi.Client). Retrying prefers the hint over its own backoff
+// schedule; everything else unwraps through it (Charged still sees the
+// underlying ErrRateLimited).
+type RetryAfterError struct {
+	After time.Duration
+	Err   error
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.After)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *RetryAfterError) Unwrap() error { return e.Err }
 
 // Budget is a shared query-quota meter. A single-interface crawl owns one
 // implicitly through NewCounting; a federated crawl creates one Budget and
@@ -138,10 +180,15 @@ func NewCountingOn(s Searcher, b *Budget) *Counting {
 
 // Search issues q through the wrapped searcher, charging one query.
 func (c *Counting) Search(q Query) ([]*relational.Record, error) {
+	return c.SearchCtx(nil, q)
+}
+
+// SearchCtx is Search with a request context forwarded down the stack.
+func (c *Counting) SearchCtx(ctx context.Context, q Query) ([]*relational.Record, error) {
 	if !c.B.Charge() {
 		return nil, ErrBudgetExhausted
 	}
-	return c.S.Search(q)
+	return SearchWith(ctx, c.S, q)
 }
 
 // K returns the wrapped interface's result limit.
@@ -188,6 +235,11 @@ func NewCache(s Searcher) *Cache {
 // Search returns the cached result if q was issued before, otherwise
 // forwards to the wrapped searcher.
 func (c *Cache) Search(q Query) ([]*relational.Record, error) {
+	return c.SearchCtx(nil, q)
+}
+
+// SearchCtx is Search with a request context forwarded on cache misses.
+func (c *Cache) SearchCtx(ctx context.Context, q Query) ([]*relational.Record, error) {
 	key := q.Key()
 	c.mu.Lock()
 	if r, ok := c.results[key]; ok {
@@ -196,7 +248,7 @@ func (c *Cache) Search(q Query) ([]*relational.Record, error) {
 		return r, nil
 	}
 	c.mu.Unlock()
-	r, err := c.S.Search(q)
+	r, err := SearchWith(ctx, c.S, q)
 	if err != nil {
 		return nil, err
 	}

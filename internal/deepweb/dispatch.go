@@ -18,6 +18,11 @@ type Outcome struct {
 	Query   Query
 	Records []*relational.Record
 	Err     error
+	// Undispatched marks a fail-fast outcome: the searcher never saw the
+	// query (cancellation or deadline expiry before a worker claimed it),
+	// so no budget was charged and the merge stage may return it to the
+	// pool unpenalized.
+	Undispatched bool
 }
 
 // Dispatcher fans a batch of queries out over a fixed-size worker pool
@@ -37,6 +42,18 @@ type Dispatcher struct {
 	// below 1 (and batches of one query) run inline on the caller's
 	// goroutine. The pool never exceeds the batch size.
 	Workers int
+	// SearchContext, when non-nil, is forwarded into every search (via
+	// ContextSearcher) — the crawl's deadline budget. It is deliberately
+	// separate from DispatchCtx's ctx argument: cancellation there means
+	// "drain gracefully, let in-flight queries finish", while an expired
+	// SearchContext means "the deadline is spent, abort in-flight work
+	// too". Once it expires, unclaimed queries fail fast with its error
+	// before any budget is charged.
+	SearchContext context.Context
+	// Timeout, when positive, bounds each individual search: the query's
+	// context (derived from SearchContext, or fresh) gets this deadline,
+	// so one hung round-trip cannot eat the whole crawl deadline.
+	Timeout time.Duration
 	// Obs, when non-nil, observes per-query round-trip latency and search
 	// errors. Purely observational: outcomes are identical with or
 	// without it.
@@ -50,11 +67,21 @@ type Dispatcher struct {
 // accounted by the merge stage's forfeit path, not as an interface
 // error), and truncated-but-returned results do not count as failures.
 func (d *Dispatcher) search(q Query) ([]*relational.Record, error) {
+	ctx := d.SearchContext
+	if d.Timeout > 0 {
+		parent := ctx
+		if parent == nil {
+			parent = context.Background()
+		}
+		qctx, cancel := context.WithTimeout(parent, d.Timeout)
+		defer cancel()
+		ctx = qctx
+	}
 	if d.Obs == nil {
-		return d.S.Search(q)
+		return SearchWith(ctx, d.S, q)
 	}
 	start := time.Now()
-	recs, err := d.S.Search(q)
+	recs, err := SearchWith(ctx, d.S, q)
 	d.Obs.SearchDone(time.Since(start), SearchFailed(err))
 	return recs, err
 }
@@ -75,17 +102,25 @@ func (d *Dispatcher) Dispatch(qs []Query) []Outcome {
 // and keep their results. DispatchCtx always returns the full outcome
 // slice; it never abandons started work, because a charged query whose
 // result is thrown away is a quota unit lost forever. A nil ctx behaves
-// exactly like Dispatch.
+// exactly like Dispatch. An expired SearchContext (the deadline budget)
+// fails unclaimed queries fast the same way.
 func (d *Dispatcher) DispatchCtx(ctx context.Context, qs []Query) []Outcome {
 	out := make([]Outcome, len(qs))
 	if len(qs) == 0 {
 		return out
 	}
 	cancelled := func() error {
-		if ctx == nil {
-			return nil
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
-		return ctx.Err()
+		if d.SearchContext != nil {
+			if err := d.SearchContext.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	workers := d.Workers
 	if workers > len(qs) {
@@ -94,7 +129,7 @@ func (d *Dispatcher) DispatchCtx(ctx context.Context, qs []Query) []Outcome {
 	if workers <= 1 {
 		for i, q := range qs {
 			if err := cancelled(); err != nil {
-				out[i] = Outcome{Index: i, Query: q, Err: err}
+				out[i] = Outcome{Index: i, Query: q, Err: err, Undispatched: true}
 				continue
 			}
 			recs, err := d.search(q)
@@ -112,7 +147,7 @@ func (d *Dispatcher) DispatchCtx(ctx context.Context, qs []Query) []Outcome {
 			defer wg.Done()
 			for i := range idx {
 				if err := cancelled(); err != nil {
-					out[i] = Outcome{Index: i, Query: qs[i], Err: err}
+					out[i] = Outcome{Index: i, Query: qs[i], Err: err, Undispatched: true}
 					continue
 				}
 				recs, err := d.search(qs[i])

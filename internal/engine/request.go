@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"smartcrawl/internal/crawler"
 	"smartcrawl/internal/deepweb"
@@ -67,6 +68,22 @@ type Request struct {
 	// Breaker is the circuit-breaker consecutive-failure threshold;
 	// negative = auto (5 with faults, else off), 0 = off.
 	Breaker int
+
+	// Deadline, when positive, is the end-to-end wall-clock budget of the
+	// crawl: selection stops once it expires, in-flight queries fail fast,
+	// and interrupted queries are forfeited with their budget refunded.
+	Deadline time.Duration
+	// QueryTimeout, when positive, bounds each dispatched search attempt
+	// (retries included) independently of the crawl deadline.
+	QueryTimeout time.Duration
+	// RetryBudget, when positive, caps requeues at this ratio of
+	// dispatches (a Finagle-style retry token bucket): a failing
+	// interface cannot amplify load via retry storms.
+	RetryBudget float64
+	// Health enables per-interface health scoring in federated crawls:
+	// allocation bids are scaled by an EWMA success score and degraded
+	// interfaces receive periodic recovery probes.
+	Health bool
 
 	// Context, when non-nil, lets the crawl be interrupted gracefully:
 	// selection stops at the next round boundary, in-flight queries
@@ -171,6 +188,18 @@ func (req *Request) Validate() error {
 	}
 	if req.Rate < 0 {
 		return errors.New("engine: Rate must be >= 0")
+	}
+	if req.Deadline < 0 {
+		return errors.New("engine: Deadline must be >= 0")
+	}
+	if req.QueryTimeout < 0 {
+		return errors.New("engine: QueryTimeout must be >= 0")
+	}
+	if req.RetryBudget < 0 {
+		return errors.New("engine: RetryBudget must be >= 0")
+	}
+	if req.Health && req.Interfaces == "" {
+		return errors.New("engine: Health scoring requires a federated crawl (Interfaces)")
 	}
 	if req.WAL != "" && req.Checkpoint == "" {
 		return errors.New("engine: WAL requires Checkpoint (the journal compacts into it)")

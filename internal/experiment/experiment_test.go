@@ -454,3 +454,38 @@ func TestRankSensitivityStable(t *testing.T) {
 		t.Fatalf("B/Ideal spread %.2f–%.2f — estimator quality should be ranking-agnostic", lo, hi)
 	}
 }
+
+// TestHealthSweep runs the health-vs-breaker sweep at test scale.
+// HealthSweep hard-fails internally when the acceptance bar breaks
+// (health-scored coverage below breaker-only, or no reduction in charged
+// waste on the sick interface); here we additionally pin the table shape
+// and that the scored run actually exercised recovery probes.
+func TestHealthSweep(t *testing.T) {
+	tbl, err := HealthSweep(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	breakerOnly, health := tbl.Rows[0], tbl.Rows[1]
+	if breakerOnly[0] != "breaker-only" || health[0] != "health+breaker" {
+		t.Fatalf("unexpected modes: %v / %v", breakerOnly[0], health[0])
+	}
+	covB, _ := strconv.Atoi(breakerOnly[1])
+	covH, _ := strconv.Atoi(health[1])
+	if covH < covB || covB == 0 {
+		t.Fatalf("health coverage %d vs breaker-only %d", covH, covB)
+	}
+	wasteB, _ := strconv.Atoi(breakerOnly[5])
+	wasteH, _ := strconv.Atoi(health[5])
+	if wasteH >= wasteB {
+		t.Fatalf("sick-interface waste: health %d, breaker-only %d", wasteH, wasteB)
+	}
+	if probes, _ := strconv.Atoi(health[6]); probes == 0 {
+		t.Error("health-scored run granted no recovery probes to the sick interface")
+	}
+	if breakerOnly[6] != "0" {
+		t.Errorf("breaker-only run reports probes: %v", breakerOnly)
+	}
+}

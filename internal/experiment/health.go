@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/obs"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/sample"
+	"smartcrawl/internal/stats"
+)
+
+// HealthSweep measures what health-scored allocation buys over
+// breaker-only degradation. The DBLP hidden database is served through
+// three interfaces: h0 and h1 each hold one half, and h2 — the deep,
+// attractive aggregator — holds the whole corpus, so its marginal-benefit
+// bids dominate a naive allocation. h2 then suffers a sustained
+// unavailable-heavy fault: 70% of its queries fail for the whole run —
+// too intermittent for a consecutive-failure breaker to hold open, since
+// 30% of attempts still succeed and reset it. One global budget is spent
+// twice: once breaker-only, once with health scoring layered on.
+//
+// The health-scored run must match or beat breaker-only on coverage per
+// budget, and waste strictly fewer charged queries on the sick
+// interface: the EWMA score decays on every failure (not just
+// consecutive ones), so the allocator steers rounds toward the healthy
+// interfaces while recovery probes keep h2 rankable. Both runs replay
+// byte-identically, the determinism bar every crawl mode here meets.
+func HealthSweep(p Params) (*Table, error) {
+	s, err := NewDBLPSetup(p)
+	if err != nil {
+		return nil, err
+	}
+	corpus := s.Instance.Hidden
+	n := corpus.Len()
+	tables := []*relational.Table{
+		subset(corpus, "h0", 0, n/2),
+		subset(corpus, "h1", n/2, n),
+		subset(corpus, "h2", 0, n),
+	}
+	const sick = 2
+	profile, err := deepweb.ParseFaultProfile("unavailable=0.7,attempts=1000000")
+	if err != nil {
+		return nil, err
+	}
+	profile.Seed = p.Seed
+
+	// The sick aggregator answers with four times the healthy result
+	// limit, so its estimated benefits genuinely dominate — the trap a
+	// naive allocation walks into every round.
+	ks := []int{p.K / 2, p.K / 2, p.K * 2}
+	build := func() ([]crawler.Interface, []*attemptCounter) {
+		ifaces := make([]crawler.Interface, len(tables))
+		counters := make([]*attemptCounter, len(tables))
+		for i, tbl := range tables {
+			var searcher deepweb.Searcher = newSimDB(tbl, s, ks[i])
+			if i == sick {
+				searcher = deepweb.NewFaulty(searcher, profile)
+			}
+			counters[i] = &attemptCounter{Searcher: searcher}
+			ifaces[i] = crawler.Interface{
+				Name:     fmt.Sprintf("h%d", i),
+				Searcher: counters[i],
+				Sample:   sample.Bernoulli(tbl, p.Theta, stats.NewRNG(p.Seed^uint64(i))),
+				Breaker:  deepweb.NewBreaker(deepweb.BreakerConfig{FailureThreshold: 3}),
+			}
+		}
+		return ifaces, counters
+	}
+
+	type outcome struct {
+		res      *crawler.Result
+		fp       string
+		attempts int
+		wasted   int
+		probes   int
+	}
+	run := func(health bool) (*outcome, error) {
+		ifaces, counters := build()
+		cfg := crawler.SmartConfig{BatchSize: 4, Concurrency: 4, MaxAttempts: 3}
+		if health {
+			// Default tuning except a faster probe cadence: the sweep's
+			// budget spans a few dozen allocation rounds, so ProbeEvery=8
+			// lets recovery probes actually appear in the table.
+			cfg.Health = &crawler.HealthConfig{Alpha: 0.2, MinScore: 0.05, ProbeEvery: 8}
+		}
+		env := s.Env()
+		env.Searcher = nil
+		o := obs.New()
+		env.Obs = o
+		c, err := crawler.NewFederatedSmart(env, cfg, ifaces)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.Run(p.Budget)
+		if err != nil {
+			return nil, err
+		}
+		if rep := res.Resilience; rep == nil || !rep.Accounted() {
+			return nil, fmt.Errorf("resilience report unaccounted: %v", rep)
+		}
+		return &outcome{res: res, fp: fingerprint(res),
+			attempts: counters[sick].attempts, wasted: counters[sick].wasted,
+			probes: int(o.Iface(fmt.Sprintf("h%d", sick)).Probes.Value())}, nil
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Extension: health-scored allocation vs breaker-only under a sustained fault on h2 (b=%d)", p.Budget),
+		Header: []string{"mode", "coverage", "cov/budget", "queries",
+			"sick attempts", "sick wasted", "probes", "deterministic"},
+	}
+	outs := make(map[bool]*outcome)
+	for _, health := range []bool{false, true} {
+		out, err := run(health)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: health sweep (health=%v): %w", health, err)
+		}
+		again, err := run(health)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: health sweep (health=%v, replay): %w", health, err)
+		}
+		if out.fp != again.fp {
+			return nil, fmt.Errorf("experiment: health sweep (health=%v): replay diverged from first run", health)
+		}
+		outs[health] = out
+		mode := "breaker-only"
+		if health {
+			mode = "health+breaker"
+		}
+		t.AddRow(mode, out.res.CoveredCount,
+			fmt.Sprintf("%.3f", float64(out.res.CoveredCount)/float64(p.Budget)),
+			out.res.QueriesIssued, out.attempts, out.wasted, out.probes, "yes")
+	}
+	if outs[true].res.CoveredCount < outs[false].res.CoveredCount {
+		return nil, fmt.Errorf("experiment: health sweep: health-scored coverage %d fell below breaker-only %d",
+			outs[true].res.CoveredCount, outs[false].res.CoveredCount)
+	}
+	if outs[true].wasted >= outs[false].wasted {
+		return nil, fmt.Errorf("experiment: health sweep: health-scored run wasted %d charged queries on h2, breaker-only %d — scoring bought nothing",
+			outs[true].wasted, outs[false].wasted)
+	}
+	t.Notes = append(t.Notes,
+		"h2 fails 70% of its queries for the whole run; its breaker needs 3 consecutive failures and keeps resetting",
+		"sick wasted = charged attempts against h2 that returned an error (budget spent, nothing absorbed)",
+		"the EWMA score decays on every failure, so the allocator shifts rounds to h0/h1; probe rounds keep h2 rankable for recovery")
+	return t, nil
+}
+
+// attemptCounter counts raw Search attempts against one interface, and
+// the charged-but-failed subset — budget the crawl spent on a sick
+// interface without absorbing anything.
+type attemptCounter struct {
+	deepweb.Searcher
+	mu       sync.Mutex
+	attempts int
+	wasted   int
+}
+
+func (c *attemptCounter) Search(q deepweb.Query) ([]*relational.Record, error) {
+	recs, err := c.Searcher.Search(q)
+	c.mu.Lock()
+	c.attempts++
+	if err != nil && deepweb.Charged(err) {
+		c.wasted++
+	}
+	c.mu.Unlock()
+	return recs, err
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"smartcrawl/internal/crawler"
 	"smartcrawl/internal/dataset"
@@ -333,5 +334,129 @@ func TestFederatedChargesSumToBudget(t *testing.T) {
 	}
 	if total != res.QueriesIssued {
 		t.Errorf("per-interface step counts sum to %d, QueriesIssued %d", total, res.QueriesIssued)
+	}
+}
+
+// runAdaptive executes one federated crawl with the adaptive-resilience
+// knobs engaged: a (generous, never-expiring in tests) crawl deadline, a
+// retry budget, and health scoring.
+func runAdaptive(t *testing.T, env *crawler.Env, ifaces []crawler.Interface, workers, budget, maxAttempts int, retryBudget float64) *crawler.Result {
+	t.Helper()
+	h := crawler.DefaultHealthConfig()
+	c, err := crawler.NewFederatedSmart(env, crawler.SmartConfig{
+		BatchSize:   4,
+		Concurrency: workers,
+		MaxAttempts: maxAttempts,
+		Deadline:    5 * time.Minute,
+		RetryBudget: retryBudget,
+		Health:      &h,
+	}, ifaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// stepLog reduces a run to its interface-tagged issued-query log — the
+// part of the fingerprint that is comparable across configurations whose
+// checkpoints legitimately differ (a resilient run serializes its
+// resilience report; a plain run has none).
+func stepLog(res *crawler.Result) string {
+	var sb strings.Builder
+	for _, st := range res.Steps {
+		fmt.Fprintf(&sb, "%d\t%s\t%d\n", st.Iface, st.Query.Key(), st.NewlyCovered)
+	}
+	fmt.Fprintf(&sb, "covered=%d\n", res.CoveredCount)
+	return sb.String()
+}
+
+// TestAdaptiveDeterminismOracle extends the oracle to the adaptive
+// knobs. On a clean federation with deadline, retry budget, and health
+// scoring all enabled, two things must hold: the run stays byte-identical
+// at any worker count, and its issued-query log matches the knobs-off
+// baseline exactly — health scores stay at 1.0, the retry bucket is never
+// consulted, and the deadline never fires, so the adaptive machinery is
+// invisible until something actually fails.
+func TestAdaptiveDeterminismOracle(t *testing.T) {
+	in := dblp(t)
+	tk := tokenize.New()
+	env := fedEnv(in, tk)
+	seeds := []uint64{1, 2, 3}
+	workers := []int{1, 4, 16}
+	if testing.Short() {
+		seeds = []uint64{1}
+		workers = []int{1, 4}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			base := runFederated(t, env, buildIfaces(in, tk, 3, seed, -1), 4, 1, 50, 0)
+			var ref string
+			for _, w := range workers {
+				res := runAdaptive(t, env, buildIfaces(in, tk, 3, seed, -1), w, 50, 0, 0.1)
+				if log := stepLog(res); log != stepLog(base) {
+					t.Errorf("workers=%d: adaptive clean run diverged from knobs-off baseline\n--- baseline ---\n%s--- adaptive ---\n%s",
+						w, stepLog(base), log)
+				}
+				fp := fingerprint(t, res)
+				if ref == "" {
+					ref = fp
+					continue
+				}
+				if fp != ref {
+					t.Errorf("workers=%d diverged from workers=%d with adaptive knobs on", w, workers[0])
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveDeterminismUnderFaults repeats the faulted oracle with the
+// full adaptive stack — deadline plumbing, retry budget, health-scored
+// allocation — on a three-source federation with a seeded transient10
+// injector on one interface. Health decay, probe grants, and retry-budget
+// withdrawals all happen in the merge stage in selection order, so the
+// run (steps, coverage, checkpoint, resilience report) must be
+// byte-identical at any worker count and across reruns.
+func TestAdaptiveDeterminismUnderFaults(t *testing.T) {
+	in := dblp(t)
+	tk := tokenize.New()
+	env := fedEnv(in, tk)
+	seeds := []uint64{1, 2, 3}
+	workers := []int{1, 4, 16}
+	if testing.Short() {
+		seeds = []uint64{2}
+		workers = []int{1, 4}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			var ref string
+			var refRes *crawler.Result
+			for _, w := range workers {
+				res := runAdaptive(t, env, buildIfaces(in, tk, 3, seed, 1), w, 50, 3, 0.3)
+				fp := fingerprint(t, res)
+				if ref == "" {
+					ref, refRes = fp, res
+					continue
+				}
+				if fp != ref {
+					t.Errorf("workers=%d diverged from workers=%d under faults with adaptive knobs", w, workers[0])
+				}
+			}
+			// Rerun the middle worker count: same bytes again.
+			again := runAdaptive(t, env, buildIfaces(in, tk, 3, seed, 1), 4, 50, 3, 0.3)
+			if fingerprint(t, again) != ref {
+				t.Errorf("rerun diverged from itself with adaptive knobs")
+			}
+			if refRes.Resilience == nil {
+				t.Fatal("adaptive faulted run returned no resilience report")
+			}
+			if !refRes.Resilience.Accounted() {
+				t.Fatalf("resilience report unaccounted: %s", refRes.Resilience)
+			}
+		})
 	}
 }

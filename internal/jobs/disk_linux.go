@@ -1,0 +1,16 @@
+//go:build linux
+
+package jobs
+
+import "syscall"
+
+// diskFree reports the bytes available to unprivileged writers on the
+// filesystem holding path. ok is false when the probe itself fails (the
+// admission check is then skipped rather than failing closed).
+func diskFree(path string) (free int64, ok bool) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return 0, false
+	}
+	return int64(st.Bavail) * st.Bsize, true
+}

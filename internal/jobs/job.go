@@ -96,6 +96,16 @@ type Spec struct {
 	MaxAttempts int    `json:"max_attempts,omitempty"`
 	Breaker     *int   `json:"breaker,omitempty"`
 
+	// DeadlineMs bounds the job's crawl wall-clock end to end (per run:
+	// a drain-resumed job gets a fresh allowance); 0 = none.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+	// QueryTimeoutMs bounds each dispatched search attempt; 0 = none.
+	QueryTimeoutMs int `json:"query_timeout_ms,omitempty"`
+	// RetryBudget caps requeues at this ratio of dispatches; 0 = uncapped.
+	RetryBudget float64 `json:"retry_budget,omitempty"`
+	// Health enables per-interface health scoring (federated specs only).
+	Health bool `json:"health,omitempty"`
+
 	Autosave *int   `json:"autosave,omitempty"`
 	WALSync  string `json:"wal_sync,omitempty"`
 }
@@ -157,6 +167,10 @@ func (sp *Spec) Request(local *relational.Table, dir string) *engine.Request {
 	if sp.Breaker != nil {
 		req.Breaker = *sp.Breaker
 	}
+	req.Deadline = time.Duration(sp.DeadlineMs) * time.Millisecond
+	req.QueryTimeout = time.Duration(sp.QueryTimeoutMs) * time.Millisecond
+	req.RetryBudget = sp.RetryBudget
+	req.Health = sp.Health
 	if sp.Autosave != nil {
 		req.Autosave = *sp.Autosave
 	}

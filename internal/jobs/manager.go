@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smartcrawl/internal/crawler"
@@ -39,6 +40,17 @@ type Config struct {
 	// RetryAfter is the Retry-After hint attached to transient admission
 	// rejections (queue full, rate). Default 1s.
 	RetryAfter time.Duration
+	// MinDiskFree sheds submissions while the data directory's filesystem
+	// has fewer than this many bytes available (→ 503 + Retry-After):
+	// admitting a job the journal cannot durably absorb would turn disk
+	// exhaustion into data loss. 0 disables the check; it is also skipped
+	// on platforms where free space cannot be measured.
+	MinDiskFree int64
+	// EventBuffer bounds each job's in-memory progress feed: once a job
+	// holds this many unstreamed step events the oldest are evicted
+	// (counted in crawld_events_dropped_total when no streamer had read
+	// them). 0 defaults to 8192; negative = unbounded.
+	EventBuffer int
 	// AllowLocal permits specs that read the daemon's filesystem
 	// (local_path, hidden=, federated hidden= members).
 	AllowLocal bool
@@ -58,7 +70,14 @@ var (
 	ErrTenantRate   = errors.New("jobs: tenant submission rate exceeded")
 	ErrTenantBudget = errors.New("jobs: tenant budget exhausted")
 	ErrDraining     = errors.New("jobs: daemon draining")
+	// ErrDiskPressure sheds submissions while the data filesystem is below
+	// Config.MinDiskFree (503 + Retry-After: transient, operator-fixable).
+	ErrDiskPressure = errors.New("jobs: insufficient disk space for new jobs")
 )
+
+// shedReasons enumerates the admission shed classes exported as
+// crawld_shed_total{reason=…}, in label order.
+var shedReasons = []string{"budget", "disk", "draining", "queue", "rate"}
 
 // tenant is one tenant's admission state.
 type tenant struct {
@@ -73,10 +92,14 @@ type job struct {
 	Job
 	cancel context.CancelFunc // non-nil while running
 	obs    *obs.Obs           // non-nil while running
+	evCap  int                // step-buffer bound; <=0 = unbounded
+	drops  *atomic.Int64      // manager-wide evicted-unread counter
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	steps     []StepEvent
+	stepBase  int   // events evicted from the front; steps[0] has seq stepBase+1
+	maxRead   int   // highest seq any streamer has read
 	feedState State // mirror of Job.State for streamers
 	eof       bool  // no further events will arrive (terminal or drained)
 }
@@ -104,11 +127,21 @@ func (j *job) feedUpdate(st State, eof bool) {
 }
 
 // appendStep records one progress event and wakes streamers. Called from
-// the crawl goroutine on every issued query.
+// the crawl goroutine on every issued query. At the buffer bound the
+// oldest event is evicted (slid out, so memory stays bounded); an
+// eviction no streamer had read yet counts as a dropped event.
 func (j *job) appendStep(s crawler.Step) {
 	j.mu.Lock()
+	if j.evCap > 0 && len(j.steps) >= j.evCap {
+		if j.stepBase+1 > j.maxRead && j.drops != nil {
+			j.drops.Add(1)
+		}
+		copy(j.steps, j.steps[1:])
+		j.steps = j.steps[:len(j.steps)-1]
+		j.stepBase++
+	}
 	j.steps = append(j.steps, StepEvent{
-		Seq:        len(j.steps) + 1,
+		Seq:        j.stepBase + len(j.steps) + 1,
 		Query:      s.Query.Key(),
 		Benefit:    s.EstimatedBenefit,
 		New:        s.NewlyCovered,
@@ -131,7 +164,10 @@ type Manager struct {
 	tenants  map[string]*tenant
 	nextSeq  int
 	draining bool
-	wake     *sync.Cond // workers wait here for queue entries
+	shed     map[string]int64 // admission rejections by shedReasons class
+	wake     *sync.Cond       // workers wait here for queue entries
+
+	eventsDropped atomic.Int64 // step events evicted before any read
 
 	wg sync.WaitGroup
 }
@@ -157,10 +193,14 @@ func Open(cfg Config) (*Manager, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
 		return nil, err
 	}
+	if cfg.EventBuffer == 0 {
+		cfg.EventBuffer = 8192
+	}
 	m := &Manager{
 		cfg:     cfg,
 		jobs:    make(map[string]*job),
 		tenants: make(map[string]*tenant),
+		shed:    make(map[string]int64),
 	}
 	m.wake = sync.NewCond(&m.mu)
 
@@ -173,7 +213,7 @@ func Open(cfg Config) (*Manager, error) {
 		if err != nil {
 			return nil, err
 		}
-		j := &job{Job: *rec}
+		j := &job{Job: *rec, evCap: cfg.EventBuffer, drops: &m.eventsDropped}
 		j.cond = sync.NewCond(&j.mu)
 		if n := seqOf(id); n >= m.nextSeq {
 			m.nextSeq = n + 1
@@ -263,10 +303,25 @@ func (m *Manager) Submit(sp Spec) (*Job, error) {
 		return nil, err
 	}
 
+	// Overload shedding: disk headroom is probed outside the lock (it is
+	// a syscall), everything else under it. Each rejection is attributed
+	// to its reason for crawld_shed_total.
+	diskLow := false
+	if m.cfg.MinDiskFree > 0 {
+		if free, ok := diskFree(m.cfg.Dir); ok && free < m.cfg.MinDiskFree {
+			diskLow = true
+		}
+	}
 	m.mu.Lock()
 	if m.draining {
+		m.shed["draining"]++
 		m.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if diskLow {
+		m.shed["disk"]++
+		m.mu.Unlock()
+		return nil, ErrDiskPressure
 	}
 	live := 0
 	for _, j := range m.jobs {
@@ -275,15 +330,18 @@ func (m *Manager) Submit(sp Spec) (*Job, error) {
 		}
 	}
 	if live >= m.cfg.QueueCap {
+		m.shed["queue"]++
 		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
 	t := m.tenantLocked(sp.Tenant)
 	if t.bucket != nil && !t.bucket.Allow() {
+		m.shed["rate"]++
 		m.mu.Unlock()
 		return nil, ErrTenantRate
 	}
 	if m.cfg.TenantBudget > 0 && t.reserved+sp.budget() > m.cfg.TenantBudget {
+		m.shed["budget"]++
 		m.mu.Unlock()
 		return nil, ErrTenantBudget
 	}
@@ -298,7 +356,7 @@ func (m *Manager) Submit(sp Spec) (*Job, error) {
 		Spec:    sp,
 		State:   StateQueued,
 		Created: time.Now().UTC(),
-	}}
+	}, evCap: m.cfg.EventBuffer, drops: &m.eventsDropped}
 	j.cond = sync.NewCond(&j.mu)
 	j.feedState = StateQueued
 
@@ -494,15 +552,21 @@ func (m *Manager) MetricsSnapshot() map[string]any {
 	for name, t := range m.tenants {
 		tenants[name] = map[string]any{"reserved": t.reserved, "cap": m.cfg.TenantBudget}
 	}
+	shed := map[string]int64{}
+	for _, r := range shedReasons {
+		shed[r] = m.shed[r]
+	}
 	return map[string]any{
-		"queued":   counts[StateQueued],
-		"running":  counts[StateRunning],
-		"done":     counts[StateDone],
-		"failed":   counts[StateFailed],
-		"canceled": counts[StateCanceled],
-		"draining": m.draining,
-		"tenants":  tenants,
-		"jobs":     jobsVar,
+		"queued":         counts[StateQueued],
+		"running":        counts[StateRunning],
+		"done":           counts[StateDone],
+		"failed":         counts[StateFailed],
+		"canceled":       counts[StateCanceled],
+		"draining":       m.draining,
+		"shed":           shed,
+		"events_dropped": m.eventsDropped.Load(),
+		"tenants":        tenants,
+		"jobs":           jobsVar,
 	}
 }
 
@@ -629,10 +693,20 @@ func (m *Manager) finishLocked(j *job, st State, errMsg string, out *engine.Outc
 		t.reserved -= j.Spec.budget() - j.Charged
 	}
 	if err := j.save(m.cfg.Dir); err != nil {
-		fmt.Fprintf(m.cfg.Log, "jobs: %s settle save failed: %v\n", j.ID, err)
+		// The settle record could not be made durable. A job reported done
+		// on a record a restart cannot read would silently re-run and
+		// double-charge, so escalate: the job fails loudly instead.
+		if st == StateDone {
+			j.State = StateFailed
+			j.Error = fmt.Sprintf("jobs: persisting settled state: %v", err)
+			if err2 := j.save(m.cfg.Dir); err2 != nil {
+				fmt.Fprintf(m.cfg.Log, "jobs: %s FAILURE RECORD ALSO UNWRITABLE: %v\n", j.ID, err2)
+			}
+		}
+		fmt.Fprintf(m.cfg.Log, "jobs: %s settle save failed (state %s): %v\n", j.ID, j.State, err)
 	}
-	fmt.Fprintf(m.cfg.Log, "jobs: %s %s (charged %d)\n", j.ID, st, j.Charged)
-	j.feedUpdate(st, true)
+	fmt.Fprintf(m.cfg.Log, "jobs: %s %s (charged %d)\n", j.ID, j.State, j.Charged)
+	j.feedUpdate(j.State, true)
 }
 
 // Steps returns the job's progress events from seq (1-based, inclusive)
@@ -652,14 +726,39 @@ func (m *Manager) Steps(id string, from int) (evs []StepEvent, st State, ok bool
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	for len(j.steps) < from && !j.eof {
+	for j.stepBase+len(j.steps) < from && !j.eof {
 		j.cond.Wait()
 	}
-	start := from - 1
+	// Events before stepBase were evicted by the buffer bound; a reader
+	// asking for them resumes at the oldest retained event (the gap shows
+	// up in the seq numbers and in crawld_events_dropped_total).
+	start := from - 1 - j.stepBase
+	if start < 0 {
+		start = 0
+	}
 	if start > len(j.steps) {
 		start = len(j.steps)
 	}
 	evs = make([]StepEvent, len(j.steps)-start)
 	copy(evs, j.steps[start:])
+	if last := j.stepBase + len(j.steps); last > j.maxRead {
+		j.maxRead = last
+	}
 	return evs, j.feedState, true
 }
+
+// ShedCounts returns the admission rejections recorded so far, keyed by
+// shed reason (every reason present, zero-valued when never hit).
+func (m *Manager) ShedCounts() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(shedReasons))
+	for _, r := range shedReasons {
+		out[r] = m.shed[r]
+	}
+	return out
+}
+
+// EventsDropped returns the step events evicted from bounded job feeds
+// before any streamer read them.
+func (m *Manager) EventsDropped() int64 { return m.eventsDropped.Load() }

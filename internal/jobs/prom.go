@@ -39,6 +39,11 @@ func (m *Manager) CollectProm(c *promexport.Collection) {
 			promexport.Label{Name: "tenant", Value: name})
 	}
 	c.Add("crawld_tenant_budget_cap_queries", float64(m.cfg.TenantBudget))
+	for _, reason := range shedReasons {
+		c.Add("crawld_shed_total", float64(m.shed[reason]),
+			promexport.Label{Name: "reason", Value: reason})
+	}
+	c.Add("crawld_events_dropped_total", float64(m.eventsDropped.Load()))
 	m.mu.Unlock()
 
 	// Per-job collection happens outside m.mu: it reads only the sinks'

@@ -83,6 +83,15 @@ func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusTooManyRequests, errorBody(err))
 	case errors.Is(err, ErrTenantBudget):
 		writeJSON(w, http.StatusTooManyRequests, errorBody(err))
+	case errors.Is(err, ErrDiskPressure):
+		// Server-side pressure, not client misbehaviour: 503, with the
+		// hint — the operator freeing space clears it.
+		secs := int(s.mgr.RetryAfter().Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody(err))
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody(err))
 	default:

@@ -1,0 +1,242 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestShedCountsByReason drives each admission shed class and checks the
+// rejection is attributed to its reason in ShedCounts — the counters
+// behind crawld_shed_total. A fresh manager must report every reason,
+// zero-valued.
+func TestShedCountsByReason(t *testing.T) {
+	fixtures(t)
+
+	expectShed := func(t *testing.T, m *Manager, want map[string]int64) {
+		t.Helper()
+		got := m.ShedCounts()
+		for _, r := range shedReasons {
+			if got[r] != want[r] {
+				t.Fatalf("ShedCounts[%q] = %d, want %d (full map %v)", r, got[r], want[r], got)
+			}
+		}
+	}
+
+	t.Run("fresh manager reports all reasons", func(t *testing.T) {
+		m, err := Open(Config{Dir: t.TempDir(), Workers: 1, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Drain()
+		got := m.ShedCounts()
+		if len(got) != len(shedReasons) {
+			t.Fatalf("ShedCounts has %d keys, want %d: %v", len(got), len(shedReasons), got)
+		}
+		expectShed(t, m, nil)
+	})
+
+	t.Run("queue", func(t *testing.T) {
+		m, err := Open(Config{Dir: t.TempDir(), Workers: 1, QueueCap: 1, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Drain()
+		if _, err := m.Submit(pacedSpec(1)); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(1); i <= 2; i++ {
+			if _, err := m.Submit(baseSpec(2)); !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("submit err = %v, want ErrQueueFull", err)
+			}
+			expectShed(t, m, map[string]int64{"queue": i})
+		}
+	})
+
+	t.Run("rate", func(t *testing.T) {
+		m, err := Open(Config{Dir: t.TempDir(), Workers: 1, TenantRate: 0.001, TenantBurst: 1, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Drain()
+		if _, err := m.Submit(baseSpec(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Submit(baseSpec(2)); !errors.Is(err, ErrTenantRate) {
+			t.Fatalf("submit err = %v, want ErrTenantRate", err)
+		}
+		expectShed(t, m, map[string]int64{"rate": 1})
+	})
+
+	t.Run("budget", func(t *testing.T) {
+		m, err := Open(Config{Dir: t.TempDir(), Workers: 1, TenantBudget: 30, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Drain()
+		if _, err := m.Submit(baseSpec(1)); err != nil { // reserves 24 of 30
+			t.Fatal(err)
+		}
+		if _, err := m.Submit(baseSpec(2)); !errors.Is(err, ErrTenantBudget) {
+			t.Fatalf("submit err = %v, want ErrTenantBudget", err)
+		}
+		expectShed(t, m, map[string]int64{"budget": 1})
+	})
+
+	t.Run("draining", func(t *testing.T) {
+		m, err := Open(Config{Dir: t.TempDir(), Workers: 1, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Drain()
+		if _, err := m.Submit(baseSpec(1)); !errors.Is(err, ErrDraining) {
+			t.Fatalf("submit err = %v, want ErrDraining", err)
+		}
+		expectShed(t, m, map[string]int64{"draining": 1})
+	})
+}
+
+// TestDiskPressureShedding sets MinDiskFree to an unsatisfiable bound and
+// checks the whole path: Submit returns ErrDiskPressure, the rejection is
+// attributed to the "disk" shed class, and the HTTP layer maps it to 503
+// with a Retry-After hint (server-side pressure, not client misuse). On
+// filesystems the probe cannot read, shedding must fail open — the
+// submission is admitted, never spuriously rejected.
+func TestDiskPressureShedding(t *testing.T) {
+	fixtures(t)
+	dir := t.TempDir()
+	if _, ok := diskFree(dir); !ok {
+		// disk_other.go: no probe on this platform, so MinDiskFree is
+		// inert by design. Verify fail-open and stop.
+		m, err := Open(Config{Dir: dir, Workers: 1, MinDiskFree: math.MaxInt64, AllowLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Drain()
+		if _, err := m.Submit(baseSpec(1)); err != nil {
+			t.Fatalf("unprobeable disk must fail open, got %v", err)
+		}
+		t.Skip("no disk probe on this platform")
+	}
+
+	m, err := Open(Config{Dir: dir, Workers: 1, MinDiskFree: math.MaxInt64, AllowLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Drain()
+	if _, err := m.Submit(baseSpec(1)); !errors.Is(err, ErrDiskPressure) {
+		t.Fatalf("submit err = %v, want ErrDiskPressure", err)
+	}
+	if got := m.ShedCounts()["disk"]; got != 1 {
+		t.Fatalf("ShedCounts[disk] = %d, want 1", got)
+	}
+
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer srv.Close()
+	buf, _ := json.Marshal(baseSpec(2))
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 disk-pressure response missing Retry-After hint")
+	}
+	if got := m.ShedCounts()["disk"]; got != 2 {
+		t.Fatalf("ShedCounts[disk] = %d, want 2 after HTTP submit", got)
+	}
+}
+
+// TestEventRingBound runs a job whose step count exceeds a tiny
+// EventBuffer and checks the ring's contract: memory stays bounded (at
+// most EventBuffer events retained), readers resume at the oldest
+// retained event with the gap visible in the seq numbers, and every
+// eviction no streamer had read is counted by EventsDropped — the
+// counter behind crawld_events_dropped_total. A negative EventBuffer
+// disables the bound entirely.
+func TestEventRingBound(t *testing.T) {
+	fixtures(t)
+
+	const cap = 4
+	m, err := Open(Config{Dir: t.TempDir(), Workers: 1, EventBuffer: cap, AllowLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Drain()
+	job, err := m.Submit(baseSpec(1)) // budget 24 ≫ cap 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitState(t, m, job.ID); got.State != StateDone {
+		t.Fatalf("job state %s: %s", got.State, got.Error)
+	}
+	evs, _, ok := m.Steps(job.ID, 1)
+	if !ok {
+		t.Fatal("Steps: job unknown")
+	}
+	if len(evs) == 0 || len(evs) > cap {
+		t.Fatalf("bounded feed retained %d events, want 1..%d", len(evs), cap)
+	}
+	if evs[0].Seq <= 1 {
+		t.Fatalf("first retained seq %d — the front of the feed was never evicted", evs[0].Seq)
+	}
+	for i, ev := range evs {
+		if want := evs[0].Seq + i; ev.Seq != want {
+			t.Fatalf("retained seqs not contiguous: evs[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	last := evs[len(evs)-1].Seq
+	// No streamer read anything before the job settled, so every evicted
+	// event was dropped unread: exactly seq 1..firstRetained-1.
+	if want := int64(evs[0].Seq - 1); m.EventsDropped() != want {
+		t.Fatalf("EventsDropped = %d, want %d (unread evictions)", m.EventsDropped(), want)
+	}
+	// A reader asking for an evicted range resumes at the oldest retained
+	// event rather than blocking or erroring.
+	again, _, ok := m.Steps(job.ID, 1)
+	if !ok || len(again) != len(evs) || again[0].Seq != evs[0].Seq {
+		t.Fatalf("re-read from seq 1: got %d events from seq %d, want %d from %d",
+			len(again), again[0].Seq, len(evs), evs[0].Seq)
+	}
+	// Asking past the end returns nothing new once the feed is EOF.
+	tail, _, ok := m.Steps(job.ID, last+1)
+	if !ok || len(tail) != 0 {
+		t.Fatalf("read past end returned %d events", len(tail))
+	}
+
+	// Negative bound = unbounded: the same job retains every step from
+	// seq 1 and drops nothing.
+	um, err := Open(Config{Dir: t.TempDir(), Workers: 1, EventBuffer: -1, AllowLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer um.Drain()
+	ujob, err := um.Submit(baseSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitState(t, um, ujob.ID); got.State != StateDone {
+		t.Fatalf("unbounded job state %s: %s", got.State, got.Error)
+	}
+	uevs, _, ok := um.Steps(ujob.ID, 1)
+	if !ok || len(uevs) == 0 || uevs[0].Seq != 1 {
+		t.Fatalf("unbounded feed: ok=%v len=%d firstSeq=%d, want full feed from seq 1",
+			ok, len(uevs), uevs[0].Seq)
+	}
+	if len(uevs) <= cap {
+		t.Fatalf("unbounded feed retained %d events — not enough steps to have exercised the cap-%d ring", len(uevs), cap)
+	}
+	if um.EventsDropped() != 0 {
+		t.Fatalf("unbounded feed dropped %d events", um.EventsDropped())
+	}
+	if last != uevs[len(uevs)-1].Seq {
+		t.Fatalf("bounded run ended at seq %d, unbounded identical job at %d", last, uevs[len(uevs)-1].Seq)
+	}
+}

@@ -88,13 +88,15 @@ type Obs struct {
 	Checkpoints  Counter // checkpoint writes
 
 	// Resilience counters (fault injection and graceful degradation).
-	FaultsInjected Counter // faults injected by a deepweb.Faulty wrapper
-	Truncations    Counter // results absorbed partially (short pages)
-	Requeues       Counter // failed selections pushed back into the pool
-	Forfeits       Counter // selections given up after their attempt cap
-	Refunds        Counter // budget units refunded (never charged by the interface)
-	BreakerTrips   Counter // circuit-breaker transitions into open
-	BreakerState   Gauge   // current breaker position (0 closed, 1 open, 2 half-open)
+	FaultsInjected    Counter // faults injected by a deepweb.Faulty wrapper
+	Truncations       Counter // results absorbed partially (short pages)
+	Requeues          Counter // failed selections pushed back into the pool
+	Forfeits          Counter // selections given up after their attempt cap
+	Refunds           Counter // budget units refunded (never charged by the interface)
+	BreakerTrips      Counter // circuit-breaker transitions into open
+	BreakerState      Gauge   // current breaker position (0 closed, 1 open, 2 half-open)
+	DeadlineForfeits  Counter // forfeits attributed to the crawl deadline (subset of Forfeits)
+	RetryBudgetDenied Counter // requeues refused because the retry budget was dry (subset of Forfeits)
 
 	// Durability counters (WAL journal and crash recovery).
 	WalAppends Counter // records appended to the write-ahead journal
@@ -158,6 +160,12 @@ type IfaceMetrics struct {
 	Requeues Counter // failed selections requeued after failing here
 	Forfeits Counter // selections forfeited after failing here
 	Holds    Counter // rounds held by this interface's circuit breaker
+	// HealthScore is the interface's current health score in milli-units
+	// (1000 = fully healthy). Zero means health scoring is disabled —
+	// the crawler sets it to 1000 at start when enabled, so exporters
+	// can gate the health families on a non-zero value.
+	HealthScore Gauge
+	Probes      Counter // recovery-probe rounds granted while degraded
 }
 
 // Iface returns (registering on first use) the metrics handle for the named
@@ -425,6 +433,43 @@ func (o *Obs) Forfeited(q string, attempts int, cause error) {
 	}
 }
 
+// DeadlineForfeited records a forfeit attributed to the crawl deadline:
+// the query was interrupted mid-search with no time left to retry. Emitted
+// IN ADDITION to the generic Forfeited hook for the same query, so generic
+// forfeit consumers see every forfeit and deadline-aware ones can subtract.
+func (o *Obs) DeadlineForfeited(q string, attempts int) {
+	if o == nil {
+		return
+	}
+	o.DeadlineForfeits.Inc()
+	if t := o.tracer.Load(); t != nil {
+		t.deadlineForfeit(q, attempts)
+	}
+}
+
+// RetryDenied records a requeue the retry budget refused (the bucket was
+// dry); the query is forfeited, and the matching Forfeited hook carries it.
+func (o *Obs) RetryDenied(q string) {
+	if o == nil {
+		return
+	}
+	o.RetryBudgetDenied.Inc()
+	_ = q // counter-only; the forfeit event carries the query
+}
+
+// Health records an interface health-score movement (score in [0,1]) or,
+// with probe set, a recovery-probe round granted to a degraded interface.
+// Clean runs never call it — scores stay exactly 1.0 — so traces without
+// failures carry no health events.
+func (o *Obs) Health(iface string, score float64, probe bool) {
+	if o == nil {
+		return
+	}
+	if t := o.tracer.Load(); t != nil {
+		t.health(iface, score, probe)
+	}
+}
+
 // Refunded counts one budget unit returned because the failed query was
 // never charged by the interface (client-side denial or cancellation).
 func (o *Obs) Refunded(q string) {
@@ -595,6 +640,14 @@ func (o *Obs) Snapshot() map[string]any {
 			"breaker_trips":   o.BreakerTrips.Value(),
 			"breaker_state":   o.BreakerState.Value(),
 		}
+		// Cause-attributed forfeit classes, present only when they fired so
+		// pre-existing snapshots stay byte-identical.
+		if v := o.DeadlineForfeits.Value(); v > 0 {
+			res["deadline_forfeits"] = v
+		}
+		if v := o.RetryBudgetDenied.Value(); v > 0 {
+			res["retry_budget_denied"] = v
+		}
 		if by := o.FaultsByClass(); len(by) > 0 {
 			res["fault_classes"] = by
 		}
@@ -604,7 +657,7 @@ func (o *Obs) Snapshot() map[string]any {
 		ifs := make(map[string]any, len(names))
 		for _, name := range names {
 			im := o.Iface(name)
-			ifs[name] = map[string]any{
+			fields := map[string]any{
 				"queries_issued":  im.Queries.Value(),
 				"records_covered": im.Covered.Value(),
 				"solid_queries":   im.Solid.Value(),
@@ -614,6 +667,13 @@ func (o *Obs) Snapshot() map[string]any {
 				"forfeits":        im.Forfeits.Value(),
 				"breaker_holds":   im.Holds.Value(),
 			}
+			// Health keys appear only when scoring is enabled (the crawler
+			// initializes the gauge to 1000), keeping older snapshots stable.
+			if hs := im.HealthScore.Value(); hs > 0 {
+				fields["health_score"] = hs
+				fields["probes"] = im.Probes.Value()
+			}
+			ifs[name] = fields
 		}
 		m["interfaces"] = ifs
 		m["allocs"] = o.Allocs.Value()
@@ -697,11 +757,19 @@ func (o *Obs) WriteSummary(w io.Writer) {
 			o.FaultsInjected.Value(), o.Truncations.Value(), o.Requeues.Value(),
 			o.Forfeits.Value(), o.Refunds.Value(), o.BreakerTrips.Value())
 	}
+	if o.DeadlineForfeits.Value()+o.RetryBudgetDenied.Value() > 0 {
+		fmt.Fprintf(w, "obs: adaptive: %d deadline forfeits, %d retry-budget denials\n",
+			o.DeadlineForfeits.Value(), o.RetryBudgetDenied.Value())
+	}
 	for _, name := range o.IfaceNames() {
 		im := o.Iface(name)
 		fmt.Fprintf(w, "obs: interface %-12s %d allocs, %d queries, %d covered, %d solid, %d errors, %d requeues, %d forfeits, %d breaker holds\n",
 			name, im.Allocs.Value(), im.Queries.Value(), im.Covered.Value(), im.Solid.Value(),
 			im.Errors.Value(), im.Requeues.Value(), im.Forfeits.Value(), im.Holds.Value())
+		if hs := im.HealthScore.Value(); hs > 0 {
+			fmt.Fprintf(w, "obs: interface %-12s health %d/1000, %d recovery probes\n",
+				name, hs, im.Probes.Value())
+		}
 	}
 	if o.WalAppends.Value()+o.Recoveries.Value() > 0 {
 		fmt.Fprintf(w, "obs: durability: %d journal records (%d bytes), %d fsyncs, %d recoveries\n",

@@ -1,0 +1,103 @@
+package promexport
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAlertRulesMatchDocsAndRegistry keeps deploy/alerts.yml honest in
+// both directions: the rule names must match the "Alerting & recording
+// rules" bullets of docs/METRICS.md exactly and in order, and every
+// metric family a rule expression references must exist in Registry().
+// A renamed metric or a rule added without its doc line fails here, in
+// the same commit.
+func TestAlertRulesMatchDocsAndRegistry(t *testing.T) {
+	raw, err := os.ReadFile("../../../deploy/alerts.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Line-scan the rule file (no YAML dependency): rule names come
+	// from "- alert:"/"- record:" keys, referenced families from expr
+	// blocks. ">"-folded exprs continue on indented lines until the
+	// next "key:" line.
+	var (
+		ruleNames []string
+		exprs     []string
+		inExpr    bool
+		keyRe     = regexp.MustCompile(`^[a-z_]+:`)
+	)
+	for _, line := range strings.Split(string(raw), "\n") {
+		trim := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trim, "#"):
+			continue
+		case strings.HasPrefix(trim, "- alert:"):
+			ruleNames = append(ruleNames, strings.TrimSpace(strings.TrimPrefix(trim, "- alert:")))
+			inExpr = false
+		case strings.HasPrefix(trim, "- record:"):
+			ruleNames = append(ruleNames, strings.TrimSpace(strings.TrimPrefix(trim, "- record:")))
+			inExpr = false
+		case strings.HasPrefix(trim, "expr:"):
+			exprs = append(exprs, strings.TrimPrefix(trim, "expr:"))
+			inExpr = true
+		case inExpr && !keyRe.MatchString(trim) && !strings.HasPrefix(trim, "- "):
+			exprs = append(exprs, trim)
+		default:
+			inExpr = false
+		}
+	}
+	if len(ruleNames) == 0 {
+		t.Fatal("no rules parsed from deploy/alerts.yml")
+	}
+	if len(exprs) < len(ruleNames) {
+		t.Errorf("parsed %d rules but only %d expr lines", len(ruleNames), len(exprs))
+	}
+
+	// Direction 1: every family an expr mentions exists in the
+	// registry. Histogram suffixes would need stripping, but the rules
+	// deliberately stick to counters and gauges.
+	known := make(map[string]bool)
+	for _, d := range Registry() {
+		known[d.Name] = true
+	}
+	famRe := regexp.MustCompile(`\b(?:smartcrawl|crawld)_[a-z0-9_]+`)
+	for _, e := range exprs {
+		for _, fam := range famRe.FindAllString(e, -1) {
+			if !known[fam] {
+				t.Errorf("alerts.yml references %q, not in promexport.Registry()", fam)
+			}
+		}
+	}
+
+	// Direction 2: the METRICS.md bullet list mirrors the rule names,
+	// same order. Bullets are "- `Name` — ..." inside the section.
+	doc, err := os.ReadFile("../../../docs/METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docNames []string
+	inSection := false
+	for _, line := range strings.Split(string(doc), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.TrimPrefix(line, "## ") == "Alerting & recording rules"
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "- `"); ok {
+			name, _, ok := strings.Cut(rest, "`")
+			if !ok {
+				t.Errorf("malformed rule bullet: %q", line)
+				continue
+			}
+			docNames = append(docNames, name)
+		}
+	}
+	if strings.Join(docNames, "\n") != strings.Join(ruleNames, "\n") {
+		t.Errorf("docs/METRICS.md rule list drifted from deploy/alerts.yml\ndoc:\n%v\nrules:\n%v", docNames, ruleNames)
+	}
+}

@@ -94,6 +94,8 @@ var registry = []Desc{
 	{"smartcrawl_refunds_total", KindCounter, nil, "Budget units refunded (never charged by the interface).", perJob},
 	{"smartcrawl_breaker_trips_total", KindCounter, nil, "Circuit-breaker transitions into open.", perJob},
 	{"smartcrawl_breaker_state", KindGauge, nil, "Current circuit-breaker position: 0 closed, 1 open, 2 half-open.", perJob},
+	{"smartcrawl_deadline_forfeits_total", KindCounter, nil, "Forfeits attributed to the crawl deadline (subset of forfeits; budget refunded).", perJob},
+	{"smartcrawl_retry_budget_denied_total", KindCounter, nil, "Requeues refused because the retry budget was dry (subset of forfeits).", perJob},
 
 	// Durability counters.
 	{"smartcrawl_wal_appends_total", KindCounter, nil, "Records appended to the write-ahead journal.", perJob},
@@ -128,12 +130,16 @@ var registry = []Desc{
 	{"smartcrawl_iface_requeues_total", KindCounter, []string{"iface"}, "Failed selections requeued after failing on this interface.", perJob},
 	{"smartcrawl_iface_forfeits_total", KindCounter, []string{"iface"}, "Selections forfeited after failing on this interface.", perJob},
 	{"smartcrawl_iface_breaker_holds_total", KindCounter, []string{"iface"}, "Rounds held by this interface's circuit breaker.", perJob},
+	{"smartcrawl_iface_health_score", KindGauge, []string{"iface"}, "Interface health score in milli-units (1000 = fully healthy); absent unless health scoring is enabled.", perJob},
+	{"smartcrawl_iface_probes_total", KindCounter, []string{"iface"}, "Recovery-probe rounds granted to this interface while degraded.", perJob},
 
 	// Daemon-level families added by crawld's collector (internal/jobs).
 	{"crawld_jobs", KindGauge, []string{"state"}, "Jobs in the registry by state (queued, running, done, failed, canceled).", crawldOnly},
 	{"crawld_draining", KindGauge, nil, "1 while the daemon is draining (no new admissions), else 0.", crawldOnly},
 	{"crawld_tenant_reserved_queries", KindGauge, []string{"tenant"}, "Committed budget per tenant: live reservations plus settled charges.", crawldOnly},
 	{"crawld_tenant_budget_cap_queries", KindGauge, nil, "Per-tenant lifetime query budget (-tenant-budget; 0 = unlimited).", crawldOnly},
+	{"crawld_shed_total", KindCounter, []string{"reason"}, "Job submissions shed at admission, by reason (disk, queue, rate, budget, draining).", crawldOnly},
+	{"crawld_events_dropped_total", KindCounter, nil, "Step events evicted from bounded per-job event buffers before any consumer read them.", crawldOnly},
 }
 
 var descByName = func() map[string]*Desc {
@@ -236,6 +242,8 @@ func (c *Collection) CollectObs(o *obs.Obs, base ...Label) {
 	add("smartcrawl_refunds_total", float64(o.Refunds.Value()))
 	add("smartcrawl_breaker_trips_total", float64(o.BreakerTrips.Value()))
 	add("smartcrawl_breaker_state", float64(o.BreakerState.Value()))
+	add("smartcrawl_deadline_forfeits_total", float64(o.DeadlineForfeits.Value()))
+	add("smartcrawl_retry_budget_denied_total", float64(o.RetryBudgetDenied.Value()))
 
 	add("smartcrawl_wal_appends_total", float64(o.WalAppends.Value()))
 	add("smartcrawl_wal_bytes_total", float64(o.WalBytes.Value()))
@@ -271,6 +279,13 @@ func (c *Collection) CollectObs(o *obs.Obs, base ...Label) {
 		c.Add("smartcrawl_iface_requeues_total", float64(im.Requeues.Value()), ilabels...)
 		c.Add("smartcrawl_iface_forfeits_total", float64(im.Forfeits.Value()), ilabels...)
 		c.Add("smartcrawl_iface_breaker_holds_total", float64(im.Holds.Value()), ilabels...)
+		// Health families appear only when scoring is enabled — the
+		// crawler initializes the gauge to 1000 at start — so scrapes of
+		// health-disabled runs keep their pre-existing shape.
+		if hs := im.HealthScore.Value(); hs > 0 {
+			c.Add("smartcrawl_iface_health_score", float64(hs), ilabels...)
+			c.Add("smartcrawl_iface_probes_total", float64(im.Probes.Value()), ilabels...)
+		}
 	}
 }
 

@@ -49,6 +49,8 @@ func populatedObs() *obs.Obs {
 	im.Requeues.Inc()
 	im.Forfeits.Inc()
 	im.Holds.Inc()
+	im.HealthScore.Set(800)
+	im.Probes.Inc()
 	o.Retry("deep web crawling", 1, 10*time.Millisecond, errors.New("timeout"))
 	o.RateLimitDenied("deep web crawling", 1.5)
 	o.FaultInjected("deep web crawling", "http_500", 1)
@@ -57,6 +59,8 @@ func populatedObs() *obs.Obs {
 	o.BreakerTransition("open", "half-open", 0)
 	o.Requeued("query optimization", 1, errors.New("fault"))
 	o.Forfeited("query optimization", 3, errors.New("fault"))
+	o.DeadlineForfeited("query optimization", 2)
+	o.RetryDenied("query optimization")
 	o.Refunded("query optimization")
 	o.Truncated("deep web crawling", 30, 40)
 	o.Checkpoint("crawl.ckpt", 17, 2)

@@ -82,6 +82,13 @@ const (
 	EventWalAppend  = "wal_append"
 	EventRecovered  = "recovered"
 	EventAlloc      = "alloc"
+	// EventDeadlineForfeit accompanies a forfeit caused by the crawl
+	// deadline: the generic forfeit event is still emitted for the same
+	// query, this one carries the cause attribution.
+	EventDeadlineForfeit = "deadline_forfeit"
+	// EventHealth traces an interface health-score movement or (with
+	// probe=true) a recovery-probe allocation of a federated crawl.
+	EventHealth = "health"
 )
 
 // Event is the union wire format of one trace line, for consumers reading
@@ -118,6 +125,8 @@ type Event struct {
 	Records    int     `json:"records,omitempty"`
 	Torn       bool    `json:"torn,omitempty"`
 	Iface      string  `json:"iface,omitempty"`
+	Score      float64 `json:"score,omitempty"`
+	Probe      bool    `json:"probe,omitempty"`
 }
 
 // ParseEvents decodes a JSONL trace back into events — the consumer side
@@ -279,6 +288,28 @@ type allocEvent struct {
 	BudgetLeft int     `json:"budget_left"`
 }
 
+// deadlineForfeitEvent attributes a forfeit to the crawl deadline; the
+// Attempt field is the total dispatch count the query burned, matching the
+// generic forfeit event emitted alongside it.
+type deadlineForfeitEvent struct {
+	Seq     uint64 `json:"seq"`
+	TMs     int64  `json:"t_ms"`
+	Type    string `json:"type"`
+	Query   string `json:"query"`
+	Attempt int    `json:"attempt"`
+}
+
+// healthEvent traces one interface health-score movement (score in [0,1])
+// or, with Probe set, a recovery-probe round granted while degraded.
+type healthEvent struct {
+	Seq   uint64  `json:"seq"`
+	TMs   int64   `json:"t_ms"`
+	Type  string  `json:"type"`
+	Iface string  `json:"iface"`
+	Score float64 `json:"score"`
+	Probe bool    `json:"probe,omitempty"`
+}
+
 func (t *Tracer) query(q string, est float64, resultSize, newCovered, cumCovered int, solid bool) {
 	t.emit(func(seq uint64, tms int64) any {
 		return queryEvent{seq, tms, EventQuery, q, est, resultSize, newCovered, cumCovered, solid}
@@ -348,6 +379,18 @@ func (t *Tracer) requeue(q string, attempt int, errMsg string) {
 func (t *Tracer) forfeit(q string, attempts int, errMsg string) {
 	t.emit(func(seq uint64, tms int64) any {
 		return requeueEvent{seq, tms, EventForfeit, q, attempts, errMsg}
+	})
+}
+
+func (t *Tracer) deadlineForfeit(q string, attempts int) {
+	t.emit(func(seq uint64, tms int64) any {
+		return deadlineForfeitEvent{seq, tms, EventDeadlineForfeit, q, attempts}
+	})
+}
+
+func (t *Tracer) health(iface string, score float64, probe bool) {
+	t.emit(func(seq uint64, tms int64) any {
+		return healthEvent{seq, tms, EventHealth, iface, score, probe}
 	})
 }
 

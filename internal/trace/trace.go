@@ -4,7 +4,7 @@
 // rankings, and two-trace divergence diffs.
 //
 // The parser accepts every event type the obs Tracer emits — a
-// round-trip test drives all thirteen through the public obs hooks and
+// round-trip test drives all fifteen through the public obs hooks and
 // a schema test diffs KnownTypes against the doc's headings, so the
 // tracer, the schema document, and this parser cannot drift apart
 // silently. Unknown event types survive parsing as Unknown records
@@ -115,6 +115,22 @@ type Forfeit struct {
 	Err      string
 }
 
+// DeadlineForfeit is the cause attribution accompanying a forfeit the
+// crawl deadline caused (the generic Forfeit event for the same query is
+// also present in the trace).
+type DeadlineForfeit struct {
+	Query   string
+	Attempt int
+}
+
+// Health is one interface health-score movement, or a recovery-probe
+// round when Probe is set.
+type Health struct {
+	Iface string
+	Score float64
+	Probe bool
+}
+
 // WalAppend is one record appended to the write-ahead journal.
 type WalAppend struct {
 	Kind   string
@@ -153,7 +169,8 @@ func KnownTypes() []string {
 		obs.EventQuery, obs.EventRound, obs.EventAlloc, obs.EventRetry,
 		obs.EventRateLimit, obs.EventCheckpoint, obs.EventPhase,
 		obs.EventFault, obs.EventBreaker, obs.EventRequeue,
-		obs.EventForfeit, obs.EventWalAppend, obs.EventRecovered,
+		obs.EventForfeit, obs.EventDeadlineForfeit, obs.EventHealth,
+		obs.EventWalAppend, obs.EventRecovered,
 	}
 }
 
@@ -209,6 +226,10 @@ func project(u obs.Event, raw string) Event {
 		e.Data = &Requeue{u.Query, u.Attempt, u.Err}
 	case obs.EventForfeit:
 		e.Data = &Forfeit{u.Query, u.Attempt, u.Err}
+	case obs.EventDeadlineForfeit:
+		e.Data = &DeadlineForfeit{u.Query, u.Attempt}
+	case obs.EventHealth:
+		e.Data = &Health{u.Iface, u.Score, u.Probe}
 	case obs.EventWalAppend:
 		e.Data = &WalAppend{u.Kind, u.WalSeq, u.Bytes}
 	case obs.EventRecovered:
@@ -251,6 +272,10 @@ func (e *Event) Canonical() string {
 		fmt.Fprintf(&b, " q=%q attempt=%d err=%q", d.Query, d.Attempt, d.Err)
 	case *Forfeit:
 		fmt.Fprintf(&b, " q=%q attempts=%d err=%q", d.Query, d.Attempts, d.Err)
+	case *DeadlineForfeit:
+		fmt.Fprintf(&b, " q=%q attempt=%d", d.Query, d.Attempt)
+	case *Health:
+		fmt.Fprintf(&b, " iface=%s score=%s probe=%t", d.Iface, ftoa(d.Score), d.Probe)
 	case *WalAppend:
 		fmt.Fprintf(&b, " kind=%s wal_seq=%d bytes=%d", d.Kind, d.WalSeq, d.Bytes)
 	case *Recovered:

@@ -39,6 +39,8 @@ func emitAllTypes(t *testing.T) []byte {
 	o.BreakerTransition("closed", "open", 3)
 	o.Requeued("query optimization", 1, errors.New("breaker open"))
 	o.Forfeited("query optimization", 3, errors.New("breaker open"))
+	o.DeadlineForfeited("query optimization", 3)
+	o.Health("acm", 0.8, true)
 	o.WalAppend("query", 7, 64)
 	o.Checkpoint("crawl.ckpt", 17, 2)
 	done()
@@ -90,9 +92,15 @@ func TestRoundTripAllTypes(t *testing.T) {
 	if d, ok := events[10].Data.(*Forfeit); !ok || d.Attempts != 3 || d.Err != "breaker open" {
 		t.Errorf("forfeit payload = %+v", events[10].Data)
 	}
+	if d, ok := events[11].Data.(*DeadlineForfeit); !ok || d.Query != "query optimization" || d.Attempt != 3 {
+		t.Errorf("deadline_forfeit payload = %+v", events[11].Data)
+	}
+	if d, ok := events[12].Data.(*Health); !ok || d.Iface != "acm" || d.Score != 0.8 || !d.Probe {
+		t.Errorf("health payload = %+v", events[12].Data)
+	}
 }
 
-// TestKnownTypesMatchSchemaDoc diffs KnownTypes against the `## \`type\``
+// TestKnownTypesMatchSchemaDoc diffs KnownTypes against the `## \`type\“
 // headings of docs/TRACE_SCHEMA.md, so the doc, the tracer, and this
 // parser cannot drift apart silently.
 func TestKnownTypesMatchSchemaDoc(t *testing.T) {

@@ -144,7 +144,15 @@ type (
 	InterfaceSpec = federate.Spec
 	// Federation is a materialized interface set (see BuildInterfaces).
 	Federation = federate.Federation
+	// HealthConfig tunes per-interface health scoring in federated crawls
+	// (SmartOptions.Health); DefaultHealthConfig returns the tuned
+	// defaults.
+	HealthConfig = crawler.HealthConfig
 )
+
+// DefaultHealthConfig returns the tuned health-scoring defaults (EWMA
+// alpha 0.2, score floor 0.05, recovery probe every 16 lost rounds).
+func DefaultHealthConfig() HealthConfig { return crawler.DefaultHealthConfig() }
 
 // Journal fsync policies for DurabilityOptions.Sync. None of them is
 // needed to survive the process dying (a completed write lives in the
@@ -327,6 +335,24 @@ type SmartOptions struct {
 	// is misbehaving (implies MaxAttempts >= 1). Construct with
 	// NewBreaker.
 	Breaker *Breaker
+	// Deadline, when positive, is the end-to-end wall-clock budget of the
+	// crawl (implies MaxAttempts >= 1): selection stops when it expires,
+	// in-flight queries fail fast, and queries the deadline interrupts
+	// mid-search are forfeited with their budget unit refunded.
+	Deadline time.Duration
+	// QueryTimeout, when positive, bounds each dispatched search attempt
+	// independently of Deadline.
+	QueryTimeout time.Duration
+	// RetryBudget, when positive, caps requeues at this ratio of
+	// dispatches (a retry token bucket earned by successes), so a failing
+	// interface cannot amplify its own load through retry storms.
+	RetryBudget float64
+	// Health, when non-nil, enables per-interface health scoring in
+	// federated crawls (NewFederatedCrawler only): allocation bids are
+	// scaled by an EWMA success score and degraded interfaces get
+	// periodic recovery probes. Use DefaultHealthConfig for the tuned
+	// defaults.
+	Health *HealthConfig
 	// Context, when non-nil, lets the crawl be interrupted gracefully:
 	// cancellation stops selection at the next round boundary, drains
 	// in-flight queries, and returns the partial (resumable) Result with
@@ -359,6 +385,12 @@ func NewSmartCrawler(env *Env, opts SmartOptions) (Crawler, error) {
 		Context:           opts.Context,
 		Durability:        opts.Durability,
 		ResumePending:     opts.ResumePending,
+		Deadline:          opts.Deadline,
+		QueryTimeout:      opts.QueryTimeout,
+		RetryBudget:       opts.RetryBudget,
+	}
+	if opts.Health != nil {
+		return nil, errors.New("smartcrawl: Health scoring applies to federated crawls (NewFederatedCrawler)")
 	}
 	if opts.Sample != nil {
 		cfg.AlphaFallback = true
@@ -417,6 +449,10 @@ func NewFederatedCrawler(env *Env, opts SmartOptions, ifaces []FederatedInterfac
 		Context:           opts.Context,
 		Durability:        opts.Durability,
 		ResumePending:     opts.ResumePending,
+		Deadline:          opts.Deadline,
+		QueryTimeout:      opts.QueryTimeout,
+		RetryBudget:       opts.RetryBudget,
+		Health:            opts.Health,
 	}
 	// Mirror NewSmartCrawler: sampled interfaces get the §6.2
 	// inadequate-sample fallback (α is computed per interface from its
