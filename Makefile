@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check lint allocguard chaos crashtest fedtest crawldtest tracetest bench bench-hotpath experiments examples fuzz cover clean
+.PHONY: all build vet test test-short race check lint allocguard chaos crashtest fedtest crawldtest tracetest bench bench-hotpath bench-scale experiments examples fuzz cover clean
 
 all: build vet test
 
@@ -104,7 +104,18 @@ bench-hotpath:
 	$(GO) test -bench 'BenchmarkPoolBuild|BenchmarkSelectionLoop|BenchmarkRemove' \
 		-benchmem -benchtime 5x -count 1 -run '^$$' ./internal/crawler/ | tee bench_hotpath.txt
 
-# Regenerate every paper table/figure at 10% scale into results_scale01.txt.
+# Out-of-core scale benchmarks behind BENCH_scale.json: streaming
+# ingestion, sampled pool build, and the selection-loop drain over the
+# memory-mapped index, all at 10× the BENCH_hotpath corpus with a
+# heap-peak-MB column. TestScaleMemoryCeiling (plain `make test`) pins
+# the mapped path's heap growth under a fixed budget.
+bench-scale:
+	$(GO) test -bench 'BenchmarkScale' -benchmem -benchtime 3x -count 1 \
+		-run '^$$' -timeout 30m ./internal/crawler/ | tee bench_scale.txt
+
+# Regenerate every paper table/figure at 10% scale. The output is not
+# committed (results_scale01.txt is gitignored); EXPERIMENTS.md records
+# the reference numbers.
 experiments:
 	$(GO) run ./cmd/experiments -scale 0.1 all | tee results_scale01.txt
 
@@ -125,6 +136,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseTrace -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzParseFaultProfile -fuzztime 30s ./internal/deepweb/
 	$(GO) test -fuzz FuzzParseSpecs -fuzztime 30s ./internal/federate/
+	$(GO) test -fuzz FuzzPostingBlockRoundTrip -fuzztime 30s ./internal/index/
 
 # Line-coverage report; per-package baseline numbers are recorded in
 # DESIGN.md ("Observability" section) — regenerate them with this target

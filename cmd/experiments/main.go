@@ -30,6 +30,7 @@
 //	federated     two-source federation with marginal-benefit budget allocation (extension)
 //	health        health-scored allocation vs breaker-only under a sustained fault (extension)
 //	durability    durability sweep: crash-safety cost and recovery equivalence (extension)
+//	scale         out-of-core corpus: mapped index × shards equivalence sweep (extension)
 //	headline      multi-seed coverage comparison with speedup factors
 //	all           everything above
 //
@@ -108,6 +109,7 @@ func main() {
 		"federated":  one(func() (*experiment.Table, error) { return experiment.Federated(p) }),
 		"health":     one(func() (*experiment.Table, error) { return experiment.HealthSweep(p) }),
 		"durability": one(func() (*experiment.Table, error) { return experiment.DurabilitySweep(p) }),
+		"scale":      one(func() (*experiment.Table, error) { return experiment.ScaleSweep(p) }),
 		"headline":   one(func() (*experiment.Table, error) { return experiment.Headline(p, *seeds) }),
 	}
 
@@ -116,7 +118,7 @@ func main() {
 		names = []string{"headline", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"bound", "estimators", "ablate-alpha", "ablate-deltad", "ablate-heap",
 			"ablate-batch", "parallel", "ablate-stem", "online", "form", "ranks", "omega",
-			"faults", "federated", "health", "durability"}
+			"faults", "federated", "health", "durability", "scale"}
 	}
 	// Per-phase wall-clock: each subcommand is one obs phase, so `all`
 	// ends with a table showing where the regeneration time went.

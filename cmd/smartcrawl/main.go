@@ -59,29 +59,32 @@ func main() {
 		url        = flag.String("url", "", "hiddenserver base URL (remote interface)")
 		interfaces = flag.String("interfaces", "", "federated crawl over several interfaces sharing the budget: specs separated by ';', "+
 			"key=value fields by ',' — e.g. \"name=a,hidden=h1.csv,k=10;name=b,url=http://localhost:8081,faults=transient10,breaker=5\"")
-		budget     = flag.Int("budget", 100, "query budget b")
-		k          = flag.Int("k", 50, "top-k limit (simulated interface)")
-		rankCol    = flag.Int("rank-column", -1, "ranking column (simulated interface)")
-		theta      = flag.Float64("theta", 0.005, "sampling ratio (simulated interface)")
-		sampleTgt  = flag.Int("sample-target", 200, "sample size target (remote interface)")
-		strategy   = flag.String("strategy", "smart", "smart | simple | online | naive | full")
-		fuzzy      = flag.Float64("fuzzy", 0, "Jaccard threshold for fuzzy matching (0 = exact)")
-		enrichCols = flag.String("enrich", "", "comma-separated hidden columns to append (names)")
-		outPath    = flag.String("out", "", "output CSV (default: stdout)")
-		checkpoint = flag.String("checkpoint", "", "crawl checkpoint file: resumed if present, written after the run (smart/simple strategies)")
-		wal        = flag.String("wal", "", "write-ahead journal file (with -checkpoint): makes the crawl crash-safe — every absorbed query is durable before the next is charged")
-		autosave   = flag.Int("autosave", durable.DefaultEvery, "journal→checkpoint compaction cadence in absorbed queries (with -checkpoint); 0 saves only at exit")
-		walSync    = flag.String("wal-sync", durable.SyncCompact, "journal fsync policy: always | round | compact (crash durability never needs fsync; this guards power loss)")
-		inspect    = flag.Bool("checkpoint-inspect", false, "print what -checkpoint (and -wal) hold, then exit without crawling")
-		workers    = flag.Int("workers", 1, "concurrent query workers (smart/simple/online strategies); >1 overlaps round-trips")
-		batchSize  = flag.Int("batch", 0, "queries selected per round (default: -workers); >1 trades a little coverage for wall-clock")
-		seed       = flag.Uint64("seed", 42, "seed")
-		tracePath  = flag.String("trace", "", "write a JSONL session trace (query/round/retry/rate-limit/checkpoint/phase events) to this file")
-		metrics    = flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr (implied by -trace)")
-		rate       = flag.Float64("rate", 0, "client-side polite request rate, queries/sec (0 = unpaced); throttled queries are retried with backoff")
-		burst      = flag.Int("burst", 10, "client-side token-bucket burst capacity (with -rate)")
-		retries    = flag.Int("retries", 5, "transient-failure retries per query (rate-limit waits, network blips)")
-		faults     = flag.String("faults", "", "chaos drill: inject deterministic faults into the search path — a preset ("+
+		budget      = flag.Int("budget", 100, "query budget b")
+		k           = flag.Int("k", 50, "top-k limit (simulated interface)")
+		rankCol     = flag.Int("rank-column", -1, "ranking column (simulated interface)")
+		theta       = flag.Float64("theta", 0.005, "sampling ratio (simulated interface)")
+		sampleTgt   = flag.Int("sample-target", 200, "sample size target (remote interface)")
+		strategy    = flag.String("strategy", "smart", "smart | simple | online | naive | full")
+		fuzzy       = flag.Float64("fuzzy", 0, "Jaccard threshold for fuzzy matching (0 = exact)")
+		enrichCols  = flag.String("enrich", "", "comma-separated hidden columns to append (names)")
+		outPath     = flag.String("out", "", "output CSV (default: stdout)")
+		checkpoint  = flag.String("checkpoint", "", "crawl checkpoint file: resumed if present, written after the run (smart/simple strategies)")
+		wal         = flag.String("wal", "", "write-ahead journal file (with -checkpoint): makes the crawl crash-safe — every absorbed query is durable before the next is charged")
+		autosave    = flag.Int("autosave", durable.DefaultEvery, "journal→checkpoint compaction cadence in absorbed queries (with -checkpoint); 0 saves only at exit")
+		walSync     = flag.String("wal-sync", durable.SyncCompact, "journal fsync policy: always | round | compact (crash durability never needs fsync; this guards power loss)")
+		inspect     = flag.Bool("checkpoint-inspect", false, "print what -checkpoint (and -wal) hold, then exit without crawling")
+		workers     = flag.Int("workers", 1, "concurrent query workers (smart/simple/online strategies); >1 overlaps round-trips")
+		corpusCache = flag.String("corpus-cache", "", "on-disk corpus index for -local: built (streaming, bounded memory) if missing, then memory-mapped — selection runs out-of-core with byte-identical results")
+		shards      = flag.Int("shards", 0, "record shards for parallel selection-state removal (with large -local tables); byte-identical results at any value, 0/1 = sequential")
+		poolSample  = flag.Int("pool-sample", 0, "mine the query pool over a reservoir sample of N records with exact support recounting against -corpus-cache (0 = mine the full table)")
+		batchSize   = flag.Int("batch", 0, "queries selected per round (default: -workers); >1 trades a little coverage for wall-clock")
+		seed        = flag.Uint64("seed", 42, "seed")
+		tracePath   = flag.String("trace", "", "write a JSONL session trace (query/round/retry/rate-limit/checkpoint/phase events) to this file")
+		metrics     = flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr (implied by -trace)")
+		rate        = flag.Float64("rate", 0, "client-side polite request rate, queries/sec (0 = unpaced); throttled queries are retried with backoff")
+		burst       = flag.Int("burst", 10, "client-side token-bucket burst capacity (with -rate)")
+		retries     = flag.Int("retries", 5, "transient-failure retries per query (rate-limit waits, network blips)")
+		faults      = flag.String("faults", "", "chaos drill: inject deterministic faults into the search path — a preset ("+
 			strings.Join(deepweb.FaultPresetNames(), "|")+") or a key=value spec (e.g. timeout=0.05,truncate=0.1)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the injected fault schedule (with -faults)")
 		maxAttempts = flag.Int("max-attempts", 0, "failed queries are re-queued up to N times before being forfeited (0 = fail fast; defaults to 3 with -faults)")
@@ -129,6 +132,9 @@ func main() {
 		Workers:      *workers,
 		Batch:        *batchSize,
 		Seed:         *seed,
+		CorpusCache:  *corpusCache,
+		Shards:       *shards,
+		PoolSample:   *poolSample,
 		Rate:         *rate,
 		Burst:        *burst,
 		Retries:      *retries,
@@ -255,6 +261,9 @@ func cliError(err error) error {
 		{"engine: QueryTimeout must be >= 0", "-query-timeout must be >= 0"},
 		{"engine: RetryBudget must be >= 0", "-retry-budget must be >= 0"},
 		{"engine: Health scoring requires a federated crawl (Interfaces)", "-health requires -interfaces"},
+		{"engine: Shards must be >= 0", "-shards must be >= 0"},
+		{"engine: PoolSample must be >= 0", "-pool-sample must be >= 0"},
+		{"engine: PoolSample requires CorpusCache (exact supports are recounted against its index)", "-pool-sample requires -corpus-cache (exact supports are recounted against its index)"},
 	} {
 		if strings.HasPrefix(msg, r[0]) {
 			return fmt.Errorf("%s%s", r[1], strings.TrimPrefix(msg, r[0]))

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"smartcrawl/internal/deepweb"
+	"smartcrawl/internal/index"
 	"smartcrawl/internal/match"
 	"smartcrawl/internal/obs"
 	"smartcrawl/internal/relational"
@@ -38,6 +39,14 @@ type Env struct {
 	Searcher  deepweb.Searcher
 	Tokenizer *tokenize.Tokenizer
 	Matcher   match.Matcher
+	// Corpus, when set, is an opened corpus cache for Local: selection
+	// resolves q(D) through its block-compressed, memory-mapped inverted
+	// index instead of building index.InvertedIDs on the heap, and the
+	// engine routes pool generation through its dictionary. The cache
+	// MUST have been built over exactly this Local table (the engine
+	// validates record counts); results are then byte-identical to the
+	// in-memory path. Nil keeps the heap index.
+	Corpus *index.CorpusFile
 	// OnStep, when set, is invoked after every issued query with the
 	// recorded step — progress reporting for long crawls. It runs on the
 	// crawl goroutine; keep it fast.

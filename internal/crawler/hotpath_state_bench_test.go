@@ -26,7 +26,7 @@ func newBenchSelState(u *benchUniverse) *benchSelState {
 	joiner := match.NewJoiner(u.in.Local.Records, u.tk, u.m)
 
 	s := &benchSelState{theta: u.smp.Theta, k: u.k, est: estimator.Biased{}}
-	s.sel = newSelection(env, pool, selectionStats{smp: u.smp, joiner: joiner}, 1, s.benefit)
+	s.sel = newSelection(env, pool, selectionStats{smp: u.smp, joiner: joiner}, 1, 1, s.benefit)
 	return s
 }
 

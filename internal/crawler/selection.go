@@ -26,6 +26,20 @@ import (
 // its own; below it the parallel phases run sequentially.
 const selMinChunk = 256
 
+// selShardMinBatch is the fewest removals worth fanning out to the record
+// shards; below it the sequential path is faster and — because shard
+// deltas are commutative integer sums — bit-identical anyway. A var, not
+// a const, so the shard determinism oracle can force tiny batches through
+// the sharded path.
+var selShardMinBatch = 512
+
+// idLookup is the inverted-index probe newSelection resolves q(D)
+// through: the heap-built index.InvertedIDs, or the block-compressed
+// (possibly memory-mapped) index of an opened corpus cache.
+type idLookup interface {
+	LookupInto(q []uint32, scratch []uint32) []uint32
+}
+
 // selection is the live Algorithm-4 selection state: per-query statistics,
 // the dense forward index with its aligned sample-match counts, the
 // considered set, and the lazy priority queue.
@@ -49,6 +63,24 @@ type selection struct {
 	// Sample-side statics retained for the equivalence tests.
 	theta float64
 	freqS func(ids []uint32) int
+
+	// Record-shard state for parallel batch removal (see removeBatch):
+	// records are partitioned into `shards` contiguous ranges of
+	// shardSize; shard workers accumulate per-query deltas privately and
+	// a single-writer merge applies them. Allocated lazily on the first
+	// batch big enough to shard.
+	shards     int
+	shardSize  int
+	shardState []selShard
+}
+
+// selShard is one record shard's private removal scratch.
+type selShard struct {
+	dFreq   []int32  // per-query freqD decrements of the current batch
+	dMatch  []int32  // per-query matchS decrements
+	dirty   []uint32 // queries touched this batch (dFreq[q] > 0)
+	removed int      // records this shard removed this batch
+	entries int      // forward-index entries dropped this batch
 }
 
 // selectionStats carries the sample-side inputs of newSelection.
@@ -63,16 +95,32 @@ type selectionStats struct {
 // resolution, per-record count precomputation) are pure per-item
 // functions over disjoint outputs, so the result is identical for any
 // worker count.
-func newSelection(env *Env, pool *querypool.Pool, ss selectionStats, workers int, benefitOf func(*qstate) float64) *selection {
+func newSelection(env *Env, pool *querypool.Pool, ss selectionStats, workers, shards int, benefitOf func(*qstate) float64) *selection {
 	dict := pool.Dict
-	invD := index.BuildInvertedIDsObs(env.Local.Records, env.Tokenizer, dict, workers, env.Obs)
 
+	// q(D) resolution source: an opened corpus cache replaces the heap
+	// index build entirely — postings are read (block-decoded) straight
+	// out of the mapped file, so setup memory no longer carries the
+	// posting lists. Both indexes intersect the same sorted postings, so
+	// the resolved q(D) slices are identical byte for byte.
+	var invD idLookup
+	if env.Corpus != nil {
+		invD = env.Corpus.Inv
+	} else {
+		invD = index.BuildInvertedIDsObs(env.Local.Records, env.Tokenizer, dict, workers, env.Obs)
+	}
+
+	if shards < 1 {
+		shards = 1
+	}
 	sel := &selection{
 		states:     make([]*qstate, pool.Len()),
 		heap:       lazyheap.NewN(pool.Len()),
 		fwd:        index.NewForwardDense(env.Local.Len()),
 		considered: make([]bool, env.Local.Len()),
 		remaining:  env.Local.Len(),
+		shards:     shards,
+		shardSize:  (env.Local.Len() + shards - 1) / shards,
 	}
 	for i := range sel.considered {
 		sel.considered[i] = true
@@ -209,6 +257,101 @@ func (sel *selection) remove(d int) {
 		}
 		sel.heap.Invalidate(int(qid))
 	}
+}
+
+// removeBatch removes a set of record IDs (duplicates and already-removed
+// IDs are fine). Small batches run the sequential remove loop; large ones
+// fan out across the record shards — each shard worker removes only the
+// records of its own contiguous range, accumulating freqD/matchS
+// decrements in private per-query delta arrays, and a single-writer merge
+// then applies the deltas and invalidates heap entries.
+//
+// The sharded path is byte-identical to the sequential one at any shard
+// count: each record is removed by exactly one owner, the per-query
+// deltas are sums of integers (order-independent), issued queries are
+// skipped at merge time exactly as remove() skips them, and
+// lazyheap.Invalidate is an idempotent dirty bit — so the post-batch
+// selection state, and therefore every subsequent pop, is the same.
+func (sel *selection) removeBatch(ds []int) {
+	sel.removeBatchFunc(len(ds), func(i int) int { return ds[i] })
+}
+
+// removeBatchU32 is removeBatch over a []uint32 ID slice (a query's qD).
+func (sel *selection) removeBatchU32(ds []uint32) {
+	sel.removeBatchFunc(len(ds), func(i int) int { return int(ds[i]) })
+}
+
+func (sel *selection) removeBatchFunc(n int, at func(int) int) {
+	if sel.shards <= 1 || n < selShardMinBatch {
+		for i := 0; i < n; i++ {
+			sel.remove(at(i))
+		}
+		return
+	}
+	if sel.shardState == nil {
+		sel.shardState = make([]selShard, sel.shards)
+		for s := range sel.shardState {
+			sel.shardState[s].dFreq = make([]int32, len(sel.states))
+			sel.shardState[s].dMatch = make([]int32, len(sel.states))
+		}
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < sel.shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sh := &sel.shardState[s]
+			lo, hi := s*sel.shardSize, (s+1)*sel.shardSize
+			for i := 0; i < n; i++ {
+				d := at(i)
+				if d < lo || d >= hi || !sel.considered[d] {
+					continue
+				}
+				sel.considered[d] = false
+				sh.removed++
+				list := sel.fwd.Take(d)
+				sh.entries += len(list)
+				var cnts []int32
+				if sel.fwdCnt != nil {
+					cnts = sel.fwdCnt[d]
+					sel.fwdCnt[d] = nil
+				}
+				for j, qid := range list {
+					if sh.dFreq[qid] == 0 {
+						sh.dirty = append(sh.dirty, qid)
+					}
+					sh.dFreq[qid]++
+					if cnts != nil {
+						sh.dMatch[qid] += cnts[j]
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	// Single-writer merge, shard-major. Per-shard dirty lists may overlap;
+	// the sums commute, so application order cannot matter.
+	removed, entries := 0, 0
+	for s := range sel.shardState {
+		sh := &sel.shardState[s]
+		removed += sh.removed
+		entries += sh.entries
+		sh.removed, sh.entries = 0, 0
+		for _, qid := range sh.dirty {
+			df, dm := sh.dFreq[qid], sh.dMatch[qid]
+			sh.dFreq[qid], sh.dMatch[qid] = 0, 0
+			st := sel.states[qid]
+			if st == nil || st.issued {
+				continue
+			}
+			st.freqD -= int(df)
+			st.matchS -= int(dm)
+			sel.heap.Invalidate(int(qid))
+		}
+		sh.dirty = sh.dirty[:0]
+	}
+	sel.fwd.DropEntries(entries)
+	sel.remaining -= removed
 }
 
 // recompute refreshes st's live statistics from the considered set — the

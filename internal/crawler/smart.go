@@ -79,6 +79,15 @@ type SmartConfig struct {
 	// (every query of a batch gets its own goroutine). Selection quality
 	// is governed by BatchSize alone.
 	Concurrency int
+	// Shards partitions the local records into this many contiguous
+	// shards for parallel batch removal (resume replay, coverage and §4.2
+	// ΔD removals run one shard worker per range with private per-query
+	// delta accumulators; see selection.removeBatch). Like Concurrency it
+	// is a pure wall-clock knob: the shard merge applies commutative
+	// integer deltas through a single writer, so coverage and the
+	// issued-query log are byte-identical for ANY shard count. 0 or 1
+	// keeps the sequential removal loop.
+	Shards int
 	// MaxAttempts > 0 enables graceful degradation: a query whose issue
 	// fails is re-queued into the selection pool (with its benefit
 	// recomputed against the current coverage) until it has failed
@@ -413,7 +422,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		// Pool resolution, the interned inverted/forward indexes, the
 		// precomputed sample-match counts, and the initial priorities —
 		// Figure 3's index structures on token IDs (see selection.go).
-		ir.sel = newSelection(env, pool, selectionStats{smp: h.Sample, joiner: t.joiner}, workers, ir.benefitOf)
+		ir.sel = newSelection(env, pool, selectionStats{smp: h.Sample, joiner: t.joiner}, workers, s.cfg.Shards, ir.benefitOf)
 		ir.rescore = func(qid int) (float64, bool) {
 			st := ir.sel.states[qid]
 			if st == nil || st.issued || st.freqD <= 0 {
@@ -452,13 +461,16 @@ func (s *Smart) Run(budget int) (*Result, error) {
 		}
 		// Replay coverage removals against every interface, then retire
 		// each step's query — and replay its §4.2 removals — against the
-		// interface that issued it.
+		// interface that issued it. Replay is the largest removal batch of
+		// a crawl's lifetime, so it benefits most from sharding.
+		coveredIDs := make([]int, 0, prev.CoveredCount)
 		for d, covered := range prev.Covered {
 			if covered {
-				for _, ir := range runs {
-					ir.sel.remove(d)
-				}
+				coveredIDs = append(coveredIDs, d)
 			}
+		}
+		for _, ir := range runs {
+			ir.sel.removeBatch(coveredIDs)
 		}
 		for _, step := range prev.Steps {
 			if step.Iface < 0 || step.Iface >= nIf {
@@ -480,9 +492,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 				ir.sel.heap.Invalidate(q.ID)
 			}
 			if step.ResultSize < ir.k && !s.cfg.DisableDeltaDRemoval {
-				for _, d := range st.qD {
-					ir.sel.remove(int(d))
-				}
+				ir.sel.removeBatchU32(st.qD)
 			}
 			// Replay the calibration observations so a resumed online
 			// crawl selects exactly as an uninterrupted one.
@@ -1069,10 +1079,8 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			}
 			// Coverage is global: a record covered through any interface
 			// leaves every interface's consideration set.
-			for _, d := range newly {
-				for _, r2 := range runs {
-					r2.sel.remove(d)
-				}
+			for _, r2 := range runs {
+				r2.sel.removeBatch(newly)
 			}
 			// §4.2 ΔD prediction: a solid query (result smaller than
 			// k) returns everything matching it, so any record of
@@ -1084,9 +1092,7 @@ func (s *Smart) Run(budget int) (*Result, error) {
 			solid := resultSize < ir.k
 			if solid && !s.cfg.DisableDeltaDRemoval {
 				if st != nil {
-					for _, d := range st.qD {
-						ir.sel.remove(int(d))
-					}
+					ir.sel.removeBatchU32(st.qD)
 				}
 			}
 		}

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"smartcrawl/internal/index"
+	"smartcrawl/internal/relational"
+	"smartcrawl/internal/tokenize"
+)
+
+// openOrBuildCorpus resolves Request.CorpusCache: an existing cache file
+// is opened (checksum-verified and memory-mapped where the platform
+// supports it); a missing one is first built by streaming the local
+// table through the bounded-memory ingester. Either way the returned
+// handle is validated against the table it is supposed to index — a
+// cache built over a different table would silently corrupt selection,
+// so a record-count mismatch is a hard error telling the operator to
+// delete the stale file.
+func openOrBuildCorpus(path string, local *relational.Table, tk *tokenize.Tokenizer, log io.Writer) (*index.CorpusFile, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		b := index.NewCorpusBuilder(index.IngestConfig{})
+		for id, r := range local.Records {
+			if err := b.AddRecord(id, r.Tokens(tk)); err != nil {
+				return nil, fmt.Errorf("engine: building corpus cache: %w", err)
+			}
+		}
+		if err := b.Finalize(path); err != nil {
+			return nil, fmt.Errorf("engine: building corpus cache: %w", err)
+		}
+		fmt.Fprintf(log, "corpus cache built: %s (%d records, %d terms, %d spill runs)\n",
+			path, b.Records(), b.Vocab(), b.Spills())
+	} else if err != nil {
+		return nil, fmt.Errorf("engine: corpus cache: %w", err)
+	}
+	cf, err := index.OpenCorpus(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: opening corpus cache: %w", err)
+	}
+	if cf.Records() != local.Len() {
+		cf.Close()
+		return nil, fmt.Errorf("engine: corpus cache %s indexes %d records but the local table has %d — stale cache, delete it to rebuild",
+			path, cf.Records(), local.Len())
+	}
+	fmt.Fprintf(log, "corpus cache: %s (%d records, mapped=%t)\n", path, cf.Records(), cf.Mapped())
+	return cf, nil
+}

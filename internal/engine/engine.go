@@ -200,6 +200,18 @@ func Run(req *Request) (*Outcome, error) {
 		OnStep:    req.OnStep,
 	}
 
+	// Out-of-core corpus: open (or build, then open) the on-disk index
+	// and route selection and pool generation through it. Byte-identical
+	// to the in-memory path — DESIGN.md "Out-of-core corpus".
+	if req.CorpusCache != "" {
+		cf, err := openOrBuildCorpus(req.CorpusCache, local, tk, log)
+		if err != nil {
+			return nil, err
+		}
+		defer cf.Close()
+		env.Corpus = cf
+	}
+
 	// Durability: with a checkpoint, prior state (snapshot + journal) is
 	// recovered through the durable sink, which also journals this run.
 	var (
@@ -284,12 +296,24 @@ func Run(req *Request) (*Outcome, error) {
 		ResumePending: pending,
 		BatchSize:     batch,
 		Concurrency:   req.Workers,
+		Shards:        req.Shards,
 		MaxAttempts:   maxAttempts,
 		Breaker:       brk,
 		Context:       req.Context,
 		Deadline:      req.Deadline,
 		QueryTimeout:  req.QueryTimeout,
 		RetryBudget:   req.RetryBudget,
+	}
+	if env.Corpus != nil {
+		// Pool generation reuses the cache's dictionary instead of
+		// re-scanning the table; with PoolSample set it mines a reservoir
+		// sample and recounts supports exactly against the mapped index.
+		cfg.PoolConfig.Dict = env.Corpus.Dict
+		if req.PoolSample > 0 {
+			cfg.PoolConfig.SampleSize = req.PoolSample
+			cfg.PoolConfig.SampleSeed = req.Seed
+			cfg.PoolConfig.Count = env.Corpus.Inv.Count
+		}
 	}
 	if req.Health {
 		h := crawler.DefaultHealthConfig()

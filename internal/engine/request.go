@@ -58,6 +58,26 @@ type Request struct {
 	Batch   int    // queries selected per round; 0 defaults to Workers
 	Seed    uint64 // sampling / baseline seed
 
+	// CorpusCache, when set, is the path of the on-disk corpus cache for
+	// Local (dictionary + block-compressed inverted index, docs/DESIGN.md
+	// "Out-of-core corpus"). An existing cache is verified and
+	// memory-mapped; a missing one is built first by streaming Local
+	// through the bounded-memory ingester. Selection then resolves q(D)
+	// through the mapped index instead of building one on the heap —
+	// results are byte-identical to the in-memory path.
+	CorpusCache string
+	// Shards partitions record-side selection state across this many
+	// shards processed in parallel during batch removal — a wall-clock
+	// knob for large local tables. Results are byte-identical at any
+	// value; 0 or 1 keeps sequential removal.
+	Shards int
+	// PoolSample, when > 0, mines the query pool over a reservoir sample
+	// of this many records (seeded by Seed) with every candidate's
+	// support recounted exactly against the corpus index, instead of
+	// running FP-Growth over the full table. Requires CorpusCache (the
+	// recount runs against its index).
+	PoolSample int
+
 	Rate    float64 // client-side polite rate, queries/sec; 0 unpaced
 	Burst   int     // token-bucket burst (with Rate)
 	Retries int     // transient-failure retries per query
@@ -200,6 +220,15 @@ func (req *Request) Validate() error {
 	}
 	if req.Health && req.Interfaces == "" {
 		return errors.New("engine: Health scoring requires a federated crawl (Interfaces)")
+	}
+	if req.Shards < 0 {
+		return errors.New("engine: Shards must be >= 0")
+	}
+	if req.PoolSample < 0 {
+		return errors.New("engine: PoolSample must be >= 0")
+	}
+	if req.PoolSample > 0 && req.CorpusCache == "" {
+		return errors.New("engine: PoolSample requires CorpusCache (exact supports are recounted against its index)")
 	}
 	if req.WAL != "" && req.Checkpoint == "" {
 		return errors.New("engine: WAL requires Checkpoint (the journal compacts into it)")

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"smartcrawl/internal/crawler"
+	"smartcrawl/internal/estimator"
+	"smartcrawl/internal/index"
+)
+
+// ScaleSweep extends the determinism oracle to the out-of-core axes: for
+// each corpus size it runs the same crawl over every combination of
+// index backing (heap-built vs memory-mapped corpus cache) and shard
+// count, and fails loudly unless every cell reproduces the reference
+// cell's issued-query log and coverage byte for byte. The corpus cache
+// is built through the production streaming ingester (spill + k-way
+// merge), so the sweep also exercises the bounded-memory build path.
+//
+// Like ParallelCrawl, the wall-clock column is machine-dependent; the
+// invariant columns (coverage, queries) are the signal — they must not
+// move across any row of the same corpus size.
+func ScaleSweep(p Params) (*Table, error) {
+	dir, err := os.MkdirTemp("", "smartcrawl-scale-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// The sweep compares equivalence, not coverage curves: cap the budget
+	// so the 2× corpus finishes quickly while still issuing enough
+	// queries for a log divergence to have somewhere to show up.
+	factors := []float64{0.5, 1, 2}
+	t := &Table{
+		Title:  "Extension: out-of-core corpus — mapped index × shards equivalence sweep",
+		Header: []string{"corpus", "|D|", "index", "shards", "coverage", "queries", "wall-clock", "cache bytes"},
+	}
+	for _, f := range factors {
+		pp := p
+		pp.CorpusSize = int(float64(p.CorpusSize) * f)
+		pp.HiddenSize = int(float64(p.HiddenSize) * f)
+		pp.LocalSize = int(float64(p.LocalSize) * f)
+		pp.Budget = pp.LocalSize / 5
+		if pp.Budget > 200 {
+			pp.Budget = 200
+		}
+		s, err := NewDBLPSetup(pp)
+		if err != nil {
+			return nil, err
+		}
+
+		// Build the on-disk cache through the streaming ingester — the
+		// same path `smartcrawl -corpus-cache` takes for a missing file.
+		path := filepath.Join(dir, fmt.Sprintf("corpus_%dk.scorp", pp.CorpusSize/1000))
+		b := index.NewCorpusBuilder(index.IngestConfig{TmpDir: dir})
+		for id, r := range s.Instance.Local.Records {
+			if err := b.AddRecord(id, r.Tokens(s.Tok)); err != nil {
+				return nil, err
+			}
+		}
+		if err := b.Finalize(path); err != nil {
+			return nil, err
+		}
+		cf, err := index.OpenCorpus(path)
+		if err != nil {
+			return nil, err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			cf.Close()
+			return nil, err
+		}
+
+		run := func(mapped bool, shards int) (*crawler.Result, time.Duration, error) {
+			env := s.Env()
+			cfg := crawler.SmartConfig{
+				Sample: s.Sample, Estimator: estimator.Biased{}, AlphaFallback: true,
+				Shards: shards,
+			}
+			if mapped {
+				env.Corpus = cf
+				cfg.PoolConfig.Dict = cf.Dict
+			}
+			c, err := crawler.NewSmart(env, cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			start := time.Now()
+			res, err := c.Run(pp.Budget)
+			return res, time.Since(start), err
+		}
+		logOf := func(res *crawler.Result) string {
+			keys := make([]string, len(res.Steps))
+			for i, step := range res.Steps {
+				keys[i] = step.Query.Key()
+			}
+			return strings.Join(keys, "\n")
+		}
+
+		cells := []struct {
+			mapped bool
+			shards int
+		}{
+			{false, 1}, // reference: in-memory, sequential
+			{true, 1},
+			{false, 4},
+			{true, 4},
+		}
+		var refLog string
+		var refCov int
+		for i, cell := range cells {
+			res, elapsed, err := run(cell.mapped, cell.shards)
+			if err != nil {
+				cf.Close()
+				return nil, err
+			}
+			cov := s.TruthCoverage(res)
+			if i == 0 {
+				refLog, refCov = logOf(res), cov
+			} else if log := logOf(res); log != refLog || cov != refCov {
+				cf.Close()
+				return nil, fmt.Errorf("experiment: scale sweep diverged at corpus=%d mapped=%t shards=%d: coverage %d vs %d, log match %t",
+					pp.CorpusSize, cell.mapped, cell.shards, cov, refCov, log == refLog)
+			}
+			backing := "heap"
+			cacheBytes := "-"
+			if cell.mapped {
+				backing = "mapped"
+				cacheBytes = fmt.Sprintf("%d", st.Size())
+			}
+			t.AddRow(pp.CorpusSize, pp.LocalSize, backing, cell.shards,
+				cov, res.QueriesIssued, elapsed.Round(time.Millisecond), cacheBytes)
+		}
+		cf.Close()
+	}
+	t.Notes = append(t.Notes,
+		"every (index, shards) cell is asserted byte-identical to the heap/sequential reference — a divergence fails the run;",
+		"the cache is built by the streaming ingester (bounded memory, spill + merge), the same path as smartcrawl -corpus-cache")
+	return t, nil
+}

@@ -1,0 +1,131 @@
+package index
+
+// The block posting codec behind the out-of-core corpus path: a posting
+// list is split into blocks of at most PostingBlockSize ascending record
+// IDs, each stored as a varint d-gap payload plus a fixed-size skip entry
+// {first, last, offset, count, bytes}. The skip entries stay in memory
+// (≈16 bytes per 128 postings) while the payloads live in one shared
+// byte buffer — a heap slice for the in-memory index, a memory-mapped
+// file region for the on-disk one — so the rarest-first merge/gallop
+// intersection kernels can skip whole blocks (sk.last < candidate)
+// without ever decoding them.
+//
+// Decoding validates the block structurally: exact payload length, exact
+// ID count, strictly ascending IDs, and a final ID matching the skip
+// entry. Any byte-level truncation or splice inside a block therefore
+// fails loudly instead of silently shortening a posting list.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PostingBlockSize is the maximum number of record IDs per posting block.
+// 128 keeps a decoded block in two cache lines' worth of uint32s and the
+// skip-table overhead at ~1/32 of the payload.
+const PostingBlockSize = 128
+
+// blockSkip is the in-memory skip entry of one posting block.
+type blockSkip struct {
+	first uint32 // the block's first record ID (not in the payload)
+	last  uint32 // the block's final record ID (validated on decode)
+	off   uint32 // payload byte offset into the shared data buffer
+	n     uint16 // record IDs in the block, 1..PostingBlockSize
+	blen  uint16 // payload length in bytes
+}
+
+// blockSkipBytes is the on-disk encoding width of one skip entry.
+const blockSkipBytes = 16
+
+// appendPostingBlocks encodes the sorted, duplicate-free posting list ids
+// as d-gap blocks appended to data, with one skip entry per block appended
+// to skips. The first ID of each block lives only in its skip entry; the
+// payload holds the n-1 gaps that follow. Panics on unsorted or duplicate
+// input — builder-side misuse, not data corruption.
+func appendPostingBlocks(data []byte, skips []blockSkip, ids []uint32) ([]byte, []blockSkip) {
+	var buf [binary.MaxVarintLen32]byte
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > PostingBlockSize {
+			n = PostingBlockSize
+		}
+		blk := ids[:n]
+		ids = ids[n:]
+		off := len(data)
+		prev := blk[0]
+		for _, id := range blk[1:] {
+			if id <= prev {
+				panic(fmt.Sprintf("index: posting list not strictly ascending (%d after %d)", id, prev))
+			}
+			w := binary.PutUvarint(buf[:], uint64(id-prev))
+			data = append(data, buf[:w]...)
+			prev = id
+		}
+		skips = append(skips, blockSkip{
+			first: blk[0],
+			last:  blk[n-1],
+			off:   uint32(off),
+			n:     uint16(n),
+			blen:  uint16(len(data) - off),
+		})
+	}
+	return data, skips
+}
+
+// decodePostingBlock decodes the block described by sk from the shared
+// buffer into dst (reused when capacity allows) and returns the decoded
+// IDs. Corruption — a payload that is truncated, over-long, non-ascending,
+// or ends on the wrong ID — returns a descriptive error and never a
+// partial list.
+func decodePostingBlock(dst []uint32, data []byte, sk blockSkip) ([]uint32, error) {
+	if sk.n == 0 {
+		return nil, fmt.Errorf("index: corrupt posting block: zero-length block")
+	}
+	end := int(sk.off) + int(sk.blen)
+	if int(sk.off) > len(data) || end > len(data) {
+		return nil, fmt.Errorf("index: corrupt posting block: payload [%d:%d) outside %d-byte buffer",
+			sk.off, end, len(data))
+	}
+	payload := data[sk.off:end]
+	dst = append(dst[:0], sk.first)
+	cur := uint64(sk.first)
+	for len(dst) < int(sk.n) {
+		gap, w := binary.Uvarint(payload)
+		if w <= 0 {
+			return nil, fmt.Errorf("index: corrupt posting block: truncated varint at id %d/%d", len(dst), sk.n)
+		}
+		payload = payload[w:]
+		if gap == 0 {
+			return nil, fmt.Errorf("index: corrupt posting block: zero gap at id %d/%d", len(dst), sk.n)
+		}
+		cur += gap
+		if cur > maxRecordID {
+			return nil, fmt.Errorf("index: corrupt posting block: id overflow (%d)", cur)
+		}
+		dst = append(dst, uint32(cur))
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("index: corrupt posting block: %d trailing payload bytes", len(payload))
+	}
+	if dst[len(dst)-1] != sk.last {
+		return nil, fmt.Errorf("index: corrupt posting block: final id %d, skip entry says %d",
+			dst[len(dst)-1], sk.last)
+	}
+	return dst, nil
+}
+
+// maxRecordID bounds decoded record IDs; gaps that push past it indicate a
+// corrupt payload rather than a real corpus (record IDs are dense).
+const maxRecordID = 1<<32 - 1
+
+// mustDecodePostingBlock is decodePostingBlock for the lookup hot path:
+// the file's checksums were verified at open and the in-memory builder
+// cannot produce corrupt blocks, so a decode failure here means the
+// buffer changed underneath us — fail loudly.
+func mustDecodePostingBlock(dst []uint32, data []byte, sk blockSkip) []uint32 {
+	out, err := decodePostingBlock(dst, data, sk)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package index
+
+// External-sort corpus ingestion: the bounded-memory path from a record
+// stream to a corpus cache. One pass over the records tokenizes and
+// interns into a provisional (first-seen-order) dictionary while packing
+// (provisional token, record) postings into a fixed-capacity buffer;
+// full buffers are sorted and spilled as runs. Finalize then
+//
+//  1. freezes the vocabulary, sorts it, and builds the permutation from
+//     provisional to final (lexicographic) token IDs — the same ID order
+//     BuildDict and querypool.Generate produce, so a cache built here is
+//     bit-compatible with the in-memory index;
+//  2. rewrites each spilled run with final IDs, re-sorted — every run fit
+//     the posting buffer when it was spilled, so this reload stays inside
+//     the same memory budget;
+//  3. k-way-merges the runs straight into a CorpusWriter, which emits
+//     each 128-ID block as it fills.
+//
+// Peak memory is therefore O(buffer + vocabulary + skip entries),
+// independent of the number of postings.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"sort"
+
+	"smartcrawl/internal/tokenize"
+)
+
+// DefaultMaxBufferedPostings bounds the in-memory posting buffer at
+// 2^21 packed pairs — 16 MiB — when IngestConfig leaves it zero.
+const DefaultMaxBufferedPostings = 1 << 21
+
+// IngestConfig parameterizes a CorpusBuilder.
+type IngestConfig struct {
+	// TmpDir receives the spill runs; empty uses os.TempDir().
+	TmpDir string
+	// MaxBufferedPostings caps the in-memory (token,record) buffer; a
+	// full buffer is sorted and spilled. Zero means
+	// DefaultMaxBufferedPostings.
+	MaxBufferedPostings int
+}
+
+// CorpusBuilder accumulates a corpus one record at a time and writes a
+// corpus cache without ever materializing the full inverted index.
+type CorpusBuilder struct {
+	cfg     IngestConfig
+	dict    *tokenize.Dict // provisional first-seen-order IDs
+	pairs   []uint64       // provID<<32 | recordID
+	runs    []string
+	records int
+	lastID  int64
+	spilled uint64
+	failed  error
+}
+
+// NewCorpusBuilder returns a builder with the given spill configuration.
+func NewCorpusBuilder(cfg IngestConfig) *CorpusBuilder {
+	if cfg.MaxBufferedPostings <= 0 {
+		cfg.MaxBufferedPostings = DefaultMaxBufferedPostings
+	}
+	// A spill run must survive a full reload at Finalize, so the cap also
+	// bounds that reload; keep a sane floor for pathological configs.
+	if cfg.MaxBufferedPostings < 1024 {
+		cfg.MaxBufferedPostings = 1024
+	}
+	return &CorpusBuilder{
+		cfg:    cfg,
+		dict:   tokenize.NewDict(),
+		lastID: -1,
+	}
+}
+
+// AddRecord ingests one record's token list (duplicates allowed; they
+// collapse in the merge). Record IDs must arrive strictly ascending —
+// they become the posting payloads and the index requires density in
+// spirit and order in fact.
+func (b *CorpusBuilder) AddRecord(id int, tokens []string) error {
+	if b.failed != nil {
+		return b.failed
+	}
+	if int64(id) <= b.lastID {
+		return fmt.Errorf("index: ingest record IDs must ascend (%d after %d)", id, b.lastID)
+	}
+	if id > maxRecordID {
+		return fmt.Errorf("index: record ID %d exceeds uint32", id)
+	}
+	b.lastID = int64(id)
+	b.records++
+	for _, w := range tokens {
+		prov := b.dict.Intern(w)
+		b.pairs = append(b.pairs, uint64(prov)<<32|uint64(uint32(id)))
+		if len(b.pairs) >= b.cfg.MaxBufferedPostings {
+			if err := b.spill(); err != nil {
+				b.failed = err
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Records returns the number of records ingested so far.
+func (b *CorpusBuilder) Records() int { return b.records }
+
+// Vocab returns the provisional vocabulary size so far.
+func (b *CorpusBuilder) Vocab() int { return b.dict.Len() }
+
+// Spills returns how many runs have been written to disk — the
+// observable knob for ingestion tests and the scale experiment.
+func (b *CorpusBuilder) Spills() int { return len(b.runs) }
+
+func (b *CorpusBuilder) spill() error {
+	if len(b.pairs) == 0 {
+		return nil
+	}
+	slices.Sort(b.pairs)
+	dir := b.cfg.TmpDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "smartcrawl-run-*.spill")
+	if err != nil {
+		return err
+	}
+	if err := writeRun(f, b.pairs); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	b.runs = append(b.runs, f.Name())
+	b.spilled += uint64(len(b.pairs))
+	b.pairs = b.pairs[:0]
+	return nil
+}
+
+func writeRun(w io.Writer, pairs []uint64) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var buf [8]byte
+	for _, p := range pairs {
+		binary.LittleEndian.PutUint64(buf[:], p)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func readRun(path string, into []uint64) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	into = into[:0]
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if err == io.EOF {
+				return into, nil
+			}
+			return nil, err
+		}
+		into = append(into, binary.LittleEndian.Uint64(buf[:]))
+	}
+}
+
+// Finalize freezes the vocabulary, rewrites the spilled runs under final
+// token IDs, merges everything into a corpus cache at path, and removes
+// the temporaries. The builder is unusable afterwards.
+func (b *CorpusBuilder) Finalize(path string) (err error) {
+	if b.failed != nil {
+		return b.failed
+	}
+	defer func() {
+		for _, r := range b.runs {
+			os.Remove(r)
+		}
+		b.failed = fmt.Errorf("index: Finalize already ran")
+	}()
+
+	// Final IDs are positions in the sorted vocabulary — identical to
+	// BuildDict over the same corpus, which is what keeps cache-built and
+	// in-memory-built indexes byte-compatible.
+	b.dict.Freeze()
+	prov := make([]string, b.dict.Len())
+	for i := range prov {
+		prov[i] = b.dict.Word(uint32(i))
+	}
+	sorted := append([]string(nil), prov...)
+	sort.Strings(sorted)
+	final := tokenize.BuildDict(sorted)
+	perm := make([]uint32, len(prov))
+	for provID, w := range prov {
+		id, _ := final.ID(w)
+		perm[provID] = id
+	}
+
+	remap := func(pairs []uint64) {
+		for i, p := range pairs {
+			pairs[i] = uint64(perm[p>>32])<<32 | (p & 0xffffffff)
+		}
+		slices.Sort(pairs)
+	}
+
+	remap(b.pairs)
+	scratch := make([]uint64, 0, b.cfg.MaxBufferedPostings)
+	for _, run := range b.runs {
+		scratch, err = readRun(run, scratch)
+		if err != nil {
+			return err
+		}
+		remap(scratch)
+		f, err := os.Create(run) // rewrite in place
+		if err != nil {
+			return err
+		}
+		if err := writeRun(f, scratch); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	cw, err := NewCorpusWriter(path, final, b.records)
+	if err != nil {
+		return err
+	}
+	if err := b.merge(cw); err != nil {
+		cw.fail(err)
+		return err
+	}
+	return cw.Finish()
+}
+
+// pairSource yields ascending packed pairs from one run (or the resident
+// buffer).
+type pairSource struct {
+	mem []uint64
+	br  *bufio.Reader
+	f   *os.File
+	cur uint64
+	ok  bool
+}
+
+func (s *pairSource) next() {
+	if s.br != nil {
+		var buf [8]byte
+		if _, err := io.ReadFull(s.br, buf[:]); err != nil {
+			s.ok = false
+			return
+		}
+		s.cur = binary.LittleEndian.Uint64(buf[:])
+		return
+	}
+	if len(s.mem) == 0 {
+		s.ok = false
+		return
+	}
+	s.cur = s.mem[0]
+	s.mem = s.mem[1:]
+}
+
+func (b *CorpusBuilder) merge(cw *CorpusWriter) error {
+	srcs := make([]*pairSource, 0, len(b.runs)+1)
+	defer func() {
+		for _, s := range srcs {
+			if s.f != nil {
+				s.f.Close()
+			}
+		}
+	}()
+	if len(b.pairs) > 0 {
+		srcs = append(srcs, &pairSource{mem: b.pairs, ok: true})
+	}
+	for _, run := range b.runs {
+		f, err := os.Open(run)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, &pairSource{f: f, br: bufio.NewReaderSize(f, 1<<20), ok: true})
+	}
+	// Prime and heapify on cur; the heap pops the globally smallest pair,
+	// which is exactly the (token, record) order CorpusWriter.Add wants.
+	heap := make([]*pairSource, 0, len(srcs))
+	for _, s := range srcs {
+		s.next()
+		if s.ok {
+			heap = append(heap, s)
+			up(heap, len(heap)-1)
+		}
+	}
+	for len(heap) > 0 {
+		s := heap[0]
+		if err := cw.Add(uint32(s.cur>>32), uint32(s.cur)); err != nil {
+			return err
+		}
+		s.next()
+		if !s.ok {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		if len(heap) > 0 {
+			down(heap, 0)
+		}
+	}
+	return nil
+}
+
+func up(h []*pairSource, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].cur <= h[i].cur {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func down(h []*pairSource, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h[l].cur < h[m].cur {
+			m = l
+		}
+		if r < len(h) && h[r].cur < h[m].cur {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

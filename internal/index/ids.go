@@ -298,6 +298,20 @@ func (f *ForwardDense) Remove(rid int) []uint32 {
 	return l
 }
 
+// Take is Remove without the shared entry-counter update — the race-free
+// form for shard-parallel batch removal, where each shard owns a disjoint
+// record range but the counter is shared. The caller settles the counter
+// once per batch with DropEntries.
+func (f *ForwardDense) Take(rid int) []uint32 {
+	l := f.lists[rid]
+	f.lists[rid] = nil
+	return l
+}
+
+// DropEntries subtracts n entries from the total, balancing a batch of
+// Take calls.
+func (f *ForwardDense) DropEntries(n int) { f.entries -= n }
+
 // Len returns the number of records with live forward lists.
 func (f *ForwardDense) Len() int {
 	n := 0

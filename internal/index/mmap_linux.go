@@ -1,0 +1,21 @@
+//go:build linux
+
+package index
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The third return reports a
+// real mapping (true here); the returned release func unmaps.
+func mmapFile(f *os.File, size int) ([]byte, func() error, bool, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, true, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, true, nil
+}

@@ -84,12 +84,23 @@ type Spec struct {
 	Fuzzy        float64 `json:"fuzzy,omitempty"`
 	Enrich       string  `json:"enrich,omitempty"` // comma-separated hidden columns
 
-	Workers int     `json:"workers,omitempty"` // per-crawl pipeline workers
-	Batch   int     `json:"batch,omitempty"`
-	Seed    uint64  `json:"seed,omitempty"`
-	Rate    float64 `json:"rate,omitempty"`
-	Burst   int     `json:"burst,omitempty"`
-	Retries int     `json:"retries,omitempty"`
+	Workers int    `json:"workers,omitempty"` // per-crawl pipeline workers
+	Batch   int    `json:"batch,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// CorpusCache, when true, builds (once, streaming) and memory-maps an
+	// on-disk corpus index in the job's state directory; selection then
+	// runs out-of-core with byte-identical results. The cache survives
+	// daemon restarts alongside the checkpoint.
+	CorpusCache bool `json:"corpus_cache,omitempty"`
+	// Shards partitions record-side selection state for parallel batch
+	// removal; byte-identical results at any value, 0/1 = sequential.
+	Shards int `json:"shards,omitempty"`
+	// PoolSample mines the query pool over a reservoir sample of N
+	// records with exact support recounting (requires corpus_cache).
+	PoolSample int     `json:"pool_sample,omitempty"`
+	Rate       float64 `json:"rate,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+	Retries    int     `json:"retries,omitempty"`
 
 	Faults      string `json:"faults,omitempty"`
 	FaultSeed   uint64 `json:"fault_seed,omitempty"`
@@ -148,6 +159,11 @@ func (sp *Spec) Request(local *relational.Table, dir string) *engine.Request {
 	if sp.Workers != 0 {
 		req.Workers = sp.Workers
 	}
+	if sp.CorpusCache {
+		req.CorpusCache = filepath.Join(dir, "corpus.scorp")
+	}
+	req.Shards = sp.Shards
+	req.PoolSample = sp.PoolSample
 	req.Batch = sp.Batch
 	if sp.Seed != 0 {
 		req.Seed = sp.Seed

@@ -14,6 +14,7 @@ import (
 	"smartcrawl/internal/deepweb"
 	"smartcrawl/internal/freqmine"
 	"smartcrawl/internal/relational"
+	"smartcrawl/internal/stats"
 	"smartcrawl/internal/tokenize"
 )
 
@@ -56,6 +57,32 @@ type Config struct {
 	// and query IDs — is identical for any worker count. 0 or 1 mines
 	// sequentially.
 	Workers int
+
+	// Dict, when non-nil, is a pre-built frozen corpus dictionary (for
+	// example from an opened corpus cache) and replaces the corpus
+	// vocabulary scan. It must cover every token of the local records —
+	// BuildDict over the sorted corpus vocabulary does by construction.
+	Dict *tokenize.Dict
+
+	// SampleSize, when > 0 and smaller than the corpus, switches mining
+	// to the out-of-core mode: FP-Growth runs over a deterministic
+	// reservoir sample of SampleSize records (seeded by SampleSeed) at a
+	// proportionally scaled support threshold, and every candidate's
+	// support is then recounted exactly through Count, keeping only
+	// queries with true |q(D)| ≥ MinSupport. Peak mining memory becomes
+	// O(SampleSize), independent of the corpus. Sampling bounds recall,
+	// not precision: an itemset frequent in D but absent from the sample
+	// is missed (the scaled threshold keeps 20% slack to make that rare),
+	// while every query kept has its exact corpus support.
+	SampleSize int
+	// SampleSeed seeds the reservoir sample; the pool is a pure function
+	// of (corpus, Config), so equal seeds give byte-identical pools.
+	SampleSeed uint64
+	// Count recounts a candidate's exact corpus support |q(D)| given its
+	// sorted token IDs — typically CompressedInvertedIDs.Count of the
+	// corpus cache. Required for sampled mining; without it the sample
+	// supports are used as-is (scaled threshold, approximate).
+	Count func(q []uint32) int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,8 +157,28 @@ func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool
 	// The corpus scan comes first so the frozen dictionary exists before
 	// any query is added: every pool keyword — naive queries draw theirs
 	// from record documents, mined queries from the transaction items —
-	// is in the vocabulary, so resolution below can never fail.
-	dict, txs := tokenTransactions(local, tk)
+	// is in the vocabulary, so resolution below can never fail. A
+	// pre-built dictionary (corpus cache) skips the scan.
+	dict := cfg.Dict
+	if dict == nil {
+		dict = scanDict(local, tk)
+	}
+
+	// Sampled mining: transactions come from a reservoir sample and the
+	// support threshold scales with the sampling fraction (with slack, so
+	// borderline-frequent itemsets still surface for the exact recount).
+	mineRecs := local.Records
+	minSupport := cfg.MinSupport
+	sampled := cfg.SampleSize > 0 && cfg.SampleSize < len(local.Records)
+	if sampled {
+		mineRecs = reservoirSample(local.Records, cfg.SampleSize, cfg.SampleSeed)
+		frac := float64(cfg.SampleSize) / float64(len(local.Records))
+		minSupport = int(0.8 * float64(cfg.MinSupport) * frac)
+		if minSupport < 1 {
+			minSupport = 1
+		}
+	}
+	txs := transactionsUnder(dict, mineRecs, tk)
 	p := &Pool{Dict: dict, byKey: make(map[string]int)}
 
 	add := func(q deepweb.Query, naive bool, src int) {
@@ -169,10 +216,30 @@ func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool
 
 	// Principle 2: frequent queries with |q(D)| ≥ t, dominance-pruned.
 	mined := freqmine.MineFPGrowth(txs, freqmine.Config{
-		MinSupport: cfg.MinSupport,
+		MinSupport: minSupport,
 		MaxLen:     cfg.MaxQueryLen,
 		Workers:    cfg.Workers,
 	})
+	if sampled && cfg.Count != nil {
+		// Exact recount against the full corpus index: sample supports
+		// become true |q(D)| values, and candidates below the real
+		// threshold drop out. Closedness (dominance pruning) below then
+		// operates on exact supports, as the paper defines it.
+		exact := mined[:0]
+		ids := make([]uint32, 0, cfg.MaxQueryLen)
+		for _, s := range mined {
+			ids = ids[:0]
+			for _, it := range s.Items {
+				ids = append(ids, uint32(it))
+			}
+			sortU32Small(ids)
+			if sup := cfg.Count(ids); sup >= cfg.MinSupport {
+				s.Support = sup
+				exact = append(exact, s)
+			}
+		}
+		mined = exact
+	}
 	for _, s := range freqmine.FilterClosed(mined) {
 		words := make([]string, len(s.Items))
 		for i, it := range s.Items {
@@ -184,11 +251,12 @@ func Generate(local *relational.Table, tk *tokenize.Tokenizer, cfg Config) *Pool
 	return p
 }
 
-// tokenTransactions maps the local records to integer-item transactions
-// under a freshly built frozen dictionary. Token IDs are assigned in
+// scanDict builds the frozen corpus dictionary: token IDs are assigned in
 // sorted token order (tokenize.BuildDict over the sorted vocabulary), so
 // generation is deterministic and mined itemset items ARE dictionary IDs.
-func tokenTransactions(local *relational.Table, tk *tokenize.Tokenizer) (*tokenize.Dict, [][]int) {
+// A corpus cache stores exactly this dictionary, which is why Config.Dict
+// can stand in for the scan.
+func scanDict(local *relational.Table, tk *tokenize.Tokenizer) *tokenize.Dict {
 	seen := make(map[string]struct{})
 	for _, r := range local.Records {
 		for _, w := range r.Tokens(tk) {
@@ -200,16 +268,49 @@ func tokenTransactions(local *relational.Table, tk *tokenize.Tokenizer) (*tokeni
 		vocab = append(vocab, w)
 	}
 	sort.Strings(vocab)
-	dict := tokenize.BuildDict(vocab)
-	txs := make([][]int, len(local.Records))
-	for i, r := range local.Records {
+	return tokenize.BuildDict(vocab)
+}
+
+// transactionsUnder maps records to integer-item transactions under an
+// existing frozen dictionary. Tokens outside the dictionary are dropped
+// (they can never form a pool query; see tokenize.Dict).
+func transactionsUnder(dict *tokenize.Dict, recs []*relational.Record, tk *tokenize.Tokenizer) [][]int {
+	txs := make([][]int, len(recs))
+	for i, r := range recs {
 		toks := r.Tokens(tk)
-		t := make([]int, len(toks))
-		for j, w := range toks {
-			id, _ := dict.ID(w)
-			t[j] = int(id)
+		t := make([]int, 0, len(toks))
+		for _, w := range toks {
+			if id, ok := dict.ID(w); ok {
+				t = append(t, int(id))
+			}
 		}
 		txs[i] = t
 	}
-	return dict, txs
+	return txs
+}
+
+// reservoirSample draws a uniform m-record sample in one pass (Vitter's
+// algorithm R) with a seed-determined RNG; the result is a pure function
+// of (records, m, seed), which keeps sampled pool generation inside the
+// determinism oracle.
+func reservoirSample(recs []*relational.Record, m int, seed uint64) []*relational.Record {
+	rng := stats.NewRNG(seed)
+	out := make([]*relational.Record, m)
+	copy(out, recs[:m])
+	for i := m; i < len(recs); i++ {
+		if j := rng.Intn(i + 1); j < m {
+			out[j] = recs[i]
+		}
+	}
+	return out
+}
+
+// sortU32Small sorts a candidate itemset's IDs (tiny slices; FP-Growth
+// emits items in frequency order, Count wants ascending IDs).
+func sortU32Small(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }

@@ -172,3 +172,101 @@ func TestPoolFindMiss(t *testing.T) {
 		t.Fatal("Find of unknown query should be nil")
 	}
 }
+
+// makeZipfTable builds a mid-sized zipfy corpus for the sampled-mining
+// tests.
+func makeZipfTable(n int, seed uint64) *relational.Table {
+	rng := stats.NewRNG(seed)
+	zipf := stats.NewZipf(rng, 1.0, 60)
+	vocabWords := make([]string, 60)
+	for i := range vocabWords {
+		vocabWords[i] = string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('0'+i%10))
+	}
+	local := relational.NewTable("d", []string{"doc"})
+	for i := 0; i < n; i++ {
+		doc := ""
+		for j := 0; j < 5; j++ {
+			doc += vocabWords[zipf.Draw()] + " "
+		}
+		local.Append(doc)
+	}
+	return local
+}
+
+// Sampled mining with an exact recount must never emit a mined query
+// whose true corpus support is below MinSupport (precision), and must be
+// a pure function of its configuration (determinism).
+func TestGenerateSampledExactSupports(t *testing.T) {
+	tk := tokenize.New()
+	local := makeZipfTable(2000, 41)
+	const minSup = 10
+	dict := scanDict(local, tk)
+	inv := index.BuildCompressedInvertedIDs(local.Records, tk, dict)
+	cfg := Config{
+		MinSupport: minSup, MaxQueryLen: 3,
+		Dict: dict, SampleSize: 300, SampleSeed: 9, Count: inv.Count,
+	}
+	p := Generate(local, tk, cfg)
+
+	mined := 0
+	for _, q := range p.Queries {
+		if q.Naive {
+			continue
+		}
+		mined++
+		if sup := inv.Count(q.IDs); sup < minSup {
+			t.Fatalf("sampled mined query %v has exact support %d < %d", q.Keywords, sup, minSup)
+		}
+	}
+	if mined == 0 {
+		t.Fatal("sampled mining produced no frequent queries")
+	}
+
+	// Recall sanity: the sampled pool should find most of the full pool's
+	// mined queries on this heavily zipfed corpus.
+	full := Generate(local, tk, Config{MinSupport: minSup, MaxQueryLen: 3})
+	fullMined, hit := 0, 0
+	for _, q := range full.Queries {
+		if q.Naive {
+			continue
+		}
+		fullMined++
+		if p.Find(q.Keywords) != nil {
+			hit++
+		}
+	}
+	if fullMined == 0 {
+		t.Fatal("full mining produced no frequent queries")
+	}
+	if ratio := float64(hit) / float64(fullMined); ratio < 0.8 {
+		t.Fatalf("sampled pool recalls only %d/%d (%.0f%%) of full mined queries", hit, fullMined, 100*ratio)
+	}
+
+	q := Generate(local, tk, cfg)
+	if q.Len() != p.Len() {
+		t.Fatalf("sampled pool non-deterministic: %d vs %d queries", q.Len(), p.Len())
+	}
+	for i := range p.Queries {
+		if !reflect.DeepEqual(p.Queries[i], q.Queries[i]) {
+			t.Fatalf("sampled pool query %d differs between runs", i)
+		}
+	}
+}
+
+// A pre-built dictionary (the corpus-cache path) must reproduce the
+// scanned pool exactly: same dictionary contents means same IDs, same
+// transactions, same mining.
+func TestGenerateWithPrebuiltDict(t *testing.T) {
+	tk := tokenize.New()
+	local := makeZipfTable(500, 13)
+	scanned := Generate(local, tk, Config{MinSupport: 3, MaxQueryLen: 3})
+	prebuilt := Generate(local, tk, Config{MinSupport: 3, MaxQueryLen: 3, Dict: scanDict(local, tk)})
+	if scanned.Len() != prebuilt.Len() {
+		t.Fatalf("pool sizes differ: %d vs %d", scanned.Len(), prebuilt.Len())
+	}
+	for i := range scanned.Queries {
+		if !reflect.DeepEqual(scanned.Queries[i], prebuilt.Queries[i]) {
+			t.Fatalf("query %d differs under prebuilt dict", i)
+		}
+	}
+}
